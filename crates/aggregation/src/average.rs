@@ -1,0 +1,106 @@
+//! Plain averaging — the vanilla baseline GAR.
+
+use crate::{validate_inputs, AggregationError, AggregationResult, Gar};
+use garfield_tensor::Tensor;
+
+/// Coordinate-wise arithmetic mean of the inputs.
+///
+/// This is what vanilla TensorFlow / PyTorch parameter servers do. It has no
+/// Byzantine resilience whatsoever — a single corrupted input can move the
+/// output arbitrarily — and serves as the paper's vanilla baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Average {
+    n: usize,
+}
+
+impl Average {
+    /// Creates an averaging rule over `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::ResilienceViolated`] when `n == 0`.
+    pub fn new(n: usize) -> AggregationResult<Self> {
+        if n == 0 {
+            return Err(AggregationError::ResilienceViolated {
+                rule: "average",
+                n,
+                f: 0,
+                requirement: "n >= 1",
+            });
+        }
+        Ok(Average { n })
+    }
+}
+
+impl Gar for Average {
+    fn name(&self) -> &'static str {
+        "average"
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn f(&self) -> usize {
+        0
+    }
+
+    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
+        validate_inputs(inputs, self.n)?;
+        let mut acc = inputs[0].clone();
+        for t in &inputs[1..] {
+            acc.add_assign_checked(t).expect("shapes validated");
+        }
+        acc.scale_inplace(1.0 / inputs.len() as f32);
+        Ok(acc)
+    }
+
+    fn is_byzantine_resilient(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_inputs_coordinate_wise() {
+        let avg = Average::new(3).unwrap();
+        let inputs = vec![
+            Tensor::from_slice(&[1.0, 2.0]),
+            Tensor::from_slice(&[3.0, 4.0]),
+            Tensor::from_slice(&[5.0, 6.0]),
+        ];
+        assert_eq!(avg.aggregate(&inputs).unwrap().data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn rejects_zero_inputs_and_wrong_counts() {
+        assert!(Average::new(0).is_err());
+        let avg = Average::new(2).unwrap();
+        assert!(avg.aggregate(&[]).is_err());
+        assert!(avg.aggregate(&[Tensor::from_slice(&[1.0])]).is_err());
+    }
+
+    #[test]
+    fn rejects_heterogeneous_shapes() {
+        let avg = Average::new(2).unwrap();
+        let inputs = vec![Tensor::from_slice(&[1.0]), Tensor::from_slice(&[1.0, 2.0])];
+        assert_eq!(avg.aggregate(&inputs).unwrap_err(), AggregationError::HeterogeneousShapes);
+    }
+
+    #[test]
+    fn a_single_outlier_corrupts_the_average() {
+        // Documents *why* the paper replaces averaging: one Byzantine input
+        // shifts the output arbitrarily far from the honest values.
+        let avg = Average::new(3).unwrap();
+        let inputs = vec![
+            Tensor::from_slice(&[1.0]),
+            Tensor::from_slice(&[1.0]),
+            Tensor::from_slice(&[1.0e9]),
+        ];
+        let out = avg.aggregate(&inputs).unwrap();
+        assert!(out.data()[0] > 1.0e8);
+    }
+}

@@ -1,0 +1,200 @@
+//! Bulyan GAR (El Mhamdi et al., ICML 2018).
+
+use crate::krum::{krum_scores, smallest_scores};
+use crate::median::coordinate_wise_median;
+use crate::{validate_inputs, AggregationError, AggregationResult, Gar};
+use garfield_tensor::Tensor;
+
+/// Bulyan of Multi-Krum.
+///
+/// Bulyan proceeds in two phases, matching §3.1 of the paper:
+///
+/// 1. **Selection**: iterate a Byzantine-resilient GAR (Multi-Krum here)
+///    `k = n - 2f` times; at each iteration the selected gradient is moved
+///    from the candidate pool into the selection set.
+/// 2. **Aggregation**: for every coordinate, take the `k' = k - 2f` values of
+///    the selection set closest to the selection set's coordinate-wise median
+///    and average them.
+///
+/// The per-coordinate trimming is what lets Bulyan sustain high-dimensional
+/// models against the "hidden vulnerability" attack. Requires `n ≥ 4f + 3`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bulyan {
+    n: usize,
+    f: usize,
+}
+
+impl Bulyan {
+    /// Creates a Bulyan rule for `n` inputs tolerating `f` Byzantine ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::ResilienceViolated`] unless `n ≥ 4f + 3`.
+    pub fn new(n: usize, f: usize) -> AggregationResult<Self> {
+        if n < 4 * f + 3 {
+            return Err(AggregationError::ResilienceViolated {
+                rule: "bulyan",
+                n,
+                f,
+                requirement: "n >= 4f + 3",
+            });
+        }
+        Ok(Bulyan { n, f })
+    }
+
+    /// Size of the selection set produced by the first phase (`n - 2f`).
+    pub fn selection_size(&self) -> usize {
+        self.n - 2 * self.f
+    }
+
+    /// Number of values averaged per coordinate in the second phase
+    /// (`selection_size - 2f`, at least 1).
+    pub fn trimmed_size(&self) -> usize {
+        self.selection_size().saturating_sub(2 * self.f).max(1)
+    }
+
+    /// Runs the selection phase and returns the chosen input indices.
+    fn select(&self, inputs: &[Tensor]) -> Vec<usize> {
+        let k = self.selection_size();
+        let mut remaining: Vec<usize> = (0..inputs.len()).collect();
+        let mut selected = Vec::with_capacity(k);
+        for _ in 0..k {
+            if remaining.len() <= 1 {
+                selected.extend(remaining.drain(..));
+                break;
+            }
+            let pool: Vec<Tensor> = remaining.iter().map(|&i| inputs[i].clone()).collect();
+            // Krum scoring over the remaining pool; f is capped so the
+            // neighbour count stays valid as the pool shrinks.
+            let f_eff = self.f.min(remaining.len().saturating_sub(3));
+            let scores = krum_scores(&pool, f_eff);
+            let best_local = smallest_scores(&scores, 1)[0];
+            selected.push(remaining.remove(best_local));
+        }
+        selected
+    }
+}
+
+impl Gar for Bulyan {
+    fn name(&self) -> &'static str {
+        "bulyan"
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn f(&self) -> usize {
+        self.f
+    }
+
+    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
+        validate_inputs(inputs, self.n)?;
+        let selected_idx = self.select(inputs);
+        let selection: Vec<Tensor> = selected_idx.iter().map(|&i| inputs[i].clone()).collect();
+
+        // Phase 2: per-coordinate trimmed average around the median.
+        let median = coordinate_wise_median(&selection);
+        let d = median.len();
+        let beta = self.trimmed_size();
+        let mut out = Vec::with_capacity(d);
+        let mut column: Vec<f32> = Vec::with_capacity(selection.len());
+        for coord in 0..d {
+            column.clear();
+            column.extend(selection.iter().map(|t| t.data()[coord]));
+            let m = median.data()[coord];
+            column.sort_by(|a, b| {
+                (a - m)
+                    .abs()
+                    .partial_cmp(&(b - m).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let sum: f32 = column.iter().take(beta).sum();
+            out.push(sum / beta as f32);
+        }
+        Ok(Tensor::from_vec(out, inputs[0].shape().clone()).expect("output preserves input shape"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garfield_tensor::TensorRng;
+
+    fn honest_cluster(n: usize, d: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = TensorRng::seed_from(seed);
+        (0..n)
+            .map(|_| Tensor::ones(d).try_add(&rng.normal_tensor(d).scale(0.1)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn requirement_is_4f_plus_3() {
+        assert!(Bulyan::new(7, 1).is_ok());
+        assert!(Bulyan::new(6, 1).is_err());
+        assert!(Bulyan::new(15, 3).is_ok());
+        assert!(Bulyan::new(14, 3).is_err());
+    }
+
+    #[test]
+    fn selection_and_trim_sizes() {
+        let b = Bulyan::new(11, 2).unwrap();
+        assert_eq!(b.selection_size(), 7);
+        assert_eq!(b.trimmed_size(), 3);
+    }
+
+    #[test]
+    fn resists_large_outliers() {
+        let mut inputs = honest_cluster(6, 16, 1);
+        inputs.push(Tensor::full(16usize, 1e8));
+        let b = Bulyan::new(7, 1).unwrap();
+        let out = b.aggregate(&inputs).unwrap();
+        assert!(out.data().iter().all(|&v| (0.0..2.0).contains(&v)), "{out}");
+    }
+
+    #[test]
+    fn resists_the_single_coordinate_attack() {
+        // The "hidden vulnerability": a Byzantine input that looks honest in
+        // every coordinate except one, where it is far off. Bulyan's
+        // coordinate-wise trimming must suppress that coordinate.
+        let mut inputs = honest_cluster(6, 8, 2);
+        let mut sneaky = Tensor::ones(8usize);
+        sneaky.set(3, 1e6).unwrap();
+        inputs.push(sneaky);
+        let b = Bulyan::new(7, 1).unwrap();
+        let out = b.aggregate(&inputs).unwrap();
+        assert!(out.data()[3] < 10.0, "coordinate attack leaked through: {}", out.data()[3]);
+    }
+
+    #[test]
+    fn output_without_byzantine_inputs_tracks_the_mean() {
+        let inputs = honest_cluster(7, 32, 3);
+        let b = Bulyan::new(7, 1).unwrap();
+        let out = b.aggregate(&inputs).unwrap();
+        assert!((out.mean() - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn output_stays_within_per_coordinate_input_range() {
+        let mut rng = TensorRng::seed_from(8);
+        let inputs: Vec<Tensor> = (0..7).map(|_| rng.normal_tensor(5usize)).collect();
+        let b = Bulyan::new(7, 1).unwrap();
+        let out = b.aggregate(&inputs).unwrap();
+        for c in 0..5 {
+            let col: Vec<f32> = inputs.iter().map(|t| t.data()[c]).collect();
+            let min = col.iter().cloned().fold(f32::INFINITY, f32::min);
+            let max = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            assert!(out.data()[c] >= min - 1e-5 && out.data()[c] <= max + 1e-5);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let b = Bulyan::new(7, 1).unwrap();
+        assert!(b.aggregate(&[]).is_err());
+        assert!(matches!(
+            b.aggregate(&honest_cluster(6, 4, 5)),
+            Err(AggregationError::WrongInputCount { expected: 7, got: 6 })
+        ));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for gradient aggregation.
+
+use std::fmt;
+
+/// Result alias for aggregation operations.
+pub type AggregationResult<T> = Result<T, AggregationError>;
+
+/// Errors produced when constructing or invoking a GAR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggregationError {
+    /// The `(n, f)` pair violates the rule's Byzantine-resilience requirement.
+    ResilienceViolated {
+        /// Name of the rule.
+        rule: &'static str,
+        /// Total number of inputs the rule was configured for.
+        n: usize,
+        /// Declared maximum number of Byzantine inputs.
+        f: usize,
+        /// Human-readable requirement, e.g. `"n >= 2f + 3"`.
+        requirement: &'static str,
+    },
+    /// `aggregate` was called with a different number of inputs than configured.
+    WrongInputCount {
+        /// Number of inputs the rule expects.
+        expected: usize,
+        /// Number of inputs received.
+        got: usize,
+    },
+    /// The input tensors do not all share one shape.
+    HeterogeneousShapes,
+    /// `aggregate` was called with no inputs.
+    EmptyInput,
+    /// The requested GAR name is unknown.
+    UnknownRule(String),
+}
+
+impl fmt::Display for AggregationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregationError::ResilienceViolated { rule, n, f: byz, requirement } => write!(
+                f,
+                "{rule} requires {requirement}, but was configured with n = {n}, f = {byz}"
+            ),
+            AggregationError::WrongInputCount { expected, got } => {
+                write!(f, "expected {expected} input vectors, got {got}")
+            }
+            AggregationError::HeterogeneousShapes => {
+                write!(f, "all input vectors must share the same shape")
+            }
+            AggregationError::EmptyInput => write!(f, "cannot aggregate an empty input set"),
+            AggregationError::UnknownRule(name) => write!(f, "unknown aggregation rule '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for AggregationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let variants = vec![
+            AggregationError::ResilienceViolated {
+                rule: "krum",
+                n: 3,
+                f: 1,
+                requirement: "n >= 2f + 3",
+            },
+            AggregationError::WrongInputCount { expected: 5, got: 3 },
+            AggregationError::HeterogeneousShapes,
+            AggregationError::EmptyInput,
+            AggregationError::UnknownRule("x".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

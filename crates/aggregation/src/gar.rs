@@ -1,0 +1,200 @@
+//! The [`Gar`] trait and the paper's `init()`-style factory.
+
+use crate::{Average, AggregationError, AggregationResult, Bulyan, Krum, Mda, Median, MultiKrum};
+use garfield_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A gradient aggregation rule: a function `(R^d)^n -> R^d`.
+///
+/// This is the paper's uniform `aggregate()` interface (§3.2, *Aggregation*):
+/// construction corresponds to `init(name, n, f)` via [`build_gar`], and the
+/// rule is agnostic to whether its inputs are gradients or model vectors.
+pub trait Gar: Send + Sync {
+    /// The rule's short name (e.g. `"median"`).
+    fn name(&self) -> &'static str;
+
+    /// Total number of input vectors the rule was configured for.
+    fn n(&self) -> usize;
+
+    /// Declared maximum number of Byzantine input vectors.
+    fn f(&self) -> usize;
+
+    /// Aggregates exactly `n` equally-shaped input vectors into one output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::WrongInputCount`],
+    /// [`AggregationError::HeterogeneousShapes`] or
+    /// [`AggregationError::EmptyInput`] when the inputs are malformed.
+    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor>;
+
+    /// Whether the rule provides Byzantine resilience (everything except `Average`).
+    fn is_byzantine_resilient(&self) -> bool {
+        true
+    }
+}
+
+/// The aggregation rules shipped with Garfield.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GarKind {
+    /// Plain averaging (the vanilla, non-resilient baseline).
+    Average,
+    /// Coordinate-wise median.
+    Median,
+    /// Krum: returns the single smallest-scoring gradient.
+    Krum,
+    /// Multi-Krum: averages the `n - f - 2` smallest-scoring gradients.
+    MultiKrum,
+    /// Minimum-Diameter Averaging.
+    Mda,
+    /// Bulyan of Multi-Krum.
+    Bulyan,
+}
+
+impl GarKind {
+    /// All kinds, in the order the paper's micro-benchmark (Fig. 3) plots them.
+    pub fn all() -> [GarKind; 6] {
+        [
+            GarKind::Bulyan,
+            GarKind::Mda,
+            GarKind::MultiKrum,
+            GarKind::Median,
+            GarKind::Krum,
+            GarKind::Average,
+        ]
+    }
+
+    /// The canonical lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GarKind::Average => "average",
+            GarKind::Median => "median",
+            GarKind::Krum => "krum",
+            GarKind::MultiKrum => "multi-krum",
+            GarKind::Mda => "mda",
+            GarKind::Bulyan => "bulyan",
+        }
+    }
+
+    /// The minimum number of inputs required to tolerate `f` Byzantine ones.
+    pub fn minimum_inputs(self, f: usize) -> usize {
+        match self {
+            GarKind::Average => 1,
+            GarKind::Median | GarKind::Mda => 2 * f + 1,
+            GarKind::Krum | GarKind::MultiKrum => 2 * f + 3,
+            GarKind::Bulyan => 4 * f + 3,
+        }
+    }
+}
+
+impl fmt::Display for GarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for GarKind {
+    type Err = AggregationError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "average" | "mean" => Ok(GarKind::Average),
+            "median" => Ok(GarKind::Median),
+            "krum" => Ok(GarKind::Krum),
+            "multi-krum" | "multikrum" | "multi_krum" => Ok(GarKind::MultiKrum),
+            "mda" => Ok(GarKind::Mda),
+            "bulyan" => Ok(GarKind::Bulyan),
+            other => Err(AggregationError::UnknownRule(other.to_string())),
+        }
+    }
+}
+
+/// Builds a GAR from its kind, total input count `n` and Byzantine bound `f`.
+///
+/// This is the paper's `init(name, n, f)`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::ResilienceViolated`] when `(n, f)` does not
+/// satisfy the rule's requirement.
+///
+/// ```rust
+/// use garfield_aggregation::{build_gar, GarKind};
+/// let gar = build_gar(GarKind::Bulyan, 7, 1).unwrap();
+/// assert_eq!(gar.name(), "bulyan");
+/// assert!(build_gar(GarKind::Bulyan, 6, 1).is_err());
+/// ```
+pub fn build_gar(kind: GarKind, n: usize, f: usize) -> AggregationResult<Box<dyn Gar>> {
+    Ok(match kind {
+        GarKind::Average => Box::new(Average::new(n)?),
+        GarKind::Median => Box::new(Median::new(n, f)?),
+        GarKind::Krum => Box::new(Krum::new(n, f)?),
+        GarKind::MultiKrum => Box::new(MultiKrum::new(n, f)?),
+        GarKind::Mda => Box::new(Mda::new(n, f)?),
+        GarKind::Bulyan => Box::new(Bulyan::new(n, f)?),
+    })
+}
+
+/// Builds a GAR from a string name, mirroring the paper's `init("median", n, f)`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::UnknownRule`] for unknown names and
+/// [`AggregationError::ResilienceViolated`] for invalid `(n, f)` pairs.
+pub fn build_gar_by_name(name: &str, n: usize, f: usize) -> AggregationResult<Box<dyn Gar>> {
+    build_gar(name.parse::<GarKind>()?, n, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_parse_and_display_round_trip() {
+        for kind in GarKind::all() {
+            let parsed: GarKind = kind.as_str().parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert!("nonsense".parse::<GarKind>().is_err());
+        assert_eq!("MultiKrum".parse::<GarKind>().unwrap(), GarKind::MultiKrum);
+    }
+
+    #[test]
+    fn minimum_inputs_match_the_paper() {
+        assert_eq!(GarKind::Median.minimum_inputs(3), 7);
+        assert_eq!(GarKind::Mda.minimum_inputs(3), 7);
+        assert_eq!(GarKind::Krum.minimum_inputs(3), 9);
+        assert_eq!(GarKind::MultiKrum.minimum_inputs(3), 9);
+        assert_eq!(GarKind::Bulyan.minimum_inputs(3), 15);
+        assert_eq!(GarKind::Average.minimum_inputs(3), 1);
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in GarKind::all() {
+            let n = kind.minimum_inputs(1).max(3);
+            let gar = build_gar(kind, n, 1).unwrap();
+            assert_eq!(gar.n(), n);
+            assert_eq!(gar.name(), kind.as_str());
+        }
+    }
+
+    #[test]
+    fn factory_rejects_insufficient_n() {
+        assert!(build_gar(GarKind::Krum, 4, 1).is_err());
+        assert!(build_gar(GarKind::Bulyan, 6, 1).is_err());
+        assert!(build_gar(GarKind::Median, 2, 1).is_err());
+        assert!(build_gar_by_name("median", 3, 1).is_ok());
+        assert!(build_gar_by_name("wat", 3, 1).is_err());
+    }
+
+    #[test]
+    fn average_is_not_byzantine_resilient_but_others_are() {
+        assert!(!build_gar(GarKind::Average, 3, 0).unwrap().is_byzantine_resilient());
+        assert!(build_gar(GarKind::Median, 3, 1).unwrap().is_byzantine_resilient());
+        assert!(build_gar(GarKind::Bulyan, 7, 1).unwrap().is_byzantine_resilient());
+    }
+}

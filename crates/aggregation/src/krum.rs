@@ -1,0 +1,254 @@
+//! Krum and Multi-Krum GARs (Blanchard et al., NeurIPS 2017).
+
+use crate::{validate_inputs, AggregationError, AggregationResult, Gar};
+use garfield_tensor::{squared_l2_distance, Tensor};
+
+/// Computes each input's Krum score: the sum of its squared distances to its
+/// `n - f - 2` closest neighbours.
+pub(crate) fn krum_scores(inputs: &[Tensor], f: usize) -> Vec<f32> {
+    let n = inputs.len();
+    // Pairwise squared distances.
+    let mut dist = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = squared_l2_distance(&inputs[i], &inputs[j]);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let neighbours = n.saturating_sub(f + 2).max(1);
+    (0..n)
+        .map(|i| {
+            let mut row: Vec<f32> = (0..n).filter(|&j| j != i).map(|j| dist[i * n + j]).collect();
+            row.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            row.iter().take(neighbours).sum()
+        })
+        .collect()
+}
+
+/// Returns the indices of the `m` smallest-scoring inputs, in ascending score order.
+pub(crate) fn smallest_scores(scores: &[f32], m: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(m);
+    idx
+}
+
+/// Krum: selects the single gradient with the smallest score.
+///
+/// Requires `n ≥ 2f + 3`. Complexity `O(n² d)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Krum {
+    n: usize,
+    f: usize,
+}
+
+impl Krum {
+    /// Creates a Krum rule for `n` inputs tolerating `f` Byzantine ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::ResilienceViolated`] unless `n ≥ 2f + 3`.
+    pub fn new(n: usize, f: usize) -> AggregationResult<Self> {
+        if n < 2 * f + 3 {
+            return Err(AggregationError::ResilienceViolated {
+                rule: "krum",
+                n,
+                f,
+                requirement: "n >= 2f + 3",
+            });
+        }
+        Ok(Krum { n, f })
+    }
+
+    /// Returns the index of the gradient Krum would select.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`Gar::aggregate`].
+    pub fn select_index(&self, inputs: &[Tensor]) -> AggregationResult<usize> {
+        validate_inputs(inputs, self.n)?;
+        let scores = krum_scores(inputs, self.f);
+        Ok(smallest_scores(&scores, 1)[0])
+    }
+}
+
+impl Gar for Krum {
+    fn name(&self) -> &'static str {
+        "krum"
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn f(&self) -> usize {
+        self.f
+    }
+
+    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
+        let idx = self.select_index(inputs)?;
+        Ok(inputs[idx].clone())
+    }
+}
+
+/// Multi-Krum: averages the `n - f - 2` smallest-scoring gradients.
+///
+/// This is the variant AggregaThor and the paper's MSMW synchronous setup use;
+/// it converges faster than Krum because it keeps more honest gradients.
+/// Requires `n ≥ 2f + 3`. Complexity `O(n² d)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiKrum {
+    n: usize,
+    f: usize,
+    m: usize,
+}
+
+impl MultiKrum {
+    /// Creates a Multi-Krum rule for `n` inputs tolerating `f` Byzantine ones.
+    ///
+    /// The selection-set size defaults to `n - f - 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::ResilienceViolated`] unless `n ≥ 2f + 3`.
+    pub fn new(n: usize, f: usize) -> AggregationResult<Self> {
+        if n < 2 * f + 3 {
+            return Err(AggregationError::ResilienceViolated {
+                rule: "multi-krum",
+                n,
+                f,
+                requirement: "n >= 2f + 3",
+            });
+        }
+        Ok(MultiKrum { n, f, m: n - f - 2 })
+    }
+
+    /// Number of gradients averaged by the selection phase.
+    pub fn selection_size(&self) -> usize {
+        self.m
+    }
+
+    /// Returns the indices of the gradients Multi-Krum selects, best first.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`Gar::aggregate`].
+    pub fn select_indices(&self, inputs: &[Tensor]) -> AggregationResult<Vec<usize>> {
+        validate_inputs(inputs, self.n)?;
+        let scores = krum_scores(inputs, self.f);
+        Ok(smallest_scores(&scores, self.m))
+    }
+}
+
+impl Gar for MultiKrum {
+    fn name(&self) -> &'static str {
+        "multi-krum"
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn f(&self) -> usize {
+        self.f
+    }
+
+    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
+        let selected = self.select_indices(inputs)?;
+        let mut acc = Tensor::zeros(inputs[0].shape().clone());
+        for &i in &selected {
+            acc.add_assign_checked(&inputs[i]).expect("shapes validated");
+        }
+        acc.scale_inplace(1.0 / selected.len() as f32);
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garfield_tensor::TensorRng;
+
+    fn honest_cluster(n: usize, d: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = TensorRng::seed_from(seed);
+        (0..n)
+            .map(|_| {
+                let noise = rng.normal_tensor(d).scale(0.1);
+                Tensor::ones(d).try_add(&noise).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn requirement_is_2f_plus_3() {
+        assert!(Krum::new(5, 1).is_ok());
+        assert!(Krum::new(4, 1).is_err());
+        assert!(MultiKrum::new(9, 3).is_ok());
+        assert!(MultiKrum::new(8, 3).is_err());
+    }
+
+    #[test]
+    fn krum_selects_an_honest_gradient_under_attack() {
+        let mut inputs = honest_cluster(4, 8, 1);
+        inputs.push(Tensor::full(8usize, 1e6)); // Byzantine outlier
+        let krum = Krum::new(5, 1).unwrap();
+        let idx = krum.select_index(&inputs).unwrap();
+        assert!(idx < 4, "Krum selected the Byzantine input");
+        let out = krum.aggregate(&inputs).unwrap();
+        assert!(out.data().iter().all(|&v| v.abs() < 10.0));
+    }
+
+    #[test]
+    fn krum_output_is_one_of_the_inputs() {
+        let inputs = honest_cluster(5, 4, 2);
+        let krum = Krum::new(5, 1).unwrap();
+        let out = krum.aggregate(&inputs).unwrap();
+        assert!(inputs.iter().any(|t| t == &out));
+    }
+
+    #[test]
+    fn multi_krum_selection_size_and_robustness() {
+        let mut inputs = honest_cluster(6, 8, 3);
+        inputs.push(Tensor::full(8usize, -1e6));
+        let mk = MultiKrum::new(7, 1).unwrap();
+        assert_eq!(mk.selection_size(), 4);
+        let selected = mk.select_indices(&inputs).unwrap();
+        assert_eq!(selected.len(), 4);
+        assert!(!selected.contains(&6), "Multi-Krum kept the Byzantine input");
+        let out = mk.aggregate(&inputs).unwrap();
+        assert!(out.data().iter().all(|&v| (0.0..2.0).contains(&v)));
+    }
+
+    #[test]
+    fn multi_krum_without_byzantine_inputs_is_close_to_the_mean() {
+        let inputs = honest_cluster(7, 16, 4);
+        let mk = MultiKrum::new(7, 1).unwrap();
+        let out = mk.aggregate(&inputs).unwrap();
+        let mean = out.mean();
+        assert!((mean - 1.0).abs() < 0.2, "mean of selection {mean}");
+    }
+
+    #[test]
+    fn scores_are_permutation_consistent() {
+        let inputs = honest_cluster(5, 4, 5);
+        let scores = krum_scores(&inputs, 1);
+        let mut reversed: Vec<Tensor> = inputs.clone();
+        reversed.reverse();
+        let mut scores_rev = krum_scores(&reversed, 1);
+        scores_rev.reverse();
+        for (a, b) in scores.iter().zip(scores_rev.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let krum = Krum::new(5, 1).unwrap();
+        assert!(krum.aggregate(&[]).is_err());
+        let bad: Vec<Tensor> = (0..5)
+            .map(|i| if i == 0 { Tensor::zeros(2usize) } else { Tensor::zeros(3usize) })
+            .collect();
+        assert_eq!(krum.aggregate(&bad).unwrap_err(), AggregationError::HeterogeneousShapes);
+    }
+}

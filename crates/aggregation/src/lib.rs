@@ -1,0 +1,76 @@
+//! # garfield-aggregation
+//!
+//! Statistically robust gradient aggregation rules (GARs) from
+//! *"Garfield: System Support for Byzantine Machine Learning"* (DSN 2021),
+//! §3.1, behind the paper's uniform `init()` / `aggregate()` interface.
+//!
+//! Implemented rules:
+//!
+//! | Rule | Requirement | Complexity |
+//! |------|-------------|------------|
+//! | [`Average`] | none (not Byzantine-resilient) | `O(n d)` |
+//! | [`Median`] | `n ≥ 2f + 1` | `O(n d)` best case |
+//! | [`Krum`] / [`MultiKrum`] | `n ≥ 2f + 3` | `O(n² d)` |
+//! | [`Mda`] | `n ≥ 2f + 1` | `O(C(n, f) + n² d)` |
+//! | [`Bulyan`] | `n ≥ 4f + 3` | `O(n² d)` |
+//!
+//! All rules consume a slice of equally-shaped [`Tensor`]s (gradients *or*
+//! models — the paper aggregates both) and produce one output tensor with the
+//! statistical guarantees described in the paper.
+//!
+//! The crate also ships the paper's `measure_variance.py` equivalent: a
+//! [`variance::VarianceProbe`] that empirically checks the bounded-variance
+//! condition each GAR needs.
+//!
+//! # Quick example
+//!
+//! ```rust
+//! use garfield_aggregation::{Gar, GarKind, build_gar};
+//! use garfield_tensor::Tensor;
+//!
+//! let gar = build_gar(GarKind::Median, 5, 1).unwrap();
+//! let inputs: Vec<Tensor> = (0..5).map(|i| Tensor::from_slice(&[i as f32])).collect();
+//! let out = gar.aggregate(&inputs).unwrap();
+//! assert_eq!(out.data(), &[2.0]);
+//! ```
+//!
+//! [`Tensor`]: garfield_tensor::Tensor
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod average;
+mod bulyan;
+mod error;
+mod gar;
+mod krum;
+mod mda;
+mod median;
+pub mod variance;
+
+pub use average::Average;
+pub use bulyan::Bulyan;
+pub use error::{AggregationError, AggregationResult};
+pub use gar::{build_gar, build_gar_by_name, Gar, GarKind};
+pub use krum::{Krum, MultiKrum};
+pub use mda::Mda;
+pub use median::{sort3_branchless, Median};
+pub use variance::{VarianceProbe, VarianceReport, VarianceStep};
+
+/// Validates that all inputs exist, share one shape, and match the expected count.
+pub(crate) fn validate_inputs(
+    inputs: &[garfield_tensor::Tensor],
+    expected: usize,
+) -> AggregationResult<()> {
+    if inputs.is_empty() {
+        return Err(AggregationError::EmptyInput);
+    }
+    if inputs.len() != expected {
+        return Err(AggregationError::WrongInputCount { expected, got: inputs.len() });
+    }
+    let shape = inputs[0].shape();
+    if inputs.iter().any(|t| t.shape() != shape) {
+        return Err(AggregationError::HeterogeneousShapes);
+    }
+    Ok(())
+}

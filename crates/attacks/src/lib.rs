@@ -1,0 +1,44 @@
+//! # garfield-attacks
+//!
+//! Byzantine attack implementations for the Garfield-rs reproduction of
+//! *"Garfield: System Support for Byzantine Machine Learning"* (DSN 2021).
+//!
+//! The paper's `Byzantine Server` / `Byzantine Worker` objects (§3.2) replace
+//! the vector they are supposed to send — a gradient or a model — with an
+//! adversarial one. This crate implements the attacks the paper lists:
+//!
+//! * simple attacks: [`RandomVectorAttack`], [`ReversedVectorAttack`]
+//!   (reverse and amplify, the paper's "×(−100)" attack of Fig. 5b),
+//!   [`DropVectorAttack`], [`SignFlipAttack`];
+//! * the state-of-the-art attacks: [`LittleIsEnoughAttack`] (Baruch et al.)
+//!   and [`FallOfEmpiresAttack`] (Xie et al.), which both craft vectors that
+//!   stay *within* the honest variance envelope so naive filters accept them.
+//!
+//! Every attack implements the [`Attack`] trait: given the vector an honest
+//! node would have sent plus (optionally) the vectors of its colluding peers,
+//! it produces the Byzantine vector actually sent.
+//!
+//! # Quick example
+//!
+//! ```rust
+//! use garfield_attacks::{Attack, ReversedVectorAttack};
+//! use garfield_tensor::{Tensor, TensorRng};
+//!
+//! let mut rng = TensorRng::seed_from(1);
+//! let honest = Tensor::from_slice(&[1.0, -2.0]);
+//! let attack = ReversedVectorAttack::amplified(100.0);
+//! let byz = attack.corrupt(&honest, &[], &mut rng);
+//! assert_eq!(byz.data(), &[-100.0, 200.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod traits;
+
+pub use catalog::{
+    DropVectorAttack, FallOfEmpiresAttack, LabelFlipAttack, LittleIsEnoughAttack,
+    PartialDropAttack, RandomVectorAttack, ReversedVectorAttack, SignFlipAttack,
+};
+pub use traits::{Attack, AttackKind};

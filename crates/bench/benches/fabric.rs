@@ -1,0 +1,33 @@
+//! Criterion benchmark of the communication substrate: the real message
+//! router's point-to-point path and the `PullRound` "fastest q of n" primitive.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use garfield_net::{NodeId, PullRound, Router};
+use std::time::Duration;
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let router = Router::new();
+    let a = router.register(NodeId(1));
+    let b = router.register(NodeId(2));
+    let payload = Bytes::from(vec![0u8; 64 * 1024]);
+    group.bench_function("router_send_recv_64KiB", |bencher| {
+        bencher.iter(|| {
+            a.send(NodeId(2), 0, payload.clone()).unwrap();
+            b.recv_timeout(Duration::from_secs(1)).unwrap()
+        })
+    });
+
+    let replies: Vec<(NodeId, f64)> = (0..64u32).map(|i| (NodeId(i), (i as f64) * 0.01)).collect();
+    let round = PullRound::new(replies);
+    group.bench_function("pull_round_fastest_48_of_64", |bencher| {
+        bencher.iter(|| round.fastest(48))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

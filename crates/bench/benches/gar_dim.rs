@@ -1,0 +1,30 @@
+//! Criterion micro-benchmark for Fig. 3b: GAR aggregation time versus the
+//! gradient dimension `d`, at n = 17 inputs (CPU kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use garfield_aggregation::{build_gar, GarKind};
+use garfield_tensor::{Tensor, TensorRng};
+use std::time::Duration;
+
+fn bench_gar_dim(c: &mut Criterion) {
+    let n = 17;
+    let f = (n - 3) / 4;
+    let mut rng = TensorRng::seed_from(2);
+    let mut group = c.benchmark_group("fig3b_gar_vs_dimension");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for d in [10_000usize, 100_000] {
+        let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
+        for kind in [GarKind::Average, GarKind::Median, GarKind::MultiKrum, GarKind::Mda, GarKind::Bulyan] {
+            let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f }).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(kind.as_str(), d),
+                &inputs,
+                |b, inputs| b.iter(|| gar.aggregate(inputs).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gar_dim);
+criterion_main!(benches);

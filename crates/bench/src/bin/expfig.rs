@@ -1,0 +1,85 @@
+//! `expfig` — regenerate the tables and figures of the Garfield paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p garfield-bench --bin expfig -- <experiment> [...]
+//! cargo run --release -p garfield-bench --bin expfig -- all
+//! ```
+//!
+//! Recognised experiment ids: `table1`, `fig3a`, `fig3b`, `fig4a`, `fig4b`,
+//! `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`, `fig12`,
+//! `fig13`, `fig14`, `fig15`, `fig16`, `table2`, `variance`, `dec-scaling`.
+//! Each prints its rows and writes `results/<id>.csv`.
+
+use garfield_bench::figures;
+use garfield_bench::report::{print_table, write_csv, Row};
+use garfield_net::Device;
+
+fn run_one(id: &str) -> Option<(String, Vec<Row>)> {
+    let rows = match id {
+        "table1" => figures::table1(),
+        "fig3a" => figures::fig3a(100_000),
+        "fig3b" => figures::fig3b(1_000_000),
+        // Fig. 4a (TensorFlow / CPU / asynchronous Bulyan-style) and 4b
+        // (PyTorch / GPU / synchronous Multi-Krum) differ in synchrony here;
+        // Fig. 11 is the same data plotted against simulated time, which the
+        // rows already contain.
+        "fig4a" | "fig11a" => figures::fig4(false),
+        "fig4b" | "fig11b" => figures::fig4(true),
+        "fig5" => figures::fig5(),
+        "fig6" | "fig6a" => figures::fig6(Device::Cpu),
+        "fig6b" | "fig15" => figures::fig6(Device::Gpu),
+        "fig7" => figures::fig7(Device::Cpu),
+        "fig16" => figures::fig7(Device::Gpu),
+        "fig8" | "fig8a" => figures::fig8(Device::Cpu),
+        "fig8b" => figures::fig8(Device::Gpu),
+        "fig9" => figures::fig9(),
+        "fig10" | "fig10a" | "fig10b" | "fig13" | "fig14" => figures::fig10(Device::Cpu),
+        "table2" => figures::table2(),
+        "fig12" => figures::fig12(),
+        "variance" => figures::variance_report(),
+        "dec-scaling" => figures::decentralized_scaling(),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            return None;
+        }
+    };
+    Some((id.to_string(), rows))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: expfig <experiment id ...> | all   (see --help in the doc comment)");
+        std::process::exit(2);
+    }
+    let quick_all = [
+        "table1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig6b", "fig7", "fig8",
+        "fig8b", "fig9", "fig10", "fig12", "fig16", "table2", "variance", "dec-scaling",
+    ];
+    let ids: Vec<String> = if args.len() == 1 && args[0] == "all" {
+        quick_all.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut failures = 0;
+    for id in ids {
+        match run_one(&id) {
+            Some((name, rows)) => {
+                print_table(&name, &rows);
+                let path = format!("results/{name}.csv");
+                if let Err(e) = write_csv(&path, &rows) {
+                    eprintln!("could not write {path}: {e}");
+                } else {
+                    println!("(written to {path})");
+                }
+            }
+            None => failures += 1,
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

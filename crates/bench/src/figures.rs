@@ -1,0 +1,423 @@
+//! One function per table / figure of the paper's evaluation.
+//!
+//! Each function returns the rows that the `expfig` binary prints and writes
+//! to `results/`. Convergence experiments (Figs. 4, 5, 11, 12, Table 2) run
+//! the real training stack on scaled-down settings; throughput sweeps use the
+//! analytic [`crate::throughput`] module at the paper's exact model sizes.
+
+use crate::report::Row;
+use crate::throughput::throughput;
+use garfield_aggregation::{build_gar, GarKind, VarianceProbe};
+use garfield_core::apps::{DecentralizedApp, MsmwApp};
+use garfield_core::{Controller, Deployment, ExperimentConfig, SystemKind};
+use garfield_ml::{zoo, Dataset, DatasetKind, Mlp};
+use garfield_net::{CostModel, Device};
+use garfield_tensor::{Tensor, TensorRng};
+use std::time::Instant;
+
+/// The paper's default CPU cluster shape (18 workers / 3 Byzantine, 6 servers / 1 Byzantine).
+const CPU_CLUSTER: (usize, usize, usize, usize) = (18, 3, 6, 1);
+/// The paper's default GPU cluster shape (10 workers / 3 Byzantine, 3 servers / 1 Byzantine).
+const GPU_CLUSTER: (usize, usize, usize, usize) = (10, 3, 3, 1);
+
+/// Quick, CI-friendly convergence settings used by the `expfig` binary.
+fn convergence_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small();
+    cfg.model = "tiny".into();
+    cfg.nw = 9;
+    cfg.fw = 1;
+    cfg.nps = 3;
+    cfg.fps = 1;
+    cfg.iterations = 60;
+    cfg.eval_every = 10;
+    cfg.gradient_gar = GarKind::MultiKrum;
+    cfg.model_gar = GarKind::Median;
+    cfg
+}
+
+/// Table 1: the model zoo.
+pub fn table1() -> Vec<Row> {
+    zoo::paper_models()
+        .into_iter()
+        .map(|m| {
+            Row::new(
+                m.name,
+                vec![("parameters", m.parameters as f64), ("size_mb", m.size_mb)],
+            )
+        })
+        .collect()
+}
+
+/// Fig. 3a: GAR aggregation time versus the number of inputs `n`.
+///
+/// Measures the real CPU kernels. `d` defaults to 10⁵ (the paper uses 10⁷ on
+/// GPUs); pass a larger `d` for a slower but closer-to-paper run.
+pub fn fig3a(d: usize) -> Vec<Row> {
+    let mut rng = TensorRng::seed_from(3);
+    let mut rows = Vec::new();
+    for n in (7..=23).step_by(2) {
+        let f = (n - 3) / 4;
+        let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
+        let mut values = Vec::new();
+        for kind in [GarKind::Bulyan, GarKind::Mda, GarKind::MultiKrum, GarKind::Median, GarKind::Average] {
+            let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f })
+                .expect("n >= 7 satisfies every rule for f = (n-3)/4");
+            let start = Instant::now();
+            gar.aggregate(&inputs).expect("inputs are well formed");
+            values.push((kind.as_str(), start.elapsed().as_secs_f64()));
+        }
+        rows.push(Row::new(format!("n={n}"), values));
+    }
+    rows
+}
+
+/// Fig. 3b: GAR aggregation time versus the input dimension `d` (n = 17).
+pub fn fig3b(max_d: usize) -> Vec<Row> {
+    let n = 17;
+    let f = (n - 3) / 4;
+    let mut rng = TensorRng::seed_from(4);
+    let mut rows = Vec::new();
+    let mut d = 1_000usize;
+    while d <= max_d {
+        let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
+        let mut values = Vec::new();
+        for kind in [GarKind::Bulyan, GarKind::Mda, GarKind::MultiKrum, GarKind::Median, GarKind::Average] {
+            let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f })
+                .expect("n = 17 satisfies every rule for f = 3");
+            let start = Instant::now();
+            gar.aggregate(&inputs).expect("inputs are well formed");
+            values.push((kind.as_str(), start.elapsed().as_secs_f64()));
+        }
+        rows.push(Row::new(format!("d={d}"), values));
+        d *= 10;
+    }
+    rows
+}
+
+/// Figs. 4a/4b and 11a/11b: convergence of every system versus iterations and
+/// versus simulated time. Returns `(system, iteration, sim_time, accuracy)` rows.
+pub fn fig4(synchronous: bool) -> Vec<Row> {
+    let mut cfg = convergence_config();
+    cfg.synchronous = synchronous;
+    let controller = Controller::new(cfg);
+    let mut rows = Vec::new();
+    for system in SystemKind::all() {
+        let trace = match controller.run(system) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("skipping {system}: {e}");
+                continue;
+            }
+        };
+        for point in &trace.accuracy {
+            rows.push(Row::new(
+                format!("{system}"),
+                vec![
+                    ("iteration", point.iteration as f64),
+                    ("sim_time_s", point.sim_time),
+                    ("accuracy", point.accuracy as f64),
+                ],
+            ));
+        }
+    }
+    rows
+}
+
+/// Fig. 5: accuracy under real Byzantine behaviour (random and reversed
+/// vectors) for vanilla, crash-tolerant and MSMW deployments.
+pub fn fig5() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (attack_name, attack) in [
+        ("random", garfield_attacks::AttackKind::Random),
+        ("reversed", garfield_attacks::AttackKind::Reversed),
+    ] {
+        let mut cfg = convergence_config();
+        cfg.actual_byzantine_workers = 1;
+        cfg.worker_attack = Some(attack);
+        cfg.actual_byzantine_servers = 1;
+        cfg.server_attack = Some(attack);
+        let controller = Controller::new(cfg);
+        for system in [SystemKind::Vanilla, SystemKind::CrashTolerant, SystemKind::Msmw] {
+            let trace = controller.run(system).expect("configuration is valid");
+            rows.push(Row::new(
+                format!("{attack_name}/{system}"),
+                vec![
+                    ("final_accuracy", trace.final_accuracy() as f64),
+                    ("best_accuracy", trace.best_accuracy() as f64),
+                ],
+            ));
+        }
+    }
+    rows
+}
+
+/// Fig. 6 (and Fig. 15): throughput slowdown of each fault-tolerant system
+/// relative to vanilla, for every Table 1 model, on the given device.
+pub fn fig6(device: Device) -> Vec<Row> {
+    let (nw, fw, nps, fps) = if device == Device::Cpu { CPU_CLUSTER } else { GPU_CLUSTER };
+    let cost = CostModel::default();
+    let mut rows = Vec::new();
+    for model in zoo::paper_models() {
+        let vanilla =
+            throughput(SystemKind::Vanilla, model.parameters, nw, fw, nps, fps, 32, device, &cost);
+        let mut values = Vec::new();
+        for system in [
+            SystemKind::CrashTolerant,
+            SystemKind::Ssmw,
+            SystemKind::Msmw,
+            SystemKind::Decentralized,
+        ] {
+            let point =
+                throughput(system, model.parameters, nw, fw, nps, fps, 32, device, &cost);
+            values.push((
+                system.as_str(),
+                vanilla.updates_per_second / point.updates_per_second,
+            ));
+        }
+        rows.push(Row::new(model.name, values));
+    }
+    rows
+}
+
+/// Fig. 7 (CPU) / Fig. 16 (GPU): per-iteration overhead breakdown for ResNet-50.
+pub fn fig7(device: Device) -> Vec<Row> {
+    let (nw, fw, nps, fps) = if device == Device::Cpu { CPU_CLUSTER } else { GPU_CLUSTER };
+    let d = zoo::spec_by_name("ResNet-50").expect("ResNet-50 is in Table 1").parameters;
+    let cost = CostModel::default();
+    SystemKind::all()
+        .into_iter()
+        .filter(|s| *s != SystemKind::AggregaThor)
+        .map(|system| {
+            let t = crate::throughput::iteration_time(system, d, nw, fw, nps, fps, 32, device, &cost);
+            Row::new(
+                system.as_str(),
+                vec![
+                    ("computation_s", t.computation),
+                    ("communication_s", t.communication),
+                    ("aggregation_s", t.aggregation),
+                    ("total_s", t.total()),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Fig. 8: throughput (batches/s) versus the number of workers, CifarNet on
+/// CPU (8a) or ResNet-50 on GPU (8b).
+pub fn fig8(device: Device) -> Vec<Row> {
+    let (model, range): (&str, Vec<usize>) = if device == Device::Cpu {
+        ("CifarNet", (3..=20).collect())
+    } else {
+        ("ResNet-50", (5..=13).step_by(2).collect())
+    };
+    let d = zoo::spec_by_name(model).expect("model is in Table 1").parameters;
+    let (_, fw, nps, fps) = if device == Device::Cpu { CPU_CLUSTER } else { GPU_CLUSTER };
+    let cost = CostModel::default();
+    range
+        .into_iter()
+        .map(|nw| {
+            let mut values = Vec::new();
+            for system in [
+                SystemKind::Vanilla,
+                SystemKind::CrashTolerant,
+                SystemKind::Ssmw,
+                SystemKind::Msmw,
+                SystemKind::Decentralized,
+            ] {
+                let fw = fw.min(nw.saturating_sub(1));
+                let point = throughput(system, d, nw, fw, nps, fps, 32, device, &cost);
+                values.push((system.as_str(), point.batches_per_second));
+            }
+            Row::new(format!("nw={nw}"), values)
+        })
+        .collect()
+}
+
+/// Fig. 9: communication time of decentralized learning and the vanilla
+/// baseline versus the number of nodes (9a, d = 10⁶) and versus the model
+/// dimension (9b, n = 6), on GPUs.
+pub fn fig9() -> Vec<Row> {
+    let cost = CostModel::default();
+    let mut rows = Vec::new();
+    for n in 2..=6usize {
+        let dec = crate::throughput::iteration_time(
+            SystemKind::Decentralized, 1_000_000, n, 1.min(n - 1), 0, 0, 32, Device::Gpu, &cost,
+        );
+        let van = crate::throughput::iteration_time(
+            SystemKind::Vanilla, 1_000_000, n, 0, 1, 0, 32, Device::Gpu, &cost,
+        );
+        rows.push(Row::new(
+            format!("n={n}"),
+            vec![("decentralized_s", dec.communication), ("vanilla_s", van.communication)],
+        ));
+    }
+    let mut d = 10_000usize;
+    while d <= 100_000_000 {
+        let dec = crate::throughput::iteration_time(
+            SystemKind::Decentralized, d, 6, 1, 0, 0, 32, Device::Gpu, &cost,
+        );
+        let van = crate::throughput::iteration_time(
+            SystemKind::Vanilla, d, 6, 0, 1, 0, 32, Device::Gpu, &cost,
+        );
+        rows.push(Row::new(
+            format!("d={d}"),
+            vec![("decentralized_s", dec.communication), ("vanilla_s", van.communication)],
+        ));
+        d *= 10;
+    }
+    rows
+}
+
+/// Fig. 10 (and Figs. 13/14): throughput versus the number of declared
+/// Byzantine workers (`fw`, fixed cluster) and Byzantine servers (`fps`,
+/// which grows the replica group as `nps = 3 fps + 1`).
+pub fn fig10(device: Device) -> Vec<Row> {
+    let d = zoo::spec_by_name("ResNet-50").expect("in Table 1").parameters;
+    let cost = CostModel::default();
+    let (nw, _, nps, _) = if device == Device::Cpu { CPU_CLUSTER } else { GPU_CLUSTER };
+    let mut rows = Vec::new();
+    for fw in 0..=3usize {
+        let p = throughput(SystemKind::Msmw, d, nw, fw, nps, 1, 32, device, &cost);
+        rows.push(Row::new(
+            format!("fw={fw}"),
+            vec![("updates_per_s", p.updates_per_second)],
+        ));
+    }
+    for fps in 0..=3usize {
+        let nps = 3 * fps + 1;
+        let p = throughput(SystemKind::Msmw, d, nw, 3.min(nw - 1), nps, fps, 32, device, &cost);
+        rows.push(Row::new(
+            format!("fps={fps} (nps={nps})"),
+            vec![("updates_per_s", p.updates_per_second)],
+        ));
+    }
+    rows
+}
+
+/// Fig. 12: convergence of the MSMW protocol using MDA as the gradient GAR,
+/// against vanilla and the crash-tolerant baseline.
+pub fn fig12() -> Vec<Row> {
+    let mut cfg = convergence_config();
+    cfg.gradient_gar = GarKind::Mda;
+    let controller = Controller::new(cfg);
+    let mut rows = Vec::new();
+    for system in [SystemKind::Vanilla, SystemKind::CrashTolerant, SystemKind::Msmw] {
+        let trace = controller.run(system).expect("configuration is valid");
+        for point in &trace.accuracy {
+            rows.push(Row::new(
+                format!("{system}"),
+                vec![
+                    ("iteration", point.iteration as f64),
+                    ("sim_time_s", point.sim_time),
+                    ("accuracy", point.accuracy as f64),
+                ],
+            ));
+        }
+    }
+    rows
+}
+
+/// Table 2: parameter-vector alignment of the correct server replicas.
+pub fn table2() -> Vec<Row> {
+    let mut cfg = convergence_config();
+    cfg.synchronous = false;
+    cfg.gradient_gar = GarKind::Median;
+    cfg.iterations = 100;
+    cfg.eval_every = 0;
+    let deployment = Deployment::new(cfg).expect("configuration is valid");
+    let mut app = MsmwApp::new(deployment).with_alignment_sampling(20);
+    app.run().expect("msmw runs");
+    app.alignment_samples()
+        .iter()
+        .map(|s| {
+            Row::new(
+                format!("step {}", s.step),
+                vec![
+                    ("cos_phi", s.cosine as f64),
+                    ("max_diff1", s.max_diff1 as f64),
+                    ("max_diff2", s.max_diff2 as f64),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// The `measure_variance` report of §3.1 as rows (per-GAR satisfied fraction).
+pub fn variance_report() -> Vec<Row> {
+    let mut rng = TensorRng::seed_from(11);
+    let dataset = Dataset::synthetic(DatasetKind::MnistLike, 512, &mut rng);
+    let mut model = Mlp::mnist_cnn_lite(&mut rng);
+    let probe = VarianceProbe { steps: 5, ..VarianceProbe::default() };
+    let report = probe.run(&mut model, &dataset);
+    [GarKind::Mda, GarKind::Krum, GarKind::Median]
+        .into_iter()
+        .map(|gar| {
+            Row::new(
+                gar.as_str(),
+                vec![("satisfied_fraction", report.satisfied_fraction(gar))],
+            )
+        })
+        .collect()
+}
+
+/// A scalability check of the decentralized application with real training
+/// (small n), confirming the quadratic communication trend measured by Fig. 9.
+pub fn decentralized_scaling() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for n in [4usize, 6, 8] {
+        let mut cfg = convergence_config();
+        cfg.nw = n;
+        cfg.fw = 1;
+        cfg.gradient_gar = GarKind::Median;
+        cfg.iterations = 5;
+        cfg.eval_every = 0;
+        let mut app = DecentralizedApp::from_config(cfg).expect("valid config");
+        let trace = app.run().expect("decentralized runs");
+        rows.push(Row::new(
+            format!("n={n}"),
+            vec![("communication_s", trace.mean_timing().communication)],
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_models() {
+        let rows = table1();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].label, "MNIST_CNN");
+    }
+
+    #[test]
+    fn gar_microbenchmarks_produce_positive_times() {
+        let rows = fig3a(1_000);
+        assert_eq!(rows.len(), 9);
+        for row in &rows {
+            for (_, t) in &row.values {
+                assert!(*t >= 0.0);
+            }
+        }
+        let rows = fig3b(10_000);
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn throughput_figures_have_expected_shapes() {
+        let rows = fig6(Device::Gpu);
+        assert_eq!(rows.len(), 6);
+        // Every slowdown is at least 1 (vanilla is the fastest).
+        for row in &rows {
+            for (_, slowdown) in &row.values {
+                assert!(*slowdown >= 1.0, "{row:?}");
+            }
+        }
+        assert_eq!(fig7(Device::Cpu).len(), 5);
+        assert!(!fig8(Device::Gpu).is_empty());
+        assert!(!fig9().is_empty());
+        assert_eq!(fig10(Device::Cpu).len(), 8);
+    }
+}

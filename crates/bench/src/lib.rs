@@ -1,0 +1,24 @@
+//! # garfield-bench
+//!
+//! The evaluation harness of Garfield-rs: one entry point per table and
+//! figure of the paper's evaluation (§6 and the appendix), shared between the
+//! `expfig` binary (which prints the rows the paper reports and writes CSV
+//! files under `results/`) and the Criterion micro-benchmarks.
+//!
+//! The convergence and attack experiments (Figs. 4, 5, 11, 12, Table 2) run
+//! the real training stack on scaled-down settings; the throughput sweeps over
+//! the paper's large Table 1 models (Figs. 6–10, 13–16) use the same
+//! [`CostModel`](garfield_net::CostModel) formulas the training runtime
+//! charges, evaluated at the paper's exact parameter counts — see `DESIGN.md`
+//! for the substitution rationale and `EXPERIMENTS.md` for paper-vs-measured
+//! notes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod throughput;
+
+pub use report::{write_csv, Row};
+pub use throughput::{iteration_time, throughput, ThroughputPoint};

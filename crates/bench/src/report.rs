@@ -1,0 +1,96 @@
+//! Small reporting helpers: aligned text tables and CSV output.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One row of an experiment report: a label plus named numeric columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row label (system name, model name, parameter value, …).
+    pub label: String,
+    /// `(column name, value)` pairs, printed in order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Creates a row from a label and `(column, value)` pairs.
+    pub fn new(label: impl Into<String>, values: Vec<(&str, f64)>) -> Self {
+        Row {
+            label: label.into(),
+            values: values.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+}
+
+/// Prints rows as an aligned text table with the given title.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    print!("{:<28}", "");
+    for (name, _) in &rows[0].values {
+        print!("{name:>16}");
+    }
+    println!();
+    for row in rows {
+        print!("{:<28}", row.label);
+        for (_, value) in &row.values {
+            if value.abs() >= 1000.0 || (*value != 0.0 && value.abs() < 0.001) {
+                print!("{value:>16.3e}");
+            } else {
+                print!("{value:>16.4}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Writes rows as a CSV file, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_csv(path: impl AsRef<Path>, rows: &[Row]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut file = fs::File::create(path)?;
+    if let Some(first) = rows.first() {
+        let header: Vec<&str> = std::iter::once("label")
+            .chain(first.values.iter().map(|(k, _)| k.as_str()))
+            .collect();
+        writeln!(file, "{}", header.join(","))?;
+    }
+    for row in rows {
+        let mut fields = vec![row.label.clone()];
+        fields.extend(row.values.iter().map(|(_, v)| format!("{v}")));
+        writeln!(file, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_round_trip_to_csv() {
+        let rows = vec![
+            Row::new("a", vec![("x", 1.0), ("y", 2.0)]),
+            Row::new("b", vec![("x", 3.0), ("y", 4.0)]),
+        ];
+        let dir = std::env::temp_dir().join("garfield-bench-test");
+        let path = dir.join("rows.csv");
+        write_csv(&path, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("label,x,y"));
+        assert!(text.contains("a,1,2"));
+        assert!(text.contains("b,3,4"));
+        print_table("test", &rows);
+        print_table("empty", &[]);
+    }
+}

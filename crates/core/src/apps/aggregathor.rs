@@ -1,0 +1,101 @@
+//! AggregaThor-style baseline (§6.2, Related Work).
+
+use crate::apps::maybe_evaluate;
+use crate::{CoreResult, Deployment, IterationTiming, SystemKind, TrainingTrace};
+use garfield_aggregation::{build_gar, GarKind};
+
+/// A model of AggregaThor, the prior Byzantine-worker system the paper
+/// compares against: single trusted server, Multi-Krum aggregation, but built
+/// on an older runtime whose shared-graph design and serialization path add
+/// communication overhead relative to Garfield's SSMW (the paper's Fig. 4a /
+/// Fig. 8a show Garfield slightly ahead for those reasons).
+pub struct AggregaThorApp {
+    deployment: Deployment,
+    comm_overhead: f64,
+}
+
+impl AggregaThorApp {
+    /// Wraps a deployment with the default runtime-overhead factor.
+    pub fn new(deployment: Deployment) -> Self {
+        AggregaThorApp { deployment, comm_overhead: 1.25 }
+    }
+
+    /// Adjusts the modelled communication-overhead factor of the older runtime.
+    pub fn with_comm_overhead(mut self, factor: f64) -> Self {
+        self.comm_overhead = factor.max(1.0);
+        self
+    }
+
+    /// Access to the underlying deployment.
+    pub fn deployment_mut(&mut self) -> &mut Deployment {
+        &mut self.deployment
+    }
+
+    /// Runs the AggregaThor training loop (always Multi-Krum, always synchronous).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and runtime errors from the deployment.
+    pub fn run(&mut self) -> CoreResult<TrainingTrace> {
+        let config = self.deployment.config().clone();
+        config.validate(SystemKind::AggregaThor)?;
+        let quorum = config.gradient_quorum(SystemKind::AggregaThor);
+        let gar = build_gar(GarKind::MultiKrum, quorum, config.fw)?;
+        let mut trace =
+            TrainingTrace::new(SystemKind::AggregaThor.as_str(), config.effective_batch());
+
+        for iteration in 0..config.iterations {
+            let round = self.deployment.gradient_round(0, iteration, quorum, 1)?;
+            let aggregated = self
+                .deployment
+                .server(0)
+                .honest()
+                .aggregate(gar.as_ref(), &round.gradients)?;
+            self.deployment.server_mut(0).honest_mut().update_model(&aggregated)?;
+
+            trace.iterations.push(IterationTiming {
+                computation: round.computation_time,
+                communication: round.communication_time * self.comm_overhead,
+                aggregation: self.deployment.aggregation_cost(quorum, true),
+            });
+            maybe_evaluate(&mut trace, &self.deployment, 0, iteration, round.mean_loss);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExperimentConfig;
+
+    fn config() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small();
+        cfg.iterations = 30;
+        cfg.eval_every = 10;
+        cfg
+    }
+
+    #[test]
+    fn aggregathor_learns_the_task() {
+        let mut app = AggregaThorApp::new(Deployment::new(config()).unwrap());
+        let trace = app.run().unwrap();
+        assert!(trace.final_accuracy() > 0.5, "accuracy {}", trace.final_accuracy());
+        assert_eq!(trace.system, "aggregathor");
+    }
+
+    #[test]
+    fn aggregathor_is_slower_than_garfield_ssmw() {
+        let cfg = config();
+        let aggregathor = AggregaThorApp::new(Deployment::new(cfg.clone()).unwrap()).run().unwrap();
+        let ssmw = crate::apps::SsmwApp::new(Deployment::new(cfg).unwrap()).run().unwrap();
+        assert!(aggregathor.mean_timing().communication > ssmw.mean_timing().communication);
+        assert!(aggregathor.updates_per_second() < ssmw.updates_per_second());
+    }
+
+    #[test]
+    fn overhead_factor_is_clamped_to_at_least_one() {
+        let app = AggregaThorApp::new(Deployment::new(config()).unwrap()).with_comm_overhead(0.1);
+        assert!((app.comm_overhead - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,199 @@
+//! Decentralized (peer-to-peer) learning (§5.3, Listing 3).
+
+use crate::apps::maybe_evaluate;
+use crate::{CoreResult, Deployment, ExperimentConfig, IterationTiming, SystemKind, TrainingTrace};
+use garfield_aggregation::build_gar;
+
+/// Decentralized Byzantine learning: there is no parameter server — every node
+/// plays both roles, owns its data, and per iteration (1) pulls `n − f`
+/// gradients from its peers and robustly aggregates them, (2) updates its
+/// local model, (3) pulls `n − f` peer models, robustly aggregates them and
+/// rewrites its own. With non-IID data an extra *contraction* phase repeats
+/// the model exchange to pull the replicas together.
+///
+/// Because all `n` nodes pull from all others simultaneously, the fabric
+/// carries `O(n²)` messages per round — the scalability wall of Fig. 9.
+pub struct DecentralizedApp {
+    deployment: Deployment,
+}
+
+impl DecentralizedApp {
+    /// Builds the peer-to-peer deployment for a configuration: the node count
+    /// is `config.nw` and every node gets both a worker shard and a model
+    /// replica (internally realised as `nps = nw` co-located servers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn from_config(mut config: ExperimentConfig) -> CoreResult<Self> {
+        config.nps = config.nw;
+        config.fps = config.fw;
+        config.actual_byzantine_servers = config.actual_byzantine_workers;
+        config.server_attack = config.server_attack.or(config.worker_attack);
+        Ok(DecentralizedApp { deployment: crate::Deployment::new(config)? })
+    }
+
+    /// Wraps an already co-located deployment (`nps == nw`).
+    pub fn new(deployment: Deployment) -> Self {
+        DecentralizedApp { deployment }
+    }
+
+    /// Access to the underlying deployment.
+    pub fn deployment_mut(&mut self) -> &mut Deployment {
+        &mut self.deployment
+    }
+
+    /// Runs the training loop of Listing 3 and returns the trace of node 0
+    /// (always honest by construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and runtime errors from the deployment.
+    pub fn run(&mut self) -> CoreResult<TrainingTrace> {
+        let config = self.deployment.config().clone();
+        config.validate(SystemKind::Decentralized)?;
+        let n = config.nw;
+        let f = config.fw;
+        let gradient_quorum = config.gradient_quorum(SystemKind::Decentralized);
+        let model_quorum = (n - f).min(self.deployment.server_count() - 1).max(1);
+        let gradient_gar = build_gar(config.gradient_gar, gradient_quorum, f)?;
+        let honest_nodes = n - config.actual_byzantine_workers.min(n);
+        let mut trace =
+            TrainingTrace::new(SystemKind::Decentralized.as_str(), config.effective_batch());
+
+        // All n nodes exchange with all others at once: the shared fabric sees
+        // O(n²) concurrent transfers, which we charge as an n-fold contention
+        // factor on top of each node's own pull time (see DESIGN.md).
+        let contention = n as f64;
+
+        for iteration in 0..config.iterations {
+            let mut observer = IterationTiming::default();
+            let mut observer_loss = 0.0f32;
+
+            for node in 0..honest_nodes {
+                // Gradient phase.
+                let round = self
+                    .deployment
+                    .gradient_round(node, iteration, gradient_quorum, n)?;
+                let mut aggregated = self
+                    .deployment
+                    .server(node)
+                    .honest()
+                    .aggregate(gradient_gar.as_ref(), &round.gradients)?;
+
+                // Optional multi-round contraction for non-IID data.
+                let mut contraction_comm = 0.0;
+                for _ in 0..config.contraction_steps {
+                    let peers = self.deployment.model_round(node, model_quorum)?;
+                    contraction_comm += peers.communication_time;
+                    // Contracting the aggregated gradient towards the peers'
+                    // models keeps honest nodes close to each other.
+                    let mut inputs = peers.models;
+                    inputs.push(self.deployment.server(node).honest().parameters());
+                    let rule = build_gar(config.model_gar, inputs.len(), f.min((inputs.len() - 1) / 2))?;
+                    let contracted = rule.aggregate(&inputs)?;
+                    let current = self.deployment.server(node).honest().parameters();
+                    // Move the update direction towards the contracted model.
+                    aggregated = aggregated
+                        .try_add(&current.try_sub(&contracted).map_err(|e| crate::CoreError::Ml(e.to_string()))?.scale(0.5))
+                        .map_err(|e| crate::CoreError::Ml(e.to_string()))?;
+                }
+
+                self.deployment.server_mut(node).honest_mut().update_model(&aggregated)?;
+
+                // Model phase.
+                let models = self.deployment.model_round(node, model_quorum)?;
+                let mut inputs = models.models;
+                inputs.push(self.deployment.server(node).honest().parameters());
+                let model_rule =
+                    build_gar(config.model_gar, inputs.len(), f.min((inputs.len() - 1) / 2))?;
+                let merged = self
+                    .deployment
+                    .server(node)
+                    .honest()
+                    .aggregate(model_rule.as_ref(), &inputs)?;
+                self.deployment.server_mut(node).honest_mut().write_model(&merged)?;
+
+                if node == 0 {
+                    observer = IterationTiming {
+                        computation: round.computation_time,
+                        communication: (round.communication_time
+                            + models.communication_time
+                            + contraction_comm)
+                            * contention,
+                        aggregation: self.deployment.aggregation_cost(gradient_quorum, true)
+                            + self.deployment.aggregation_cost(model_quorum + 1, false) * 2.0,
+                    };
+                    observer_loss = round.mean_loss;
+                }
+            }
+
+            trace.iterations.push(observer);
+            maybe_evaluate(&mut trace, &self.deployment, 0, iteration, observer_loss);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garfield_aggregation::GarKind;
+    use garfield_ml::ShardStrategy;
+
+    fn config() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small();
+        cfg.iterations = 30;
+        cfg.eval_every = 10;
+        cfg.nw = 6;
+        cfg.fw = 1;
+        cfg.gradient_gar = GarKind::MultiKrum;
+        cfg.model_gar = GarKind::Median;
+        cfg
+    }
+
+    #[test]
+    fn decentralized_learns_on_iid_data() {
+        let mut cfg = config();
+        cfg.iterations = 40;
+        let mut app = DecentralizedApp::from_config(cfg).unwrap();
+        let trace = app.run().unwrap();
+        assert!(trace.final_accuracy() > 0.35, "accuracy {}", trace.final_accuracy());
+        assert_eq!(trace.system, "decentralized");
+    }
+
+    #[test]
+    fn decentralized_handles_non_iid_data_with_contraction() {
+        let mut cfg = config();
+        cfg.shard_strategy = ShardStrategy::ByLabel;
+        cfg.contraction_steps = 1;
+        let mut app = DecentralizedApp::from_config(cfg).unwrap();
+        let trace = app.run().unwrap();
+        // Non-IID decentralized learning is the hardest setting (biggest
+        // accuracy loss in Fig. 4b); it should still do better than chance.
+        assert!(trace.final_accuracy() > 0.3, "accuracy {}", trace.final_accuracy());
+    }
+
+    #[test]
+    fn decentralized_pays_quadratic_communication() {
+        let small = {
+            let mut c = config();
+            c.nw = 4;
+            c.iterations = 5;
+            c.gradient_gar = GarKind::Median;
+            DecentralizedApp::from_config(c).unwrap().run().unwrap()
+        };
+        let large = {
+            let mut c = config();
+            c.nw = 8;
+            c.iterations = 5;
+            c.gradient_gar = GarKind::Median;
+            DecentralizedApp::from_config(c).unwrap().run().unwrap()
+        };
+        let ratio = large.mean_timing().communication / small.mean_timing().communication;
+        assert!(
+            ratio > 3.0,
+            "doubling n should roughly quadruple decentralized communication, got ×{ratio:.2}"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! The Byzantine ML applications of §5 and the baselines of §6.2.
+//!
+//! Every application drives a [`Deployment`](crate::Deployment) through
+//! iterations of the paper's training loops (Listings 1–3), records a
+//! [`TrainingTrace`](crate::TrainingTrace) with the per-iteration
+//! computation / communication / aggregation breakdown, and evaluates
+//! accuracy on the held-out test set at the configured cadence.
+
+mod aggregathor;
+mod crash_tolerant;
+mod decentralized;
+mod msmw;
+mod ssmw;
+mod vanilla;
+
+pub use aggregathor::AggregaThorApp;
+pub use crash_tolerant::CrashTolerantApp;
+pub use decentralized::DecentralizedApp;
+pub use msmw::MsmwApp;
+pub use ssmw::SsmwApp;
+pub use vanilla::VanillaApp;
+
+use crate::{AccuracyPoint, Deployment, TrainingTrace};
+
+/// Records an accuracy point on `trace` if the evaluation cadence says so.
+pub(crate) fn maybe_evaluate(
+    trace: &mut TrainingTrace,
+    deployment: &Deployment,
+    server_index: usize,
+    iteration: usize,
+    loss: f32,
+) {
+    let every = deployment.config().eval_every;
+    let last = iteration + 1 == deployment.config().iterations;
+    if every == 0 || (iteration % every != 0 && !last) {
+        return;
+    }
+    let (accuracy, _) = deployment.evaluate(server_index);
+    let sim_time = trace.total_time();
+    trace.accuracy.push(AccuracyPoint { iteration, sim_time, accuracy, loss });
+}

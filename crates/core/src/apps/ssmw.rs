@@ -1,0 +1,106 @@
+//! SSMW — Single Server, Multiple Workers (§5.1, Listing 1).
+
+use crate::apps::maybe_evaluate;
+use crate::{CoreResult, Deployment, IterationTiming, SystemKind, TrainingTrace};
+use garfield_aggregation::build_gar;
+
+/// The standard Byzantine-worker setup: a single *trusted* parameter server
+/// aggregates worker gradients with a statistically robust GAR instead of
+/// averaging them (the setting studied by Krum, Bulyan, AggregaThor, …).
+pub struct SsmwApp {
+    deployment: Deployment,
+}
+
+impl SsmwApp {
+    /// Wraps a deployment. Only server 0 is used and it is assumed trusted.
+    pub fn new(deployment: Deployment) -> Self {
+        SsmwApp { deployment }
+    }
+
+    /// Access to the underlying deployment.
+    pub fn deployment_mut(&mut self) -> &mut Deployment {
+        &mut self.deployment
+    }
+
+    /// Runs the training loop of Listing 1 and returns the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and runtime errors from the deployment.
+    pub fn run(&mut self) -> CoreResult<TrainingTrace> {
+        let config = self.deployment.config().clone();
+        config.validate(SystemKind::Ssmw)?;
+        let quorum = config.gradient_quorum(SystemKind::Ssmw);
+        let gar = build_gar(config.gradient_gar, quorum, config.fw)?;
+        let mut trace = TrainingTrace::new(SystemKind::Ssmw.as_str(), config.effective_batch());
+
+        for iteration in 0..config.iterations {
+            // gradients = ps.get_gradients(i, nw)
+            let round = self.deployment.gradient_round(0, iteration, quorum, 1)?;
+            // aggr_grad = gar(gradients, f = fw)
+            let aggregated = self
+                .deployment
+                .server(0)
+                .honest()
+                .aggregate(gar.as_ref(), &round.gradients)?;
+            // ps.update_model(aggr_grad)
+            self.deployment.server_mut(0).honest_mut().update_model(&aggregated)?;
+
+            let aggregation = self.deployment.aggregation_cost(quorum, true);
+            trace.iterations.push(IterationTiming {
+                computation: round.computation_time,
+                communication: round.communication_time,
+                aggregation,
+            });
+            maybe_evaluate(&mut trace, &self.deployment, 0, iteration, round.mean_loss);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExperimentConfig;
+    use garfield_attacks::AttackKind;
+    use garfield_aggregation::GarKind;
+
+    fn config() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small();
+        cfg.iterations = 40;
+        cfg.eval_every = 10;
+        cfg.gradient_gar = GarKind::MultiKrum;
+        cfg
+    }
+
+    #[test]
+    fn ssmw_learns_without_faults() {
+        let mut app = SsmwApp::new(Deployment::new(config()).unwrap());
+        let trace = app.run().unwrap();
+        assert!(trace.final_accuracy() > 0.5, "accuracy {}", trace.final_accuracy());
+        assert_eq!(trace.system, "ssmw");
+    }
+
+    #[test]
+    fn ssmw_survives_byzantine_workers_up_to_fw() {
+        let mut cfg = config();
+        cfg.actual_byzantine_workers = cfg.fw;
+        cfg.worker_attack = Some(AttackKind::Reversed);
+        let mut app = SsmwApp::new(Deployment::new(cfg).unwrap());
+        let trace = app.run().unwrap();
+        assert!(
+            trace.final_accuracy() > 0.5,
+            "robust aggregation should survive fw Byzantine workers, got {}",
+            trace.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn ssmw_is_slower_than_vanilla_due_to_robust_aggregation() {
+        let cfg = config();
+        let ssmw_trace = SsmwApp::new(Deployment::new(cfg.clone()).unwrap()).run().unwrap();
+        let vanilla_trace =
+            crate::apps::VanillaApp::new(Deployment::new(cfg).unwrap()).run().unwrap();
+        assert!(ssmw_trace.mean_timing().aggregation >= vanilla_trace.mean_timing().aggregation);
+    }
+}

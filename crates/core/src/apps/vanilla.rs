@@ -1,0 +1,87 @@
+//! The vanilla baseline: one trusted server, plain averaging.
+
+use crate::apps::maybe_evaluate;
+use crate::{CoreResult, Deployment, IterationTiming, SystemKind, TrainingTrace};
+use garfield_aggregation::{build_gar, GarKind};
+
+/// A vanilla TensorFlow / PyTorch-style deployment: a single parameter server
+/// that averages the gradients of all workers. It tolerates nothing — any
+/// crash blocks it and any Byzantine worker corrupts it — and serves as the
+/// normalisation baseline for every throughput figure.
+pub struct VanillaApp {
+    deployment: Deployment,
+}
+
+impl VanillaApp {
+    /// Wraps a deployment. Only server 0 is used.
+    pub fn new(deployment: Deployment) -> Self {
+        VanillaApp { deployment }
+    }
+
+    /// Access to the underlying deployment (e.g. to inject faults between runs).
+    pub fn deployment_mut(&mut self) -> &mut Deployment {
+        &mut self.deployment
+    }
+
+    /// Runs the configured number of iterations and returns the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and runtime errors from the deployment.
+    pub fn run(&mut self) -> CoreResult<TrainingTrace> {
+        let config = self.deployment.config().clone();
+        config.validate(SystemKind::Vanilla)?;
+        let quorum = config.gradient_quorum(SystemKind::Vanilla);
+        let average = build_gar(GarKind::Average, quorum, 0)?;
+        let mut trace = TrainingTrace::new(SystemKind::Vanilla.as_str(), config.effective_batch());
+
+        for iteration in 0..config.iterations {
+            let round = self.deployment.gradient_round(0, iteration, quorum, 1)?;
+            let aggregated = self.deployment.server(0).honest().aggregate(average.as_ref(), &round.gradients)?;
+            self.deployment.server_mut(0).honest_mut().update_model(&aggregated)?;
+
+            let aggregation = self.deployment.aggregation_cost(quorum, false);
+            trace.iterations.push(IterationTiming {
+                computation: round.computation_time,
+                communication: round.communication_time,
+                aggregation,
+            });
+            maybe_evaluate(&mut trace, &self.deployment, 0, iteration, round.mean_loss);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExperimentConfig;
+    use garfield_attacks::AttackKind;
+
+    #[test]
+    fn vanilla_learns_the_synthetic_task_without_faults() {
+        let mut cfg = ExperimentConfig::small();
+        cfg.iterations = 40;
+        cfg.eval_every = 10;
+        let mut app = VanillaApp::new(Deployment::new(cfg).unwrap());
+        let trace = app.run().unwrap();
+        assert_eq!(trace.len(), 40);
+        assert!(trace.final_accuracy() > 0.5, "accuracy {}", trace.final_accuracy());
+        assert!(trace.updates_per_second() > 0.0);
+    }
+
+    #[test]
+    fn vanilla_collapses_under_a_byzantine_worker() {
+        let mut cfg = ExperimentConfig::small();
+        cfg.iterations = 30;
+        cfg.actual_byzantine_workers = 1;
+        cfg.worker_attack = Some(AttackKind::Reversed);
+        let mut app = VanillaApp::new(Deployment::new(cfg).unwrap());
+        let trace = app.run().unwrap();
+        assert!(
+            trace.final_accuracy() < 0.6,
+            "vanilla averaging should not survive a reversed-gradient attack, got {}",
+            trace.final_accuracy()
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the Garfield core library.
+
+use std::fmt;
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors produced while configuring or running a Garfield deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The experiment configuration is inconsistent (e.g. `fw >= nw`).
+    InvalidConfig(String),
+    /// A lower layer (tensor / ml) rejected an operation.
+    Ml(String),
+    /// The aggregation layer rejected an operation.
+    Aggregation(String),
+    /// The network fabric rejected an operation.
+    Net(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Ml(msg) => write!(f, "ml error: {msg}"),
+            CoreError::Aggregation(msg) => write!(f, "aggregation error: {msg}"),
+            CoreError::Net(msg) => write!(f, "network error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<garfield_ml::MlError> for CoreError {
+    fn from(e: garfield_ml::MlError) -> Self {
+        CoreError::Ml(e.to_string())
+    }
+}
+
+impl From<garfield_aggregation::AggregationError> for CoreError {
+    fn from(e: garfield_aggregation::AggregationError) -> Self {
+        CoreError::Aggregation(e.to_string())
+    }
+}
+
+impl From<garfield_net::NetError> for CoreError {
+    fn from(e: garfield_net::NetError) -> Self {
+        CoreError::Net(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(CoreError::InvalidConfig("x".into()).to_string().contains('x'));
+        let ml: CoreError = garfield_ml::MlError::UnknownModel("m".into()).into();
+        assert!(matches!(ml, CoreError::Ml(_)));
+        let agg: CoreError = garfield_aggregation::AggregationError::EmptyInput.into();
+        assert!(matches!(agg, CoreError::Aggregation(_)));
+        let net: CoreError = garfield_net::NetError::Timeout.into();
+        assert!(matches!(net, CoreError::Net(_)));
+    }
+}

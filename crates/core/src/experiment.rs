@@ -1,0 +1,345 @@
+//! Experiment configuration: the knobs of a Garfield deployment.
+
+use crate::{CoreError, CoreResult};
+use garfield_aggregation::GarKind;
+use garfield_attacks::AttackKind;
+use garfield_ml::ShardStrategy;
+use garfield_net::Device;
+use serde::{Deserialize, Serialize};
+
+/// The deployments evaluated in the paper (§5 and §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Vanilla parameter server with plain averaging (TensorFlow / PyTorch baseline).
+    Vanilla,
+    /// AggregaThor-style baseline: single trusted server, Multi-Krum, older runtime.
+    AggregaThor,
+    /// Crash-tolerant primary/backup replication of the server (strawman of §6.2).
+    CrashTolerant,
+    /// Single Server, Multiple Workers — Byzantine workers only (§5.1).
+    Ssmw,
+    /// Multiple Servers, Multiple Workers — Byzantine servers and workers (§5.2).
+    Msmw,
+    /// Decentralized (peer-to-peer) learning (§5.3).
+    Decentralized,
+}
+
+impl SystemKind {
+    /// All systems, in the order the paper's figures list them.
+    pub fn all() -> [SystemKind; 6] {
+        [
+            SystemKind::Vanilla,
+            SystemKind::CrashTolerant,
+            SystemKind::Ssmw,
+            SystemKind::Msmw,
+            SystemKind::Decentralized,
+            SystemKind::AggregaThor,
+        ]
+    }
+
+    /// Canonical lowercase name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SystemKind::Vanilla => "vanilla",
+            SystemKind::AggregaThor => "aggregathor",
+            SystemKind::CrashTolerant => "crash-tolerant",
+            SystemKind::Ssmw => "ssmw",
+            SystemKind::Msmw => "msmw",
+            SystemKind::Decentralized => "decentralized",
+        }
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Full description of one training experiment.
+///
+/// Defaults follow the paper's PyTorch setup (§6.1): 10 workers of which 3 may
+/// be Byzantine, 3 servers of which 1 may be Byzantine, batch size 100.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Trainable model name (see `garfield_ml::zoo::trainable_model`).
+    pub model: String,
+    /// Number of synthetic samples to generate for the training set.
+    pub dataset_samples: usize,
+    /// Number of synthetic samples in the held-out test set.
+    pub test_samples: usize,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum coefficient.
+    pub momentum: f32,
+    /// Total number of workers (`n_w`).
+    pub nw: usize,
+    /// Declared maximum number of Byzantine workers (`f_w`).
+    pub fw: usize,
+    /// Total number of parameter-server replicas (`n_ps`).
+    pub nps: usize,
+    /// Declared maximum number of Byzantine servers (`f_ps`).
+    pub fps: usize,
+    /// Number of workers that actually behave Byzantine this run.
+    pub actual_byzantine_workers: usize,
+    /// Number of servers that actually behave Byzantine this run.
+    pub actual_byzantine_servers: usize,
+    /// Attack installed on Byzantine workers.
+    pub worker_attack: Option<AttackKind>,
+    /// Attack installed on Byzantine servers.
+    pub server_attack: Option<AttackKind>,
+    /// GAR used to aggregate gradients.
+    pub gradient_gar: GarKind,
+    /// GAR used to aggregate models between server replicas.
+    pub model_gar: GarKind,
+    /// Device class of every node.
+    pub device: Device,
+    /// How the dataset is partitioned across workers.
+    pub shard_strategy: ShardStrategy,
+    /// Number of training iterations.
+    pub iterations: usize,
+    /// Evaluate accuracy every this many iterations (0 disables evaluation).
+    pub eval_every: usize,
+    /// Extra peer-to-peer contraction rounds per iteration (decentralized, non-IID).
+    pub contraction_steps: usize,
+    /// Whether the network is assumed synchronous. Synchronous deployments
+    /// wait for all `nw` gradients (paper's PyTorch Multi-Krum variant);
+    /// asynchronous ones proceed after `nw − fw` (paper's TensorFlow Bulyan
+    /// variant).
+    pub synchronous: bool,
+    /// RNG seed controlling data synthesis, initialisation, attacks and jitter.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            model: "tiny".into(),
+            dataset_samples: 512,
+            test_samples: 256,
+            batch_size: 16,
+            learning_rate: 0.05,
+            momentum: 0.0,
+            nw: 10,
+            fw: 3,
+            nps: 3,
+            fps: 1,
+            actual_byzantine_workers: 0,
+            actual_byzantine_servers: 0,
+            worker_attack: None,
+            server_attack: None,
+            gradient_gar: GarKind::MultiKrum,
+            model_gar: GarKind::Median,
+            device: Device::Cpu,
+            shard_strategy: ShardStrategy::Iid,
+            iterations: 30,
+            eval_every: 10,
+            contraction_steps: 0,
+            synchronous: true,
+            seed: 42,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A small, fast configuration used by tests and the quickstart example.
+    pub fn small() -> Self {
+        ExperimentConfig {
+            model: "tiny".into(),
+            dataset_samples: 256,
+            test_samples: 128,
+            batch_size: 8,
+            nw: 7,
+            fw: 1,
+            nps: 3,
+            fps: 1,
+            iterations: 20,
+            eval_every: 5,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// The paper's TensorFlow/CPU setup: 18 workers (3 Byzantine), 6 servers (1 Byzantine).
+    pub fn paper_cpu() -> Self {
+        ExperimentConfig {
+            nw: 18,
+            fw: 3,
+            nps: 6,
+            fps: 1,
+            batch_size: 32,
+            gradient_gar: GarKind::Bulyan,
+            model_gar: GarKind::Median,
+            device: Device::Cpu,
+            synchronous: false,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// The paper's PyTorch/GPU setup: 10 workers (3 Byzantine), 3 servers (1 Byzantine).
+    pub fn paper_gpu() -> Self {
+        ExperimentConfig {
+            nw: 10,
+            fw: 3,
+            nps: 3,
+            fps: 1,
+            batch_size: 100,
+            gradient_gar: GarKind::MultiKrum,
+            model_gar: GarKind::Median,
+            device: Device::Gpu,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// Effective batch size per model update (`nw × batch_size`).
+    pub fn effective_batch(&self) -> usize {
+        self.nw * self.batch_size
+    }
+
+    /// Number of gradient replies a server waits for: all of them in the
+    /// synchronous case, `nw − fw` when tolerating Byzantine workers.
+    pub fn gradient_quorum(&self, system: SystemKind) -> usize {
+        match system {
+            SystemKind::Vanilla | SystemKind::CrashTolerant | SystemKind::AggregaThor => self.nw,
+            SystemKind::Ssmw => self.nw,
+            SystemKind::Msmw | SystemKind::Decentralized => {
+                if self.synchronous {
+                    self.nw
+                } else {
+                    self.nw - self.fw
+                }
+            }
+        }
+    }
+
+    /// Number of model replies a server waits for from its peers.
+    pub fn model_quorum(&self) -> usize {
+        self.nps.saturating_sub(self.fps).max(1)
+    }
+
+    /// Checks the configuration for internal consistency and for the
+    /// Byzantine-resilience requirements of the chosen GARs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] describing the first violated constraint.
+    pub fn validate(&self, system: SystemKind) -> CoreResult<()> {
+        if self.nw == 0 {
+            return Err(CoreError::InvalidConfig("at least one worker is required".into()));
+        }
+        if self.batch_size == 0 || self.iterations == 0 {
+            return Err(CoreError::InvalidConfig(
+                "batch size and iteration count must be positive".into(),
+            ));
+        }
+        if self.dataset_samples < self.nw {
+            return Err(CoreError::InvalidConfig(format!(
+                "{} samples cannot be sharded over {} workers",
+                self.dataset_samples, self.nw
+            )));
+        }
+        if self.actual_byzantine_workers > self.nw {
+            return Err(CoreError::InvalidConfig(
+                "more actual Byzantine workers than workers".into(),
+            ));
+        }
+        if self.actual_byzantine_servers > self.nps {
+            return Err(CoreError::InvalidConfig(
+                "more actual Byzantine servers than servers".into(),
+            ));
+        }
+        let needs_servers = matches!(
+            system,
+            SystemKind::CrashTolerant | SystemKind::Msmw
+        );
+        if needs_servers && self.nps == 0 {
+            return Err(CoreError::InvalidConfig(format!("{system} requires at least one server")));
+        }
+        // GAR requirements on the gradient path.
+        let gradient_inputs = self.gradient_quorum(system);
+        if matches!(system, SystemKind::Ssmw | SystemKind::Msmw | SystemKind::Decentralized)
+            && gradient_inputs < self.gradient_gar.minimum_inputs(self.fw)
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "{} needs at least {} gradient inputs to tolerate f_w = {}, but only {} are collected",
+                self.gradient_gar,
+                self.gradient_gar.minimum_inputs(self.fw),
+                self.fw,
+                gradient_inputs
+            )));
+        }
+        // GAR requirements on the model path: a replica aggregates the models it
+        // pulled from `model_quorum()` peers *plus its own*, hence the `+ 1`.
+        if matches!(system, SystemKind::Msmw)
+            && self.model_quorum() + 1 < self.model_gar.minimum_inputs(self.fps)
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "{} needs at least {} model inputs to tolerate f_ps = {}, but only {} are collected",
+                self.model_gar,
+                self.model_gar.minimum_inputs(self.fps),
+                self.fps,
+                self.model_quorum() + 1
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_presets_are_valid() {
+        for cfg in [ExperimentConfig::default(), ExperimentConfig::small(), ExperimentConfig::paper_gpu()] {
+            for system in [SystemKind::Vanilla, SystemKind::Ssmw, SystemKind::CrashTolerant] {
+                cfg.validate(system).unwrap();
+            }
+        }
+        // The CPU preset uses Bulyan with n_w - f_w = 15 >= 4*3+3 = 15.
+        ExperimentConfig::paper_cpu().validate(SystemKind::Msmw).unwrap();
+    }
+
+    #[test]
+    fn quorums_follow_the_paper_listings() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.gradient_quorum(SystemKind::Ssmw), cfg.nw);
+        // Synchronous deployments wait for everyone; asynchronous ones for nw - fw.
+        assert_eq!(cfg.gradient_quorum(SystemKind::Msmw), cfg.nw);
+        let async_cfg = ExperimentConfig { synchronous: false, ..cfg.clone() };
+        assert_eq!(async_cfg.gradient_quorum(SystemKind::Msmw), cfg.nw - cfg.fw);
+        assert_eq!(cfg.model_quorum(), cfg.nps - cfg.fps);
+        assert_eq!(cfg.effective_batch(), cfg.nw * cfg.batch_size);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_setups() {
+        let mut cfg = ExperimentConfig::small();
+        cfg.nw = 0;
+        assert!(cfg.validate(SystemKind::Vanilla).is_err());
+
+        let mut cfg = ExperimentConfig::small();
+        cfg.actual_byzantine_workers = cfg.nw + 1;
+        assert!(cfg.validate(SystemKind::Vanilla).is_err());
+
+        let mut cfg = ExperimentConfig::small();
+        cfg.fw = 3; // Multi-Krum needs 2f+3 = 9 inputs, only nw - fw = 4 collected
+        assert!(cfg.validate(SystemKind::Msmw).is_err());
+
+        let mut cfg = ExperimentConfig::small();
+        cfg.dataset_samples = 3;
+        assert!(cfg.validate(SystemKind::Ssmw).is_err());
+
+        let mut cfg = ExperimentConfig::small();
+        cfg.nps = 0;
+        assert!(cfg.validate(SystemKind::Msmw).is_err());
+        assert!(cfg.validate(SystemKind::Ssmw).is_ok());
+    }
+
+    #[test]
+    fn system_kind_names_are_stable() {
+        assert_eq!(SystemKind::Msmw.to_string(), "msmw");
+        assert_eq!(SystemKind::all().len(), 6);
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-iteration timing breakdown and training traces.
+//!
+//! Every application records, for each iteration, how much simulated time was
+//! spent computing gradients, moving vectors over the network and running the
+//! GAR. These are exactly the three bars of the paper's overhead-breakdown
+//! figures (Fig. 7 and Fig. 16), and throughput figures are derived from their
+//! sum.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated time spent in each phase of one training iteration, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IterationTiming {
+    /// Gradient-estimation time (the slowest worker whose reply was used).
+    pub computation: f64,
+    /// Communication time: model broadcasts, gradient pulls, model pulls.
+    pub communication: f64,
+    /// Robust-aggregation time (gradients and, where applicable, models).
+    pub aggregation: f64,
+}
+
+impl IterationTiming {
+    /// Total simulated duration of the iteration.
+    pub fn total(&self) -> f64 {
+        self.computation + self.communication + self.aggregation
+    }
+
+    /// Adds another iteration's timing into this one (used for averaging).
+    pub fn accumulate(&mut self, other: &IterationTiming) {
+        self.computation += other.computation;
+        self.communication += other.communication;
+        self.aggregation += other.aggregation;
+    }
+
+    /// Divides every component by `n` (used for averaging).
+    pub fn scaled(&self, factor: f64) -> IterationTiming {
+        IterationTiming {
+            computation: self.computation * factor,
+            communication: self.communication * factor,
+            aggregation: self.aggregation * factor,
+        }
+    }
+}
+
+/// One accuracy evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyPoint {
+    /// Iteration at which the evaluation happened.
+    pub iteration: usize,
+    /// Simulated time (seconds) at which the evaluation happened.
+    pub sim_time: f64,
+    /// Top-1 accuracy on the held-out test batch.
+    pub accuracy: f32,
+    /// Training loss observed at that iteration (mean over used gradients).
+    pub loss: f32,
+}
+
+/// The full record of one training run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainingTrace {
+    /// Name of the system that produced the trace (e.g. `"ssmw"`).
+    pub system: String,
+    /// Per-iteration timing breakdowns.
+    pub iterations: Vec<IterationTiming>,
+    /// Accuracy evaluations over the course of training.
+    pub accuracy: Vec<AccuracyPoint>,
+    /// Effective batch size processed per iteration (workers × local batch).
+    pub effective_batch: usize,
+}
+
+impl TrainingTrace {
+    /// Creates an empty trace for the named system.
+    pub fn new(system: impl Into<String>, effective_batch: usize) -> Self {
+        TrainingTrace { system: system.into(), iterations: Vec::new(), accuracy: Vec::new(), effective_batch }
+    }
+
+    /// Number of iterations recorded.
+    pub fn len(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Whether the trace holds no iterations.
+    pub fn is_empty(&self) -> bool {
+        self.iterations.is_empty()
+    }
+
+    /// Total simulated training time in seconds.
+    pub fn total_time(&self) -> f64 {
+        self.iterations.iter().map(IterationTiming::total).sum()
+    }
+
+    /// Mean per-iteration timing breakdown.
+    pub fn mean_timing(&self) -> IterationTiming {
+        if self.iterations.is_empty() {
+            return IterationTiming::default();
+        }
+        let mut acc = IterationTiming::default();
+        for it in &self.iterations {
+            acc.accumulate(it);
+        }
+        acc.scaled(1.0 / self.iterations.len() as f64)
+    }
+
+    /// Model updates per simulated second (the paper's *throughput* metric).
+    pub fn updates_per_second(&self) -> f64 {
+        let t = self.total_time();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.iterations.len() as f64 / t
+        }
+    }
+
+    /// Mini-batches processed per simulated second (used by Fig. 8, where more
+    /// workers means more batches per update).
+    pub fn batches_per_second(&self, workers: usize) -> f64 {
+        self.updates_per_second() * workers as f64
+    }
+
+    /// The last recorded accuracy (0.0 if never evaluated).
+    pub fn final_accuracy(&self) -> f32 {
+        self.accuracy.last().map(|p| p.accuracy).unwrap_or(0.0)
+    }
+
+    /// The highest recorded accuracy (0.0 if never evaluated).
+    pub fn best_accuracy(&self) -> f32 {
+        self.accuracy.iter().map(|p| p.accuracy).fold(0.0, f32::max)
+    }
+
+    /// Simulated time (seconds) at which accuracy first reached `target`, if ever.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.accuracy.iter().find(|p| p.accuracy >= target).map(|p| p.sim_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> TrainingTrace {
+        let mut t = TrainingTrace::new("test", 64);
+        for i in 0..4 {
+            t.iterations.push(IterationTiming {
+                computation: 1.0,
+                communication: 2.0,
+                aggregation: 0.5,
+            });
+            t.accuracy.push(AccuracyPoint {
+                iteration: i,
+                sim_time: 3.5 * (i + 1) as f64,
+                accuracy: 0.2 * (i + 1) as f32,
+                loss: 1.0 / (i + 1) as f32,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn totals_and_means() {
+        let t = trace();
+        assert_eq!(t.len(), 4);
+        assert!((t.total_time() - 14.0).abs() < 1e-9);
+        let mean = t.mean_timing();
+        assert!((mean.computation - 1.0).abs() < 1e-9);
+        assert!((mean.total() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_metrics() {
+        let t = trace();
+        assert!((t.updates_per_second() - 4.0 / 14.0).abs() < 1e-9);
+        assert!((t.batches_per_second(10) - 40.0 / 14.0).abs() < 1e-9);
+        assert_eq!(TrainingTrace::new("x", 1).updates_per_second(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_queries() {
+        let t = trace();
+        assert!((t.final_accuracy() - 0.8).abs() < 1e-6);
+        assert!((t.best_accuracy() - 0.8).abs() < 1e-6);
+        assert_eq!(t.time_to_accuracy(0.4).unwrap(), 7.0);
+        assert!(t.time_to_accuracy(0.99).is_none());
+        assert_eq!(TrainingTrace::new("x", 1).final_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn timing_arithmetic() {
+        let a = IterationTiming { computation: 1.0, communication: 2.0, aggregation: 3.0 };
+        assert_eq!(a.total(), 6.0);
+        let mut b = a;
+        b.accumulate(&a);
+        assert_eq!(b.total(), 12.0);
+        assert_eq!(b.scaled(0.5).total(), 6.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Optimizers applying aggregated gradients to model parameters.
+
+use crate::{MlError, MlResult, Model};
+use garfield_tensor::Tensor;
+
+/// An optimizer that updates a [`Model`] in place from a flat gradient.
+pub trait Optimizer: Send {
+    /// Applies one update step with the given flat gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ParameterMismatch`] when the gradient length does
+    /// not match the model's parameter count.
+    fn step(&mut self, model: &mut dyn Model, gradient: &Tensor) -> MlResult<()>;
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Plain SGD with optional Polyak momentum and learning-rate decay.
+///
+/// ```rust
+/// use garfield_ml::{Sgd, Optimizer};
+/// let opt = Sgd::new(0.1).with_momentum(0.9).with_decay(1e-4);
+/// assert_eq!(opt.learning_rate(), 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    decay: f32,
+    steps: u64,
+    velocity: Option<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate and no momentum.
+    pub fn new(learning_rate: f32) -> Self {
+        Sgd { learning_rate, momentum: 0.0, decay: 0.0, steps: 0, velocity: None }
+    }
+
+    /// Sets the momentum coefficient.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets a multiplicative inverse-time learning-rate decay
+    /// (`lr_t = lr / (1 + decay * t)`).
+    pub fn with_decay(mut self, decay: f32) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn effective_lr(&self) -> f32 {
+        self.learning_rate / (1.0 + self.decay * self.steps as f32)
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Model, gradient: &Tensor) -> MlResult<()> {
+        let mut params = model.parameters();
+        if gradient.len() != params.len() {
+            return Err(MlError::ParameterMismatch { expected: params.len(), got: gradient.len() });
+        }
+        let lr = self.effective_lr();
+        let update = if self.momentum > 0.0 {
+            let mut v = match self.velocity.take() {
+                Some(v) if v.len() == gradient.len() => v,
+                _ => Tensor::zeros(gradient.len()),
+            };
+            v.scale_inplace(self.momentum);
+            v.axpy(1.0, gradient).expect("velocity and gradient share length");
+            self.velocity = Some(v.clone());
+            v
+        } else {
+            gradient.clone()
+        };
+        params.axpy(-lr, &update).expect("length checked above");
+        model.set_parameters(&params)?;
+        self.steps += 1;
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Dataset, DatasetKind};
+    use crate::model::Mlp;
+    use garfield_tensor::TensorRng;
+
+    #[test]
+    fn sgd_moves_parameters_against_the_gradient() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut model = Mlp::tiny(&mut rng);
+        let before = model.parameters();
+        let grad = Tensor::ones(model.num_parameters());
+        let mut opt = Sgd::new(0.5);
+        opt.step(&mut model, &grad).unwrap();
+        let after = model.parameters();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((b - 0.5 - a).abs() < 1e-6);
+        }
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn sgd_rejects_wrong_gradient_length() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut model = Mlp::tiny(&mut rng);
+        let mut opt = Sgd::new(0.1);
+        assert!(opt.step(&mut model, &Tensor::zeros(3usize)).is_err());
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut model = Mlp::tiny(&mut rng);
+        let n = model.num_parameters();
+        let before = model.parameters();
+        let grad = Tensor::ones(n);
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        opt.step(&mut model, &grad).unwrap();
+        opt.step(&mut model, &grad).unwrap();
+        // After two steps: first update 0.1, second 0.1 * (1 + 0.9) = 0.19.
+        let after = model.parameters();
+        let moved = before.data()[0] - after.data()[0];
+        assert!((moved - 0.29).abs() < 1e-5, "moved {moved}");
+    }
+
+    #[test]
+    fn decay_reduces_effective_learning_rate() {
+        let opt = Sgd::new(1.0).with_decay(1.0);
+        assert_eq!(opt.effective_lr(), 1.0);
+        let mut opt2 = Sgd::new(1.0).with_decay(1.0);
+        opt2.steps = 4;
+        assert!((opt2.effective_lr() - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_trains_the_tiny_task() {
+        let mut rng = TensorRng::seed_from(13);
+        let ds = Dataset::synthetic(DatasetKind::Tiny, 128, &mut rng);
+        let mut model = Mlp::tiny(&mut rng);
+        let mut opt = Sgd::new(0.1).with_momentum(0.5);
+        let eval = ds.full_batch().unwrap();
+        let before = model.evaluate_accuracy(&eval);
+        for step in 0..80 {
+            let batch = ds.batch(step, 32).unwrap();
+            let (_, grad) = model.gradient(&batch);
+            opt.step(&mut model, &grad).unwrap();
+        }
+        let after = model.evaluate_accuracy(&eval);
+        assert!(after > before.max(0.5), "accuracy {before} -> {after}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for the network fabric.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Result alias for fabric operations.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Errors produced by the simulated cluster fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A node id is not registered in the cluster.
+    UnknownNode(NodeId),
+    /// The destination node has crashed (or is partitioned away).
+    Unreachable {
+        /// Sender of the message.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+    /// A receive timed out before any message arrived.
+    Timeout,
+    /// The router has been shut down.
+    RouterClosed,
+    /// A request asked for more replies than there are live peers.
+    NotEnoughReplies {
+        /// Number of replies requested.
+        requested: usize,
+        /// Number of peers that could possibly reply.
+        available: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            NetError::Unreachable { from, to } => write!(f, "node {to} is unreachable from {from}"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::RouterClosed => write!(f, "router has been shut down"),
+            NetError::NotEnoughReplies { requested, available } => {
+                write!(f, "requested {requested} replies but only {available} peers are available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::NotEnoughReplies { requested: 5, available: 3 };
+        assert!(e.to_string().contains('5'));
+        assert!(!NetError::Timeout.to_string().is_empty());
+        assert!(!NetError::RouterClosed.to_string().is_empty());
+        assert!(!NetError::UnknownNode(NodeId(3)).to_string().is_empty());
+        let u = NetError::Unreachable { from: NodeId(1), to: NodeId(2) };
+        assert!(u.to_string().contains('2'));
+    }
+}

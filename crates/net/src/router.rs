@@ -1,0 +1,267 @@
+//! A real in-process message router used to exercise the pull-based
+//! communication pattern with actual concurrency.
+//!
+//! The simulated experiments use the [`crate::CostModel`]; this router exists
+//! so the communication layer itself (point-to-point, pull-based, tolerant of
+//! silent peers via timeouts) is implemented and tested for real, with
+//! threads and channels standing in for gRPC endpoints.
+
+use crate::{NetError, NetResult, NodeId};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A routed message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Sender of the message.
+    pub from: NodeId,
+    /// Recipient of the message.
+    pub to: NodeId,
+    /// Application-defined tag (e.g. iteration number or request kind).
+    pub tag: u64,
+    /// Opaque payload (a serialized gradient or model in the real system).
+    pub payload: Bytes,
+}
+
+#[derive(Default)]
+struct Registry {
+    inboxes: HashMap<NodeId, Sender<Envelope>>,
+    crashed: HashMap<NodeId, bool>,
+}
+
+/// The shared router: a registry of per-node inboxes.
+///
+/// Cloning the router is cheap (it is an `Arc` underneath); each participant
+/// calls [`Router::register`] once to obtain its [`RouterHandle`].
+#[derive(Clone, Default)]
+pub struct Router {
+    registry: Arc<RwLock<Registry>>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Registers a node and returns its handle (inbox + send capability).
+    ///
+    /// Registering the same id twice replaces the previous inbox; the old
+    /// handle will stop receiving messages.
+    pub fn register(&self, id: NodeId) -> RouterHandle {
+        let (tx, rx) = unbounded();
+        let mut reg = self.registry.write();
+        reg.inboxes.insert(id, tx);
+        reg.crashed.insert(id, false);
+        RouterHandle { id, router: self.clone(), inbox: rx }
+    }
+
+    /// Marks a node as crashed: messages to it are silently dropped, so
+    /// senders only notice through their own timeouts — exactly the failure
+    /// mode the paper's `get_gradients(q < n)` is designed to ride out.
+    pub fn crash(&self, id: NodeId) {
+        self.registry.write().crashed.insert(id, true);
+    }
+
+    /// Recovers a crashed node (its inbox starts receiving again).
+    pub fn recover(&self, id: NodeId) {
+        self.registry.write().crashed.insert(id, false);
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.registry.read().inboxes.len()
+    }
+
+    /// Whether no node is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn send(&self, envelope: Envelope) -> NetResult<()> {
+        let reg = self.registry.read();
+        if reg.crashed.get(&envelope.from).copied().unwrap_or(false) {
+            // A crashed sender produces nothing.
+            return Err(NetError::Unreachable { from: envelope.from, to: envelope.to });
+        }
+        match reg.inboxes.get(&envelope.to) {
+            None => Err(NetError::UnknownNode(envelope.to)),
+            Some(_) if reg.crashed.get(&envelope.to).copied().unwrap_or(false) => {
+                // Silently dropped: Byzantine-tolerant callers rely on timeouts.
+                Ok(())
+            }
+            Some(tx) => tx
+                .send(envelope)
+                .map_err(|_| NetError::RouterClosed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router").field("nodes", &self.len()).finish()
+    }
+}
+
+/// A node's endpoint on the router.
+#[derive(Debug)]
+pub struct RouterHandle {
+    id: NodeId,
+    router: Router,
+    inbox: Receiver<Envelope>,
+}
+
+impl RouterHandle {
+    /// The node id this handle belongs to.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends `payload` to `to` with the given `tag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for unregistered recipients and
+    /// [`NetError::Unreachable`] when this node has been crashed.
+    pub fn send(&self, to: NodeId, tag: u64, payload: Bytes) -> NetResult<()> {
+        self.router.send(Envelope { from: self.id, to, tag, payload })
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] when nothing arrives in time and
+    /// [`NetError::RouterClosed`] when the router is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> NetResult<Envelope> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::RouterClosed,
+        })
+    }
+
+    /// Receives messages until `expected` with the matching `tag` have arrived
+    /// or `timeout` elapses, returning whatever was collected.
+    ///
+    /// This is the receive side of the paper's "fastest `q` replies" pull: the
+    /// caller asks every peer, then gathers the first `expected` answers and
+    /// moves on, leaving stragglers and crashed peers behind.
+    pub fn collect(&self, tag: u64, expected: usize, timeout: Duration) -> Vec<Envelope> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut out = Vec::with_capacity(expected);
+        while out.len() < expected {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.inbox.recv_timeout(deadline - now) {
+                Ok(env) if env.tag == tag => out.push(env),
+                Ok(_) => {} // stale message from a previous round: ignore
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let router = Router::new();
+        let a = router.register(NodeId(1));
+        let b = router.register(NodeId(2));
+        a.send(NodeId(2), 7, Bytes::from_static(b"hello")).unwrap();
+        let msg = b.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(msg.from, NodeId(1));
+        assert_eq!(msg.tag, 7);
+        assert_eq!(&msg.payload[..], b"hello");
+    }
+
+    #[test]
+    fn unknown_recipient_is_an_error_and_timeout_is_reported() {
+        let router = Router::new();
+        let a = router.register(NodeId(1));
+        assert!(matches!(a.send(NodeId(9), 0, Bytes::new()), Err(NetError::UnknownNode(_))));
+        assert!(matches!(a.recv_timeout(Duration::from_millis(10)), Err(NetError::Timeout)));
+    }
+
+    #[test]
+    fn crashed_recipient_silently_drops_messages() {
+        let router = Router::new();
+        let a = router.register(NodeId(1));
+        let b = router.register(NodeId(2));
+        router.crash(NodeId(2));
+        a.send(NodeId(2), 0, Bytes::from_static(b"x")).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(20)).is_err());
+        router.recover(NodeId(2));
+        a.send(NodeId(2), 0, Bytes::from_static(b"y")).unwrap();
+        assert_eq!(&b.recv_timeout(Duration::from_millis(100)).unwrap().payload[..], b"y");
+    }
+
+    #[test]
+    fn crashed_sender_cannot_send() {
+        let router = Router::new();
+        let a = router.register(NodeId(1));
+        router.register(NodeId(2));
+        router.crash(NodeId(1));
+        assert!(matches!(
+            a.send(NodeId(2), 0, Bytes::new()),
+            Err(NetError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn pull_round_collects_fastest_replies_despite_a_silent_peer() {
+        let router = Router::new();
+        let server = router.register(NodeId(0));
+        let worker_ids = [NodeId(1), NodeId(2), NodeId(3)];
+        let handles: Vec<RouterHandle> = worker_ids.iter().map(|&id| router.register(id)).collect();
+        router.crash(NodeId(3)); // one worker never replies
+
+        // Server "requests" by tag; workers reply on their own threads.
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                thread::spawn(move || {
+                    let _ = h.send(NodeId(0), 42, Bytes::from(vec![h.id().0 as u8]));
+                })
+            })
+            .collect();
+        let replies = server.collect(42, 2, Duration::from_millis(500));
+        assert_eq!(replies.len(), 2, "server should proceed with the fastest 2 of 3");
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn collect_ignores_messages_from_other_rounds() {
+        let router = Router::new();
+        let a = router.register(NodeId(1));
+        let b = router.register(NodeId(2));
+        a.send(NodeId(2), 1, Bytes::from_static(b"old")).unwrap();
+        a.send(NodeId(2), 2, Bytes::from_static(b"new")).unwrap();
+        let replies = b.collect(2, 1, Duration::from_millis(100));
+        assert_eq!(replies.len(), 1);
+        assert_eq!(&replies[0].payload[..], b"new");
+    }
+
+    #[test]
+    fn router_is_cloneable_and_countable() {
+        let router = Router::new();
+        assert!(router.is_empty());
+        let _a = router.register(NodeId(1));
+        let clone = router.clone();
+        let _b = clone.register(NodeId(2));
+        assert_eq!(router.len(), 2);
+        assert!(format!("{router:?}").contains("Router"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Result alias used across the tensor crate.
+pub type TensorResult<T> = Result<T, TensorError>;
+
+/// Errors produced by tensor construction and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The amount of data provided does not match the requested shape.
+    DataShapeMismatch {
+        /// Number of scalar elements supplied by the caller.
+        data_len: usize,
+        /// Number of scalar elements the shape requires.
+        shape_len: usize,
+    },
+    /// Two tensors that must have identical shapes do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix multiplication do not agree.
+    MatmulMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// An operation that requires a non-empty tensor received an empty one.
+    EmptyTensor,
+    /// An index was out of bounds for the tensor.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Element count of the existing tensor.
+        from: usize,
+        /// Element count of the requested shape.
+        to: usize,
+    },
+    /// The operation is only defined for matrices (rank-2 tensors).
+    NotAMatrix {
+        /// Actual rank of the tensor.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataShapeMismatch { data_len, shape_len } => write!(
+                f,
+                "data length {data_len} does not match shape element count {shape_len}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::MatmulMismatch { left, right } => {
+                write!(f, "matrix multiply dimension mismatch between {left:?} and {right:?}")
+            }
+            TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of length {len}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape tensor of {from} elements into shape of {to} elements")
+            }
+            TensorError::NotAMatrix { rank } => {
+                write!(f, "operation requires a rank-2 tensor, got rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            TensorError::DataShapeMismatch { data_len: 3, shape_len: 4 },
+            TensorError::ShapeMismatch { left: vec![2], right: vec![3] },
+            TensorError::MatmulMismatch { left: vec![2, 2], right: vec![3, 3] },
+            TensorError::EmptyTensor,
+            TensorError::IndexOutOfBounds { index: 9, len: 3 },
+            TensorError::ReshapeMismatch { from: 4, to: 5 },
+            TensorError::NotAMatrix { rank: 1 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,195 @@
+//! Random tensor initialisation.
+
+use crate::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Weight-initialisation schemes used by the model zoo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Uniform in `[-limit, limit]`.
+    Uniform {
+        /// Half-width of the interval.
+        limit: f32,
+    },
+    /// Gaussian with the given standard deviation.
+    Normal {
+        /// Standard deviation of the distribution.
+        std_dev: f32,
+    },
+    /// Xavier/Glorot uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+    Xavier {
+        /// Number of input units of the layer.
+        fan_in: usize,
+        /// Number of output units of the layer.
+        fan_out: usize,
+    },
+}
+
+/// A deterministic random number generator for tensors.
+///
+/// Every component of the workspace that needs randomness (data synthesis,
+/// weight initialisation, attacks, simulated network jitter) derives from a
+/// seeded [`TensorRng`] so experiments are exactly reproducible.
+///
+/// ```rust
+/// use garfield_tensor::{TensorRng, Initializer};
+/// let mut rng = TensorRng::seed_from(42);
+/// let w = rng.tensor(10usize, Initializer::Normal { std_dev: 0.1 });
+/// assert_eq!(w.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        TensorRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent generator for a child component.
+    ///
+    /// The derived stream is a deterministic function of this generator's
+    /// current state and `stream`, so sibling components (e.g. workers) get
+    /// uncorrelated but reproducible randomness.
+    pub fn derive(&mut self, stream: u64) -> TensorRng {
+        let base: u64 = self.rng.gen();
+        TensorRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Samples a single uniform value in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f32 {
+        self.rng.gen::<f32>()
+    }
+
+    /// Samples a single standard-normal value.
+    pub fn standard_normal(&mut self) -> f32 {
+        Normal::new(0.0f32, 1.0).expect("valid distribution").sample(&mut self.rng)
+    }
+
+    /// Samples an integer uniformly in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound == 0`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Samples a tensor of the given shape with the given initialiser.
+    pub fn tensor(&mut self, shape: impl Into<Shape>, init: Initializer) -> Tensor {
+        let shape = shape.into();
+        let n = shape.len();
+        let data: Vec<f32> = match init {
+            Initializer::Zeros => vec![0.0; n],
+            Initializer::Uniform { limit } => {
+                let dist = Uniform::new_inclusive(-limit, limit);
+                (0..n).map(|_| dist.sample(&mut self.rng)).collect()
+            }
+            Initializer::Normal { std_dev } => {
+                let dist = Normal::new(0.0f32, std_dev.max(f32::EPSILON))
+                    .expect("std dev is finite and positive");
+                (0..n).map(|_| dist.sample(&mut self.rng)).collect()
+            }
+            Initializer::Xavier { fan_in, fan_out } => {
+                let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                let dist = Uniform::new_inclusive(-limit, limit);
+                (0..n).map(|_| dist.sample(&mut self.rng)).collect()
+            }
+        };
+        Tensor::from_vec(data, shape).expect("generated data matches shape")
+    }
+
+    /// Samples a standard-normal tensor (mean 0, std 1) of the given shape.
+    pub fn normal_tensor(&mut self, shape: impl Into<Shape>) -> Tensor {
+        self.tensor(shape, Initializer::Normal { std_dev: 1.0 })
+    }
+
+    /// Produces a random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = TensorRng::seed_from(7);
+        let mut b = TensorRng::seed_from(7);
+        let ta = a.normal_tensor(32usize);
+        let tb = b.normal_tensor(32usize);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TensorRng::seed_from(1);
+        let mut b = TensorRng::seed_from(2);
+        assert_ne!(a.normal_tensor(32usize), b.normal_tensor(32usize));
+    }
+
+    #[test]
+    fn derived_streams_are_independent_and_deterministic() {
+        let mut parent1 = TensorRng::seed_from(9);
+        let mut parent2 = TensorRng::seed_from(9);
+        let mut c1 = parent1.derive(3);
+        let mut c2 = parent2.derive(3);
+        assert_eq!(c1.normal_tensor(8usize), c2.normal_tensor(8usize));
+        let mut other = TensorRng::seed_from(9).derive(4);
+        assert_ne!(
+            TensorRng::seed_from(9).derive(3).normal_tensor(8usize),
+            other.normal_tensor(8usize)
+        );
+    }
+
+    #[test]
+    fn initializers_respect_bounds() {
+        let mut rng = TensorRng::seed_from(11);
+        let z = rng.tensor(16usize, Initializer::Zeros);
+        assert!(z.iter().all(|&v| v == 0.0));
+        let u = rng.tensor(256usize, Initializer::Uniform { limit: 0.5 });
+        assert!(u.iter().all(|&v| (-0.5..=0.5).contains(&v)));
+        let x = rng.tensor(256usize, Initializer::Xavier { fan_in: 10, fan_out: 20 });
+        let lim = (6.0f32 / 30.0).sqrt();
+        assert!(x.iter().all(|&v| v.abs() <= lim + 1e-6));
+    }
+
+    #[test]
+    fn normal_tensor_has_reasonable_moments() {
+        let mut rng = TensorRng::seed_from(5);
+        let t = rng.normal_tensor(10_000usize);
+        assert!(t.mean().abs() < 0.05);
+        let var: f32 = t.iter().map(|&v| v * v).sum::<f32>() / t.len() as f32;
+        assert!((var - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut p = rng.permutation(100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_stays_in_bounds() {
+        let mut rng = TensorRng::seed_from(3);
+        for _ in 0..100 {
+            assert!(rng.index(7) < 7);
+        }
+    }
+}

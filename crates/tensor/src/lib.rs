@@ -1,0 +1,41 @@
+//! # garfield-tensor
+//!
+//! Dense tensor math substrate for the Garfield-rs reproduction of
+//! *"Garfield: System Support for Byzantine Machine Learning"* (DSN 2021).
+//!
+//! The paper builds on TensorFlow / PyTorch tensors; this crate provides the
+//! minimal, dependency-light equivalent needed by the rest of the workspace:
+//! an `f32` dense [`Tensor`] with shape tracking, element-wise arithmetic,
+//! matrix multiplication, reductions, distance / norm kernels and random
+//! initialisation. Gradient aggregation rules (GARs), models and the
+//! distributed runtime all consume and produce these tensors.
+//!
+//! # Quick example
+//!
+//! ```rust
+//! use garfield_tensor::{Tensor, Shape};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2)).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.data(), a.data());
+//! assert_eq!(c.shape().dims(), &[2, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod linalg;
+mod ops;
+mod shape;
+mod stats;
+mod tensor;
+
+pub use error::{TensorError, TensorResult};
+pub use init::{Initializer, TensorRng};
+pub use linalg::{cosine_similarity, l2_distance, squared_l2_distance};
+pub use shape::Shape;
+pub use stats::{mean, median_inplace, std_dev, variance};
+pub use tensor::Tensor;

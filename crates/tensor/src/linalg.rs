@@ -1,0 +1,81 @@
+//! Distance and similarity kernels used by the gradient aggregation rules.
+
+use crate::Tensor;
+
+/// Squared Euclidean distance between two tensors viewed as flat vectors.
+///
+/// The two tensors must have the same number of elements; trailing elements of
+/// the longer tensor are ignored otherwise (callers in this workspace always
+/// pass equal-length gradients).
+///
+/// ```rust
+/// use garfield_tensor::{Tensor, squared_l2_distance};
+/// let a = Tensor::from_slice(&[0.0, 0.0]);
+/// let b = Tensor::from_slice(&[3.0, 4.0]);
+/// assert_eq!(squared_l2_distance(&a, &b), 25.0);
+/// ```
+pub fn squared_l2_distance(a: &Tensor, b: &Tensor) -> f32 {
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two tensors viewed as flat vectors.
+pub fn l2_distance(a: &Tensor, b: &Tensor) -> f32 {
+    squared_l2_distance(a, b).sqrt()
+}
+
+/// Cosine similarity (`cos φ`) between two tensors viewed as flat vectors.
+///
+/// Returns 0.0 when either vector has zero norm. This is the quantity the
+/// paper reports in its Table 2 parameter-vector alignment study.
+pub fn cosine_similarity(a: &Tensor, b: &Tensor) -> f32 {
+    let na = a.norm();
+    let nb = b.norm();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let dot: f32 = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_match_hand_computed_values() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 6.0, 3.0]);
+        assert_eq!(squared_l2_distance(&a, &b), 9.0 + 16.0);
+        assert!((l2_distance(&a, &b) - 5.0).abs() < 1e-6);
+        assert_eq!(squared_l2_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal_vectors() {
+        let a = Tensor::from_slice(&[1.0, 0.0]);
+        let b = Tensor::from_slice(&[2.0, 0.0]);
+        let c = Tensor::from_slice(&[0.0, 5.0]);
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&a, &c).abs() < 1e-6);
+        assert!((cosine_similarity(&a, &(-&b)) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        let z = Tensor::zeros(3usize);
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(cosine_similarity(&z, &a), 0.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Element-wise arithmetic, reductions and matrix multiplication.
+
+use crate::{Shape, Tensor, TensorError, TensorResult};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+impl Tensor {
+    /// Element-wise addition of two tensors with identical shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn try_add(&self, other: &Tensor) -> TensorResult<Tensor> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction (`self - other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn try_sub(&self, other: &Tensor) -> TensorResult<Tensor> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn try_mul(&self, other: &Tensor) -> TensorResult<Tensor> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Applies a binary function element-wise to two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> TensorResult<Tensor> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+            });
+        }
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, self.shape().clone())
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign_checked(&mut self, other: &Tensor) -> TensorResult<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+            });
+        }
+        for (a, b) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Adds `scale * other` into `self` in place (an `axpy`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy(&mut self, scale: f32, other: &Tensor) -> TensorResult<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+            });
+        }
+        for (a, b) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Applies a unary function to every element, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        let data = self.data().iter().map(|&v| f(v)).collect();
+        Tensor::from_vec(data, self.shape().clone()).expect("map preserves length")
+    }
+
+    /// Applies a unary function to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in self.data_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies every element by `scalar`, returning a new tensor.
+    pub fn scale(&self, scalar: f32) -> Tensor {
+        self.map(|v| v * scalar)
+    }
+
+    /// Multiplies every element by `scalar` in place.
+    pub fn scale_inplace(&mut self, scalar: f32) {
+        self.map_inplace(|v| v * scalar);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Largest element (negative infinity for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element (positive infinity for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the largest element, or `None` for empty tensors.
+    pub fn argmax(&self) -> Option<usize> {
+        self.data()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the element counts differ.
+    pub fn dot(&self, other: &Tensor) -> TensorResult<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+            });
+        }
+        Ok(self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Euclidean (L2) norm of the tensor viewed as a flat vector.
+    pub fn norm(&self) -> f32 {
+        self.data().iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Matrix multiplication `self (r x k) * other (k x c) -> (r x c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] for non rank-2 operands and
+    /// [`TensorError::MatmulMismatch`] when inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> TensorResult<Tensor> {
+        let (r, k1) = self.matrix_dims()?;
+        let (k2, c) = other.matrix_dims()?;
+        if k1 != k2 {
+            return Err(TensorError::MatmulMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; r * c];
+        // Simple ikj loop order: keeps the inner loop sequential over `b` and
+        // `out`, which the optimiser vectorises well enough for our model sizes.
+        for i in 0..r {
+            for k in 0..k1 {
+                let aik = a[i * k1 + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[k * c..(k + 1) * c];
+                let orow = &mut out[i * c..(i + 1) * c];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, Shape::matrix(r, c))
+    }
+
+    /// Matrix transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] for non rank-2 tensors.
+    pub fn transpose(&self) -> TensorResult<Tensor> {
+        let (r, c) = self.matrix_dims()?;
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data()[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, Shape::matrix(c, r))
+    }
+
+    /// Sums matrix rows, producing a vector of length `cols`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] for non rank-2 tensors.
+    pub fn sum_rows(&self) -> TensorResult<Tensor> {
+        let (r, c) = self.matrix_dims()?;
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j] += self.data()[i * c + j];
+            }
+        }
+        Ok(Tensor::from(out))
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// # Panics
+    ///
+    /// Panics when the shapes differ; use [`Tensor::try_add`] for a fallible version.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.try_add(rhs).expect("tensor addition requires identical shapes")
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// # Panics
+    ///
+    /// Panics when the shapes differ; use [`Tensor::try_sub`] for a fallible version.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.try_sub(rhs).expect("tensor subtraction requires identical shapes")
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+
+    fn neg(self) -> Tensor {
+        self.scale(-1.0)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    /// # Panics
+    ///
+    /// Panics when the shapes differ; use [`Tensor::add_assign_checked`] for a
+    /// fallible version.
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.add_assign_checked(rhs)
+            .expect("tensor += requires identical shapes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn add_sub_mul_elementwise() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.try_add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.try_sub(&a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.try_mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[1.0, 2.0, 3.0]);
+        assert!(a.try_add(&b).is_err());
+        assert!(a.dot(&b).is_err());
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = t(&[1.0, 1.0]);
+        a.axpy(2.0, &t(&[3.0, 4.0])).unwrap();
+        assert_eq!(a.data(), &[7.0, 9.0]);
+        a.add_assign_checked(&t(&[1.0, 1.0])).unwrap();
+        assert_eq!(a.data(), &[8.0, 10.0]);
+        assert!(a.axpy(1.0, &t(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn scale_map_and_neg() {
+        let a = t(&[1.0, -2.0]);
+        assert_eq!(a.scale(3.0).data(), &[3.0, -6.0]);
+        assert_eq!((-&a).data(), &[-1.0, 2.0]);
+        assert_eq!(a.map(|v| v.abs()).data(), &[1.0, 2.0]);
+        let mut b = a.clone();
+        b.map_inplace(|v| v + 1.0);
+        assert_eq!(b.data(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.argmax(), Some(3));
+        assert_eq!(Tensor::from(Vec::<f32>::new()).argmax(), None);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = t(&[3.0, 4.0]);
+        assert_eq!(a.dot(&a).unwrap(), 25.0);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_identity_and_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], Shape::matrix(2, 3)).unwrap();
+        let id = Tensor::eye(3);
+        assert_eq!(a.matmul(&id).unwrap().data(), a.data());
+
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], Shape::matrix(3, 2)).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+        assert_eq!(c.shape().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = Tensor::from_vec(vec![1.0; 6], Shape::matrix(2, 3)).unwrap();
+        let b = Tensor::from_vec(vec![1.0; 4], Shape::matrix(2, 2)).unwrap();
+        assert!(matches!(a.matmul(&b), Err(TensorError::MatmulMismatch { .. })));
+        let v = t(&[1.0, 2.0]);
+        assert!(matches!(v.matmul(&a), Err(TensorError::NotAMatrix { .. })));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], Shape::matrix(2, 3)).unwrap();
+        let tt = a.transpose().unwrap().transpose().unwrap();
+        assert_eq!(tt, a);
+        assert_eq!(a.transpose().unwrap().at(0, 1).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn sum_rows_collapses_rows() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], Shape::matrix(2, 3)).unwrap();
+        assert_eq!(a.sum_rows().unwrap().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn operator_add_panics_on_mismatch() {
+        let _ = &t(&[1.0]) + &t(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Scalar statistics helpers shared by the GARs and the variance tool.
+
+/// Arithmetic mean of a slice (0.0 for an empty slice).
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// Population variance of a slice (0.0 for slices with fewer than two elements).
+pub fn variance(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / values.len() as f32
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(values: &[f32]) -> f32 {
+    variance(values).sqrt()
+}
+
+/// Median of a mutable slice, computed with the introselect-style
+/// `select_nth_unstable` kernel (the CPU path described in §4.3 of the paper).
+///
+/// The slice order is perturbed. For even-length slices the lower median is
+/// returned, matching the coordinate-wise Median GAR's behaviour.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn median_inplace(values: &mut [f32]) -> f32 {
+    assert!(!values.is_empty(), "median of an empty slice is undefined");
+    let mid = (values.len() - 1) / 2;
+    let (_, m, _) = values.select_nth_unstable_by(mid, |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    *m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), 5.0);
+        assert_eq!(variance(&v), 4.0);
+        assert_eq!(std_dev(&v), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let mut odd = vec![5.0, 1.0, 3.0];
+        assert_eq!(median_inplace(&mut odd), 3.0);
+        let mut even = vec![4.0, 1.0, 3.0, 2.0];
+        // Lower median for even-length input.
+        assert_eq!(median_inplace(&mut even), 2.0);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut v = vec![1.0, 1.0, 1.0, 1.0, 1e9];
+        assert_eq!(median_inplace(&mut v), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_of_empty_slice_panics() {
+        median_inplace(&mut []);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the tensor algebra.
+
+use garfield_tensor::{cosine_similarity, l2_distance, Tensor};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0f32, 1..max_len)
+}
+
+fn same_len_pair(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1..max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0f32..100.0f32, n),
+            prop::collection::vec(-100.0f32..100.0f32, n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(pair in same_len_pair(64)) {
+        let (a, b) = pair;
+        let ta = Tensor::from(a);
+        let tb = Tensor::from(b);
+        let ab = ta.try_add(&tb).unwrap();
+        let ba = tb.try_add(&ta).unwrap();
+        for (x, y) in ab.iter().zip(ba.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn subtraction_then_addition_round_trips(pair in same_len_pair(64)) {
+        let (a, b) = pair;
+        let ta = Tensor::from(a);
+        let tb = Tensor::from(b);
+        let back = ta.try_sub(&tb).unwrap().try_add(&tb).unwrap();
+        for (x, y) in back.iter().zip(ta.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scaling_scales_the_norm(v in finite_vec(64), k in -10.0f32..10.0f32) {
+        let t = Tensor::from(v);
+        let scaled = t.scale(k);
+        prop_assert!((scaled.norm() - k.abs() * t.norm()).abs() < 1e-2 * (1.0 + t.norm()));
+    }
+
+    #[test]
+    fn triangle_inequality_for_l2_distance(pair in same_len_pair(32), c in finite_vec(32)) {
+        let (a, b) = pair;
+        let n = a.len().min(c.len());
+        let ta = Tensor::from(a[..n].to_vec());
+        let tb = Tensor::from(b[..n].to_vec());
+        let tc = Tensor::from(c[..n].to_vec());
+        let direct = l2_distance(&ta, &tb);
+        let via = l2_distance(&ta, &tc) + l2_distance(&tc, &tb);
+        prop_assert!(direct <= via + 1e-2);
+    }
+
+    #[test]
+    fn cosine_similarity_is_bounded(pair in same_len_pair(64)) {
+        let (a, b) = pair;
+        let cs = cosine_similarity(&Tensor::from(a), &Tensor::from(b));
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&cs));
+    }
+
+    #[test]
+    fn mean_lies_between_min_and_max(v in finite_vec(64)) {
+        let t = Tensor::from(v);
+        prop_assert!(t.mean() >= t.min() - 1e-4);
+        prop_assert!(t.mean() <= t.max() + 1e-4);
+    }
+
+    #[test]
+    fn reshape_round_trip_preserves_data(v in finite_vec(64)) {
+        let t = Tensor::from(v.clone());
+        let n = v.len();
+        let back = t.reshape((1usize, n)).unwrap().reshape(n).unwrap();
+        prop_assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn transpose_is_an_involution(v in prop::collection::vec(-10.0f32..10.0, 6)) {
+        let m = Tensor::from_vec(v, garfield_tensor::Shape::matrix(2, 3)).unwrap();
+        let back = m.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in prop::collection::vec(-5.0f32..5.0, 4),
+        b in prop::collection::vec(-5.0f32..5.0, 4),
+        c in prop::collection::vec(-5.0f32..5.0, 4),
+    ) {
+        use garfield_tensor::Shape;
+        let ma = Tensor::from_vec(a, Shape::matrix(2, 2)).unwrap();
+        let mb = Tensor::from_vec(b, Shape::matrix(2, 2)).unwrap();
+        let mc = Tensor::from_vec(c, Shape::matrix(2, 2)).unwrap();
+        let lhs = ma.matmul(&mb.try_add(&mc).unwrap()).unwrap();
+        let rhs = ma.matmul(&mb).unwrap().try_add(&ma.matmul(&mc).unwrap()).unwrap();
+        for (x, y) in lhs.iter().zip(rhs.iter()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+}
