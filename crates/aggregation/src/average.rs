@@ -87,7 +87,10 @@ mod tests {
     fn rejects_heterogeneous_shapes() {
         let avg = Average::new(2).unwrap();
         let inputs = vec![Tensor::from_slice(&[1.0]), Tensor::from_slice(&[1.0, 2.0])];
-        assert_eq!(avg.aggregate(&inputs).unwrap_err(), AggregationError::HeterogeneousShapes);
+        assert_eq!(
+            avg.aggregate(&inputs).unwrap_err(),
+            AggregationError::HeterogeneousShapes
+        );
     }
 
     #[test]

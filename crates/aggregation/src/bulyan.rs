@@ -124,7 +124,11 @@ mod tests {
     fn honest_cluster(n: usize, d: usize, seed: u64) -> Vec<Tensor> {
         let mut rng = TensorRng::seed_from(seed);
         (0..n)
-            .map(|_| Tensor::ones(d).try_add(&rng.normal_tensor(d).scale(0.1)).unwrap())
+            .map(|_| {
+                Tensor::ones(d)
+                    .try_add(&rng.normal_tensor(d).scale(0.1))
+                    .unwrap()
+            })
             .collect()
     }
 
@@ -163,7 +167,11 @@ mod tests {
         inputs.push(sneaky);
         let b = Bulyan::new(7, 1).unwrap();
         let out = b.aggregate(&inputs).unwrap();
-        assert!(out.data()[3] < 10.0, "coordinate attack leaked through: {}", out.data()[3]);
+        assert!(
+            out.data()[3] < 10.0,
+            "coordinate attack leaked through: {}",
+            out.data()[3]
+        );
     }
 
     #[test]
@@ -194,7 +202,10 @@ mod tests {
         assert!(b.aggregate(&[]).is_err());
         assert!(matches!(
             b.aggregate(&honest_cluster(6, 4, 5)),
-            Err(AggregationError::WrongInputCount { expected: 7, got: 6 })
+            Err(AggregationError::WrongInputCount {
+                expected: 7,
+                got: 6
+            })
         ));
     }
 }

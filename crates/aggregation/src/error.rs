@@ -37,7 +37,12 @@ pub enum AggregationError {
 impl fmt::Display for AggregationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AggregationError::ResilienceViolated { rule, n, f: byz, requirement } => write!(
+            AggregationError::ResilienceViolated {
+                rule,
+                n,
+                f: byz,
+                requirement,
+            } => write!(
                 f,
                 "{rule} requires {requirement}, but was configured with n = {n}, f = {byz}"
             ),
@@ -68,7 +73,10 @@ mod tests {
                 f: 1,
                 requirement: "n >= 2f + 3",
             },
-            AggregationError::WrongInputCount { expected: 5, got: 3 },
+            AggregationError::WrongInputCount {
+                expected: 5,
+                got: 3,
+            },
             AggregationError::HeterogeneousShapes,
             AggregationError::EmptyInput,
             AggregationError::UnknownRule("x".into()),

@@ -1,8 +1,7 @@
 //! The [`Gar`] trait and the paper's `init()`-style factory.
 
-use crate::{Average, AggregationError, AggregationResult, Bulyan, Krum, Mda, Median, MultiKrum};
+use crate::{AggregationError, AggregationResult, Average, Bulyan, Krum, Mda, Median, MultiKrum};
 use garfield_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -37,7 +36,8 @@ pub trait Gar: Send + Sync {
 }
 
 /// The aggregation rules shipped with Garfield.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GarKind {
     /// Plain averaging (the vanilla, non-resilient baseline).
     Average,
@@ -193,8 +193,14 @@ mod tests {
 
     #[test]
     fn average_is_not_byzantine_resilient_but_others_are() {
-        assert!(!build_gar(GarKind::Average, 3, 0).unwrap().is_byzantine_resilient());
-        assert!(build_gar(GarKind::Median, 3, 1).unwrap().is_byzantine_resilient());
-        assert!(build_gar(GarKind::Bulyan, 7, 1).unwrap().is_byzantine_resilient());
+        assert!(!build_gar(GarKind::Average, 3, 0)
+            .unwrap()
+            .is_byzantine_resilient());
+        assert!(build_gar(GarKind::Median, 3, 1)
+            .unwrap()
+            .is_byzantine_resilient());
+        assert!(build_gar(GarKind::Bulyan, 7, 1)
+            .unwrap()
+            .is_byzantine_resilient());
     }
 }

@@ -19,7 +19,10 @@ pub(crate) fn krum_scores(inputs: &[Tensor], f: usize) -> Vec<f32> {
     let neighbours = n.saturating_sub(f + 2).max(1);
     (0..n)
         .map(|i| {
-            let mut row: Vec<f32> = (0..n).filter(|&j| j != i).map(|j| dist[i * n + j]).collect();
+            let mut row: Vec<f32> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| dist[i * n + j])
+                .collect();
             row.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             row.iter().take(neighbours).sum()
         })
@@ -29,7 +32,11 @@ pub(crate) fn krum_scores(inputs: &[Tensor], f: usize) -> Vec<f32> {
 /// Returns the indices of the `m` smallest-scoring inputs, in ascending score order.
 pub(crate) fn smallest_scores(scores: &[f32], m: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(m);
     idx
 }
@@ -158,7 +165,8 @@ impl Gar for MultiKrum {
         let selected = self.select_indices(inputs)?;
         let mut acc = Tensor::zeros(inputs[0].shape().clone());
         for &i in &selected {
-            acc.add_assign_checked(&inputs[i]).expect("shapes validated");
+            acc.add_assign_checked(&inputs[i])
+                .expect("shapes validated");
         }
         acc.scale_inplace(1.0 / selected.len() as f32);
         Ok(acc)
@@ -215,7 +223,10 @@ mod tests {
         assert_eq!(mk.selection_size(), 4);
         let selected = mk.select_indices(&inputs).unwrap();
         assert_eq!(selected.len(), 4);
-        assert!(!selected.contains(&6), "Multi-Krum kept the Byzantine input");
+        assert!(
+            !selected.contains(&6),
+            "Multi-Krum kept the Byzantine input"
+        );
         let out = mk.aggregate(&inputs).unwrap();
         assert!(out.data().iter().all(|&v| (0.0..2.0).contains(&v)));
     }
@@ -247,8 +258,17 @@ mod tests {
         let krum = Krum::new(5, 1).unwrap();
         assert!(krum.aggregate(&[]).is_err());
         let bad: Vec<Tensor> = (0..5)
-            .map(|i| if i == 0 { Tensor::zeros(2usize) } else { Tensor::zeros(3usize) })
+            .map(|i| {
+                if i == 0 {
+                    Tensor::zeros(2usize)
+                } else {
+                    Tensor::zeros(3usize)
+                }
+            })
             .collect();
-        assert_eq!(krum.aggregate(&bad).unwrap_err(), AggregationError::HeterogeneousShapes);
+        assert_eq!(
+            krum.aggregate(&bad).unwrap_err(),
+            AggregationError::HeterogeneousShapes
+        );
     }
 }

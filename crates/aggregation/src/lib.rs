@@ -66,7 +66,10 @@ pub(crate) fn validate_inputs(
         return Err(AggregationError::EmptyInput);
     }
     if inputs.len() != expected {
-        return Err(AggregationError::WrongInputCount { expected, got: inputs.len() });
+        return Err(AggregationError::WrongInputCount {
+            expected,
+            got: inputs.len(),
+        });
     }
     let shape = inputs[0].shape();
     if inputs.iter().any(|t| t.shape() != shape) {

@@ -116,7 +116,8 @@ impl Gar for Mda {
         let selected = self.select_indices(inputs)?;
         let mut acc = Tensor::zeros(inputs[0].shape().clone());
         for &i in &selected {
-            acc.add_assign_checked(&inputs[i]).expect("shapes validated");
+            acc.add_assign_checked(&inputs[i])
+                .expect("shapes validated");
         }
         acc.scale_inplace(1.0 / selected.len() as f32);
         Ok(acc)
@@ -170,7 +171,11 @@ mod tests {
     fn tolerates_f_byzantine_inputs_up_to_the_bound() {
         let mut rng = TensorRng::seed_from(10);
         let mut inputs: Vec<Tensor> = (0..5)
-            .map(|_| Tensor::ones(8usize).try_add(&rng.normal_tensor(8usize).scale(0.05)).unwrap())
+            .map(|_| {
+                Tensor::ones(8usize)
+                    .try_add(&rng.normal_tensor(8usize).scale(0.05))
+                    .unwrap()
+            })
             .collect();
         inputs.push(Tensor::full(8usize, 1e7));
         inputs.push(Tensor::full(8usize, -1e7));

@@ -174,7 +174,10 @@ mod tests {
         let two = vec![Tensor::from_slice(&[1.0]), Tensor::from_slice(&[2.0])];
         assert!(matches!(
             median.aggregate(&two),
-            Err(AggregationError::WrongInputCount { expected: 3, got: 2 })
+            Err(AggregationError::WrongInputCount {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 }

@@ -15,7 +15,6 @@
 use crate::GarKind;
 use garfield_ml::{Dataset, Model, Optimizer, Sgd};
 use garfield_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// The GAR-specific factor `Δ` of the bounded-variance condition (§3.1).
 ///
@@ -38,8 +37,7 @@ pub fn delta_factor(gar: GarKind, n: usize, f: usize) -> Option<f64> {
             if denom <= 0.0 {
                 None
             } else {
-                let inner =
-                    n - f + (f * (n - f - 2.0) + f * f * (n - f - 1.0)) / denom;
+                let inner = n - f + (f * (n - f - 2.0) + f * f * (n - f - 1.0)) / denom;
                 Some((2.0 * inner).sqrt())
             }
         }
@@ -49,7 +47,8 @@ pub fn delta_factor(gar: GarKind, n: usize, f: usize) -> Option<f64> {
 }
 
 /// The outcome of one probed training step.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarianceStep {
     /// Training step index.
     pub step: usize,
@@ -63,7 +62,8 @@ pub struct VarianceStep {
 }
 
 /// Aggregate report over all probed steps.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarianceReport {
     /// Number of workers assumed by the probe.
     pub n: usize,
@@ -174,9 +174,15 @@ impl VarianceProbe {
             });
 
             // Advance the model with the mean gradient so later steps probe new states.
-            opt.step(model, &mean).expect("gradient matches parameter count");
+            opt.step(model, &mean)
+                .expect("gradient matches parameter count");
         }
-        VarianceReport { n: self.n, f: self.f, batch_size: self.batch_size, steps }
+        VarianceReport {
+            n: self.n,
+            f: self.f,
+            batch_size: self.batch_size,
+            steps,
+        }
     }
 }
 
@@ -229,7 +235,9 @@ mod tests {
             assert_eq!(step.satisfied.len(), 3);
         }
         // MDA has the loosest Δ, so it should hold at least as often as Krum.
-        assert!(report.satisfied_fraction(GarKind::Mda) >= report.satisfied_fraction(GarKind::Krum));
+        assert!(
+            report.satisfied_fraction(GarKind::Mda) >= report.satisfied_fraction(GarKind::Krum)
+        );
         // Fractions are valid probabilities.
         for gar in [GarKind::Median, GarKind::Mda, GarKind::Krum] {
             let fr = report.satisfied_fraction(gar);
@@ -239,7 +247,12 @@ mod tests {
 
     #[test]
     fn empty_report_yields_zero_fraction() {
-        let report = VarianceReport { n: 5, f: 1, batch_size: 8, steps: vec![] };
+        let report = VarianceReport {
+            n: 5,
+            f: 1,
+            batch_size: 8,
+            steps: vec![],
+        };
         assert_eq!(report.satisfied_fraction(GarKind::Median), 0.0);
     }
 }

@@ -19,10 +19,17 @@ fn adversarial_setup(
 ) -> (Vec<Tensor>, f32, f32) {
     let mut rng = TensorRng::seed_from(seed);
     let mut inputs: Vec<Tensor> = (0..honest)
-        .map(|_| Tensor::ones(d).try_add(&rng.normal_tensor(d).scale(0.1)).unwrap())
+        .map(|_| {
+            Tensor::ones(d)
+                .try_add(&rng.normal_tensor(d).scale(0.1))
+                .unwrap()
+        })
         .collect();
     let honest_min = inputs.iter().map(|t| t.min()).fold(f32::INFINITY, f32::min);
-    let honest_max = inputs.iter().map(|t| t.max()).fold(f32::NEG_INFINITY, f32::max);
+    let honest_max = inputs
+        .iter()
+        .map(|t| t.max())
+        .fold(f32::NEG_INFINITY, f32::max);
     for _ in 0..byz {
         inputs.push(Tensor::full(d, byz_value));
     }

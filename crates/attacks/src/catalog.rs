@@ -25,7 +25,8 @@ impl Attack for RandomVectorAttack {
     }
 
     fn corrupt(&self, honest: &Tensor, _peers: &[Tensor], rng: &mut TensorRng) -> Tensor {
-        rng.normal_tensor(honest.shape().clone()).scale(self.std_dev)
+        rng.normal_tensor(honest.shape().clone())
+            .scale(self.std_dev)
     }
 }
 
@@ -173,7 +174,9 @@ impl Attack for LabelFlipAttack {
     }
 
     fn corrupt(&self, honest: &Tensor, _peers: &[Tensor], rng: &mut TensorRng) -> Tensor {
-        let noise = rng.normal_tensor(honest.shape().clone()).scale(0.05 * honest.norm().max(1e-6));
+        let noise = rng
+            .normal_tensor(honest.shape().clone())
+            .scale(0.05 * honest.norm().max(1e-6));
         honest
             .scale(1.0 - 2.0 * self.strength)
             .try_add(&noise)
@@ -256,8 +259,14 @@ mod tests {
     #[test]
     fn drop_and_sign_flip() {
         let honest = Tensor::from_slice(&[1.0, -2.0]);
-        assert!(DropVectorAttack.corrupt(&honest, &[], &mut rng()).iter().all(|&v| v == 0.0));
-        assert_eq!(SignFlipAttack.corrupt(&honest, &[], &mut rng()).data(), &[-1.0, 2.0]);
+        assert!(DropVectorAttack
+            .corrupt(&honest, &[], &mut rng())
+            .iter()
+            .all(|&v| v == 0.0));
+        assert_eq!(
+            SignFlipAttack.corrupt(&honest, &[], &mut rng()).data(),
+            &[-1.0, 2.0]
+        );
     }
 
     #[test]
@@ -273,7 +282,11 @@ mod tests {
     fn little_is_enough_stays_near_the_honest_envelope() {
         let mut r = rng();
         let peers: Vec<Tensor> = (0..5)
-            .map(|_| Tensor::ones(16usize).try_add(&r.normal_tensor(16usize).scale(0.1)).unwrap())
+            .map(|_| {
+                Tensor::ones(16usize)
+                    .try_add(&r.normal_tensor(16usize).scale(0.1))
+                    .unwrap()
+            })
             .collect();
         let honest = peers[0].clone();
         let out = LittleIsEnoughAttack::default().corrupt(&honest, &peers, &mut r);

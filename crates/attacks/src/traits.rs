@@ -1,7 +1,6 @@
 //! The [`Attack`] trait and the attack catalogue enumeration.
 
 use garfield_tensor::{Tensor, TensorRng};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -20,7 +19,8 @@ pub trait Attack: Send + Sync {
 }
 
 /// Identifiers for the attacks shipped with Garfield, used by configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AttackKind {
     /// Replace the vector with Gaussian noise (Fig. 5a).
     Random,

@@ -1,0 +1,96 @@
+//! Catalog-wide invariants: every [`AttackKind`] builds an attack that
+//! (1) preserves the gradient's shape, (2) measurably diverges from the
+//! honest gradient, and (3) is reproducible under a fixed RNG seed.
+
+use garfield_attacks::AttackKind;
+use garfield_tensor::{l2_distance, Shape, Tensor, TensorRng};
+
+/// A realistic honest gradient plus a colluding peer view for the
+/// omniscient attacks.
+fn setup(d: usize) -> (Tensor, Vec<Tensor>, TensorRng) {
+    let mut rng = TensorRng::seed_from(99);
+    let honest = rng.normal_tensor(d).scale(0.5);
+    let peers: Vec<Tensor> = (0..5)
+        .map(|_| honest.try_add(&rng.normal_tensor(d).scale(0.05)).unwrap())
+        .collect();
+    (honest, peers, rng)
+}
+
+#[test]
+fn every_attack_preserves_the_gradient_shape() {
+    let (honest, peers, mut rng) = setup(48);
+    for kind in AttackKind::all() {
+        let out = kind.build().corrupt(&honest, &peers, &mut rng);
+        assert_eq!(out.shape(), honest.shape(), "{kind} changed the shape");
+        assert!(out.is_finite(), "{kind} produced non-finite values");
+    }
+}
+
+#[test]
+fn every_attack_preserves_matrix_shapes_too() {
+    let mut rng = TensorRng::seed_from(5);
+    let honest = rng.normal_tensor(Shape::matrix(6, 8));
+    for kind in AttackKind::all() {
+        let out = kind.build().corrupt(&honest, &[], &mut rng);
+        assert_eq!(out.shape().dims(), &[6, 8], "{kind} flattened the matrix");
+    }
+}
+
+#[test]
+fn every_attack_measurably_diverges_from_the_honest_gradient() {
+    let (honest, peers, mut rng) = setup(64);
+    // Nothing in the honest gradient is exactly zero, so even the drop
+    // attacks must move the vector by a measurable distance.
+    assert!(
+        honest.iter().all(|&v| v != 0.0),
+        "setup produced a degenerate gradient"
+    );
+    for kind in AttackKind::all() {
+        let out = kind.build().corrupt(&honest, &peers, &mut rng);
+        let distance = l2_distance(&out, &honest);
+        assert!(
+            distance > 1e-3 * honest.norm(),
+            "{kind} is indistinguishable from honest (distance {distance})"
+        );
+    }
+}
+
+#[test]
+fn attacks_are_reproducible_under_a_fixed_seed() {
+    for kind in AttackKind::all() {
+        let (honest, peers, mut rng_a) = setup(32);
+        let (_, _, mut rng_b) = setup(32);
+        let a = kind.build().corrupt(&honest, &peers, &mut rng_a);
+        let b = kind.build().corrupt(&honest, &peers, &mut rng_b);
+        assert_eq!(a, b, "{kind} is not deterministic under a fixed seed");
+    }
+}
+
+#[test]
+fn built_attacks_report_their_catalog_name() {
+    for kind in AttackKind::all() {
+        assert_eq!(kind.build().name(), kind.as_str());
+    }
+}
+
+#[test]
+fn amplified_attacks_blow_up_the_norm_while_stealthy_ones_do_not() {
+    let (honest, peers, mut rng) = setup(64);
+    let norm = honest.norm();
+    let reversed = AttackKind::Reversed
+        .build()
+        .corrupt(&honest, &peers, &mut rng);
+    assert!(
+        reversed.norm() > 50.0 * norm,
+        "the ×(−100) attack should be a loud outlier"
+    );
+    let lie = AttackKind::LittleIsEnough
+        .build()
+        .corrupt(&honest, &peers, &mut rng);
+    assert!(
+        lie.norm() < 3.0 * norm + 1.0,
+        "a-little-is-enough should stay inside the honest envelope, norm {} vs {}",
+        lie.norm(),
+        norm
+    );
+}

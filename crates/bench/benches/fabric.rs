@@ -8,7 +8,10 @@ use std::time::Duration;
 
 fn bench_fabric(c: &mut Criterion) {
     let mut group = c.benchmark_group("fabric");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     let router = Router::new();
     let a = router.register(NodeId(1));

@@ -11,16 +11,23 @@ fn bench_gar_dim(c: &mut Criterion) {
     let f = (n - 3) / 4;
     let mut rng = TensorRng::seed_from(2);
     let mut group = c.benchmark_group("fig3b_gar_vs_dimension");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for d in [10_000usize, 100_000] {
         let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
-        for kind in [GarKind::Average, GarKind::Median, GarKind::MultiKrum, GarKind::Mda, GarKind::Bulyan] {
+        for kind in [
+            GarKind::Average,
+            GarKind::Median,
+            GarKind::MultiKrum,
+            GarKind::Mda,
+            GarKind::Bulyan,
+        ] {
             let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f }).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(kind.as_str(), d),
-                &inputs,
-                |b, inputs| b.iter(|| gar.aggregate(inputs).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.as_str(), d), &inputs, |b, inputs| {
+                b.iter(|| gar.aggregate(inputs).unwrap())
+            });
         }
     }
     group.finish();

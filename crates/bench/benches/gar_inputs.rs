@@ -10,17 +10,24 @@ fn bench_gar_inputs(c: &mut Criterion) {
     let d = 50_000;
     let mut rng = TensorRng::seed_from(1);
     let mut group = c.benchmark_group("fig3a_gar_vs_inputs");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for n in [7usize, 11, 15, 19] {
         let f = (n - 3) / 4;
         let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
-        for kind in [GarKind::Average, GarKind::Median, GarKind::MultiKrum, GarKind::Mda, GarKind::Bulyan] {
+        for kind in [
+            GarKind::Average,
+            GarKind::Median,
+            GarKind::MultiKrum,
+            GarKind::Mda,
+            GarKind::Bulyan,
+        ] {
             let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f }).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(kind.as_str(), n),
-                &inputs,
-                |b, inputs| b.iter(|| gar.aggregate(inputs).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.as_str(), n), &inputs, |b, inputs| {
+                b.iter(|| gar.aggregate(inputs).unwrap())
+            });
         }
     }
     group.finish();

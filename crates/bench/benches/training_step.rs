@@ -8,15 +8,25 @@ use std::time::Duration;
 
 fn bench_training_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("training_iteration");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
-    for system in [SystemKind::Vanilla, SystemKind::Ssmw, SystemKind::Msmw, SystemKind::CrashTolerant] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    for system in [
+        SystemKind::Vanilla,
+        SystemKind::Ssmw,
+        SystemKind::Msmw,
+        SystemKind::CrashTolerant,
+    ] {
         let mut cfg = ExperimentConfig::small();
         cfg.iterations = 3;
         cfg.eval_every = 0;
         let controller = Controller::new(cfg);
-        group.bench_with_input(BenchmarkId::new("system", system.as_str()), &controller, |b, ctrl| {
-            b.iter(|| ctrl.run(system).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("system", system.as_str()),
+            &controller,
+            |b, ctrl| b.iter(|| ctrl.run(system).unwrap()),
+        );
     }
     group.finish();
 }

@@ -55,8 +55,24 @@ fn main() {
         std::process::exit(2);
     }
     let quick_all = [
-        "table1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig6b", "fig7", "fig8",
-        "fig8b", "fig9", "fig10", "fig12", "fig16", "table2", "variance", "dec-scaling",
+        "table1",
+        "fig3a",
+        "fig3b",
+        "fig4a",
+        "fig4b",
+        "fig5",
+        "fig6",
+        "fig6b",
+        "fig7",
+        "fig8",
+        "fig8b",
+        "fig9",
+        "fig10",
+        "fig12",
+        "fig16",
+        "table2",
+        "variance",
+        "dec-scaling",
     ];
     let ids: Vec<String> = if args.len() == 1 && args[0] == "all" {
         quick_all.iter().map(|s| s.to_string()).collect()

@@ -59,7 +59,13 @@ pub fn fig3a(d: usize) -> Vec<Row> {
         let f = (n - 3) / 4;
         let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
         let mut values = Vec::new();
-        for kind in [GarKind::Bulyan, GarKind::Mda, GarKind::MultiKrum, GarKind::Median, GarKind::Average] {
+        for kind in [
+            GarKind::Bulyan,
+            GarKind::Mda,
+            GarKind::MultiKrum,
+            GarKind::Median,
+            GarKind::Average,
+        ] {
             let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f })
                 .expect("n >= 7 satisfies every rule for f = (n-3)/4");
             let start = Instant::now();
@@ -81,7 +87,13 @@ pub fn fig3b(max_d: usize) -> Vec<Row> {
     while d <= max_d {
         let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
         let mut values = Vec::new();
-        for kind in [GarKind::Bulyan, GarKind::Mda, GarKind::MultiKrum, GarKind::Median, GarKind::Average] {
+        for kind in [
+            GarKind::Bulyan,
+            GarKind::Mda,
+            GarKind::MultiKrum,
+            GarKind::Median,
+            GarKind::Average,
+        ] {
             let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f })
                 .expect("n = 17 satisfies every rule for f = 3");
             let start = Instant::now();
@@ -137,7 +149,11 @@ pub fn fig5() -> Vec<Row> {
         cfg.actual_byzantine_servers = 1;
         cfg.server_attack = Some(attack);
         let controller = Controller::new(cfg);
-        for system in [SystemKind::Vanilla, SystemKind::CrashTolerant, SystemKind::Msmw] {
+        for system in [
+            SystemKind::Vanilla,
+            SystemKind::CrashTolerant,
+            SystemKind::Msmw,
+        ] {
             let trace = controller.run(system).expect("configuration is valid");
             rows.push(Row::new(
                 format!("{attack_name}/{system}"),
@@ -154,12 +170,25 @@ pub fn fig5() -> Vec<Row> {
 /// Fig. 6 (and Fig. 15): throughput slowdown of each fault-tolerant system
 /// relative to vanilla, for every Table 1 model, on the given device.
 pub fn fig6(device: Device) -> Vec<Row> {
-    let (nw, fw, nps, fps) = if device == Device::Cpu { CPU_CLUSTER } else { GPU_CLUSTER };
+    let (nw, fw, nps, fps) = if device == Device::Cpu {
+        CPU_CLUSTER
+    } else {
+        GPU_CLUSTER
+    };
     let cost = CostModel::default();
     let mut rows = Vec::new();
     for model in zoo::paper_models() {
-        let vanilla =
-            throughput(SystemKind::Vanilla, model.parameters, nw, fw, nps, fps, 32, device, &cost);
+        let vanilla = throughput(
+            SystemKind::Vanilla,
+            model.parameters,
+            nw,
+            fw,
+            nps,
+            fps,
+            32,
+            device,
+            &cost,
+        );
         let mut values = Vec::new();
         for system in [
             SystemKind::CrashTolerant,
@@ -167,8 +196,17 @@ pub fn fig6(device: Device) -> Vec<Row> {
             SystemKind::Msmw,
             SystemKind::Decentralized,
         ] {
-            let point =
-                throughput(system, model.parameters, nw, fw, nps, fps, 32, device, &cost);
+            let point = throughput(
+                system,
+                model.parameters,
+                nw,
+                fw,
+                nps,
+                fps,
+                32,
+                device,
+                &cost,
+            );
             values.push((
                 system.as_str(),
                 vanilla.updates_per_second / point.updates_per_second,
@@ -181,14 +219,21 @@ pub fn fig6(device: Device) -> Vec<Row> {
 
 /// Fig. 7 (CPU) / Fig. 16 (GPU): per-iteration overhead breakdown for ResNet-50.
 pub fn fig7(device: Device) -> Vec<Row> {
-    let (nw, fw, nps, fps) = if device == Device::Cpu { CPU_CLUSTER } else { GPU_CLUSTER };
-    let d = zoo::spec_by_name("ResNet-50").expect("ResNet-50 is in Table 1").parameters;
+    let (nw, fw, nps, fps) = if device == Device::Cpu {
+        CPU_CLUSTER
+    } else {
+        GPU_CLUSTER
+    };
+    let d = zoo::spec_by_name("ResNet-50")
+        .expect("ResNet-50 is in Table 1")
+        .parameters;
     let cost = CostModel::default();
     SystemKind::all()
         .into_iter()
         .filter(|s| *s != SystemKind::AggregaThor)
         .map(|system| {
-            let t = crate::throughput::iteration_time(system, d, nw, fw, nps, fps, 32, device, &cost);
+            let t =
+                crate::throughput::iteration_time(system, d, nw, fw, nps, fps, 32, device, &cost);
             Row::new(
                 system.as_str(),
                 vec![
@@ -210,8 +255,14 @@ pub fn fig8(device: Device) -> Vec<Row> {
     } else {
         ("ResNet-50", (5..=13).step_by(2).collect())
     };
-    let d = zoo::spec_by_name(model).expect("model is in Table 1").parameters;
-    let (_, fw, nps, fps) = if device == Device::Cpu { CPU_CLUSTER } else { GPU_CLUSTER };
+    let d = zoo::spec_by_name(model)
+        .expect("model is in Table 1")
+        .parameters;
+    let (_, fw, nps, fps) = if device == Device::Cpu {
+        CPU_CLUSTER
+    } else {
+        GPU_CLUSTER
+    };
     let cost = CostModel::default();
     range
         .into_iter()
@@ -241,27 +292,65 @@ pub fn fig9() -> Vec<Row> {
     let mut rows = Vec::new();
     for n in 2..=6usize {
         let dec = crate::throughput::iteration_time(
-            SystemKind::Decentralized, 1_000_000, n, 1.min(n - 1), 0, 0, 32, Device::Gpu, &cost,
+            SystemKind::Decentralized,
+            1_000_000,
+            n,
+            1.min(n - 1),
+            0,
+            0,
+            32,
+            Device::Gpu,
+            &cost,
         );
         let van = crate::throughput::iteration_time(
-            SystemKind::Vanilla, 1_000_000, n, 0, 1, 0, 32, Device::Gpu, &cost,
+            SystemKind::Vanilla,
+            1_000_000,
+            n,
+            0,
+            1,
+            0,
+            32,
+            Device::Gpu,
+            &cost,
         );
         rows.push(Row::new(
             format!("n={n}"),
-            vec![("decentralized_s", dec.communication), ("vanilla_s", van.communication)],
+            vec![
+                ("decentralized_s", dec.communication),
+                ("vanilla_s", van.communication),
+            ],
         ));
     }
     let mut d = 10_000usize;
     while d <= 100_000_000 {
         let dec = crate::throughput::iteration_time(
-            SystemKind::Decentralized, d, 6, 1, 0, 0, 32, Device::Gpu, &cost,
+            SystemKind::Decentralized,
+            d,
+            6,
+            1,
+            0,
+            0,
+            32,
+            Device::Gpu,
+            &cost,
         );
         let van = crate::throughput::iteration_time(
-            SystemKind::Vanilla, d, 6, 0, 1, 0, 32, Device::Gpu, &cost,
+            SystemKind::Vanilla,
+            d,
+            6,
+            0,
+            1,
+            0,
+            32,
+            Device::Gpu,
+            &cost,
         );
         rows.push(Row::new(
             format!("d={d}"),
-            vec![("decentralized_s", dec.communication), ("vanilla_s", van.communication)],
+            vec![
+                ("decentralized_s", dec.communication),
+                ("vanilla_s", van.communication),
+            ],
         ));
         d *= 10;
     }
@@ -272,9 +361,15 @@ pub fn fig9() -> Vec<Row> {
 /// Byzantine workers (`fw`, fixed cluster) and Byzantine servers (`fps`,
 /// which grows the replica group as `nps = 3 fps + 1`).
 pub fn fig10(device: Device) -> Vec<Row> {
-    let d = zoo::spec_by_name("ResNet-50").expect("in Table 1").parameters;
+    let d = zoo::spec_by_name("ResNet-50")
+        .expect("in Table 1")
+        .parameters;
     let cost = CostModel::default();
-    let (nw, _, nps, _) = if device == Device::Cpu { CPU_CLUSTER } else { GPU_CLUSTER };
+    let (nw, _, nps, _) = if device == Device::Cpu {
+        CPU_CLUSTER
+    } else {
+        GPU_CLUSTER
+    };
     let mut rows = Vec::new();
     for fw in 0..=3usize {
         let p = throughput(SystemKind::Msmw, d, nw, fw, nps, 1, 32, device, &cost);
@@ -285,7 +380,17 @@ pub fn fig10(device: Device) -> Vec<Row> {
     }
     for fps in 0..=3usize {
         let nps = 3 * fps + 1;
-        let p = throughput(SystemKind::Msmw, d, nw, 3.min(nw - 1), nps, fps, 32, device, &cost);
+        let p = throughput(
+            SystemKind::Msmw,
+            d,
+            nw,
+            3.min(nw - 1),
+            nps,
+            fps,
+            32,
+            device,
+            &cost,
+        );
         rows.push(Row::new(
             format!("fps={fps} (nps={nps})"),
             vec![("updates_per_s", p.updates_per_second)],
@@ -301,7 +406,11 @@ pub fn fig12() -> Vec<Row> {
     cfg.gradient_gar = GarKind::Mda;
     let controller = Controller::new(cfg);
     let mut rows = Vec::new();
-    for system in [SystemKind::Vanilla, SystemKind::CrashTolerant, SystemKind::Msmw] {
+    for system in [
+        SystemKind::Vanilla,
+        SystemKind::CrashTolerant,
+        SystemKind::Msmw,
+    ] {
         let trace = controller.run(system).expect("configuration is valid");
         for point in &trace.accuracy {
             rows.push(Row::new(
@@ -347,7 +456,10 @@ pub fn variance_report() -> Vec<Row> {
     let mut rng = TensorRng::seed_from(11);
     let dataset = Dataset::synthetic(DatasetKind::MnistLike, 512, &mut rng);
     let mut model = Mlp::mnist_cnn_lite(&mut rng);
-    let probe = VarianceProbe { steps: 5, ..VarianceProbe::default() };
+    let probe = VarianceProbe {
+        steps: 5,
+        ..VarianceProbe::default()
+    };
     let report = probe.run(&mut model, &dataset);
     [GarKind::Mda, GarKind::Krum, GarKind::Median]
         .into_iter()

@@ -18,7 +18,10 @@ impl Row {
     pub fn new(label: impl Into<String>, values: Vec<(&str, f64)>) -> Self {
         Row {
             label: label.into(),
-            values: values.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            values: values
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
         }
     }
 }

@@ -25,14 +25,18 @@ pub struct ThroughputPoint {
 /// Analytic per-iteration timing of `system` for a `d`-parameter model.
 ///
 /// `nw`/`fw` are the worker counts, `nps`/`fps` the server counts and
-/// `batch` the per-worker batch size, mirroring the deployment's accounting:
+/// `batch` the per-worker batch size. The formulas mirror, term by term, what
+/// `garfield_core::Deployment` charges a *synchronous* deployment (the
+/// default `ExperimentConfig`, which waits for all `nw` gradients):
 ///
 /// * computation — one gradient estimate on the configured device;
-/// * communication — model broadcast + gradient pulls (scaled by the server
-///   fan-out), plus model exchanges between replicas where the system has
-///   them, plus the `O(n²)` contention factor for the decentralized topology;
+/// * communication — model broadcast + gradient pulls (uploaded to all
+///   server replicas at once: latency overlaps, bytes serialize — see
+///   [`CostModel::fanout_pull_time`]), plus model exchanges between replicas
+///   where the system has them, plus the `O(n)` contention factor for the
+///   all-to-all decentralized topology;
 /// * aggregation — linear-cost rules for averaging/median paths, quadratic
-///   for the robust gradient GARs.
+///   for the robust gradient GARs, plus the model-path GAR where one runs.
 pub fn iteration_time(
     system: SystemKind,
     d: usize,
@@ -45,13 +49,11 @@ pub fn iteration_time(
     cost: &CostModel,
 ) -> IterationTiming {
     let computation = cost.gradient_time(d, batch, device);
-    let gradient_quorum = match system {
-        SystemKind::Msmw | SystemKind::Decentralized => nw.saturating_sub(fw).max(1),
-        _ => nw,
-    };
+    let gradient_quorum = nw.max(1);
     let model_quorum = nps.saturating_sub(fps).max(1);
     let broadcast = cost.parallel_pull_time(d, nw, device);
     let single_pull = |count: usize| cost.parallel_pull_time(d, count, device);
+    let fanned_pull = |count: usize, fanout: usize| cost.fanout_pull_time(d, count, fanout, device);
 
     let (communication, aggregation) = match system {
         SystemKind::Vanilla => (
@@ -67,25 +69,32 @@ pub fn iteration_time(
             cost.aggregation_time(d, gradient_quorum, 2, device),
         ),
         SystemKind::CrashTolerant => (
-            broadcast + single_pull(gradient_quorum) * nps as f64 + single_pull(nps.saturating_sub(1)),
+            broadcast + fanned_pull(gradient_quorum, nps.max(1)),
             cost.aggregation_time(d, gradient_quorum, 1, device),
         ),
         SystemKind::Msmw => (
-            broadcast + single_pull(gradient_quorum) * nps as f64 + single_pull(model_quorum),
+            broadcast + fanned_pull(gradient_quorum, nps.max(1)) + single_pull(model_quorum),
             cost.aggregation_time(d, gradient_quorum, 2, device)
                 + cost.aggregation_time(d, model_quorum + 1, 1, device),
         ),
         SystemKind::Decentralized => {
+            // Every node is worker and server at once (nps = nw); each pulls
+            // gradients fanned across all n replicas plus peer models, and the
+            // shared fabric carries all n nodes' rounds concurrently.
             let n = nw.max(1);
-            let per_node = single_pull(gradient_quorum) + single_pull(gradient_quorum);
+            let peer_quorum = nw.saturating_sub(fw).clamp(1, n.saturating_sub(1).max(1));
             (
-                per_node * n as f64, // O(n²) messages on the shared fabric
+                (broadcast + fanned_pull(gradient_quorum, n) + single_pull(peer_quorum)) * n as f64,
                 cost.aggregation_time(d, gradient_quorum, 2, device)
-                    + cost.aggregation_time(d, gradient_quorum, 1, device),
+                    + cost.aggregation_time(d, peer_quorum + 1, 1, device) * 2.0,
             )
         }
     };
-    IterationTiming { computation, communication, aggregation }
+    IterationTiming {
+        computation,
+        communication,
+        aggregation,
+    }
 }
 
 /// Throughput (updates and batches per second) for the same analytic model.
@@ -117,7 +126,17 @@ mod tests {
     const RESNET50: usize = 23_539_850;
 
     fn point(system: SystemKind, device: Device) -> ThroughputPoint {
-        throughput(system, RESNET50, 18, 3, 6, 1, 32, device, &CostModel::default())
+        throughput(
+            system,
+            RESNET50,
+            18,
+            3,
+            6,
+            1,
+            32,
+            device,
+            &CostModel::default(),
+        )
     }
 
     #[test]
@@ -128,8 +147,14 @@ mod tests {
         let msmw = point(SystemKind::Msmw, Device::Cpu).updates_per_second;
         let dec = point(SystemKind::Decentralized, Device::Cpu).updates_per_second;
         assert!(vanilla > ssmw, "vanilla should be the fastest");
-        assert!(ssmw > crash, "tolerating Byzantine workers should cost less than crash tolerance");
-        assert!(crash > msmw, "tolerating Byzantine servers should cost more than crash tolerance");
+        assert!(
+            ssmw > crash,
+            "tolerating Byzantine workers should cost less than crash tolerance"
+        );
+        assert!(
+            crash > msmw,
+            "tolerating Byzantine servers should cost more than crash tolerance"
+        );
         assert!(msmw > dec, "decentralized should be the slowest");
     }
 
@@ -156,24 +181,53 @@ mod tests {
         let big = slowdown(62_697_610);
         let huge = slowdown(128_807_306);
         assert!(big > small, "slowdown should grow with model size");
-        assert!((huge - big).abs() / big < 0.35, "slowdown should saturate for huge models");
+        assert!(
+            (huge - big).abs() / big < 0.35,
+            "slowdown should saturate for huge models"
+        );
     }
 
     #[test]
     fn decentralized_communication_grows_quadratically_with_n() {
         let cost = CostModel::default();
         let comm = |n: usize| {
-            iteration_time(SystemKind::Decentralized, 1_000_000, n, 1, 0, 0, 32, Device::Gpu, &cost)
-                .communication
+            iteration_time(
+                SystemKind::Decentralized,
+                1_000_000,
+                n,
+                1,
+                0,
+                0,
+                32,
+                Device::Gpu,
+                &cost,
+            )
+            .communication
         };
         let ratio = comm(6) / comm(3);
-        assert!(ratio > 3.0, "doubling n should ~quadruple decentralized communication, got {ratio}");
+        assert!(
+            ratio > 3.0,
+            "doubling n should ~quadruple decentralized communication, got {ratio}"
+        );
         let vanilla = |n: usize| {
-            iteration_time(SystemKind::Vanilla, 1_000_000, n, 0, 1, 0, 32, Device::Gpu, &cost)
-                .communication
+            iteration_time(
+                SystemKind::Vanilla,
+                1_000_000,
+                n,
+                0,
+                1,
+                0,
+                32,
+                Device::Gpu,
+                &cost,
+            )
+            .communication
         };
         let vr = vanilla(6) / vanilla(3);
-        assert!(vr < 2.5, "vanilla communication should grow roughly linearly, got {vr}");
+        assert!(
+            vr < 2.5,
+            "vanilla communication should grow roughly linearly, got {vr}"
+        );
     }
 
     #[test]
@@ -182,8 +236,14 @@ mod tests {
         let ssmw = point(SystemKind::Ssmw, Device::Gpu).timing.total();
         let msmw = point(SystemKind::Msmw, Device::Gpu).timing.total();
         let crash = point(SystemKind::CrashTolerant, Device::Gpu).timing.total();
-        assert!(msmw > ssmw * 1.2, "server tolerance should add substantial overhead over SSMW");
-        assert!(msmw > crash, "Byzantine server tolerance should cost more than crash tolerance");
+        assert!(
+            msmw > ssmw * 1.2,
+            "server tolerance should add substantial overhead over SSMW"
+        );
+        assert!(
+            msmw > crash,
+            "Byzantine server tolerance should cost more than crash tolerance"
+        );
         assert!(msmw < crash * 2.0, "but not catastrophically more");
     }
 }

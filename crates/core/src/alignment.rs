@@ -7,10 +7,10 @@
 //! `cos(φ)` between them together with their norms.
 
 use garfield_tensor::{cosine_similarity, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// One row of the Table 2 measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AlignmentSample {
     /// Training step at which the sample was taken.
     pub step: usize,

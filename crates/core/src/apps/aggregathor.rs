@@ -17,7 +17,10 @@ pub struct AggregaThorApp {
 impl AggregaThorApp {
     /// Wraps a deployment with the default runtime-overhead factor.
     pub fn new(deployment: Deployment) -> Self {
-        AggregaThorApp { deployment, comm_overhead: 1.25 }
+        AggregaThorApp {
+            deployment,
+            comm_overhead: 1.25,
+        }
     }
 
     /// Adjusts the modelled communication-overhead factor of the older runtime.
@@ -51,7 +54,10 @@ impl AggregaThorApp {
                 .server(0)
                 .honest()
                 .aggregate(gar.as_ref(), &round.gradients)?;
-            self.deployment.server_mut(0).honest_mut().update_model(&aggregated)?;
+            self.deployment
+                .server_mut(0)
+                .honest_mut()
+                .update_model(&aggregated)?;
 
             trace.iterations.push(IterationTiming {
                 computation: round.computation_time,
@@ -80,15 +86,23 @@ mod tests {
     fn aggregathor_learns_the_task() {
         let mut app = AggregaThorApp::new(Deployment::new(config()).unwrap());
         let trace = app.run().unwrap();
-        assert!(trace.final_accuracy() > 0.5, "accuracy {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.5,
+            "accuracy {}",
+            trace.final_accuracy()
+        );
         assert_eq!(trace.system, "aggregathor");
     }
 
     #[test]
     fn aggregathor_is_slower_than_garfield_ssmw() {
         let cfg = config();
-        let aggregathor = AggregaThorApp::new(Deployment::new(cfg.clone()).unwrap()).run().unwrap();
-        let ssmw = crate::apps::SsmwApp::new(Deployment::new(cfg).unwrap()).run().unwrap();
+        let aggregathor = AggregaThorApp::new(Deployment::new(cfg.clone()).unwrap())
+            .run()
+            .unwrap();
+        let ssmw = crate::apps::SsmwApp::new(Deployment::new(cfg).unwrap())
+            .run()
+            .unwrap();
         assert!(aggregathor.mean_timing().communication > ssmw.mean_timing().communication);
         assert!(aggregathor.updates_per_second() < ssmw.updates_per_second());
     }

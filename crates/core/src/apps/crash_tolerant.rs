@@ -18,7 +18,10 @@ pub struct CrashTolerantApp {
 impl CrashTolerantApp {
     /// Wraps a deployment.
     pub fn new(deployment: Deployment) -> Self {
-        CrashTolerantApp { deployment, crash_primary_at: None }
+        CrashTolerantApp {
+            deployment,
+            crash_primary_at: None,
+        }
     }
 
     /// Schedules a crash of the current primary at the given iteration, to
@@ -67,13 +70,18 @@ impl CrashTolerantApp {
                 if self.deployment.server_crashed(server) {
                     continue;
                 }
-                let round = self.deployment.gradient_round(server, iteration, quorum, nps)?;
+                let round = self
+                    .deployment
+                    .gradient_round(server, iteration, quorum, nps)?;
                 let aggregated = self
                     .deployment
                     .server(server)
                     .honest()
                     .aggregate(average.as_ref(), &round.gradients)?;
-                self.deployment.server_mut(server).honest_mut().update_model(&aggregated)?;
+                self.deployment
+                    .server_mut(server)
+                    .honest_mut()
+                    .update_model(&aggregated)?;
                 if server == primary {
                     primary_round = Some(round);
                 }
@@ -84,9 +92,11 @@ impl CrashTolerantApp {
             // pulls are off the critical path. A primary change costs one
             // extra model broadcast to inform the workers.
             let failover_penalty = if self.crash_primary_at == Some(iteration) {
-                self.deployment
-                    .cost_model()
-                    .parallel_pull_time(self.deployment.dimension(), config.nw, config.device)
+                self.deployment.cost_model().parallel_pull_time(
+                    self.deployment.dimension(),
+                    config.nw,
+                    config.device,
+                )
             } else {
                 0.0
             };
@@ -96,7 +106,13 @@ impl CrashTolerantApp {
                 communication: round.communication_time + failover_penalty,
                 aggregation: self.deployment.aggregation_cost(quorum, false),
             });
-            maybe_evaluate(&mut trace, &self.deployment, primary, iteration, round.mean_loss);
+            maybe_evaluate(
+                &mut trace,
+                &self.deployment,
+                primary,
+                iteration,
+                round.mean_loss,
+            );
         }
         Ok(trace)
     }
@@ -119,15 +135,23 @@ mod tests {
     fn crash_tolerant_learns_without_faults() {
         let mut app = CrashTolerantApp::new(Deployment::new(config()).unwrap());
         let trace = app.run().unwrap();
-        assert!(trace.final_accuracy() > 0.5, "accuracy {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.5,
+            "accuracy {}",
+            trace.final_accuracy()
+        );
     }
 
     #[test]
     fn crash_tolerant_survives_a_primary_crash() {
-        let mut app = CrashTolerantApp::new(Deployment::new(config()).unwrap())
-            .with_primary_crash_at(10);
+        let mut app =
+            CrashTolerantApp::new(Deployment::new(config()).unwrap()).with_primary_crash_at(10);
         let trace = app.run().unwrap();
-        assert_eq!(app.primary(), 1, "fail-over should promote the next replica");
+        assert_eq!(
+            app.primary(),
+            1,
+            "fail-over should promote the next replica"
+        );
         assert!(
             trace.final_accuracy() > 0.5,
             "training should keep converging after fail-over, got {}",
@@ -153,8 +177,12 @@ mod tests {
     #[test]
     fn crash_tolerant_costs_more_communication_than_ssmw() {
         let cfg = config();
-        let crash = CrashTolerantApp::new(Deployment::new(cfg.clone()).unwrap()).run().unwrap();
-        let ssmw = crate::apps::SsmwApp::new(Deployment::new(cfg).unwrap()).run().unwrap();
+        let crash = CrashTolerantApp::new(Deployment::new(cfg.clone()).unwrap())
+            .run()
+            .unwrap();
+        let ssmw = crate::apps::SsmwApp::new(Deployment::new(cfg).unwrap())
+            .run()
+            .unwrap();
         assert!(crash.mean_timing().communication > ssmw.mean_timing().communication);
     }
 }

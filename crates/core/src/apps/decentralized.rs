@@ -30,7 +30,9 @@ impl DecentralizedApp {
         config.fps = config.fw;
         config.actual_byzantine_servers = config.actual_byzantine_workers;
         config.server_attack = config.server_attack.or(config.worker_attack);
-        Ok(DecentralizedApp { deployment: crate::Deployment::new(config)? })
+        Ok(DecentralizedApp {
+            deployment: crate::Deployment::new(config)?,
+        })
     }
 
     /// Wraps an already co-located deployment (`nps == nw`).
@@ -70,8 +72,13 @@ impl DecentralizedApp {
             let mut observer = IterationTiming::default();
             let mut observer_loss = 0.0f32;
 
+            // Phase 1 — every honest node pulls gradients (and, for non-IID
+            // data, contracts towards its peers' models) and computes its
+            // update. All nodes run this phase against the same pre-update
+            // peer states, so no node merges a mix of old and new models.
+            let mut updates = Vec::with_capacity(honest_nodes);
+            let mut gradient_comms = Vec::with_capacity(honest_nodes);
             for node in 0..honest_nodes {
-                // Gradient phase.
                 let round = self
                     .deployment
                     .gradient_round(node, iteration, gradient_quorum, n)?;
@@ -90,42 +97,70 @@ impl DecentralizedApp {
                     // models keeps honest nodes close to each other.
                     let mut inputs = peers.models;
                     inputs.push(self.deployment.server(node).honest().parameters());
-                    let rule = build_gar(config.model_gar, inputs.len(), f.min((inputs.len() - 1) / 2))?;
+                    let rule = build_gar(
+                        config.model_gar,
+                        inputs.len(),
+                        f.min((inputs.len() - 1) / 2),
+                    )?;
                     let contracted = rule.aggregate(&inputs)?;
                     let current = self.deployment.server(node).honest().parameters();
                     // Move the update direction towards the contracted model.
                     aggregated = aggregated
-                        .try_add(&current.try_sub(&contracted).map_err(|e| crate::CoreError::Ml(e.to_string()))?.scale(0.5))
+                        .try_add(
+                            &current
+                                .try_sub(&contracted)
+                                .map_err(|e| crate::CoreError::Ml(e.to_string()))?
+                                .scale(0.5),
+                        )
                         .map_err(|e| crate::CoreError::Ml(e.to_string()))?;
                 }
+                updates.push(aggregated);
+                gradient_comms.push(round.communication_time + contraction_comm);
 
-                self.deployment.server_mut(node).honest_mut().update_model(&aggregated)?;
+                if node == 0 {
+                    observer.computation = round.computation_time;
+                    observer_loss = round.mean_loss;
+                }
+            }
+            for (node, aggregated) in updates.into_iter().enumerate() {
+                self.deployment
+                    .server_mut(node)
+                    .honest_mut()
+                    .update_model(&aggregated)?;
+            }
 
-                // Model phase.
+            // Phase 2 — every honest node pulls its peers' (now updated)
+            // models, robustly merges them with its own and rewrites its
+            // state, exactly like the MSMW model contraction.
+            let mut merged_models = Vec::with_capacity(honest_nodes);
+            for node in 0..honest_nodes {
                 let models = self.deployment.model_round(node, model_quorum)?;
                 let mut inputs = models.models;
                 inputs.push(self.deployment.server(node).honest().parameters());
-                let model_rule =
-                    build_gar(config.model_gar, inputs.len(), f.min((inputs.len() - 1) / 2))?;
+                let model_rule = build_gar(
+                    config.model_gar,
+                    inputs.len(),
+                    f.min((inputs.len() - 1) / 2),
+                )?;
                 let merged = self
                     .deployment
                     .server(node)
                     .honest()
                     .aggregate(model_rule.as_ref(), &inputs)?;
-                self.deployment.server_mut(node).honest_mut().write_model(&merged)?;
+                merged_models.push(merged);
 
                 if node == 0 {
-                    observer = IterationTiming {
-                        computation: round.computation_time,
-                        communication: (round.communication_time
-                            + models.communication_time
-                            + contraction_comm)
-                            * contention,
-                        aggregation: self.deployment.aggregation_cost(gradient_quorum, true)
-                            + self.deployment.aggregation_cost(model_quorum + 1, false) * 2.0,
-                    };
-                    observer_loss = round.mean_loss;
+                    observer.communication =
+                        (gradient_comms[0] + models.communication_time) * contention;
+                    observer.aggregation = self.deployment.aggregation_cost(gradient_quorum, true)
+                        + self.deployment.aggregation_cost(model_quorum + 1, false) * 2.0;
                 }
+            }
+            for (node, merged) in merged_models.into_iter().enumerate() {
+                self.deployment
+                    .server_mut(node)
+                    .honest_mut()
+                    .write_model(&merged)?;
             }
 
             trace.iterations.push(observer);
@@ -158,7 +193,11 @@ mod tests {
         cfg.iterations = 40;
         let mut app = DecentralizedApp::from_config(cfg).unwrap();
         let trace = app.run().unwrap();
-        assert!(trace.final_accuracy() > 0.35, "accuracy {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.35,
+            "accuracy {}",
+            trace.final_accuracy()
+        );
         assert_eq!(trace.system, "decentralized");
     }
 
@@ -171,25 +210,31 @@ mod tests {
         let trace = app.run().unwrap();
         // Non-IID decentralized learning is the hardest setting (biggest
         // accuracy loss in Fig. 4b); it should still do better than chance.
-        assert!(trace.final_accuracy() > 0.3, "accuracy {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.3,
+            "accuracy {}",
+            trace.final_accuracy()
+        );
     }
 
     #[test]
     fn decentralized_pays_quadratic_communication() {
-        let small = {
+        // The Fig. 9 scalability wall is about fabric *bytes*, so measure it
+        // on a model large enough that bandwidth (not per-message latency)
+        // dominates the communication time.
+        let run = |nw: usize| {
             let mut c = config();
-            c.nw = 4;
-            c.iterations = 5;
+            c.model = "mnist-cnn-lite".into();
+            c.dataset_samples = 64;
+            c.test_samples = 32;
+            c.nw = nw;
+            c.iterations = 3;
+            c.eval_every = 0;
             c.gradient_gar = GarKind::Median;
             DecentralizedApp::from_config(c).unwrap().run().unwrap()
         };
-        let large = {
-            let mut c = config();
-            c.nw = 8;
-            c.iterations = 5;
-            c.gradient_gar = GarKind::Median;
-            DecentralizedApp::from_config(c).unwrap().run().unwrap()
-        };
+        let small = run(4);
+        let large = run(8);
         let ratio = large.mean_timing().communication / small.mean_timing().communication;
         assert!(
             ratio > 3.0,

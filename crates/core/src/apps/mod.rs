@@ -37,5 +37,10 @@ pub(crate) fn maybe_evaluate(
     }
     let (accuracy, _) = deployment.evaluate(server_index);
     let sim_time = trace.total_time();
-    trace.accuracy.push(AccuracyPoint { iteration, sim_time, accuracy, loss });
+    trace.accuracy.push(AccuracyPoint {
+        iteration,
+        sim_time,
+        accuracy,
+        loss,
+    });
 }

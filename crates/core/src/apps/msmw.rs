@@ -18,7 +18,11 @@ pub struct MsmwApp {
 impl MsmwApp {
     /// Wraps a deployment.
     pub fn new(deployment: Deployment) -> Self {
-        MsmwApp { deployment, alignment_every: 0, alignment: Vec::new() }
+        MsmwApp {
+            deployment,
+            alignment_every: 0,
+            alignment: Vec::new(),
+        }
     }
 
     /// Enables recording of the parameter-vector alignment study (Table 2)
@@ -73,7 +77,10 @@ impl MsmwApp {
                     .server(server)
                     .honest()
                     .aggregate(gradient_gar.as_ref(), &round.gradients)?;
-                self.deployment.server_mut(server).honest_mut().update_model(&aggregated)?;
+                self.deployment
+                    .server_mut(server)
+                    .honest_mut()
+                    .update_model(&aggregated)?;
 
                 if server == 0 {
                     observer_timing = IterationTiming {
@@ -122,7 +129,10 @@ impl MsmwApp {
                 }
             }
             for (server, merged) in merged_models.into_iter().enumerate() {
-                self.deployment.server_mut(server).honest_mut().write_model(&merged)?;
+                self.deployment
+                    .server_mut(server)
+                    .honest_mut()
+                    .write_model(&merged)?;
             }
             trace.iterations.push(observer_timing);
             maybe_evaluate(&mut trace, &self.deployment, 0, iteration, observer_loss);
@@ -135,8 +145,8 @@ impl MsmwApp {
 mod tests {
     use super::*;
     use crate::ExperimentConfig;
-    use garfield_attacks::AttackKind;
     use garfield_aggregation::GarKind;
+    use garfield_attacks::AttackKind;
 
     fn config() -> ExperimentConfig {
         let mut cfg = ExperimentConfig::small();
@@ -153,7 +163,11 @@ mod tests {
     fn msmw_learns_without_faults() {
         let mut app = MsmwApp::new(Deployment::new(config()).unwrap());
         let trace = app.run().unwrap();
-        assert!(trace.final_accuracy() > 0.5, "accuracy {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.5,
+            "accuracy {}",
+            trace.final_accuracy()
+        );
         assert_eq!(trace.system, "msmw");
     }
 
@@ -176,8 +190,12 @@ mod tests {
     #[test]
     fn msmw_communicates_more_than_ssmw() {
         let cfg = config();
-        let msmw = MsmwApp::new(Deployment::new(cfg.clone()).unwrap()).run().unwrap();
-        let ssmw = crate::apps::SsmwApp::new(Deployment::new(cfg).unwrap()).run().unwrap();
+        let msmw = MsmwApp::new(Deployment::new(cfg.clone()).unwrap())
+            .run()
+            .unwrap();
+        let ssmw = crate::apps::SsmwApp::new(Deployment::new(cfg).unwrap())
+            .run()
+            .unwrap();
         assert!(msmw.mean_timing().communication > ssmw.mean_timing().communication);
     }
 

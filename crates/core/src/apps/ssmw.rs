@@ -44,7 +44,10 @@ impl SsmwApp {
                 .honest()
                 .aggregate(gar.as_ref(), &round.gradients)?;
             // ps.update_model(aggr_grad)
-            self.deployment.server_mut(0).honest_mut().update_model(&aggregated)?;
+            self.deployment
+                .server_mut(0)
+                .honest_mut()
+                .update_model(&aggregated)?;
 
             let aggregation = self.deployment.aggregation_cost(quorum, true);
             trace.iterations.push(IterationTiming {
@@ -62,8 +65,8 @@ impl SsmwApp {
 mod tests {
     use super::*;
     use crate::ExperimentConfig;
-    use garfield_attacks::AttackKind;
     use garfield_aggregation::GarKind;
+    use garfield_attacks::AttackKind;
 
     fn config() -> ExperimentConfig {
         let mut cfg = ExperimentConfig::small();
@@ -77,7 +80,11 @@ mod tests {
     fn ssmw_learns_without_faults() {
         let mut app = SsmwApp::new(Deployment::new(config()).unwrap());
         let trace = app.run().unwrap();
-        assert!(trace.final_accuracy() > 0.5, "accuracy {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.5,
+            "accuracy {}",
+            trace.final_accuracy()
+        );
         assert_eq!(trace.system, "ssmw");
     }
 
@@ -98,9 +105,12 @@ mod tests {
     #[test]
     fn ssmw_is_slower_than_vanilla_due_to_robust_aggregation() {
         let cfg = config();
-        let ssmw_trace = SsmwApp::new(Deployment::new(cfg.clone()).unwrap()).run().unwrap();
-        let vanilla_trace =
-            crate::apps::VanillaApp::new(Deployment::new(cfg).unwrap()).run().unwrap();
+        let ssmw_trace = SsmwApp::new(Deployment::new(cfg.clone()).unwrap())
+            .run()
+            .unwrap();
+        let vanilla_trace = crate::apps::VanillaApp::new(Deployment::new(cfg).unwrap())
+            .run()
+            .unwrap();
         assert!(ssmw_trace.mean_timing().aggregation >= vanilla_trace.mean_timing().aggregation);
     }
 }

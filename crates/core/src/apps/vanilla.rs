@@ -37,8 +37,15 @@ impl VanillaApp {
 
         for iteration in 0..config.iterations {
             let round = self.deployment.gradient_round(0, iteration, quorum, 1)?;
-            let aggregated = self.deployment.server(0).honest().aggregate(average.as_ref(), &round.gradients)?;
-            self.deployment.server_mut(0).honest_mut().update_model(&aggregated)?;
+            let aggregated = self
+                .deployment
+                .server(0)
+                .honest()
+                .aggregate(average.as_ref(), &round.gradients)?;
+            self.deployment
+                .server_mut(0)
+                .honest_mut()
+                .update_model(&aggregated)?;
 
             let aggregation = self.deployment.aggregation_cost(quorum, false);
             trace.iterations.push(IterationTiming {
@@ -66,7 +73,11 @@ mod tests {
         let mut app = VanillaApp::new(Deployment::new(cfg).unwrap());
         let trace = app.run().unwrap();
         assert_eq!(trace.len(), 40);
-        assert!(trace.final_accuracy() > 0.5, "accuracy {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.5,
+            "accuracy {}",
+            trace.final_accuracy()
+        );
         assert!(trace.updates_per_second() > 0.0);
     }
 

@@ -51,9 +51,7 @@ impl Controller {
             SystemKind::CrashTolerant => CrashTolerantApp::new(self.deploy()?).run(),
             SystemKind::Ssmw => SsmwApp::new(self.deploy()?).run(),
             SystemKind::Msmw => MsmwApp::new(self.deploy()?).run(),
-            SystemKind::Decentralized => {
-                DecentralizedApp::from_config(self.config.clone())?.run()
-            }
+            SystemKind::Decentralized => DecentralizedApp::from_config(self.config.clone())?.run(),
         }
     }
 

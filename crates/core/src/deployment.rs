@@ -99,7 +99,11 @@ impl Deployment {
             } else {
                 None
             };
-            workers.push(ByzantineWorker::new(worker, attack, rng.derive(1_000 + i as u64)));
+            workers.push(ByzantineWorker::new(
+                worker,
+                attack,
+                rng.derive(1_000 + i as u64),
+            ));
         }
 
         // Server replicas: identical initial model, identical optimizer.
@@ -114,7 +118,11 @@ impl Deployment {
             } else {
                 None
             };
-            servers.push(ByzantineServer::new(ps, attack, rng.derive(2_000 + s as u64)));
+            servers.push(ByzantineServer::new(
+                ps,
+                attack,
+                rng.derive(2_000 + s as u64),
+            ));
         }
 
         Ok(Deployment {
@@ -206,7 +214,9 @@ impl Deployment {
 
     /// Whether the `index`-th server replica is currently crashed.
     pub fn server_crashed(&self, index: usize) -> bool {
-        self.server_ids.get(index).is_some_and(|&id| self.cluster.is_crashed(id))
+        self.server_ids
+            .get(index)
+            .is_some_and(|&id| self.cluster.is_crashed(id))
     }
 
     /// Marks the `index`-th worker as a straggler with the given slowdown factor.
@@ -259,12 +269,15 @@ impl Deployment {
         let mut replies: Vec<(NodeId, f64)> = Vec::new();
         let mut sent: Vec<Option<Tensor>> = vec![None; self.workers.len()];
         for (i, worker) in self.workers.iter_mut().enumerate() {
-            let Some(honest) = honest_gradients[i].clone() else { continue };
+            let Some(honest) = honest_gradients[i].clone() else {
+                continue;
+            };
             let vector = worker.sent_gradient(honest, &peer_view);
             let info = self.cluster.info(self.worker_ids[i])?;
-            let compute =
-                self.cost.gradient_time(self.dimension, self.config.batch_size, device)
-                    * info.straggler_factor;
+            let compute = self
+                .cost
+                .gradient_time(self.dimension, self.config.batch_size, device)
+                * info.straggler_factor;
             let upload = self.cost.vector_transfer_time(self.dimension, device) * fanout as f64;
             let jitter = 1.0 + 0.05 * self.rng.uniform01() as f64;
             replies.push((self.worker_ids[i], (compute + upload) * jitter));
@@ -272,7 +285,9 @@ impl Deployment {
         }
 
         let round = PullRound::new(replies);
-        let (chosen, _) = round.try_fastest(quorum.min(round.len()).max(1)).map_err(CoreError::from)?;
+        let (chosen, _) = round
+            .try_fastest(quorum.min(round.len()).max(1))
+            .map_err(CoreError::from)?;
         if round.len() < quorum {
             return Err(CoreError::Net(format!(
                 "only {} live workers can reply, {} required",
@@ -289,10 +304,10 @@ impl Deployment {
             let Some(vector) = vector else { continue };
             if chosen_set.contains(&self.worker_ids[i]) {
                 let info = self.cluster.info(self.worker_ids[i])?;
-                let compute = self
-                    .cost
-                    .gradient_time(self.dimension, self.config.batch_size, device)
-                    * info.straggler_factor;
+                let compute =
+                    self.cost
+                        .gradient_time(self.dimension, self.config.batch_size, device)
+                        * info.straggler_factor;
                 computation_time = computation_time.max(compute);
                 gradients.push(vector);
             }
@@ -300,16 +315,27 @@ impl Deployment {
 
         // Communication: the server broadcasts its model to every live worker
         // and pulls `quorum` gradients back, both over its own shared link.
+        // When the server is replicated the workers upload to all `fanout`
+        // replicas at once: the latency overlaps, the bytes do not.
         let live_workers = gradients.len().max(quorum);
-        let communication_time = self.cost.parallel_pull_time(self.dimension, live_workers, device)
-            + self.cost.parallel_pull_time(self.dimension, quorum, device) * fanout as f64;
+        let communication_time = self
+            .cost
+            .parallel_pull_time(self.dimension, live_workers, device)
+            + self
+                .cost
+                .fanout_pull_time(self.dimension, quorum, fanout, device);
 
         let mean_loss = if losses.is_empty() {
             0.0
         } else {
             losses.iter().sum::<f32>() / losses.len() as f32
         };
-        Ok(GradientRound { gradients, mean_loss, computation_time, communication_time })
+        Ok(GradientRound {
+            gradients,
+            mean_loss,
+            computation_time,
+            communication_time,
+        })
     }
 
     /// One `get_models(q)` round: `server_index` pulls the model vectors served
@@ -353,20 +379,27 @@ impl Deployment {
             .map(|(_, m)| m)
             .collect();
         let communication_time = self.cost.parallel_pull_time(self.dimension, quorum, device);
-        Ok(ModelRound { models, communication_time })
+        Ok(ModelRound {
+            models,
+            communication_time,
+        })
     }
 
     /// Evaluates the `server_index`-th replica's model on the held-out test batch.
     pub fn evaluate(&self, server_index: usize) -> (f32, f32) {
         let server = self.servers[server_index].honest();
-        (server.compute_accuracy(&self.test_batch), server.compute_loss(&self.test_batch))
+        (
+            server.compute_accuracy(&self.test_batch),
+            server.compute_loss(&self.test_batch),
+        )
     }
 
     /// Simulated time for one node to run a GAR over `inputs` vectors of the
     /// model dimension (used for the telemetry breakdown).
     pub fn aggregation_cost(&self, inputs: usize, quadratic: bool) -> f64 {
         let order = if quadratic { 2 } else { 1 };
-        self.cost.aggregation_time(self.dimension, inputs, order, self.config.device)
+        self.cost
+            .aggregation_time(self.dimension, inputs, order, self.config.device)
     }
 }
 
@@ -442,7 +475,10 @@ mod tests {
             s.sort_by(|a, b| a.partial_cmp(b).unwrap());
             s[s.len() / 2]
         };
-        assert!(max > 10.0 * median, "expected one amplified outlier, norms {norms:?}");
+        assert!(
+            max > 10.0 * median,
+            "expected one amplified outlier, norms {norms:?}"
+        );
     }
 
     #[test]
@@ -464,9 +500,9 @@ mod tests {
         let round = d.gradient_round(0, 0, nw - 1, 1).unwrap();
         // The straggler's compute time would dominate; since it is excluded,
         // computation time stays near the nominal per-worker cost.
-        let nominal = d
-            .cost_model()
-            .gradient_time(d.dimension(), d.config().batch_size, d.device());
+        let nominal =
+            d.cost_model()
+                .gradient_time(d.dimension(), d.config().batch_size, d.device());
         assert!(round.computation_time < nominal * 2.0);
     }
 

@@ -16,6 +16,8 @@ pub enum CoreError {
     Aggregation(String),
     /// The network fabric rejected an operation.
     Net(String),
+    /// A trace or report could not be serialized / deserialized.
+    Serialization(String),
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +27,7 @@ impl fmt::Display for CoreError {
             CoreError::Ml(msg) => write!(f, "ml error: {msg}"),
             CoreError::Aggregation(msg) => write!(f, "aggregation error: {msg}"),
             CoreError::Net(msg) => write!(f, "network error: {msg}"),
+            CoreError::Serialization(msg) => write!(f, "serialization error: {msg}"),
         }
     }
 }
@@ -55,7 +58,9 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        assert!(CoreError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(CoreError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
         let ml: CoreError = garfield_ml::MlError::UnknownModel("m".into()).into();
         assert!(matches!(ml, CoreError::Ml(_)));
         let agg: CoreError = garfield_aggregation::AggregationError::EmptyInput.into();

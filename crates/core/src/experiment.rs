@@ -5,10 +5,10 @@ use garfield_aggregation::GarKind;
 use garfield_attacks::AttackKind;
 use garfield_ml::ShardStrategy;
 use garfield_net::Device;
-use serde::{Deserialize, Serialize};
 
 /// The deployments evaluated in the paper (§5 and §6.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SystemKind {
     /// Vanilla parameter server with plain averaging (TensorFlow / PyTorch baseline).
     Vanilla,
@@ -60,7 +60,8 @@ impl std::fmt::Display for SystemKind {
 ///
 /// Defaults follow the paper's PyTorch setup (§6.1): 10 workers of which 3 may
 /// be Byzantine, 3 servers of which 1 may be Byzantine, batch size 100.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExperimentConfig {
     /// Trainable model name (see `garfield_ml::zoo::trainable_model`).
     pub model: String,
@@ -226,7 +227,9 @@ impl ExperimentConfig {
     /// Returns [`CoreError::InvalidConfig`] describing the first violated constraint.
     pub fn validate(&self, system: SystemKind) -> CoreResult<()> {
         if self.nw == 0 {
-            return Err(CoreError::InvalidConfig("at least one worker is required".into()));
+            return Err(CoreError::InvalidConfig(
+                "at least one worker is required".into(),
+            ));
         }
         if self.batch_size == 0 || self.iterations == 0 {
             return Err(CoreError::InvalidConfig(
@@ -249,17 +252,18 @@ impl ExperimentConfig {
                 "more actual Byzantine servers than servers".into(),
             ));
         }
-        let needs_servers = matches!(
-            system,
-            SystemKind::CrashTolerant | SystemKind::Msmw
-        );
+        let needs_servers = matches!(system, SystemKind::CrashTolerant | SystemKind::Msmw);
         if needs_servers && self.nps == 0 {
-            return Err(CoreError::InvalidConfig(format!("{system} requires at least one server")));
+            return Err(CoreError::InvalidConfig(format!(
+                "{system} requires at least one server"
+            )));
         }
         // GAR requirements on the gradient path.
         let gradient_inputs = self.gradient_quorum(system);
-        if matches!(system, SystemKind::Ssmw | SystemKind::Msmw | SystemKind::Decentralized)
-            && gradient_inputs < self.gradient_gar.minimum_inputs(self.fw)
+        if matches!(
+            system,
+            SystemKind::Ssmw | SystemKind::Msmw | SystemKind::Decentralized
+        ) && gradient_inputs < self.gradient_gar.minimum_inputs(self.fw)
         {
             return Err(CoreError::InvalidConfig(format!(
                 "{} needs at least {} gradient inputs to tolerate f_w = {}, but only {} are collected",
@@ -292,13 +296,23 @@ mod tests {
 
     #[test]
     fn defaults_and_presets_are_valid() {
-        for cfg in [ExperimentConfig::default(), ExperimentConfig::small(), ExperimentConfig::paper_gpu()] {
-            for system in [SystemKind::Vanilla, SystemKind::Ssmw, SystemKind::CrashTolerant] {
+        for cfg in [
+            ExperimentConfig::default(),
+            ExperimentConfig::small(),
+            ExperimentConfig::paper_gpu(),
+        ] {
+            for system in [
+                SystemKind::Vanilla,
+                SystemKind::Ssmw,
+                SystemKind::CrashTolerant,
+            ] {
                 cfg.validate(system).unwrap();
             }
         }
         // The CPU preset uses Bulyan with n_w - f_w = 15 >= 4*3+3 = 15.
-        ExperimentConfig::paper_cpu().validate(SystemKind::Msmw).unwrap();
+        ExperimentConfig::paper_cpu()
+            .validate(SystemKind::Msmw)
+            .unwrap();
     }
 
     #[test]
@@ -307,7 +321,10 @@ mod tests {
         assert_eq!(cfg.gradient_quorum(SystemKind::Ssmw), cfg.nw);
         // Synchronous deployments wait for everyone; asynchronous ones for nw - fw.
         assert_eq!(cfg.gradient_quorum(SystemKind::Msmw), cfg.nw);
-        let async_cfg = ExperimentConfig { synchronous: false, ..cfg.clone() };
+        let async_cfg = ExperimentConfig {
+            synchronous: false,
+            ..cfg.clone()
+        };
         assert_eq!(async_cfg.gradient_quorum(SystemKind::Msmw), cfg.nw - cfg.fw);
         assert_eq!(cfg.model_quorum(), cfg.nps - cfg.fps);
         assert_eq!(cfg.effective_batch(), cfg.nw * cfg.batch_size);

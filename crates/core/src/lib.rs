@@ -42,6 +42,7 @@ mod controller;
 mod deployment;
 mod error;
 mod experiment;
+pub mod json;
 mod server;
 mod telemetry;
 mod worker;

@@ -18,7 +18,11 @@ pub struct ParameterServer {
 impl ParameterServer {
     /// Creates a server replica around a model and an SGD optimizer.
     pub fn new(index: usize, model: Box<dyn Model>, optimizer: Sgd) -> Self {
-        ParameterServer { index, model, optimizer }
+        ParameterServer {
+            index,
+            model,
+            optimizer,
+        }
     }
 
     /// The server's index within the deployment.
@@ -42,7 +46,8 @@ impl ParameterServer {
     ///
     /// Returns [`CoreError::Ml`] when the gradient length is wrong.
     pub fn update_model(&mut self, aggregated_gradient: &Tensor) -> CoreResult<()> {
-        self.optimizer.step(self.model.as_mut(), aggregated_gradient)?;
+        self.optimizer
+            .step(self.model.as_mut(), aggregated_gradient)?;
         Ok(())
     }
 
@@ -152,7 +157,10 @@ mod tests {
         let mut rng = TensorRng::seed_from(4);
         let data = Dataset::synthetic(DatasetKind::Tiny, 64, &mut rng);
         let model = Mlp::tiny(&mut rng);
-        (ParameterServer::new(0, Box::new(model), Sgd::new(0.1)), data)
+        (
+            ParameterServer::new(0, Box::new(model), Sgd::new(0.1)),
+            data,
+        )
     }
 
     #[test]
@@ -178,8 +186,7 @@ mod tests {
     fn aggregate_delegates_to_the_gar() {
         let (ps, _) = server();
         let gar = build_gar(GarKind::Median, 3, 1).unwrap();
-        let inputs: Vec<Tensor> =
-            (0..3).map(|i| Tensor::full(4usize, i as f32)).collect();
+        let inputs: Vec<Tensor> = (0..3).map(|i| Tensor::full(4usize, i as f32)).collect();
         let out = ps.aggregate(gar.as_ref(), &inputs).unwrap();
         assert_eq!(out.data(), &[1.0, 1.0, 1.0, 1.0]);
         assert!(ps.aggregate(gar.as_ref(), &inputs[..2]).is_err());
@@ -205,8 +212,15 @@ mod tests {
         );
         assert!(byz.is_byzantine());
         let served = byz.served_model(&[]);
-        assert_ne!(served, honest_params, "attack should corrupt the served model");
-        assert_eq!(byz.honest().parameters(), honest_params, "local state untouched");
+        assert_ne!(
+            served, honest_params,
+            "attack should corrupt the served model"
+        );
+        assert_eq!(
+            byz.honest().parameters(),
+            honest_params,
+            "local state untouched"
+        );
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //! figures (Fig. 7 and Fig. 16), and throughput figures are derived from their
 //! sum.
 
-use serde::{Deserialize, Serialize};
+use crate::json;
+use crate::{CoreError, CoreResult};
+use std::fmt::Write as _;
 
 /// Simulated time spent in each phase of one training iteration, in seconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IterationTiming {
     /// Gradient-estimation time (the slowest worker whose reply was used).
     pub computation: f64,
@@ -43,7 +46,8 @@ impl IterationTiming {
 }
 
 /// One accuracy evaluation point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccuracyPoint {
     /// Iteration at which the evaluation happened.
     pub iteration: usize,
@@ -56,7 +60,8 @@ pub struct AccuracyPoint {
 }
 
 /// The full record of one training run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainingTrace {
     /// Name of the system that produced the trace (e.g. `"ssmw"`).
     pub system: String,
@@ -71,7 +76,12 @@ pub struct TrainingTrace {
 impl TrainingTrace {
     /// Creates an empty trace for the named system.
     pub fn new(system: impl Into<String>, effective_batch: usize) -> Self {
-        TrainingTrace { system: system.into(), iterations: Vec::new(), accuracy: Vec::new(), effective_batch }
+        TrainingTrace {
+            system: system.into(),
+            iterations: Vec::new(),
+            accuracy: Vec::new(),
+            effective_batch,
+        }
     }
 
     /// Number of iterations recorded.
@@ -129,7 +139,110 @@ impl TrainingTrace {
 
     /// Simulated time (seconds) at which accuracy first reached `target`, if ever.
     pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
-        self.accuracy.iter().find(|p| p.accuracy >= target).map(|p| p.sim_time)
+        self.accuracy
+            .iter()
+            .find(|p| p.accuracy >= target)
+            .map(|p| p.sim_time)
+    }
+
+    /// Serializes the trace to JSON, in the same shape `serde_json` would
+    /// produce for these structs (used by the experiment reports).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 96 * self.iterations.len());
+        out.push_str("{\"system\":");
+        json::write_string(&mut out, &self.system);
+        out.push_str(",\"iterations\":[");
+        for (i, it) in self.iterations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"computation\":");
+            json::write_f64(&mut out, it.computation);
+            out.push_str(",\"communication\":");
+            json::write_f64(&mut out, it.communication);
+            out.push_str(",\"aggregation\":");
+            json::write_f64(&mut out, it.aggregation);
+            out.push('}');
+        }
+        out.push_str("],\"accuracy\":[");
+        for (i, p) in self.accuracy.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"iteration\":{},\"sim_time\":", p.iteration);
+            json::write_f64(&mut out, p.sim_time);
+            out.push_str(",\"accuracy\":");
+            json::write_f32(&mut out, p.accuracy);
+            out.push_str(",\"loss\":");
+            json::write_f32(&mut out, p.loss);
+            out.push('}');
+        }
+        let _ = write!(out, "],\"effective_batch\":{}}}", self.effective_batch);
+        out
+    }
+
+    /// Parses a trace previously produced by [`TrainingTrace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Serialization`] on malformed JSON or a document
+    /// whose fields do not match the trace schema.
+    pub fn from_json(input: &str) -> CoreResult<Self> {
+        let bad = |what: &str| CoreError::Serialization(format!("trace JSON: {what}"));
+        let doc = json::parse(input).map_err(CoreError::Serialization)?;
+        let system = doc
+            .get("system")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| bad("missing string field 'system'"))?
+            .to_string();
+        let effective_batch = doc
+            .get("effective_batch")
+            .and_then(json::Value::as_usize)
+            .ok_or_else(|| bad("missing integer field 'effective_batch'"))?;
+        // `to_json` writes non-finite floats as `null` (like serde_json), so
+        // the reader maps `null` back to NaN rather than rejecting a document
+        // the writer itself produced.
+        let f64_field = |v: &json::Value, key: &str| match v.get(key) {
+            Some(json::Value::Null) => Ok(f64::NAN),
+            Some(field) => field
+                .as_f64()
+                .ok_or_else(|| bad(&format!("missing number field '{key}'"))),
+            None => Err(bad(&format!("missing number field '{key}'"))),
+        };
+        let mut iterations = Vec::new();
+        for it in doc
+            .get("iterations")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| bad("missing array field 'iterations'"))?
+        {
+            iterations.push(IterationTiming {
+                computation: f64_field(it, "computation")?,
+                communication: f64_field(it, "communication")?,
+                aggregation: f64_field(it, "aggregation")?,
+            });
+        }
+        let mut accuracy = Vec::new();
+        for p in doc
+            .get("accuracy")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| bad("missing array field 'accuracy'"))?
+        {
+            accuracy.push(AccuracyPoint {
+                iteration: p
+                    .get("iteration")
+                    .and_then(json::Value::as_usize)
+                    .ok_or_else(|| bad("missing integer field 'iteration'"))?,
+                sim_time: f64_field(p, "sim_time")?,
+                accuracy: f64_field(p, "accuracy")? as f32,
+                loss: f64_field(p, "loss")? as f32,
+            });
+        }
+        Ok(TrainingTrace {
+            system,
+            iterations,
+            accuracy,
+            effective_batch,
+        })
     }
 }
 
@@ -153,6 +266,39 @@ mod tests {
             });
         }
         t
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_trace() {
+        let t = trace();
+        let back = TrainingTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.system, t.system);
+        assert_eq!(back.effective_batch, t.effective_batch);
+        assert_eq!(back.iterations, t.iterations);
+        assert_eq!(back.accuracy, t.accuracy);
+    }
+
+    #[test]
+    fn non_finite_floats_survive_a_json_round_trip_as_nan() {
+        // A diverging run can record NaN losses; the writer emits `null`
+        // (like serde_json) and the reader must accept its own output.
+        let mut t = trace();
+        t.accuracy[0].loss = f32::NAN;
+        t.iterations[0].computation = f64::INFINITY;
+        let json = t.to_json();
+        assert!(json.contains("null"));
+        let back = TrainingTrace::from_json(&json).unwrap();
+        assert!(back.accuracy[0].loss.is_nan());
+        assert!(back.iterations[0].computation.is_nan());
+        assert_eq!(back.len(), t.len());
+    }
+
+    #[test]
+    fn from_json_rejects_schema_mismatches() {
+        assert!(TrainingTrace::from_json("{").is_err());
+        assert!(TrainingTrace::from_json("{}").is_err());
+        let no_loss = r#"{"system":"x","iterations":[],"accuracy":[{"iteration":0,"sim_time":1.0,"accuracy":0.5}],"effective_batch":8}"#;
+        assert!(TrainingTrace::from_json(no_loss).is_err());
     }
 
     #[test]
@@ -185,7 +331,11 @@ mod tests {
 
     #[test]
     fn timing_arithmetic() {
-        let a = IterationTiming { computation: 1.0, communication: 2.0, aggregation: 3.0 };
+        let a = IterationTiming {
+            computation: 1.0,
+            communication: 2.0,
+            aggregation: 3.0,
+        };
         assert_eq!(a.total(), 6.0);
         let mut b = a;
         b.accumulate(&a);

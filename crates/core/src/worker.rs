@@ -27,12 +27,21 @@ impl Worker {
         batch_size: usize,
     ) -> CoreResult<Self> {
         if batch_size == 0 {
-            return Err(CoreError::InvalidConfig("worker batch size must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "worker batch size must be positive".into(),
+            ));
         }
         if data.is_empty() {
-            return Err(CoreError::InvalidConfig(format!("worker {index} has an empty data shard")));
+            return Err(CoreError::InvalidConfig(format!(
+                "worker {index} has an empty data shard"
+            )));
         }
-        Ok(Worker { index, replica, data, batch_size })
+        Ok(Worker {
+            index,
+            replica,
+            data,
+            batch_size,
+        })
     }
 
     /// The worker's index within the deployment.
@@ -56,7 +65,11 @@ impl Worker {
     /// # Errors
     ///
     /// Returns [`CoreError::Ml`] when `params` does not match the replica.
-    pub fn compute_gradient(&mut self, params: &Tensor, iteration: usize) -> CoreResult<(f32, Tensor)> {
+    pub fn compute_gradient(
+        &mut self,
+        params: &Tensor,
+        iteration: usize,
+    ) -> CoreResult<(f32, Tensor)> {
         self.replica.set_parameters(params)?;
         let batch = self.batch(iteration)?;
         Ok(self.replica.gradient(&batch))
@@ -213,7 +226,10 @@ mod tests {
         let (mut worker, params) = setup();
         let (_, g0) = worker.compute_gradient(&params, 0).unwrap();
         let (_, g1) = worker.compute_gradient(&params, 1).unwrap();
-        assert_ne!(g0, g1, "different mini-batches should give different gradients");
+        assert_ne!(
+            g0, g1,
+            "different mini-batches should give different gradients"
+        );
     }
 
     #[test]
@@ -251,7 +267,9 @@ impl Worker {
     /// Test helper: gradient at `params` on batch 0 without mutating iteration state.
     fn replica_gradient_for_test(&self, params: &Tensor) -> (f32, Tensor) {
         let mut replica = self.replica.clone_boxed();
-        replica.set_parameters(params).expect("test params are valid");
+        replica
+            .set_parameters(params)
+            .expect("test params are valid");
         let batch = self.data.batch(0, self.batch_size).expect("test batch");
         replica.gradient(&batch)
     }

@@ -10,10 +10,10 @@
 
 use crate::{MlError, MlResult};
 use garfield_tensor::{Shape, Tensor, TensorRng};
-use serde::{Deserialize, Serialize};
 
 /// The synthetic stand-ins for the paper's two datasets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DatasetKind {
     /// 28×28 single-channel images, 10 classes (MNIST-shaped).
     MnistLike,
@@ -52,7 +52,8 @@ impl DatasetKind {
 }
 
 /// How a dataset is partitioned across workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ShardStrategy {
     /// Samples are shuffled and dealt round-robin: every worker sees every class.
     Iid,
@@ -101,9 +102,7 @@ impl Dataset {
         let d = kind.features();
         let c = kind.classes();
         let noise = 0.6f32;
-        let means: Vec<Vec<f32>> = (0..c)
-            .map(|_| rng.normal_tensor(d).into_vec())
-            .collect();
+        let means: Vec<Vec<f32>> = (0..c).map(|_| rng.normal_tensor(d).into_vec()).collect();
         let mut inputs = Vec::with_capacity(samples);
         let mut labels = Vec::with_capacity(samples);
         for i in 0..samples {
@@ -119,7 +118,11 @@ impl Dataset {
         let perm = rng.permutation(samples);
         let inputs = perm.iter().map(|&i| inputs[i].clone()).collect();
         let labels = perm.iter().map(|&i| labels[i]).collect();
-        Dataset { kind, inputs, labels }
+        Dataset {
+            kind,
+            inputs,
+            labels,
+        }
     }
 
     /// Builds a dataset from explicit samples.
@@ -153,7 +156,11 @@ impl Dataset {
                 kind.features()
             )));
         }
-        Ok(Dataset { kind, inputs, labels })
+        Ok(Dataset {
+            kind,
+            inputs,
+            labels,
+        })
     }
 
     /// The dataset kind.
@@ -179,7 +186,9 @@ impl Dataset {
     /// Returns [`MlError::InvalidData`] for an empty dataset or a zero batch size.
     pub fn batch(&self, index: usize, batch_size: usize) -> MlResult<Batch> {
         if self.is_empty() {
-            return Err(MlError::InvalidData("cannot draw a batch from an empty dataset".into()));
+            return Err(MlError::InvalidData(
+                "cannot draw a batch from an empty dataset".into(),
+            ));
         }
         if batch_size == 0 {
             return Err(MlError::InvalidData("batch size must be positive".into()));
@@ -241,7 +250,9 @@ impl Dataset {
     /// number of samples.
     pub fn shard(&self, shards: usize, strategy: ShardStrategy) -> MlResult<Vec<Partition>> {
         if shards == 0 {
-            return Err(MlError::InvalidData("cannot shard into zero partitions".into()));
+            return Err(MlError::InvalidData(
+                "cannot shard into zero partitions".into(),
+            ));
         }
         if shards > self.len() {
             return Err(MlError::InvalidData(format!(
@@ -277,7 +288,11 @@ impl Dataset {
             .enumerate()
             .map(|(worker, (inputs, labels))| Partition {
                 worker,
-                data: Dataset { kind: self.kind, inputs, labels },
+                data: Dataset {
+                    kind: self.kind,
+                    inputs,
+                    labels,
+                },
             })
             .collect())
     }
@@ -356,7 +371,11 @@ mod tests {
             for &l in &s.data.labels {
                 seen.insert(l);
             }
-            assert_eq!(seen.len(), DatasetKind::Tiny.classes(), "IID shard should see all classes");
+            assert_eq!(
+                seen.len(),
+                DatasetKind::Tiny.classes(),
+                "IID shard should see all classes"
+            );
         }
     }
 

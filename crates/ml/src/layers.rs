@@ -2,10 +2,10 @@
 
 use crate::{MlError, MlResult};
 use garfield_tensor::{Initializer, Shape, Tensor, TensorRng};
-use serde::{Deserialize, Serialize};
 
 /// Element-wise activation functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Activation {
     /// Identity (no non-linearity); used by the output layer.
     Linear,
@@ -40,7 +40,9 @@ impl Activation {
                 s * (1.0 - s)
             }),
         };
-        upstream.try_mul(&deriv).expect("activation gradients share the layer shape")
+        upstream
+            .try_mul(&deriv)
+            .expect("activation gradients share the layer shape")
     }
 }
 
@@ -67,13 +69,27 @@ pub struct DenseCache {
 
 impl DenseLayer {
     /// Creates a layer with Xavier-initialised weights and zero bias.
-    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut TensorRng) -> Self {
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut TensorRng,
+    ) -> Self {
         let weights = rng.tensor(
             Shape::matrix(input_dim, output_dim),
-            Initializer::Xavier { fan_in: input_dim, fan_out: output_dim },
+            Initializer::Xavier {
+                fan_in: input_dim,
+                fan_out: output_dim,
+            },
         );
         let bias = Tensor::zeros(output_dim);
-        DenseLayer { input_dim, output_dim, activation, weights, bias }
+        DenseLayer {
+            input_dim,
+            output_dim,
+            activation,
+            weights,
+            bias,
+        }
     }
 
     /// Input dimensionality.
@@ -111,11 +127,17 @@ impl DenseLayer {
     pub fn read_parameters(&mut self, flat: &[f32]) -> MlResult<usize> {
         let need = self.num_parameters();
         if flat.len() < need {
-            return Err(MlError::ParameterMismatch { expected: need, got: flat.len() });
+            return Err(MlError::ParameterMismatch {
+                expected: need,
+                got: flat.len(),
+            });
         }
         let w = self.input_dim * self.output_dim;
-        self.weights = Tensor::from_vec(flat[..w].to_vec(), Shape::matrix(self.input_dim, self.output_dim))
-            .expect("length checked above");
+        self.weights = Tensor::from_vec(
+            flat[..w].to_vec(),
+            Shape::matrix(self.input_dim, self.output_dim),
+        )
+        .expect("length checked above");
         self.bias = Tensor::from(flat[w..need].to_vec());
         Ok(need)
     }
@@ -132,7 +154,10 @@ impl DenseLayer {
             .matrix_dims()
             .map_err(|_| MlError::InvalidData("dense layer input must be a matrix".into()))?;
         if cols != self.input_dim {
-            return Err(MlError::ParameterMismatch { expected: self.input_dim, got: cols });
+            return Err(MlError::ParameterMismatch {
+                expected: self.input_dim,
+                got: cols,
+            });
         }
         let mut pre = input.matmul(&self.weights).expect("dimensions validated");
         // broadcast-add bias over rows
@@ -144,7 +169,13 @@ impl DenseLayer {
             }
         }
         let activated = self.activation.forward(&pre);
-        Ok((activated, DenseCache { input: input.clone(), pre_activation: pre }))
+        Ok((
+            activated,
+            DenseCache {
+                input: input.clone(),
+                pre_activation: pre,
+            },
+        ))
     }
 
     /// Backward pass: given the gradient of the loss w.r.t. this layer's

@@ -1,10 +1,10 @@
 //! Loss functions: softmax cross-entropy and mean squared error.
 
 use garfield_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Which loss a model trains with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LossKind {
     /// Softmax + cross-entropy, the classification loss used by every paper experiment.
     CrossEntropy,
@@ -53,7 +53,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     let mut grad = probs.clone();
     let mut loss = 0.0f32;
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < cols, "label {label} out of range for {cols} classes");
+        assert!(
+            label < cols,
+            "label {label} out of range for {cols} classes"
+        );
         let p = probs.data()[r * cols + label].max(1e-12);
         loss -= p.ln();
         grad.data_mut()[r * cols + label] -= 1.0;
@@ -70,7 +73,11 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
 ///
 /// Panics if the two tensors differ in length.
 pub fn mse_loss(predictions: &Tensor, targets: &Tensor) -> (f32, Tensor) {
-    assert_eq!(predictions.len(), targets.len(), "mse requires equal-length tensors");
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "mse requires equal-length tensors"
+    );
     let n = predictions.len().max(1) as f32;
     let diff = predictions.try_sub(targets).expect("lengths checked");
     let loss = diff.data().iter().map(|&d| d * d).sum::<f32>() / n;
@@ -85,7 +92,8 @@ mod tests {
 
     #[test]
     fn softmax_rows_sum_to_one() {
-        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], Shape::matrix(2, 3)).unwrap();
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], Shape::matrix(2, 3)).unwrap();
         let p = softmax(&logits);
         for r in 0..2 {
             let sum: f32 = p.data()[r * 3..(r + 1) * 3].iter().sum();

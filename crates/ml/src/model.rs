@@ -36,7 +36,10 @@ impl fmt::Display for MlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MlError::ParameterMismatch { expected, got } => {
-                write!(f, "parameter vector length mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "parameter vector length mismatch: expected {expected}, got {got}"
+                )
             }
             MlError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
             MlError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
@@ -151,7 +154,10 @@ impl Model for LinearModel {
     }
 
     fn predict(&self, inputs: &Tensor) -> Tensor {
-        self.layer.forward(inputs).expect("inputs match feature count").0
+        self.layer
+            .forward(inputs)
+            .expect("inputs match feature count")
+            .0
     }
 
     fn name(&self) -> &str {
@@ -183,28 +189,50 @@ impl Mlp {
     ///
     /// Panics if `dims.len() < 2`.
     pub fn new(name: impl Into<String>, dims: &[usize], rng: &mut TensorRng) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
-            let activation = if i + 2 == dims.len() { Activation::Linear } else { Activation::Relu };
+            let activation = if i + 2 == dims.len() {
+                Activation::Linear
+            } else {
+                Activation::Relu
+            };
             layers.push(DenseLayer::new(dims[i], dims[i + 1], activation, rng));
         }
-        Mlp { layers, name: name.into() }
+        Mlp {
+            layers,
+            name: name.into(),
+        }
     }
 
     /// Small trainable stand-in for the paper's `MNIST_CNN` (Table 1).
     pub fn mnist_cnn_lite(rng: &mut TensorRng) -> Self {
-        Mlp::new("mnist-cnn-lite", &[DatasetKind::MnistLike.features(), 32, 10], rng)
+        Mlp::new(
+            "mnist-cnn-lite",
+            &[DatasetKind::MnistLike.features(), 32, 10],
+            rng,
+        )
     }
 
     /// Small trainable stand-in for the paper's `CifarNet` (Table 1).
     pub fn cifarnet_lite(rng: &mut TensorRng) -> Self {
-        Mlp::new("cifarnet-lite", &[DatasetKind::CifarLike.features(), 48, 10], rng)
+        Mlp::new(
+            "cifarnet-lite",
+            &[DatasetKind::CifarLike.features(), 48, 10],
+            rng,
+        )
     }
 
     /// Small trainable model for the `Tiny` dataset used by fast tests.
     pub fn tiny(rng: &mut TensorRng) -> Self {
-        Mlp::new("tiny-mlp", &[DatasetKind::Tiny.features(), 8, DatasetKind::Tiny.classes()], rng)
+        Mlp::new(
+            "tiny-mlp",
+            &[DatasetKind::Tiny.features(), 8, DatasetKind::Tiny.classes()],
+            rng,
+        )
     }
 
     /// The layer widths, input first.
@@ -407,7 +435,10 @@ mod tests {
             model.set_parameters(&p).unwrap();
         }
         let after = model.loss(&batch);
-        assert!(after < initial * 0.8, "loss did not decrease: {initial} -> {after}");
+        assert!(
+            after < initial * 0.8,
+            "loss did not decrease: {initial} -> {after}"
+        );
     }
 
     #[test]
@@ -422,7 +453,10 @@ mod tests {
             model.set_parameters(&p).unwrap();
         }
         let acc = model.evaluate_accuracy(&eval);
-        assert!(acc > 0.5, "accuracy after training should beat chance, got {acc}");
+        assert!(
+            acc > 0.5,
+            "accuracy after training should beat chance, got {acc}"
+        );
     }
 
     #[test]
@@ -458,7 +492,9 @@ mod tests {
         let mut rng = TensorRng::seed_from(3);
         let m = SyntheticWorkloadModel::new("resnet-ish", 1000, &mut rng);
         assert_eq!(m.num_parameters(), 1000);
-        let batch = Dataset::synthetic(DatasetKind::Tiny, 8, &mut rng).batch(0, 4).unwrap();
+        let batch = Dataset::synthetic(DatasetKind::Tiny, 8, &mut rng)
+            .batch(0, 4)
+            .unwrap();
         let (_, g) = m.gradient(&batch);
         assert_eq!(g.len(), 1000);
     }

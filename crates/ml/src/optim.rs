@@ -36,7 +36,13 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer with the given learning rate and no momentum.
     pub fn new(learning_rate: f32) -> Self {
-        Sgd { learning_rate, momentum: 0.0, decay: 0.0, steps: 0, velocity: None }
+        Sgd {
+            learning_rate,
+            momentum: 0.0,
+            decay: 0.0,
+            steps: 0,
+            velocity: None,
+        }
     }
 
     /// Sets the momentum coefficient.
@@ -66,7 +72,10 @@ impl Optimizer for Sgd {
     fn step(&mut self, model: &mut dyn Model, gradient: &Tensor) -> MlResult<()> {
         let mut params = model.parameters();
         if gradient.len() != params.len() {
-            return Err(MlError::ParameterMismatch { expected: params.len(), got: gradient.len() });
+            return Err(MlError::ParameterMismatch {
+                expected: params.len(),
+                got: gradient.len(),
+            });
         }
         let lr = self.effective_lr();
         let update = if self.momentum > 0.0 {
@@ -75,7 +84,8 @@ impl Optimizer for Sgd {
                 _ => Tensor::zeros(gradient.len()),
             };
             v.scale_inplace(self.momentum);
-            v.axpy(1.0, gradient).expect("velocity and gradient share length");
+            v.axpy(1.0, gradient)
+                .expect("velocity and gradient share length");
             self.velocity = Some(v.clone());
             v
         } else {

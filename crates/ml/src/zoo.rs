@@ -10,10 +10,10 @@
 use crate::model::{Mlp, Model, SyntheticWorkloadModel};
 use crate::{DatasetKind, MlError, MlResult};
 use garfield_tensor::TensorRng;
-use serde::{Deserialize, Serialize};
 
 /// One row of the paper's Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModelSpec {
     /// Model name as reported in the paper.
     pub name: &'static str,
@@ -33,19 +33,47 @@ impl ModelSpec {
 /// The six models of Table 1, in the paper's order.
 pub fn paper_models() -> Vec<ModelSpec> {
     vec![
-        ModelSpec { name: "MNIST_CNN", parameters: 79_510, size_mb: 0.3 },
-        ModelSpec { name: "CifarNet", parameters: 1_756_426, size_mb: 6.7 },
-        ModelSpec { name: "Inception", parameters: 5_602_874, size_mb: 21.4 },
-        ModelSpec { name: "ResNet-50", parameters: 23_539_850, size_mb: 89.8 },
-        ModelSpec { name: "ResNet-200", parameters: 62_697_610, size_mb: 239.2 },
-        ModelSpec { name: "VGG", parameters: 128_807_306, size_mb: 491.4 },
+        ModelSpec {
+            name: "MNIST_CNN",
+            parameters: 79_510,
+            size_mb: 0.3,
+        },
+        ModelSpec {
+            name: "CifarNet",
+            parameters: 1_756_426,
+            size_mb: 6.7,
+        },
+        ModelSpec {
+            name: "Inception",
+            parameters: 5_602_874,
+            size_mb: 21.4,
+        },
+        ModelSpec {
+            name: "ResNet-50",
+            parameters: 23_539_850,
+            size_mb: 89.8,
+        },
+        ModelSpec {
+            name: "ResNet-200",
+            parameters: 62_697_610,
+            size_mb: 239.2,
+        },
+        ModelSpec {
+            name: "VGG",
+            parameters: 128_807_306,
+            size_mb: 491.4,
+        },
     ]
 }
 
 /// The model used by the appendix PyTorch experiments, which swaps ResNet-200
 /// for ResNet-152.
 pub fn resnet152_spec() -> ModelSpec {
-    ModelSpec { name: "ResNet-152", parameters: 60_192_808, size_mb: 229.6 }
+    ModelSpec {
+        name: "ResNet-152",
+        parameters: 60_192_808,
+        size_mb: 229.6,
+    }
 }
 
 /// Looks up a Table 1 model by (case-insensitive) name.
@@ -75,7 +103,9 @@ pub fn workload_model(
     rng: &mut TensorRng,
 ) -> MlResult<SyntheticWorkloadModel> {
     if scale_divisor == 0 {
-        return Err(MlError::InvalidData("scale divisor must be positive".into()));
+        return Err(MlError::InvalidData(
+            "scale divisor must be positive".into(),
+        ));
     }
     let spec = spec_by_name(name)?;
     let d = (spec.parameters / scale_divisor).max(1);
@@ -133,7 +163,12 @@ mod tests {
         // Sizes are within rounding of 4 bytes/parameter.
         for m in &models {
             let mb = m.size_bytes() as f64 / 1_048_576.0;
-            assert!((mb - m.size_mb).abs() / m.size_mb < 0.05, "{}: {mb} vs {}", m.name, m.size_mb);
+            assert!(
+                (mb - m.size_mb).abs() / m.size_mb < 0.05,
+                "{}: {mb} vs {}",
+                m.name,
+                m.size_mb
+            );
         }
     }
 
@@ -157,7 +192,13 @@ mod tests {
     #[test]
     fn trainable_models_build_and_have_consistent_dims() {
         let mut rng = TensorRng::seed_from(2);
-        for name in ["mnist-cnn-lite", "cifarnet-lite", "tiny", "linear-mnist", "linear-cifar"] {
+        for name in [
+            "mnist-cnn-lite",
+            "cifarnet-lite",
+            "tiny",
+            "linear-mnist",
+            "linear-cifar",
+        ] {
             let m = trainable_model(name, &mut rng).unwrap();
             assert!(m.num_parameters() > 0, "{name}");
             let kind = dataset_for(name).unwrap();

@@ -1,12 +1,12 @@
 //! Cluster topology: node identities, roles, devices and fault state.
 
 use crate::{Device, NetError, NetResult};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// Identifier of a node in the simulated cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -16,7 +16,8 @@ impl fmt::Display for NodeId {
 }
 
 /// The job a node performs, mirroring the paper's cluster definition files.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Role {
     /// Parameter-server replica.
     Server,
@@ -25,7 +26,8 @@ pub enum Role {
 }
 
 /// Static description of a node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeInfo {
     /// The node's identifier.
     pub id: NodeId,
@@ -62,12 +64,20 @@ impl Cluster {
 
     /// Ids of all server nodes.
     pub fn servers(&self) -> Vec<NodeId> {
-        self.nodes.iter().filter(|n| n.role == Role::Server).map(|n| n.id).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.role == Role::Server)
+            .map(|n| n.id)
+            .collect()
     }
 
     /// Ids of all worker nodes.
     pub fn workers(&self) -> Vec<NodeId> {
-        self.nodes.iter().filter(|n| n.role == Role::Worker).map(|n| n.id).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.role == Role::Worker)
+            .map(|n| n.id)
+            .collect()
     }
 
     /// Looks up a node's static description.
@@ -200,7 +210,11 @@ impl ClusterBuilder {
 
     /// Finalises the cluster.
     pub fn build(self) -> Cluster {
-        Cluster { nodes: self.nodes, crashed: HashSet::new(), partitions: HashSet::new() }
+        Cluster {
+            nodes: self.nodes,
+            crashed: HashSet::new(),
+            partitions: HashSet::new(),
+        }
     }
 }
 
@@ -209,7 +223,10 @@ mod tests {
     use super::*;
 
     fn cluster() -> Cluster {
-        Cluster::builder().servers(3, Device::Cpu).workers(5, Device::Gpu).build()
+        Cluster::builder()
+            .servers(3, Device::Cpu)
+            .workers(5, Device::Gpu)
+            .build()
     }
 
     #[test]

@@ -7,13 +7,12 @@
 //! [`CostModel`] provides calibrated analytic forms for the first two; the
 //! third is measured for real since the GARs actually execute.
 
-use serde::{Deserialize, Serialize};
-
 /// Where a node performs its numeric work.
 ///
 /// The GPU constants encode the roughly one-order-of-magnitude advantage the
 /// paper reports for GPU deployments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Device {
     /// A 2×10-core Xeon-class CPU node (the paper's CPU cluster).
     Cpu,
@@ -38,7 +37,8 @@ impl std::fmt::Display for Device {
 }
 
 /// Link characteristics between two nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkProfile {
     /// One-way message latency in seconds.
     pub latency_s: f64,
@@ -64,17 +64,24 @@ impl Default for LinkProfile {
 impl LinkProfile {
     /// A faster intra-GPU-cluster profile (nccl / gloo collectives, §4.2).
     pub fn gpu_cluster() -> Self {
-        LinkProfile { latency_s: 1.0e-4, bandwidth_bps: 1.5e9, serialization_s_per_byte: 2.0e-10 }
+        LinkProfile {
+            latency_s: 1.0e-4,
+            bandwidth_bps: 1.5e9,
+            serialization_s_per_byte: 2.0e-10,
+        }
     }
 
     /// Time to move `bytes` over this link, excluding receiver contention.
     pub fn transfer_time(&self, bytes: usize) -> f64 {
-        self.latency_s + bytes as f64 / self.bandwidth_bps + bytes as f64 * self.serialization_s_per_byte
+        self.latency_s
+            + bytes as f64 / self.bandwidth_bps
+            + bytes as f64 * self.serialization_s_per_byte
     }
 }
 
 /// Calibrated analytic cost model for computation and communication.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostModel {
     /// Seconds per (parameter × sample) of gradient computation on a CPU.
     pub cpu_grad_s_per_param_sample: f64,
@@ -151,11 +158,43 @@ impl CostModel {
             + count as f64 * bytes * link.serialization_s_per_byte
     }
 
+    /// Simulated time for one node to serve `count`-vector pulls to `fanout`
+    /// replicas at once.
+    ///
+    /// The replicas pull in parallel, so the per-message latency overlaps and
+    /// is paid once; the sender's shared link serializes the bandwidth and
+    /// serialization components across all `count × fanout` vectors. This is
+    /// what makes replicated-server deployments pay for replication in
+    /// *bytes*, not in round trips.
+    pub fn fanout_pull_time(
+        &self,
+        parameters: usize,
+        count: usize,
+        fanout: usize,
+        device: Device,
+    ) -> f64 {
+        if count == 0 || fanout == 0 {
+            return 0.0;
+        }
+        let link = self.link(device);
+        let vectors = (count * fanout) as f64;
+        let bytes = parameters as f64 * 4.0;
+        link.latency_s
+            + vectors * bytes / link.bandwidth_bps
+            + vectors * bytes * link.serialization_s_per_byte
+    }
+
     /// Simulated aggregation time for a GAR whose cost is `O(n^order · d)`.
     ///
     /// Used by throughput sweeps that want a device-scaled analytic value; the
     /// micro-benchmarks (Fig. 3) measure the real kernels instead.
-    pub fn aggregation_time(&self, parameters: usize, inputs: usize, order: u32, device: Device) -> f64 {
+    pub fn aggregation_time(
+        &self,
+        parameters: usize,
+        inputs: usize,
+        order: u32,
+        device: Device,
+    ) -> f64 {
         let work = (inputs as f64).powi(order as i32) * parameters as f64;
         let base = self.cpu_agg_s_per_param_input * work;
         match device {
@@ -208,9 +247,24 @@ mod tests {
         // that ordering.
         let m = CostModel::default();
         let d = 23_539_850;
-        let comm = m.parallel_pull_time(d, 18, Device::Cpu) + m.parallel_pull_time(d, 6, Device::Cpu);
+        let comm =
+            m.parallel_pull_time(d, 18, Device::Cpu) + m.parallel_pull_time(d, 6, Device::Cpu);
         let comp = m.gradient_time(d, 32, Device::Cpu);
         assert!(comm > comp, "comm {comm} should exceed comp {comp}");
+    }
+
+    #[test]
+    fn fanout_pull_overlaps_latency_but_serializes_bytes() {
+        let m = CostModel::default();
+        let d = 1_000_000;
+        let single = m.parallel_pull_time(d, 10, Device::Cpu);
+        let fanned = m.fanout_pull_time(d, 10, 3, Device::Cpu);
+        // Three times the bytes, but only one latency.
+        let lat = m.link(Device::Cpu).latency_s;
+        assert!((fanned - (3.0 * (single - lat) + lat)).abs() < 1e-12);
+        assert_eq!(m.fanout_pull_time(d, 10, 1, Device::Cpu), single);
+        assert_eq!(m.fanout_pull_time(d, 0, 3, Device::Cpu), 0.0);
+        assert_eq!(m.fanout_pull_time(d, 10, 0, Device::Cpu), 0.0);
     }
 
     #[test]

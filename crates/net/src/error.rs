@@ -38,8 +38,14 @@ impl fmt::Display for NetError {
             NetError::Unreachable { from, to } => write!(f, "node {to} is unreachable from {from}"),
             NetError::Timeout => write!(f, "receive timed out"),
             NetError::RouterClosed => write!(f, "router has been shut down"),
-            NetError::NotEnoughReplies { requested, available } => {
-                write!(f, "requested {requested} replies but only {available} peers are available")
+            NetError::NotEnoughReplies {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} replies but only {available} peers are available"
+                )
             }
         }
     }
@@ -53,12 +59,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = NetError::NotEnoughReplies { requested: 5, available: 3 };
+        let e = NetError::NotEnoughReplies {
+            requested: 5,
+            available: 3,
+        };
         assert!(e.to_string().contains('5'));
         assert!(!NetError::Timeout.to_string().is_empty());
         assert!(!NetError::RouterClosed.to_string().is_empty());
         assert!(!NetError::UnknownNode(NodeId(3)).to_string().is_empty());
-        let u = NetError::Unreachable { from: NodeId(1), to: NodeId(2) };
+        let u = NetError::Unreachable {
+            from: NodeId(1),
+            to: NodeId(2),
+        };
         assert!(u.to_string().contains('2'));
     }
 }

@@ -55,7 +55,10 @@ impl PullRound {
     /// deployed nodes in asynchronous settings.
     pub fn try_fastest(&self, q: usize) -> NetResult<(Vec<NodeId>, f64)> {
         if self.replies.len() < q {
-            return Err(NetError::NotEnoughReplies { requested: q, available: self.replies.len() });
+            return Err(NetError::NotEnoughReplies {
+                requested: q,
+                available: self.replies.len(),
+            });
         }
         Ok(self.fastest(q))
     }
@@ -100,7 +103,10 @@ mod tests {
         assert_eq!(ids.len(), 4);
         assert!(matches!(
             round().try_fastest(10),
-            Err(NetError::NotEnoughReplies { requested: 10, available: 4 })
+            Err(NetError::NotEnoughReplies {
+                requested: 10,
+                available: 4
+            })
         ));
         assert!(round().try_fastest(4).is_ok());
     }

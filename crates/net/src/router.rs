@@ -57,7 +57,11 @@ impl Router {
         let mut reg = self.registry.write();
         reg.inboxes.insert(id, tx);
         reg.crashed.insert(id, false);
-        RouterHandle { id, router: self.clone(), inbox: rx }
+        RouterHandle {
+            id,
+            router: self.clone(),
+            inbox: rx,
+        }
     }
 
     /// Marks a node as crashed: messages to it are silently dropped, so
@@ -86,7 +90,10 @@ impl Router {
         let reg = self.registry.read();
         if reg.crashed.get(&envelope.from).copied().unwrap_or(false) {
             // A crashed sender produces nothing.
-            return Err(NetError::Unreachable { from: envelope.from, to: envelope.to });
+            return Err(NetError::Unreachable {
+                from: envelope.from,
+                to: envelope.to,
+            });
         }
         match reg.inboxes.get(&envelope.to) {
             None => Err(NetError::UnknownNode(envelope.to)),
@@ -94,16 +101,16 @@ impl Router {
                 // Silently dropped: Byzantine-tolerant callers rely on timeouts.
                 Ok(())
             }
-            Some(tx) => tx
-                .send(envelope)
-                .map_err(|_| NetError::RouterClosed),
+            Some(tx) => tx.send(envelope).map_err(|_| NetError::RouterClosed),
         }
     }
 }
 
 impl std::fmt::Debug for Router {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Router").field("nodes", &self.len()).finish()
+        f.debug_struct("Router")
+            .field("nodes", &self.len())
+            .finish()
     }
 }
 
@@ -128,7 +135,12 @@ impl RouterHandle {
     /// Returns [`NetError::UnknownNode`] for unregistered recipients and
     /// [`NetError::Unreachable`] when this node has been crashed.
     pub fn send(&self, to: NodeId, tag: u64, payload: Bytes) -> NetResult<()> {
-        self.router.send(Envelope { from: self.id, to, tag, payload })
+        self.router.send(Envelope {
+            from: self.id,
+            to,
+            tag,
+            payload,
+        })
     }
 
     /// Receives the next message, waiting up to `timeout`.
@@ -189,8 +201,14 @@ mod tests {
     fn unknown_recipient_is_an_error_and_timeout_is_reported() {
         let router = Router::new();
         let a = router.register(NodeId(1));
-        assert!(matches!(a.send(NodeId(9), 0, Bytes::new()), Err(NetError::UnknownNode(_))));
-        assert!(matches!(a.recv_timeout(Duration::from_millis(10)), Err(NetError::Timeout)));
+        assert!(matches!(
+            a.send(NodeId(9), 0, Bytes::new()),
+            Err(NetError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            a.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        ));
     }
 
     #[test]
@@ -203,7 +221,10 @@ mod tests {
         assert!(b.recv_timeout(Duration::from_millis(20)).is_err());
         router.recover(NodeId(2));
         a.send(NodeId(2), 0, Bytes::from_static(b"y")).unwrap();
-        assert_eq!(&b.recv_timeout(Duration::from_millis(100)).unwrap().payload[..], b"y");
+        assert_eq!(
+            &b.recv_timeout(Duration::from_millis(100)).unwrap().payload[..],
+            b"y"
+        );
     }
 
     #[test]
@@ -236,7 +257,11 @@ mod tests {
             })
             .collect();
         let replies = server.collect(42, 2, Duration::from_millis(500));
-        assert_eq!(replies.len(), 2, "server should proceed with the fastest 2 of 3");
+        assert_eq!(
+            replies.len(),
+            2,
+            "server should proceed with the fastest 2 of 3"
+        );
         for t in threads {
             t.join().unwrap();
         }

@@ -1,6 +1,5 @@
 //! Simulated wall-clock time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A per-node simulated clock, counting seconds of simulated time.
@@ -10,7 +9,8 @@ use std::fmt;
 /// [`crate::CostModel`] produces, so "convergence versus time" and
 /// "throughput" experiments read simulated seconds instead of host wall-clock
 /// (which would reflect this machine, not the paper's testbed).
-#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimClock {
     seconds: f64,
 }

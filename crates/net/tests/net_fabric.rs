@@ -1,0 +1,169 @@
+//! Integration tests of the network layer: the cost model's monotonicity,
+//! the pull-round primitive under crashes, and exact message counts on the
+//! real router when nodes go silent.
+
+use bytes::Bytes;
+use garfield_net::{Cluster, CostModel, Device, NodeId, PullRound, Router, SimClock};
+use std::time::Duration;
+
+/// Builds the reply schedule a server would see from a crashed-aware cluster:
+/// worker `i` replies at `base + i * step` seconds, crashed workers never do.
+fn replies_from(cluster: &Cluster, server: NodeId, base: f64, step: f64) -> PullRound {
+    let workers = cluster.workers();
+    let replies = workers
+        .iter()
+        .enumerate()
+        .filter(|&(_, &w)| cluster.reachable(server, w))
+        .map(|(i, &w)| (w, base + i as f64 * step))
+        .collect();
+    PullRound::new(replies)
+}
+
+#[test]
+fn cost_model_times_are_monotone_in_count_dimension_and_fanout() {
+    let m = CostModel::default();
+    for device in [Device::Cpu, Device::Gpu] {
+        // More vectors pulled never gets cheaper.
+        let mut last = 0.0;
+        for count in [1usize, 2, 4, 8, 16, 32] {
+            let t = m.parallel_pull_time(1_000_000, count, device);
+            assert!(t > last, "pull time must grow with count ({device})");
+            last = t;
+        }
+        // Bigger vectors never move faster.
+        assert!(
+            m.vector_transfer_time(2_000_000, device) > m.vector_transfer_time(1_000_000, device)
+        );
+        // Serving more replicas never gets cheaper.
+        let mut last = 0.0;
+        for fanout in [1usize, 2, 4, 8] {
+            let t = m.fanout_pull_time(1_000_000, 10, fanout, device);
+            assert!(
+                t > last,
+                "fanout pull time must grow with fanout ({device})"
+            );
+            last = t;
+        }
+        // Gradient and aggregation costs grow with the model dimension.
+        assert!(m.gradient_time(2_000_000, 32, device) > m.gradient_time(1_000_000, 32, device));
+        assert!(
+            m.aggregation_time(2_000_000, 10, 2, device)
+                > m.aggregation_time(1_000_000, 10, 2, device)
+        );
+    }
+}
+
+#[test]
+fn crashing_workers_never_speeds_up_a_pull_round() {
+    let server = NodeId(0);
+    let mut cluster = Cluster::builder()
+        .servers(1, Device::Cpu)
+        .workers(8, Device::Cpu)
+        .build();
+    let q = 5;
+
+    let full = replies_from(&cluster, server, 0.1, 0.05);
+    assert_eq!(full.len(), 8);
+    let (_, t_full) = full.try_fastest(q).unwrap();
+
+    // Crash the fastest workers one at a time; the q-th arrival can only get
+    // later, because every crash removes a reply the quorum could have used.
+    let workers = cluster.workers();
+    let mut previous = t_full;
+    for crash_count in 1..=3 {
+        cluster.crash(workers[crash_count - 1]);
+        let degraded = replies_from(&cluster, server, 0.1, 0.05);
+        assert_eq!(
+            degraded.len(),
+            8 - crash_count,
+            "crashed workers must not reply"
+        );
+        let (ids, t) = degraded.try_fastest(q).unwrap();
+        assert_eq!(ids.len(), q);
+        assert!(
+            t >= previous,
+            "with {crash_count} crashes the quorum arrived at {t}, earlier than {previous}"
+        );
+        previous = t;
+    }
+
+    // Below the liveness threshold the round must fail, not stall forever.
+    for &w in &workers[3..7] {
+        cluster.crash(w);
+    }
+    let starved = replies_from(&cluster, server, 0.1, 0.05);
+    assert_eq!(starved.len(), 1);
+    assert!(starved.try_fastest(q).is_err());
+
+    // Recovery restores liveness.
+    cluster.recover(workers[0]);
+    cluster.recover(workers[1]);
+    cluster.recover(workers[2]);
+    cluster.recover(workers[3]);
+    let healed = replies_from(&cluster, server, 0.1, 0.05);
+    assert!(healed.try_fastest(q).is_ok());
+}
+
+#[test]
+fn sim_clock_advances_to_the_quorum_arrival() {
+    let round = PullRound::new(vec![(NodeId(1), 0.4), (NodeId(2), 0.2), (NodeId(3), 0.9)]);
+    let mut clock = SimClock::new();
+    let (_, arrival) = round.try_fastest(2).unwrap();
+    clock.advance_to(arrival);
+    assert_eq!(clock.now(), 0.4);
+    // A later synchronous wait moves it further; an earlier one is a no-op.
+    clock.advance_to(round.slowest_arrival());
+    assert_eq!(clock.now(), 0.9);
+    clock.advance_to(0.1);
+    assert_eq!(clock.now(), 0.9);
+}
+
+#[test]
+fn router_delivers_exactly_the_live_replies() {
+    let router = Router::new();
+    let server = router.register(NodeId(0));
+    let n = 6;
+    let crashed = [NodeId(3), NodeId(5)];
+    let handles: Vec<_> = (1..=n).map(|i| router.register(NodeId(i))).collect();
+    for &id in &crashed {
+        router.crash(id);
+    }
+
+    let threads: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            std::thread::spawn(move || h.send(NodeId(0), 7, Bytes::from(vec![h.id().0 as u8])))
+        })
+        .collect();
+    let outcomes: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    // Crashed *senders* get an error; messages to a live server all succeed.
+    assert_eq!(
+        outcomes.iter().filter(|r| r.is_err()).count(),
+        crashed.len()
+    );
+
+    // Ask for more replies than the live set can produce: the server gets
+    // exactly n - crashed messages, not one more, and then times out.
+    let replies = server.collect(7, n as usize, Duration::from_millis(200));
+    assert_eq!(replies.len(), n as usize - crashed.len());
+    for reply in &replies {
+        assert!(
+            !crashed.contains(&reply.from),
+            "a crashed worker's message leaked through"
+        );
+    }
+    assert!(server.recv_timeout(Duration::from_millis(20)).is_err());
+}
+
+#[test]
+fn fastest_quorum_count_matches_the_request_and_never_overshoots() {
+    for n in [3usize, 5, 9] {
+        let round = PullRound::new((0..n).map(|i| (NodeId(i as u32), 1.0 + i as f64)).collect());
+        for q in 1..=n {
+            let (ids, t) = round.try_fastest(q).unwrap();
+            assert_eq!(ids.len(), q, "asked for {q} of {n}");
+            assert_eq!(t, q as f64, "the q-th arrival time is the quorum time");
+        }
+        assert!(round.try_fastest(n + 1).is_err());
+    }
+}

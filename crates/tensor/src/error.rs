@@ -55,7 +55,10 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::DataShapeMismatch { data_len, shape_len } => write!(
+            TensorError::DataShapeMismatch {
+                data_len,
+                shape_len,
+            } => write!(
                 f,
                 "data length {data_len} does not match shape element count {shape_len}"
             ),
@@ -63,14 +66,20 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch between {left:?} and {right:?}")
             }
             TensorError::MatmulMismatch { left, right } => {
-                write!(f, "matrix multiply dimension mismatch between {left:?} and {right:?}")
+                write!(
+                    f,
+                    "matrix multiply dimension mismatch between {left:?} and {right:?}"
+                )
             }
             TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
             TensorError::IndexOutOfBounds { index, len } => {
                 write!(f, "index {index} out of bounds for tensor of length {len}")
             }
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape tensor of {from} elements into shape of {to} elements")
+                write!(
+                    f,
+                    "cannot reshape tensor of {from} elements into shape of {to} elements"
+                )
             }
             TensorError::NotAMatrix { rank } => {
                 write!(f, "operation requires a rank-2 tensor, got rank {rank}")
@@ -88,9 +97,18 @@ mod tests {
     #[test]
     fn display_is_nonempty_for_all_variants() {
         let variants = vec![
-            TensorError::DataShapeMismatch { data_len: 3, shape_len: 4 },
-            TensorError::ShapeMismatch { left: vec![2], right: vec![3] },
-            TensorError::MatmulMismatch { left: vec![2, 2], right: vec![3, 3] },
+            TensorError::DataShapeMismatch {
+                data_len: 3,
+                shape_len: 4,
+            },
+            TensorError::ShapeMismatch {
+                left: vec![2],
+                right: vec![3],
+            },
+            TensorError::MatmulMismatch {
+                left: vec![2, 2],
+                right: vec![3, 3],
+            },
             TensorError::EmptyTensor,
             TensorError::IndexOutOfBounds { index: 9, len: 3 },
             TensorError::ReshapeMismatch { from: 4, to: 5 },

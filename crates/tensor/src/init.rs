@@ -49,7 +49,9 @@ pub struct TensorRng {
 impl TensorRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        TensorRng { rng: StdRng::seed_from_u64(seed) }
+        TensorRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent generator for a child component.
@@ -69,7 +71,9 @@ impl TensorRng {
 
     /// Samples a single standard-normal value.
     pub fn standard_normal(&mut self) -> f32 {
-        Normal::new(0.0f32, 1.0).expect("valid distribution").sample(&mut self.rng)
+        Normal::new(0.0f32, 1.0)
+            .expect("valid distribution")
+            .sample(&mut self.rng)
     }
 
     /// Samples an integer uniformly in `[0, bound)`.
@@ -163,7 +167,13 @@ mod tests {
         assert!(z.iter().all(|&v| v == 0.0));
         let u = rng.tensor(256usize, Initializer::Uniform { limit: 0.5 });
         assert!(u.iter().all(|&v| (-0.5..=0.5).contains(&v)));
-        let x = rng.tensor(256usize, Initializer::Xavier { fan_in: 10, fan_out: 20 });
+        let x = rng.tensor(
+            256usize,
+            Initializer::Xavier {
+                fan_in: 10,
+                fan_out: 20,
+            },
+        );
         let lim = (6.0f32 / 30.0).sqrt();
         assert!(x.iter().all(|&v| v.abs() <= lim + 1e-6));
     }

@@ -127,7 +127,10 @@ impl Tensor {
 
     /// Largest element (negative infinity for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Smallest element (positive infinity for empty tensors).
@@ -245,7 +248,8 @@ impl Add<&Tensor> for &Tensor {
     ///
     /// Panics when the shapes differ; use [`Tensor::try_add`] for a fallible version.
     fn add(self, rhs: &Tensor) -> Tensor {
-        self.try_add(rhs).expect("tensor addition requires identical shapes")
+        self.try_add(rhs)
+            .expect("tensor addition requires identical shapes")
     }
 }
 
@@ -256,7 +260,8 @@ impl Sub<&Tensor> for &Tensor {
     ///
     /// Panics when the shapes differ; use [`Tensor::try_sub`] for a fallible version.
     fn sub(self, rhs: &Tensor) -> Tensor {
-        self.try_sub(rhs).expect("tensor subtraction requires identical shapes")
+        self.try_sub(rhs)
+            .expect("tensor subtraction requires identical shapes")
     }
 }
 
@@ -357,7 +362,8 @@ mod tests {
         let id = Tensor::eye(3);
         assert_eq!(a.matmul(&id).unwrap().data(), a.data());
 
-        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], Shape::matrix(3, 2)).unwrap();
+        let b =
+            Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], Shape::matrix(3, 2)).unwrap();
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
         assert_eq!(c.shape().dims(), &[2, 2]);
@@ -367,7 +373,10 @@ mod tests {
     fn matmul_rejects_bad_dims() {
         let a = Tensor::from_vec(vec![1.0; 6], Shape::matrix(2, 3)).unwrap();
         let b = Tensor::from_vec(vec![1.0; 4], Shape::matrix(2, 2)).unwrap();
-        assert!(matches!(a.matmul(&b), Err(TensorError::MatmulMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::MatmulMismatch { .. })
+        ));
         let v = t(&[1.0, 2.0]);
         assert!(matches!(v.matmul(&a), Err(TensorError::NotAMatrix { .. })));
     }

@@ -1,6 +1,5 @@
 //! Tensor shape handling.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The shape (list of dimension sizes) of a [`crate::Tensor`].
@@ -13,7 +12,8 @@ use std::fmt;
 /// assert_eq!(s.len(), 12);
 /// assert_eq!(s.rank(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Shape {
     dims: Vec<usize>,
 }
@@ -36,7 +36,9 @@ impl Shape {
 
     /// Shape of a `rows x cols` matrix.
     pub fn matrix(rows: usize, cols: usize) -> Self {
-        Shape { dims: vec![rows, cols] }
+        Shape {
+            dims: vec![rows, cols],
+        }
     }
 
     /// The dimension sizes.

@@ -1,7 +1,6 @@
 //! The dense `f32` tensor type.
 
 use crate::{Shape, TensorError, TensorResult};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense, row-major `f32` tensor.
@@ -15,7 +14,8 @@ use std::fmt;
 /// assert_eq!(g.len(), 3);
 /// assert!((g.norm() - (14.0f32).sqrt()).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
@@ -40,30 +40,45 @@ impl Tensor {
 
     /// Creates a 1-D tensor by copying a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Tensor { shape: Shape::vector(data.len()), data: data.to_vec() }
+        Tensor {
+            shape: Shape::vector(data.len()),
+            data: data.to_vec(),
+        }
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::scalar() }
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
     }
 
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![0.0; shape.len()], shape }
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
     }
 
     /// Creates a tensor of ones with the given shape.
     pub fn ones(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![1.0; shape.len()], shape }
+        Tensor {
+            data: vec![1.0; shape.len()],
+            shape,
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![value; shape.len()], shape }
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -114,7 +129,10 @@ impl Tensor {
         self.data
             .get(i)
             .copied()
-            .ok_or(TensorError::IndexOutOfBounds { index: i, len: self.data.len() })
+            .ok_or(TensorError::IndexOutOfBounds {
+                index: i,
+                len: self.data.len(),
+            })
     }
 
     /// Sets the element at flat index `i`.
@@ -158,14 +176,23 @@ impl Tensor {
     pub fn reshape(&self, shape: impl Into<Shape>) -> TensorResult<Tensor> {
         let shape = shape.into();
         if shape.len() != self.data.len() {
-            return Err(TensorError::ReshapeMismatch { from: self.data.len(), to: shape.len() });
+            return Err(TensorError::ReshapeMismatch {
+                from: self.data.len(),
+                to: shape.len(),
+            });
         }
-        Ok(Tensor { data: self.data.clone(), shape })
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
     }
 
     /// Returns a flattened (rank-1) view of this tensor as a new tensor.
     pub fn flatten(&self) -> Tensor {
-        Tensor { data: self.data.clone(), shape: Shape::vector(self.data.len()) }
+        Tensor {
+            data: self.data.clone(),
+            shape: Shape::vector(self.data.len()),
+        }
     }
 
     /// Interprets the tensor as a matrix and returns `(rows, cols)`.
@@ -176,7 +203,9 @@ impl Tensor {
     pub fn matrix_dims(&self) -> TensorResult<(usize, usize)> {
         match (self.shape.rows(), self.shape.cols()) {
             (Some(r), Some(c)) => Ok((r, c)),
-            _ => Err(TensorError::NotAMatrix { rank: self.shape.rank() }),
+            _ => Err(TensorError::NotAMatrix {
+                rank: self.shape.rank(),
+            }),
         }
     }
 
@@ -224,7 +253,10 @@ impl fmt::Display for Tensor {
 
 impl From<Vec<f32>> for Tensor {
     fn from(data: Vec<f32>) -> Self {
-        Tensor { shape: Shape::vector(data.len()), data }
+        Tensor {
+            shape: Shape::vector(data.len()),
+            data,
+        }
     }
 }
 
@@ -258,7 +290,13 @@ mod tests {
     fn from_vec_validates_shape() {
         assert!(Tensor::from_vec(vec![1.0, 2.0], Shape::matrix(1, 2)).is_ok());
         let err = Tensor::from_vec(vec![1.0, 2.0], Shape::matrix(2, 2)).unwrap_err();
-        assert_eq!(err, TensorError::DataShapeMismatch { data_len: 2, shape_len: 4 });
+        assert_eq!(
+            err,
+            TensorError::DataShapeMismatch {
+                data_len: 2,
+                shape_len: 4
+            }
+        );
     }
 
     #[test]
@@ -301,7 +339,10 @@ mod tests {
     #[test]
     fn matrix_dims_errors_on_vectors() {
         let v = Tensor::from_slice(&[1.0, 2.0]);
-        assert_eq!(v.matrix_dims().unwrap_err(), TensorError::NotAMatrix { rank: 1 });
+        assert_eq!(
+            v.matrix_dims().unwrap_err(),
+            TensorError::NotAMatrix { rank: 1 }
+        );
     }
 
     #[test]

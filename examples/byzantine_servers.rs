@@ -27,15 +27,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.actual_byzantine_servers = 1;
     config.server_attack = Some(AttackKind::Random);
 
-    println!("MSMW: {} servers ({} Byzantine), {} workers ({} Byzantine)\n",
-        config.nps, config.actual_byzantine_servers, config.nw, config.actual_byzantine_workers);
+    println!(
+        "MSMW: {} servers ({} Byzantine), {} workers ({} Byzantine)\n",
+        config.nps, config.actual_byzantine_servers, config.nw, config.actual_byzantine_workers
+    );
 
     let controller = Controller::new(config);
     let msmw = controller.run(SystemKind::Msmw)?;
     let crash = controller.run(SystemKind::CrashTolerant)?;
     let vanilla = controller.run(SystemKind::Vanilla)?;
 
-    println!("{:<16} {:>10} {:>14} {:>16}", "system", "accuracy", "updates/s", "comm share");
+    println!(
+        "{:<16} {:>10} {:>14} {:>16}",
+        "system", "accuracy", "updates/s", "comm share"
+    );
     for trace in [&msmw, &crash, &vanilla] {
         let timing = trace.mean_timing();
         println!(

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let timing = trace.mean_timing();
     println!("\nfinal accuracy      {:.3}", trace.final_accuracy());
-    println!("updates per second  {:.2} (simulated)", trace.updates_per_second());
+    println!(
+        "updates per second  {:.2} (simulated)",
+        trace.updates_per_second()
+    );
     println!(
         "per-iteration time  {:.3}s  (computation {:.0}%, communication {:.0}%, aggregation {:.0}%)",
         timing.total(),

@@ -46,5 +46,7 @@ fn main() {
             100.0 * report.satisfied_fraction(gar)
         );
     }
-    println!("\nIf a GAR's condition holds rarely, reduce f, add workers, or increase the batch size.");
+    println!(
+        "\nIf a GAR's condition holds rarely, reduce f, add workers, or increase the batch size."
+    );
 }

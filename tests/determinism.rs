@@ -1,0 +1,88 @@
+//! Deterministic-seed regression tests.
+//!
+//! Every source of randomness in the workspace (data synthesis, weight
+//! initialisation, attacks, network jitter) derives from `ExperimentConfig::seed`,
+//! so two runs of the same configuration must produce bit-identical traces.
+//! This guards future performance refactors against silently introducing
+//! nondeterminism (e.g. iteration-order or threading changes).
+
+use garfield::{AttackKind, Controller, ExperimentConfig, SystemKind};
+
+fn quick_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small();
+    cfg.iterations = 8;
+    cfg.eval_every = 4;
+    cfg
+}
+
+/// Bit-exact trace comparison via the canonical JSON encoding (the trace
+/// struct intentionally does not implement `Eq` because of its floats).
+fn assert_identical(a: &garfield::TrainingTrace, b: &garfield::TrainingTrace, what: &str) {
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "{what} diverged between identically-seeded runs"
+    );
+}
+
+#[test]
+fn every_system_is_deterministic_under_a_fixed_seed() {
+    let controller = Controller::new(quick_config());
+    for system in SystemKind::all() {
+        let first = controller.run(system).unwrap();
+        let second = controller.run(system).unwrap();
+        assert_identical(&first, &second, system.as_str());
+    }
+}
+
+#[test]
+fn two_controllers_with_the_same_config_agree() {
+    let a = Controller::new(quick_config())
+        .run(SystemKind::Ssmw)
+        .unwrap();
+    let b = Controller::new(quick_config())
+        .run(SystemKind::Ssmw)
+        .unwrap();
+    assert_identical(&a, &b, "ssmw");
+}
+
+#[test]
+fn determinism_holds_under_byzantine_attacks() {
+    let mut cfg = quick_config();
+    cfg.actual_byzantine_workers = 1;
+    cfg.worker_attack = Some(AttackKind::Random); // a *stochastic* attack
+    let controller = Controller::new(cfg);
+    for system in [SystemKind::Ssmw, SystemKind::Msmw] {
+        let first = controller.run(system).unwrap();
+        let second = controller.run(system).unwrap();
+        assert_identical(&first, &second, system.as_str());
+    }
+}
+
+#[test]
+fn changing_the_seed_changes_the_run() {
+    let mut cfg = quick_config();
+    cfg.seed = 1;
+    let a = Controller::new(cfg.clone()).run(SystemKind::Ssmw).unwrap();
+    cfg.seed = 2;
+    let b = Controller::new(cfg).run(SystemKind::Ssmw).unwrap();
+    assert_ne!(
+        a.to_json(),
+        b.to_json(),
+        "different seeds should produce observably different traces"
+    );
+}
+
+#[test]
+fn trace_json_is_a_stable_canonical_encoding() {
+    let trace = Controller::new(quick_config())
+        .run(SystemKind::Vanilla)
+        .unwrap();
+    let json = trace.to_json();
+    let reparsed = garfield::TrainingTrace::from_json(&json).unwrap();
+    assert_eq!(
+        reparsed.to_json(),
+        json,
+        "to_json -> from_json -> to_json must be a fixed point"
+    );
+}

@@ -83,14 +83,32 @@ fn throughput_ordering_matches_the_paper() {
     cfg.eval_every = 0;
     let controller = Controller::new(cfg);
 
-    let vanilla = controller.run(SystemKind::Vanilla).unwrap().updates_per_second();
-    let ssmw = controller.run(SystemKind::Ssmw).unwrap().updates_per_second();
-    let msmw = controller.run(SystemKind::Msmw).unwrap().updates_per_second();
-    let decentralized = controller.run(SystemKind::Decentralized).unwrap().updates_per_second();
+    let vanilla = controller
+        .run(SystemKind::Vanilla)
+        .unwrap()
+        .updates_per_second();
+    let ssmw = controller
+        .run(SystemKind::Ssmw)
+        .unwrap()
+        .updates_per_second();
+    let msmw = controller
+        .run(SystemKind::Msmw)
+        .unwrap()
+        .updates_per_second();
+    let decentralized = controller
+        .run(SystemKind::Decentralized)
+        .unwrap()
+        .updates_per_second();
 
-    assert!(vanilla > ssmw, "vanilla {vanilla} should outpace ssmw {ssmw}");
+    assert!(
+        vanilla > ssmw,
+        "vanilla {vanilla} should outpace ssmw {ssmw}"
+    );
     assert!(ssmw > msmw, "ssmw {ssmw} should outpace msmw {msmw}");
-    assert!(msmw > decentralized, "msmw {msmw} should outpace decentralized {decentralized}");
+    assert!(
+        msmw > decentralized,
+        "msmw {msmw} should outpace decentralized {decentralized}"
+    );
 }
 
 #[test]
@@ -133,9 +151,18 @@ fn gpu_deployments_are_roughly_an_order_of_magnitude_faster() {
     let mut gpu_cfg = cpu_cfg.clone();
     gpu_cfg.device = garfield::Device::Gpu;
 
-    let cpu = Controller::new(cpu_cfg).run(SystemKind::Ssmw).unwrap().updates_per_second();
-    let gpu = Controller::new(gpu_cfg).run(SystemKind::Ssmw).unwrap().updates_per_second();
-    assert!(gpu > 3.0 * cpu, "gpu {gpu} should be much faster than cpu {cpu}");
+    let cpu = Controller::new(cpu_cfg)
+        .run(SystemKind::Ssmw)
+        .unwrap()
+        .updates_per_second();
+    let gpu = Controller::new(gpu_cfg)
+        .run(SystemKind::Ssmw)
+        .unwrap()
+        .updates_per_second();
+    assert!(
+        gpu > 3.0 * cpu,
+        "gpu {gpu} should be much faster than cpu {cpu}"
+    );
 }
 
 #[test]
@@ -143,8 +170,10 @@ fn traces_serialize_to_json_for_the_experiment_reports() {
     let mut cfg = base_config();
     cfg.iterations = 5;
     let trace = Controller::new(cfg).run(SystemKind::Ssmw).unwrap();
-    let json = serde_json::to_string(&trace).expect("trace serializes");
+    let json = trace.to_json();
     assert!(json.contains("\"system\":\"ssmw\""));
-    let back: garfield::TrainingTrace = serde_json::from_str(&json).unwrap();
+    let back = garfield::TrainingTrace::from_json(&json).unwrap();
     assert_eq!(back.len(), trace.len());
+    assert_eq!(back.final_accuracy(), trace.final_accuracy());
+    assert!((back.total_time() - trace.total_time()).abs() < 1e-12);
 }

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//! Instead of criterion's statistical engine it runs each closure a small,
+//! time-bounded number of iterations and prints the mean wall-clock time, so
+//! `cargo bench` produces honest (if unsophisticated) numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    label: String,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, choosing an iteration count that fits within the
+    /// group's measurement time, and prints the mean time per iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up / calibration run.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.measurement_time;
+        let iters = (budget.as_nanos() / first.as_nanos()).clamp(1, 1000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let mean = start.elapsed() / iters;
+        println!(
+            "bench: {:<48} {:>12.3?} /iter ({} iters)",
+            self.label, mean, iters
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target number of samples (accepted for API compatibility;
+    /// the shim sizes iteration counts from the measurement time instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the time budget each benchmark's measurement loop aims for.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            label: format!("{}/{}", self.name, id),
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Runs one benchmark closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            label: format!("{}/{}", self.name, id),
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.default_measurement_time,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            label: id.to_string(),
+            measurement_time: self.default_measurement_time,
+        };
+        f(&mut bencher);
+        self
+    }
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(
+            runs >= 2,
+            "calibration + measurement should run the closure"
+        );
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("krum", 17).to_string(), "krum/17");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

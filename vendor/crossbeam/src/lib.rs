@@ -1,0 +1,44 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided, implemented on top of
+//! `std::sync::mpsc`, whose `Sender`/`Receiver`/`RecvTimeoutError` types have
+//! the exact shape the router needs (cloneable senders, `recv_timeout`).
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (std::sync::mpsc re-exported under crossbeam's names).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)).unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1u32).unwrap();
+        tx2.send(2u32).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

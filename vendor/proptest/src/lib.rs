@@ -1,0 +1,181 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements a
+//! deterministic subset of proptest: the [`proptest!`] macro runs each test
+//! body for `ProptestConfig::cases` cases, sampling every argument from its
+//! strategy with a per-test seeded generator. There is no shrinking and no
+//! persistence — failures report the sampled values via normal assertion
+//! panics, and re-running reproduces them exactly because the seed is a pure
+//! function of the test name.
+//!
+//! Supported strategy surface (what the workspace's tests use):
+//! numeric ranges (`0u64..1000`, `-1.0f32..1.0`), [`Just`], tuples,
+//! [`collection::vec`], [`Strategy::prop_flat_map`], [`Strategy::prop_map`]
+//! and [`prop_oneof!`].
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Alias so `prop::collection::vec(...)` resolves, as with real proptest.
+    pub use crate as prop;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for many sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:pat in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    #[allow(unused_parens)]
+                    let ( $($arg),* ) =
+                        ( $( $crate::strategy::Strategy::sample(&($strategy), &mut rng) ),* );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property for the current case (no early bail-out semantics:
+/// failure panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+///
+/// Expands to `continue` on the case loop, so it is only valid directly
+/// inside a `proptest!` body (which is the only place proptest allows it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Picks uniformly between several strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($strategy),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -2.0f32..2.0, z in 5u64..=9) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((5..=9).contains(&z));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0.0f32..1.0, 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn exact_len_vec(v in prop::collection::vec(0u64..5, 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+
+        #[test]
+        fn flat_map_links_sizes(pair in (1usize..8).prop_flat_map(|n| {
+            (prop::collection::vec(0.0f32..1.0, n), prop::collection::vec(0.0f32..1.0, n))
+        })) {
+            prop_assert_eq!(pair.0.len(), pair.1.len());
+        }
+
+        #[test]
+        fn oneof_picks_a_branch(v in prop_oneof![Just(1u32), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0usize..10, b in 0usize..10) {
+            prop_assume!(a < b);
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("some_test");
+        let mut b = TestRng::from_name("some_test");
+        let s = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate implements exactly the subset of the `rand 0.8` API the
+//! workspace consumes: [`rngs::StdRng`], [`Rng`], [`SeedableRng`] and
+//! `gen` / `gen_range` over the primitive types used by the tensor layer.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the ChaCha12
+//! stream the real `StdRng` uses, but statistically strong, fast and fully
+//! deterministic, which is all the workspace requires (experiments only need
+//! *reproducible* randomness, not a specific stream).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+
+mod std_rng;
+
+/// The core of a random number generator: a source of uniform `u64` words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be created from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its "standard" distribution
+    /// (uniform `[0, 1)` for floats, uniform over all values for integers).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a `bool` that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.gen::<f64>()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be sampled from their standard distribution.
+pub trait StandardSample: Sized {
+    /// Draws one standard-distributed value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high-quality bits -> uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, n)` via Lemire's multiply-shift reduction.
+fn uniform_below<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let u: $t = StandardSample::sample_standard(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_samples_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(rng.gen_range(0..7usize) < 7);
+            let v = rng.gen_range(2..=5usize);
+            assert!((2..=5).contains(&v));
+            let f = rng.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_reasonable() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

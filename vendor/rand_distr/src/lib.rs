@@ -1,0 +1,144 @@
+//! Offline stand-in for the `rand_distr` crate: the [`Distribution`] trait
+//! plus the [`Normal`] and [`Uniform`] distributions the tensor layer uses.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, StandardSample};
+use std::fmt;
+
+/// Types that sample values of `T` from a parameterised distribution.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Gaussian distribution, sampled with the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f32,
+    std_dev: f32,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `std_dev` is negative or not finite.
+    pub fn new(mean: f32, std_dev: f32) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error {
+                what: "std_dev must be finite and non-negative",
+            });
+        }
+        if !mean.is_finite() {
+            return Err(Error {
+                what: "mean must be finite",
+            });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f32> for Normal {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f32 {
+        // Box–Muller: u1 in (0, 1] so the log is finite.
+        let u1: f32 = 1.0 - f32::sample_standard(rng);
+        let u2: f32 = f32::sample_standard(rng);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.mean + self.std_dev * r * theta.cos()
+    }
+}
+
+/// Uniform distribution over an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f32,
+    span: f32,
+    inclusive: bool,
+}
+
+impl Uniform {
+    /// Uniform over the half-open interval `[low, high)`.
+    pub fn new(low: f32, high: f32) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Uniform {
+            low,
+            span: high - low,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over the closed interval `[low, high]`.
+    pub fn new_inclusive(low: f32, high: f32) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Uniform {
+            low,
+            span: high - low,
+            inclusive: true,
+        }
+    }
+}
+
+impl Distribution<f32> for Uniform {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f32 {
+        let u = if self.inclusive {
+            // 24 random bits mapped onto [0, 1].
+            (rng.next_u64() >> 40) as f32 * (1.0 / ((1u64 << 24) - 1) as f32)
+        } else {
+            f32::sample_standard(rng)
+        };
+        self.low + u * self.span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_rejects_bad_std_dev() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f32::NAN).is_err());
+        assert!(Normal::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn normal_moments_are_reasonable() {
+        let dist = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let dist = Uniform::new_inclusive(-0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = dist.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&v), "{v}");
+        }
+    }
+}

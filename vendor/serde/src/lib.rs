@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides just enough surface for the workspace's feature-gated
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]`
+//! attributes to compile without crates.io access: marker traits in the type
+//! namespace and no-op derive macros (re-exported from the in-tree
+//! `serde_derive`) in the macro namespace. Replace both shims with the real
+//! crates to get functional serialization; the workspace's own trace
+//! serialization does not depend on this (see `garfield_core::json`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (the no-op derive implements nothing).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (the no-op derive implements nothing).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The derives expand to nothing: they exist so that
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]`
+//! attributes across the workspace *compile* when the `serde` feature is
+//! enabled in the offline environment. Swapping this shim for the real
+//! `serde`/`serde_derive` crates turns the same attributes into real impls.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
