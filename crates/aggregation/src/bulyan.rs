@@ -60,7 +60,7 @@ impl Bulyan {
         let mut selected = Vec::with_capacity(k);
         for _ in 0..k {
             if remaining.len() <= 1 {
-                selected.extend(remaining.drain(..));
+                selected.append(&mut remaining);
                 break;
             }
             let pool: Vec<Tensor> = remaining.iter().map(|&i| inputs[i].clone()).collect();

@@ -9,7 +9,8 @@
 //!
 //! Recognised experiment ids: `table1`, `fig3a`, `fig3b`, `fig4a`, `fig4b`,
 //! `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`, `fig12`,
-//! `fig13`, `fig14`, `fig15`, `fig16`, `table2`, `variance`, `dec-scaling`.
+//! `fig13`, `fig14`, `fig15`, `fig16`, `table2`, `variance`, `dec-scaling`,
+//! `runtime` (live-vs-sim executor comparison).
 //! Each prints its rows and writes `results/<id>.csv`.
 
 use garfield_bench::figures;
@@ -39,6 +40,7 @@ fn run_one(id: &str) -> Option<(String, Vec<Row>)> {
         "table2" => figures::table2(),
         "fig12" => figures::fig12(),
         "variance" => figures::variance_report(),
+        "runtime" => garfield_bench::runtime_report(),
         "dec-scaling" => figures::decentralized_scaling(),
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -73,6 +75,7 @@ fn main() {
         "table2",
         "variance",
         "dec-scaling",
+        "runtime",
     ];
     let ids: Vec<String> = if args.len() == 1 && args[0] == "all" {
         quick_all.iter().map(|s| s.to_string()).collect()

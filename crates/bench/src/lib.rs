@@ -18,7 +18,9 @@
 
 pub mod figures;
 pub mod report;
+pub mod runtime_throughput;
 pub mod throughput;
 
 pub use report::{write_csv, Row};
+pub use runtime_throughput::{measure as measure_runtime, runtime_report, RuntimePoint};
 pub use throughput::{iteration_time, throughput, ThroughputPoint};

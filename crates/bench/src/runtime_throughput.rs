@@ -1,0 +1,115 @@
+//! Live-vs-sim throughput comparison: the `runtime` report.
+//!
+//! The analytic sim substrate reports *simulated* updates/second (a function
+//! of the cost model, comparable across systems and to the paper's figures);
+//! the live substrate reports *wall-clock* updates/second on this machine
+//! plus the message/byte volume its actors actually moved through the
+//! router. The two throughput columns are therefore not directly comparable
+//! to each other — the report exists to track the live runtime's real cost
+//! over time and to pin the invariant that both substrates learn the same
+//! model (the `acc_gap` column should stay ~0).
+
+use crate::report::Row;
+use garfield_core::{Executor, ExperimentConfig, SimExecutor, SystemKind};
+use garfield_runtime::LiveExecutor;
+
+/// One system's sim-vs-live measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimePoint {
+    /// Which system was measured.
+    pub system: SystemKind,
+    /// Simulated updates/second of the analytic substrate.
+    pub sim_updates_per_second: f64,
+    /// Wall-clock updates/second of the threaded substrate on this machine.
+    pub live_updates_per_second: f64,
+    /// Messages the live actors put on the wire.
+    pub live_messages: u64,
+    /// Payload bytes the live actors put on the wire.
+    pub live_bytes: u64,
+    /// Final accuracy of the sim run.
+    pub sim_accuracy: f64,
+    /// Final accuracy of the live run.
+    pub live_accuracy: f64,
+}
+
+/// Runs vanilla, SSMW and MSMW on both substrates (fault-free, identical
+/// seeds) and measures each.
+///
+/// # Errors
+///
+/// Propagates any configuration or runtime error from either substrate.
+pub fn measure(iterations: usize) -> garfield_core::CoreResult<Vec<RuntimePoint>> {
+    let mut cfg = ExperimentConfig::small();
+    cfg.iterations = iterations.max(1);
+    cfg.eval_every = iterations.max(1);
+    let mut points = Vec::new();
+    for system in [SystemKind::Vanilla, SystemKind::Ssmw, SystemKind::Msmw] {
+        let sim_trace = SimExecutor::new(cfg.clone()).run(system)?;
+        let mut live = LiveExecutor::new(cfg.clone());
+        let report = live.run_live(system)?;
+        let wall: f64 = report.telemetry.round_latencies.iter().sum();
+        points.push(RuntimePoint {
+            system,
+            sim_updates_per_second: sim_trace.updates_per_second(),
+            live_updates_per_second: report.trace.len() as f64 / wall.max(1e-9),
+            live_messages: report.telemetry.total_messages(),
+            live_bytes: report.telemetry.total_bytes(),
+            sim_accuracy: sim_trace.final_accuracy() as f64,
+            live_accuracy: report.trace.final_accuracy() as f64,
+        });
+    }
+    Ok(points)
+}
+
+/// The `runtime` report rows printed by `expfig` and written to
+/// `results/runtime.csv`.
+pub fn runtime_report() -> Vec<Row> {
+    let points = match measure(20) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("runtime report failed: {e}");
+            return Vec::new();
+        }
+    };
+    points
+        .into_iter()
+        .map(|p| {
+            Row::new(
+                p.system.as_str(),
+                vec![
+                    ("sim_ups", p.sim_updates_per_second),
+                    ("live_ups", p.live_updates_per_second),
+                    ("live_msgs", p.live_messages as f64),
+                    ("live_mb", p.live_bytes as f64 / 1.0e6),
+                    ("acc_gap", (p.sim_accuracy - p.live_accuracy).abs()),
+                ],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_substrates_agree_and_live_moves_real_bytes() {
+        let points = measure(6).unwrap();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.sim_updates_per_second > 0.0);
+            assert!(p.live_updates_per_second > 0.0);
+            assert!(p.live_messages > 0, "{}: no live messages", p.system);
+            assert!(p.live_bytes > 0);
+            assert!(
+                (p.sim_accuracy - p.live_accuracy).abs() < 1e-6,
+                "{}: sim {} vs live {}",
+                p.system,
+                p.sim_accuracy,
+                p.live_accuracy
+            );
+        }
+        // MSMW replicates the server: it must move strictly more traffic.
+        assert!(points[2].live_bytes > points[1].live_bytes);
+    }
+}

@@ -37,6 +37,7 @@ pub struct ThroughputPoint {
 ///   all-to-all decentralized topology;
 /// * aggregation — linear-cost rules for averaging/median paths, quadratic
 ///   for the robust gradient GARs, plus the model-path GAR where one runs.
+#[allow(clippy::too_many_arguments)]
 pub fn iteration_time(
     system: SystemKind,
     d: usize,

@@ -32,7 +32,7 @@ pub(crate) fn maybe_evaluate(
 ) {
     let every = deployment.config().eval_every;
     let last = iteration + 1 == deployment.config().iterations;
-    if every == 0 || (iteration % every != 0 && !last) {
+    if every == 0 || (!iteration.is_multiple_of(every) && !last) {
         return;
     }
     let (accuracy, _) = deployment.evaluate(server_index);

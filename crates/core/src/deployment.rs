@@ -38,6 +38,26 @@ pub struct ModelRound {
     pub communication_time: f64,
 }
 
+/// The real node objects of a deployment, extracted so the live runtime
+/// (`garfield-runtime`) can move each one onto its own OS thread.
+///
+/// Construction goes through [`Deployment::new`] first, so the live and sim
+/// substrates share byte-identical initial state: same data shards, same
+/// model initialisation, same attack installation — only the execution
+/// substrate differs.
+pub struct LiveParts {
+    /// The experiment configuration the nodes were built from.
+    pub config: ExperimentConfig,
+    /// One (possibly Byzantine) worker per `config.nw`, in index order.
+    pub workers: Vec<ByzantineWorker>,
+    /// One (possibly Byzantine) server replica per `config.nps`, in index order.
+    pub servers: Vec<ByzantineServer>,
+    /// The held-out evaluation batch (never shown to any worker).
+    pub test_batch: Batch,
+    /// Model dimension `d`.
+    pub dimension: usize,
+}
+
 /// A fully instantiated simulated deployment.
 pub struct Deployment {
     config: ExperimentConfig,
@@ -392,6 +412,18 @@ impl Deployment {
             server.compute_accuracy(&self.test_batch),
             server.compute_loss(&self.test_batch),
         )
+    }
+
+    /// Consumes the deployment and hands out its node objects for the live
+    /// runtime, which runs each of them on its own thread.
+    pub fn into_live_parts(self) -> LiveParts {
+        LiveParts {
+            config: self.config,
+            workers: self.workers,
+            servers: self.servers,
+            test_batch: self.test_batch,
+            dimension: self.dimension,
+        }
     }
 
     /// Simulated time for one node to run a GAR over `inputs` vectors of the

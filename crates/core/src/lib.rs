@@ -41,6 +41,7 @@ pub mod apps;
 mod controller;
 mod deployment;
 mod error;
+mod executor;
 mod experiment;
 pub mod json;
 mod server;
@@ -49,9 +50,12 @@ mod worker;
 
 pub use alignment::{alignment_sample, AlignmentSample};
 pub use controller::Controller;
-pub use deployment::{Deployment, GradientRound, ModelRound};
+pub use deployment::{Deployment, GradientRound, LiveParts, ModelRound};
 pub use error::{CoreError, CoreResult};
+pub use executor::{ExecMode, Executor, SimExecutor};
 pub use experiment::{ExperimentConfig, SystemKind};
 pub use server::{ByzantineServer, ParameterServer};
-pub use telemetry::{AccuracyPoint, IterationTiming, TrainingTrace};
+pub use telemetry::{
+    AccuracyPoint, IterationTiming, NodeTelemetry, RuntimeTelemetry, TrainingTrace,
+};
 pub use worker::{ByzantineWorker, Worker};

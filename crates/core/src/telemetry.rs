@@ -8,6 +8,7 @@
 
 use crate::json;
 use crate::{CoreError, CoreResult};
+use garfield_net::Role;
 use std::fmt::Write as _;
 
 /// Simulated time spent in each phase of one training iteration, in seconds.
@@ -246,6 +247,100 @@ impl TrainingTrace {
     }
 }
 
+/// Network counters of one live-runtime node (a worker or server thread).
+///
+/// The simulated path charges an analytic [`CostModel`](garfield_net::CostModel)
+/// instead of moving bytes; the live runtime actually routes every gradient
+/// and model over the wire, and these counters are the proof — they must be
+/// nonzero for every participating node after a live run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTelemetry {
+    /// Raw node id on the router.
+    pub node: u32,
+    /// Whether this node ran the server or the worker actor loop.
+    pub role: Role,
+    /// Messages this node put on the wire.
+    pub messages_sent: u64,
+    /// Messages this node received from its inbox.
+    pub messages_received: u64,
+    /// Payload bytes this node put on the wire.
+    pub bytes_sent: u64,
+    /// Payload bytes this node received.
+    pub bytes_received: u64,
+}
+
+impl NodeTelemetry {
+    /// Creates zeroed counters for a node.
+    pub fn new(node: u32, role: Role) -> Self {
+        NodeTelemetry {
+            node,
+            role,
+            messages_sent: 0,
+            messages_received: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Records one outbound message of `bytes` payload bytes.
+    pub fn record_send(&mut self, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    /// Records one inbound message of `bytes` payload bytes.
+    pub fn record_recv(&mut self, bytes: usize) {
+        self.messages_received += 1;
+        self.bytes_received += bytes as u64;
+    }
+
+    /// Whether this node both sent and received at least one message.
+    pub fn is_active(&self) -> bool {
+        self.messages_sent > 0 && self.messages_received > 0
+    }
+}
+
+/// Aggregate telemetry of one live run: per-node counters plus the observer
+/// server's wall-clock round latencies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeTelemetry {
+    /// One entry per node, servers first then workers, in id order.
+    pub nodes: Vec<NodeTelemetry>,
+    /// Wall-clock seconds per training iteration, measured by server 0.
+    pub round_latencies: Vec<f64>,
+}
+
+impl RuntimeTelemetry {
+    /// Total messages sent across all nodes.
+    pub fn total_messages(&self) -> u64 {
+        self.nodes.iter().map(|n| n.messages_sent).sum()
+    }
+
+    /// Total payload bytes sent across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// The nodes that played the given role.
+    pub fn nodes_with_role(&self, role: Role) -> impl Iterator<Item = &NodeTelemetry> {
+        self.nodes.iter().filter(move |n| n.role == role)
+    }
+
+    /// Whether every node both sent and received messages (the liveness
+    /// signature of a healthy run; crashed nodes may legitimately fail this).
+    pub fn all_nodes_active(&self) -> bool {
+        !self.nodes.is_empty() && self.nodes.iter().all(NodeTelemetry::is_active)
+    }
+
+    /// Mean wall-clock seconds per iteration (0.0 before any round completes).
+    pub fn mean_round_latency(&self) -> f64 {
+        if self.round_latencies.is_empty() {
+            return 0.0;
+        }
+        self.round_latencies.iter().sum::<f64>() / self.round_latencies.len() as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +422,41 @@ mod tests {
         assert_eq!(t.time_to_accuracy(0.4).unwrap(), 7.0);
         assert!(t.time_to_accuracy(0.99).is_none());
         assert_eq!(TrainingTrace::new("x", 1).final_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn node_telemetry_counts_and_activity() {
+        let mut n = NodeTelemetry::new(3, Role::Worker);
+        assert!(!n.is_active());
+        n.record_send(100);
+        n.record_send(50);
+        n.record_recv(10);
+        assert_eq!(n.messages_sent, 2);
+        assert_eq!(n.bytes_sent, 150);
+        assert_eq!(n.messages_received, 1);
+        assert_eq!(n.bytes_received, 10);
+        assert!(n.is_active());
+    }
+
+    #[test]
+    fn runtime_telemetry_aggregates_across_nodes() {
+        let mut server = NodeTelemetry::new(0, Role::Server);
+        server.record_send(1000);
+        server.record_recv(2000);
+        let mut worker = NodeTelemetry::new(1, Role::Worker);
+        worker.record_send(2000);
+        worker.record_recv(1000);
+        let telemetry = RuntimeTelemetry {
+            nodes: vec![server, worker],
+            round_latencies: vec![0.5, 1.5],
+        };
+        assert_eq!(telemetry.total_messages(), 2);
+        assert_eq!(telemetry.total_bytes(), 3000);
+        assert_eq!(telemetry.nodes_with_role(Role::Server).count(), 1);
+        assert!(telemetry.all_nodes_active());
+        assert!((telemetry.mean_round_latency() - 1.0).abs() < 1e-12);
+        assert!(!RuntimeTelemetry::default().all_nodes_active());
+        assert_eq!(RuntimeTelemetry::default().mean_round_latency(), 0.0);
     }
 
     #[test]

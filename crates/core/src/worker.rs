@@ -186,6 +186,19 @@ impl std::fmt::Debug for ByzantineWorker {
 }
 
 #[cfg(test)]
+impl Worker {
+    /// Test helper: gradient at `params` on batch 0 without mutating iteration state.
+    fn replica_gradient_for_test(&self, params: &Tensor) -> (f32, Tensor) {
+        let mut replica = self.replica.clone_boxed();
+        replica
+            .set_parameters(params)
+            .expect("test params are valid");
+        let batch = self.data.batch(0, self.batch_size).expect("test batch");
+        replica.gradient(&batch)
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use garfield_attacks::ReversedVectorAttack;
@@ -259,18 +272,5 @@ mod tests {
         for (s, h) in sent.iter().zip(honest.iter()) {
             assert!((s + 100.0 * h).abs() < 1e-3);
         }
-    }
-}
-
-#[cfg(test)]
-impl Worker {
-    /// Test helper: gradient at `params` on batch 0 without mutating iteration state.
-    fn replica_gradient_for_test(&self, params: &Tensor) -> (f32, Tensor) {
-        let mut replica = self.replica.clone_boxed();
-        replica
-            .set_parameters(params)
-            .expect("test params are valid");
-        let batch = self.data.batch(0, self.batch_size).expect("test batch");
-        replica.gradient(&batch)
     }
 }

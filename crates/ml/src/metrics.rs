@@ -14,7 +14,7 @@ pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
     }
     let n = rows.min(labels.len());
     let mut correct = 0usize;
-    for r in 0..n {
+    for (r, &label) in labels.iter().enumerate().take(n) {
         let row = &logits.data()[r * cols..(r + 1) * cols];
         let mut best = 0usize;
         for (c, &v) in row.iter().enumerate() {
@@ -22,7 +22,7 @@ pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
                 best = c;
             }
         }
-        if best == labels[r] {
+        if best == label {
             correct += 1;
         }
     }

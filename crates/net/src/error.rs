@@ -29,6 +29,17 @@ pub enum NetError {
         /// Number of peers that could possibly reply.
         available: usize,
     },
+    /// A wire payload declared an unsupported format version.
+    WireVersion(u8),
+    /// A wire payload used an unknown message-kind byte.
+    WireKind(u8),
+    /// A wire payload was truncated or carried trailing bytes.
+    WireSize {
+        /// The byte length the header (or minimum header size) implies.
+        expected: usize,
+        /// The byte length actually received.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -46,6 +57,11 @@ impl fmt::Display for NetError {
                     f,
                     "requested {requested} replies but only {available} peers are available"
                 )
+            }
+            NetError::WireVersion(v) => write!(f, "unsupported wire format version {v}"),
+            NetError::WireKind(k) => write!(f, "unknown wire message kind {k}"),
+            NetError::WireSize { expected, actual } => {
+                write!(f, "wire payload of {actual} bytes, expected {expected}")
             }
         }
     }
@@ -72,5 +88,12 @@ mod tests {
             to: NodeId(2),
         };
         assert!(u.to_string().contains('2'));
+        assert!(NetError::WireVersion(9).to_string().contains('9'));
+        assert!(NetError::WireKind(7).to_string().contains('7'));
+        let s = NetError::WireSize {
+            expected: 18,
+            actual: 4,
+        };
+        assert!(s.to_string().contains("18") && s.to_string().contains('4'));
     }
 }

@@ -19,7 +19,10 @@
 //!   paper's `get_gradients()` / `get_models()` abstractions;
 //! * a real, thread-safe [`Router`] of byte messages (pull-based
 //!   request/response over channels) used by the integration tests and the
-//!   quickstart example to demonstrate the communication layer end to end.
+//!   quickstart example to demonstrate the communication layer end to end;
+//! * the compact binary [`WireMessage`] format (version byte, round tag,
+//!   length-prefixed `f32` payload) that the threaded `garfield-runtime`
+//!   actors exchange over the router when training runs for real.
 //!
 //! # Quick example
 //!
@@ -50,6 +53,7 @@ mod error;
 mod pull;
 mod router;
 mod time;
+mod wire;
 
 pub use cluster::{Cluster, ClusterBuilder, NodeId, NodeInfo, Role};
 pub use cost::{CostModel, Device, LinkProfile};
@@ -57,3 +61,4 @@ pub use error::{NetError, NetResult};
 pub use pull::PullRound;
 pub use router::{Envelope, Router, RouterHandle};
 pub use time::SimClock;
+pub use wire::{MsgKind, WireMessage, WIRE_HEADER_BYTES, WIRE_VERSION};

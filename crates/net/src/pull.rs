@@ -35,13 +35,14 @@ impl PullRound {
     /// Returns the `q` fastest repliers and the simulated time at which the
     /// `q`-th reply arrives (i.e. when the requester can proceed).
     ///
-    /// If `q` exceeds the number of available replies, all replies are
-    /// returned — callers that need a hard guarantee should use
+    /// `q = 0` asks for nothing and returns an empty selection at zero
+    /// elapsed time. If `q` exceeds the number of available replies, all
+    /// replies are returned — callers that need a hard guarantee should use
     /// [`PullRound::try_fastest`].
     pub fn fastest(&self, q: usize) -> (Vec<NodeId>, f64) {
         let mut sorted = self.replies.clone();
         sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        sorted.truncate(q.max(1).min(sorted.len()));
+        sorted.truncate(q.min(sorted.len()));
         let elapsed = sorted.last().map(|&(_, t)| t).unwrap_or(0.0);
         (sorted.into_iter().map(|(id, _)| id).collect(), elapsed)
     }
@@ -118,6 +119,18 @@ mod tests {
         let (_, t3) = r.fastest(3);
         let (_, t4) = r.fastest(4);
         assert!(t2 <= t3 && t3 <= t4);
+    }
+
+    #[test]
+    fn fastest_zero_returns_an_empty_selection_at_zero_time() {
+        // Regression: `fastest(0)` used to clamp to 1 and silently return the
+        // single fastest reply after a nonzero wait.
+        let (ids, elapsed) = round().fastest(0);
+        assert!(ids.is_empty());
+        assert_eq!(elapsed, 0.0);
+        let (ids, elapsed) = round().try_fastest(0).unwrap();
+        assert!(ids.is_empty());
+        assert_eq!(elapsed, 0.0);
     }
 
     #[test]

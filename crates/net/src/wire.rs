@@ -1,0 +1,276 @@
+//! The compact binary wire format of the live runtime.
+//!
+//! Every message the threaded actor runtime (`garfield-runtime`) exchanges
+//! over the [`Router`](crate::Router) is one [`WireMessage`], encoded as a
+//! fixed header followed by a length-prefixed little-endian `f32` payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     format version  (= [`WIRE_VERSION`])
+//! 1       1     message kind    (see [`MsgKind`])
+//! 2       8     round tag       (u64 LE — the training iteration)
+//! 10      4     aux scalar      (f32 LE — e.g. the training loss of a reply)
+//! 14      4     payload length  (u32 LE — number of f32 values, not bytes)
+//! 18      4·n   payload         (f32 LE values: a flat gradient or model)
+//! ```
+//!
+//! The payload is bit-transparent: NaNs and infinities round-trip exactly
+//! (decoding never interprets the values), which matters because a Byzantine
+//! node may deliberately send non-finite vectors. Decoding is strict — a
+//! wrong version, an unknown kind, a truncated buffer or trailing bytes are
+//! all errors rather than best-effort accepts.
+
+use crate::{NetError, NetResult};
+use bytes::Bytes;
+
+/// Current wire-format version byte.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Size of the fixed message header in bytes.
+pub const WIRE_HEADER_BYTES: usize = 18;
+
+/// The message kinds of the live training protocol.
+///
+/// Servers pull gradients from workers and models from peer replicas — the
+/// paper's `get_gradients()` / `get_models()` RPCs (§3.2) — so each pull is a
+/// request/reply pair; `Shutdown` and `ServerDone` are control messages used
+/// to wind the actors down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Server → worker: "compute a gradient at these parameters" (payload =
+    /// the server's current model).
+    GradientRequest,
+    /// Worker → server: the gradient estimate (payload = gradient, aux =
+    /// training loss on the worker's mini-batch).
+    GradientReply,
+    /// Server → server: "serve me your model" (empty payload).
+    ModelRequest,
+    /// Server → server: the served model vector (payload = model).
+    ModelReply,
+    /// Controller → worker: stop the actor loop (empty payload).
+    Shutdown,
+    /// Server → server: "I finished my last iteration" (empty payload);
+    /// lets peers stop serving model requests without a timeout.
+    ServerDone,
+}
+
+impl MsgKind {
+    /// All kinds, in wire-byte order.
+    pub fn all() -> [MsgKind; 6] {
+        [
+            MsgKind::GradientRequest,
+            MsgKind::GradientReply,
+            MsgKind::ModelRequest,
+            MsgKind::ModelReply,
+            MsgKind::Shutdown,
+            MsgKind::ServerDone,
+        ]
+    }
+
+    /// The byte this kind encodes to.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            MsgKind::GradientRequest => 0,
+            MsgKind::GradientReply => 1,
+            MsgKind::ModelRequest => 2,
+            MsgKind::ModelReply => 3,
+            MsgKind::Shutdown => 4,
+            MsgKind::ServerDone => 5,
+        }
+    }
+
+    /// Parses a kind byte.
+    pub fn from_byte(byte: u8) -> Option<MsgKind> {
+        MsgKind::all().into_iter().find(|k| k.to_byte() == byte)
+    }
+}
+
+/// One decoded protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMessage {
+    /// What this message is (request, reply, control).
+    pub kind: MsgKind,
+    /// The training iteration this message belongs to.
+    pub round: u64,
+    /// Kind-specific scalar (gradient replies carry the training loss here;
+    /// other kinds leave it at 0.0).
+    pub aux: f32,
+    /// The flat tensor payload (a gradient or model vector; may be empty).
+    pub values: Vec<f32>,
+}
+
+impl WireMessage {
+    /// Creates a message with a tensor payload.
+    pub fn new(kind: MsgKind, round: u64, aux: f32, values: Vec<f32>) -> Self {
+        WireMessage {
+            kind,
+            round,
+            aux,
+            values,
+        }
+    }
+
+    /// Creates a payload-free message (requests and control messages).
+    pub fn control(kind: MsgKind, round: u64) -> Self {
+        WireMessage::new(kind, round, 0.0, Vec::new())
+    }
+
+    /// The exact number of bytes [`WireMessage::encode`] will produce.
+    pub fn encoded_len(&self) -> usize {
+        WIRE_HEADER_BYTES + 4 * self.values.len()
+    }
+
+    /// Encodes the message into an immutable byte buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload holds more than `u32::MAX` values (a vector four
+    /// orders of magnitude beyond the largest model in the paper's Table 1).
+    pub fn encode(&self) -> Bytes {
+        assert!(
+            self.values.len() <= u32::MAX as usize,
+            "wire payload of {} values exceeds the u32 length prefix",
+            self.values.len()
+        );
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.push(WIRE_VERSION);
+        buf.push(self.kind.to_byte());
+        buf.extend_from_slice(&self.round.to_le_bytes());
+        buf.extend_from_slice(&self.aux.to_le_bytes());
+        buf.extend_from_slice(&(self.values.len() as u32).to_le_bytes());
+        for v in &self.values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Bytes::from(buf)
+    }
+
+    /// Decodes a message, validating version, kind and exact length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::WireVersion`] for an unsupported version byte,
+    /// [`NetError::WireKind`] for an unknown kind byte and
+    /// [`NetError::WireSize`] for a buffer that is truncated or carries
+    /// trailing bytes.
+    pub fn decode(buf: &[u8]) -> NetResult<WireMessage> {
+        if buf.len() < WIRE_HEADER_BYTES {
+            return Err(NetError::WireSize {
+                expected: WIRE_HEADER_BYTES,
+                actual: buf.len(),
+            });
+        }
+        if buf[0] != WIRE_VERSION {
+            return Err(NetError::WireVersion(buf[0]));
+        }
+        let kind = MsgKind::from_byte(buf[1]).ok_or(NetError::WireKind(buf[1]))?;
+        let round = u64::from_le_bytes(buf[2..10].try_into().expect("8 header bytes"));
+        let aux = f32::from_le_bytes(buf[10..14].try_into().expect("4 header bytes"));
+        let len = u32::from_le_bytes(buf[14..18].try_into().expect("4 header bytes")) as usize;
+        // Checked arithmetic: on 32-bit targets an adversarial length prefix
+        // could overflow `4 * len`; a malformed size must be an error, never
+        // a panic or a wrapped comparison.
+        let expected = len
+            .checked_mul(4)
+            .and_then(|bytes| bytes.checked_add(WIRE_HEADER_BYTES));
+        match expected {
+            Some(expected) if buf.len() == expected => {}
+            _ => {
+                return Err(NetError::WireSize {
+                    expected: expected.unwrap_or(usize::MAX),
+                    actual: buf.len(),
+                })
+            }
+        }
+        let values = buf[WIRE_HEADER_BYTES..]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("exact 4-byte chunks")))
+            .collect();
+        Ok(WireMessage {
+            kind,
+            round,
+            aux,
+            values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_bytes_round_trip_and_unknowns_are_rejected() {
+        for kind in MsgKind::all() {
+            assert_eq!(MsgKind::from_byte(kind.to_byte()), Some(kind));
+        }
+        assert_eq!(MsgKind::from_byte(6), None);
+        assert_eq!(MsgKind::from_byte(255), None);
+    }
+
+    #[test]
+    fn header_layout_is_stable() {
+        let msg = WireMessage::new(MsgKind::GradientReply, 0x0102_0304, 1.0, vec![2.0]);
+        let buf = msg.encode();
+        assert_eq!(buf.len(), msg.encoded_len());
+        assert_eq!(buf[0], WIRE_VERSION);
+        assert_eq!(buf[1], MsgKind::GradientReply.to_byte());
+        assert_eq!(&buf[2..10], &0x0102_0304u64.to_le_bytes());
+        assert_eq!(&buf[10..14], &1.0f32.to_le_bytes());
+        assert_eq!(&buf[14..18], &1u32.to_le_bytes());
+        assert_eq!(&buf[18..22], &2.0f32.to_le_bytes());
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let msg = WireMessage::control(MsgKind::Shutdown, 7);
+        let back = WireMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(back.values.len(), 0);
+        assert_eq!(msg.encoded_len(), WIRE_HEADER_BYTES);
+    }
+
+    #[test]
+    fn payload_round_trips_bit_exactly() {
+        let msg = WireMessage::new(
+            MsgKind::ModelReply,
+            u64::MAX,
+            f32::NAN,
+            vec![1.5, -0.0, f32::INFINITY, f32::NEG_INFINITY, f32::NAN],
+        );
+        let back = WireMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(back.kind, msg.kind);
+        assert_eq!(back.round, msg.round);
+        assert_eq!(back.aux.to_bits(), msg.aux.to_bits());
+        let bits: Vec<u32> = back.values.iter().map(|v| v.to_bits()).collect();
+        let expected: Vec<u32> = msg.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, expected);
+    }
+
+    #[test]
+    fn bad_version_kind_and_size_are_errors() {
+        let buf = WireMessage::new(MsgKind::GradientRequest, 3, 0.0, vec![1.0, 2.0]).encode();
+        let mut bad_version = buf.to_vec();
+        bad_version[0] = WIRE_VERSION + 1;
+        assert_eq!(
+            WireMessage::decode(&bad_version),
+            Err(NetError::WireVersion(WIRE_VERSION + 1))
+        );
+        let mut bad_kind = buf.to_vec();
+        bad_kind[1] = 9;
+        assert_eq!(WireMessage::decode(&bad_kind), Err(NetError::WireKind(9)));
+        assert!(matches!(
+            WireMessage::decode(&buf[..buf.len() - 1]),
+            Err(NetError::WireSize { .. })
+        ));
+        let mut trailing = buf.to_vec();
+        trailing.push(0);
+        assert!(matches!(
+            WireMessage::decode(&trailing),
+            Err(NetError::WireSize { .. })
+        ));
+        assert!(matches!(
+            WireMessage::decode(&[]),
+            Err(NetError::WireSize { .. })
+        ));
+    }
+}

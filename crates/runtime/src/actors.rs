@@ -1,0 +1,482 @@
+//! The worker and server actors: one OS thread per node, real messages only.
+//!
+//! Workers are passive repliers (the paper's `Worker` object): they wait for
+//! a [`MsgKind::GradientRequest`] carrying the requesting server's model,
+//! compute a real gradient on their own shard and send it back. Server
+//! replicas drive the training loop: broadcast the model, unblock on the
+//! fastest `q` gradient replies, robustly aggregate, update — and, in MSMW,
+//! pull peer models the same way. All payloads travel as
+//! [`WireMessage`]-encoded bytes through the [`Router`](garfield_net::Router).
+
+use crate::fault::Fault;
+use garfield_aggregation::{build_gar, GarKind};
+use garfield_attacks::Attack;
+use garfield_core::{
+    AccuracyPoint, ByzantineServer, ByzantineWorker, CoreError, CoreResult, ExperimentConfig,
+    IterationTiming, NodeTelemetry, SystemKind, TrainingTrace,
+};
+use garfield_ml::Batch;
+use garfield_net::{MsgKind, NodeId, Router, RouterHandle, WireMessage};
+use garfield_tensor::{Tensor, TensorRng};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Everything a worker thread needs.
+pub(crate) struct WorkerActor {
+    pub handle: RouterHandle,
+    pub router: Router,
+    pub worker: ByzantineWorker,
+    pub fault: Option<Fault>,
+    pub fault_attack: Option<Box<dyn Attack>>,
+    pub fault_rng: TensorRng,
+    pub idle_timeout: Duration,
+    pub telemetry: NodeTelemetry,
+}
+
+impl WorkerActor {
+    /// The worker loop: serve gradient requests until shutdown, crash or
+    /// prolonged silence. Returns the node's network counters.
+    pub fn run(mut self) -> NodeTelemetry {
+        // Exits on shutdown/crash, or when the inbox stays silent past the
+        // idle timeout (router gone or run abandoned).
+        while let Ok(envelope) = self.handle.recv_timeout(self.idle_timeout) {
+            self.telemetry.record_recv(envelope.payload.len());
+            let Ok(message) = WireMessage::decode(&envelope.payload) else {
+                continue; // garbage on the wire: a correct node ignores it
+            };
+            match message.kind {
+                MsgKind::Shutdown => break,
+                MsgKind::GradientRequest => {
+                    let iteration = message.round as usize;
+                    if let Some(Fault::CrashAt { iteration: at }) = self.fault {
+                        if iteration >= at {
+                            // Go silent: peers must survive via quorums, not errors.
+                            self.router.crash(self.handle.id());
+                            break;
+                        }
+                    }
+                    if let Some(Fault::Delay { millis }) = self.fault {
+                        std::thread::sleep(Duration::from_millis(millis));
+                    }
+                    let params = Tensor::from_slice(&message.values);
+                    let Ok((loss, gradient)) = self.worker.reply_gradient(&params, iteration, &[])
+                    else {
+                        continue; // malformed request (wrong dimension): drop it
+                    };
+                    let sent = match &self.fault_attack {
+                        Some(attack) => attack.corrupt(&gradient, &[], &mut self.fault_rng),
+                        None => gradient,
+                    };
+                    let reply = WireMessage::new(
+                        MsgKind::GradientReply,
+                        message.round,
+                        loss,
+                        sent.into_vec(),
+                    );
+                    let payload = reply.encode();
+                    let bytes = payload.len();
+                    if self
+                        .handle
+                        .send(envelope.from, message.round, payload)
+                        .is_ok()
+                    {
+                        self.telemetry.record_send(bytes);
+                    }
+                }
+                _ => {} // server-to-server traffic never addresses a worker
+            }
+        }
+        self.telemetry
+    }
+}
+
+/// One collected reply: sender, aux scalar (loss), payload values.
+type Reply = (NodeId, f32, Vec<f32>);
+
+/// Everything a server-replica thread needs.
+pub(crate) struct ServerActor {
+    pub index: usize,
+    pub handle: RouterHandle,
+    pub router: Router,
+    pub server: ByzantineServer,
+    pub system: SystemKind,
+    pub config: ExperimentConfig,
+    pub worker_ids: Vec<NodeId>,
+    pub peer_ids: Vec<NodeId>,
+    pub gradient_quorum: usize,
+    pub round_deadline: Duration,
+    pub fault: Option<Fault>,
+    pub fault_attack: Option<Box<dyn Attack>>,
+    pub fault_rng: TensorRng,
+    /// Only the observer (server 0) evaluates accuracy.
+    pub test_batch: Option<Batch>,
+    pub telemetry: NodeTelemetry,
+    // Protocol state.
+    round: usize,
+    phase1_done: bool,
+    /// The model this replica serves to peers: snapshotted once per round,
+    /// right after the gradient update and before the model merge, so a
+    /// request for round `r` always observes the same post-update state no
+    /// matter when it arrives relative to this replica's own progress.
+    served_snapshot: Option<Tensor>,
+    deferred_requests: Vec<(NodeId, u64)>,
+    done_peers: HashSet<NodeId>,
+    round_latencies: Vec<f64>,
+}
+
+/// What a server thread hands back when it finishes.
+pub(crate) struct ServerOutcome {
+    pub index: usize,
+    pub trace: TrainingTrace,
+    pub final_model: Tensor,
+    pub telemetry: NodeTelemetry,
+    pub round_latencies: Vec<f64>,
+}
+
+impl ServerActor {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        index: usize,
+        handle: RouterHandle,
+        router: Router,
+        server: ByzantineServer,
+        system: SystemKind,
+        config: ExperimentConfig,
+        worker_ids: Vec<NodeId>,
+        peer_ids: Vec<NodeId>,
+        gradient_quorum: usize,
+        round_deadline: Duration,
+        fault: Option<Fault>,
+        fault_attack: Option<Box<dyn Attack>>,
+        fault_rng: TensorRng,
+        test_batch: Option<Batch>,
+    ) -> Self {
+        let telemetry = NodeTelemetry::new(handle.id().0, garfield_net::Role::Server);
+        ServerActor {
+            index,
+            handle,
+            router,
+            server,
+            system,
+            config,
+            worker_ids,
+            peer_ids,
+            gradient_quorum,
+            round_deadline,
+            fault,
+            fault_attack,
+            fault_rng,
+            test_batch,
+            telemetry,
+            round: 0,
+            phase1_done: false,
+            served_snapshot: None,
+            deferred_requests: Vec::new(),
+            done_peers: HashSet::new(),
+            round_latencies: Vec::new(),
+        }
+    }
+
+    /// Runs the replica's training loop to completion.
+    pub fn run(mut self) -> CoreResult<ServerOutcome> {
+        let (gar_kind, gar_f) = match self.system {
+            SystemKind::Vanilla => (GarKind::Average, 0),
+            _ => (self.config.gradient_gar, self.config.fw),
+        };
+        let gradient_gar = build_gar(gar_kind, self.gradient_quorum, gar_f)?;
+        let model_quorum = self.config.model_quorum();
+        let mut trace = TrainingTrace::new(self.system.as_str(), self.config.effective_batch());
+        let mut crashed = false;
+
+        for iteration in 0..self.config.iterations {
+            self.round = iteration;
+            self.phase1_done = false;
+            if let Some(Fault::CrashAt { iteration: at }) = self.fault {
+                if iteration >= at {
+                    crashed = true;
+                    break;
+                }
+            }
+            if let Some(Fault::Delay { millis }) = self.fault {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            let round_start = Instant::now();
+
+            // --- get_gradients(iteration, q): broadcast the model, unblock
+            // on the fastest q gradient replies.
+            let params = self.server.honest().parameters();
+            let request = WireMessage::new(
+                MsgKind::GradientRequest,
+                iteration as u64,
+                0.0,
+                params.data().to_vec(),
+            )
+            .encode();
+            for to in self.worker_ids.clone() {
+                self.send(to, iteration as u64, request.clone());
+            }
+            let replies = self.collect(
+                MsgKind::GradientReply,
+                iteration as u64,
+                self.gradient_quorum,
+            );
+            if replies.len() < self.gradient_quorum {
+                return Err(self.liveness_error(
+                    "gradient",
+                    iteration,
+                    replies.len(),
+                    self.gradient_quorum,
+                ));
+            }
+            let mut gradients = Vec::with_capacity(replies.len());
+            let mut loss_sum = 0.0f32;
+            for (_, loss, values) in &replies {
+                gradients.push(Tensor::from_slice(values));
+                loss_sum += loss;
+            }
+            let mean_loss = loss_sum / replies.len() as f32;
+            let mut communication = round_start.elapsed().as_secs_f64();
+
+            let aggregate_start = Instant::now();
+            let aggregated = self
+                .server
+                .honest()
+                .aggregate(gradient_gar.as_ref(), &gradients)?;
+            self.server.honest_mut().update_model(&aggregated)?;
+            let mut aggregation = aggregate_start.elapsed().as_secs_f64();
+
+            // The model is now the post-update state of this round: snapshot
+            // it as the vector served to peers (one Byzantine corruption per
+            // round, so the served content is scheduling-independent), then
+            // answer any get_models() that raced ahead of us.
+            self.phase1_done = true;
+            if !self.peer_ids.is_empty() {
+                self.refresh_served_snapshot();
+            }
+            self.flush_deferred();
+
+            // --- get_models(q): pull the fastest q peer models (MSMW only).
+            if self.system == SystemKind::Msmw && !self.peer_ids.is_empty() {
+                let pull_start = Instant::now();
+                let request =
+                    WireMessage::control(MsgKind::ModelRequest, iteration as u64).encode();
+                for to in self.peer_ids.clone() {
+                    self.send(to, iteration as u64, request.clone());
+                }
+                let model_replies =
+                    self.collect(MsgKind::ModelReply, iteration as u64, model_quorum);
+                if model_replies.len() < model_quorum {
+                    return Err(self.liveness_error(
+                        "model",
+                        iteration,
+                        model_replies.len(),
+                        model_quorum,
+                    ));
+                }
+                let mut inputs: Vec<Tensor> = model_replies
+                    .iter()
+                    .map(|(_, _, values)| Tensor::from_slice(values))
+                    .collect();
+                inputs.push(self.server.honest().parameters());
+                communication += pull_start.elapsed().as_secs_f64();
+
+                let merge_start = Instant::now();
+                let model_gar = build_gar(self.config.model_gar, inputs.len(), self.config.fps)?;
+                let merged = self
+                    .server
+                    .honest()
+                    .aggregate(model_gar.as_ref(), &inputs)?;
+                self.server.honest_mut().write_model(&merged)?;
+                aggregation += merge_start.elapsed().as_secs_f64();
+            }
+
+            // Live timing is wall-clock: the server cannot separate its
+            // workers' compute from transfer, so the whole pull shows up as
+            // communication and only the local GAR time is split out.
+            trace.iterations.push(IterationTiming {
+                computation: 0.0,
+                communication,
+                aggregation,
+            });
+            self.round_latencies
+                .push(round_start.elapsed().as_secs_f64());
+
+            if let Some(test) = &self.test_batch {
+                let every = self.config.eval_every;
+                let last = iteration + 1 == self.config.iterations;
+                if every != 0 && (iteration % every == 0 || last) {
+                    let accuracy = self.server.honest().compute_accuracy(test);
+                    trace.accuracy.push(AccuracyPoint {
+                        iteration,
+                        sim_time: trace.total_time(),
+                        accuracy,
+                        loss: mean_loss,
+                    });
+                }
+            }
+        }
+
+        if crashed {
+            self.router.crash(self.handle.id());
+        } else {
+            self.linger();
+        }
+        Ok(ServerOutcome {
+            index: self.index,
+            trace,
+            final_model: self.server.honest().parameters(),
+            telemetry: self.telemetry,
+            round_latencies: self.round_latencies,
+        })
+    }
+
+    /// Receives until `want` replies of `(kind, round)` arrived or the
+    /// deadline passed, servicing peer model requests along the way.
+    ///
+    /// The result is sorted by sender id, which makes the aggregation input
+    /// independent of message arrival *order*. Note the quorum *membership*
+    /// is still arrival-driven when `want` is below the number of live
+    /// repliers: full-quorum (synchronous) runs are bit-reproducible,
+    /// sub-quorum asynchronous runs are live but not.
+    fn collect(&mut self, kind: MsgKind, round: u64, want: usize) -> Vec<Reply> {
+        let deadline = Instant::now() + self.round_deadline;
+        let mut collected: Vec<Reply> = Vec::with_capacity(want);
+        while collected.len() < want {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let envelope = match self.handle.recv_timeout(deadline - now) {
+                Ok(env) => env,
+                Err(_) => break,
+            };
+            self.telemetry.record_recv(envelope.payload.len());
+            let Ok(message) = WireMessage::decode(&envelope.payload) else {
+                continue;
+            };
+            if message.kind == kind && message.round == round {
+                // One reply per peer per round; duplicates are Byzantine noise.
+                if !collected.iter().any(|(id, _, _)| *id == envelope.from) {
+                    collected.push((envelope.from, message.aux, message.values));
+                }
+            } else {
+                self.handle_protocol(envelope.from, &message);
+            }
+        }
+        collected.sort_by_key(|(id, _, _)| *id);
+        collected
+    }
+
+    /// Handles protocol traffic that is not the reply currently waited on.
+    fn handle_protocol(&mut self, from: NodeId, message: &WireMessage) {
+        match message.kind {
+            MsgKind::ModelRequest => {
+                // Serve the post-update state of the requested round: a
+                // request for a round this replica has not yet updated for
+                // (its own round, pre-update, or a future round a fast peer
+                // raced into) is deferred until the matching snapshot exists
+                // — sim semantics, where get_models() always observes peers
+                // after their gradient step of the same round.
+                let requested = message.round as usize;
+                if requested < self.round || (requested == self.round && self.phase1_done) {
+                    self.serve_model(from, message.round);
+                } else {
+                    self.deferred_requests.push((from, message.round));
+                }
+            }
+            MsgKind::ServerDone => {
+                self.done_peers.insert(from);
+            }
+            _ => {} // stale replies from rounds this replica already left behind
+        }
+    }
+
+    /// Recomputes the vector this replica serves to peers (corrupted if the
+    /// replica is Byzantine — by config attack inside
+    /// [`ByzantineServer::served_model`], by fault-plan attack here).
+    fn refresh_served_snapshot(&mut self) {
+        let served = self.server.served_model(&[]);
+        let served = match &self.fault_attack {
+            Some(attack) => attack.corrupt(&served, &[], &mut self.fault_rng),
+            None => served,
+        };
+        self.served_snapshot = Some(served);
+    }
+
+    /// Replies to a peer's `get_models()` with the snapshotted served model.
+    ///
+    /// Requests for rounds older than the snapshot (possible only in
+    /// sub-quorum asynchronous regimes, where a replica can outrun a slow
+    /// peer) are answered with the latest snapshot — the freshest state the
+    /// replica can still offer.
+    fn serve_model(&mut self, to: NodeId, round: u64) {
+        let Some(model) = self.served_snapshot.clone() else {
+            return; // no completed phase 1 yet: the peer's deadline handles it
+        };
+        let reply = WireMessage::new(MsgKind::ModelReply, round, 0.0, model.into_vec()).encode();
+        self.send(to, round, reply);
+    }
+
+    /// Serves the deferred model requests whose round this replica has now
+    /// updated for, keeping later ones deferred.
+    fn flush_deferred(&mut self) {
+        let current = self.round;
+        let pending = std::mem::take(&mut self.deferred_requests);
+        for (to, round) in pending {
+            if round as usize <= current {
+                self.serve_model(to, round);
+            } else {
+                self.deferred_requests.push((to, round));
+            }
+        }
+    }
+
+    /// After the last iteration, keep serving peer model requests until every
+    /// peer announced completion (or the deadline passes), so slower replicas
+    /// can finish their final `get_models()` round.
+    fn linger(&mut self) {
+        if self.peer_ids.is_empty() {
+            return;
+        }
+        self.round = usize::MAX; // every request now counts as "past round"
+        self.phase1_done = true;
+        self.flush_deferred();
+        let done =
+            WireMessage::control(MsgKind::ServerDone, self.config.iterations as u64).encode();
+        for to in self.peer_ids.clone() {
+            self.send(to, self.config.iterations as u64, done.clone());
+        }
+        let deadline = Instant::now() + self.round_deadline;
+        while self.done_peers.len() < self.peer_ids.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let envelope = match self.handle.recv_timeout(deadline - now) {
+                Ok(env) => env,
+                Err(_) => break,
+            };
+            self.telemetry.record_recv(envelope.payload.len());
+            if let Ok(message) = WireMessage::decode(&envelope.payload) {
+                self.handle_protocol(envelope.from, &message);
+            }
+        }
+    }
+
+    /// Sends one payload, counting it; per-peer failures are tolerated (a
+    /// crashed recipient is exactly what quorums exist for).
+    fn send(&mut self, to: NodeId, tag: u64, payload: bytes::Bytes) {
+        let bytes = payload.len();
+        if self.handle.send(to, tag, payload).is_ok() {
+            self.telemetry.record_send(bytes);
+        }
+    }
+
+    fn liveness_error(&self, what: &str, iteration: usize, got: usize, want: usize) -> CoreError {
+        CoreError::Net(format!(
+            "live {}: server {} collected only {got}/{want} {what} replies for iteration \
+             {iteration} within {:?} — deploy n ≥ q + f nodes to preserve liveness",
+            self.system, self.index, self.round_deadline
+        ))
+    }
+}

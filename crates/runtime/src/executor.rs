@@ -1,0 +1,285 @@
+//! The live executor: spawn every node, train over real messages, join.
+
+use crate::actors::{ServerActor, ServerOutcome, WorkerActor};
+use crate::fault::{Fault, FaultPlan};
+use garfield_core::{
+    CoreError, CoreResult, Deployment, ExecMode, Executor, ExperimentConfig, NodeTelemetry,
+    RuntimeTelemetry, SimExecutor, SystemKind, TrainingTrace,
+};
+use garfield_net::{MsgKind, NodeId, Role, Router, WireMessage};
+use garfield_tensor::{Tensor, TensorRng};
+use std::time::Duration;
+
+/// Tuning knobs of a live run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveOptions {
+    /// Wall-clock deadline of each pull phase: a server that cannot gather
+    /// its quorum within this window reports a liveness failure instead of
+    /// blocking forever (the paper's RPC timeout).
+    pub round_deadline: Duration,
+    /// How long a worker waits on an empty inbox before assuming the run is
+    /// over (a backstop; the executor normally shuts workers down explicitly).
+    pub idle_timeout: Duration,
+    /// Overrides the number of gradient replies a server waits for. `None`
+    /// uses [`ExperimentConfig::gradient_quorum`]; tests use `Some(n - f)` to
+    /// exercise the asynchronous liveness condition on any system.
+    pub gradient_quorum: Option<usize>,
+}
+
+impl Default for LiveOptions {
+    fn default() -> Self {
+        LiveOptions {
+            round_deadline: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(10),
+            gradient_quorum: None,
+        }
+    }
+}
+
+/// Everything a live run produces beyond the trace.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// The observer replica's training trace (server 0, always honest).
+    pub trace: TrainingTrace,
+    /// Per-node message/byte counters and per-round wall-clock latencies.
+    pub telemetry: RuntimeTelemetry,
+    /// Final model of every *honest* server replica, in index order. Used by
+    /// determinism checks (same seed ⇒ identical models) and replica
+    /// agreement checks (contracted replicas stay close).
+    pub final_models: Vec<Tensor>,
+}
+
+/// The threaded executor: each worker and server replica of the experiment
+/// runs as its own OS thread, exchanging [`WireMessage`]s over a [`Router`].
+///
+/// Construction of the node objects is shared with the sim path
+/// ([`Deployment::new`] → [`Deployment::into_live_parts`]), so a fault-free
+/// live run reproduces the sim executor's learning trajectory — same shards,
+/// same initial model, same aggregation inputs — while actually moving every
+/// gradient and model over the wire.
+pub struct LiveExecutor {
+    config: ExperimentConfig,
+    options: LiveOptions,
+    faults: FaultPlan,
+    last: Option<LiveReport>,
+}
+
+impl LiveExecutor {
+    /// Creates a live executor with default options and no injected faults.
+    pub fn new(config: ExperimentConfig) -> Self {
+        LiveExecutor {
+            config,
+            options: LiveOptions::default(),
+            faults: FaultPlan::new(),
+            last: None,
+        }
+    }
+
+    /// Replaces the tuning knobs.
+    pub fn with_options(mut self, options: LiveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Installs a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The configuration this executor runs.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The full report of the most recent successful run, if any.
+    pub fn last_report(&self) -> Option<&LiveReport> {
+        self.last.as_ref()
+    }
+
+    /// Runs the named system live and returns the full report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for systems the live runtime does
+    /// not implement (only vanilla, SSMW and MSMW run live) and
+    /// [`CoreError::Net`] when a quorum cannot be gathered before the
+    /// deadline (a liveness violation: fewer than `q` live repliers).
+    pub fn run_live(&mut self, system: SystemKind) -> CoreResult<LiveReport> {
+        if !matches!(
+            system,
+            SystemKind::Vanilla | SystemKind::Ssmw | SystemKind::Msmw
+        ) {
+            return Err(CoreError::InvalidConfig(format!(
+                "the live runtime implements vanilla, ssmw and msmw (requested {system})"
+            )));
+        }
+        self.config.validate(system)?;
+        let parts = Deployment::new(self.config.clone())?.into_live_parts();
+        let config = parts.config.clone();
+        // Vanilla and SSMW use a single trusted server; MSMW runs every replica.
+        let nps = if system == SystemKind::Msmw {
+            parts.servers.len()
+        } else {
+            1
+        };
+        let nw = parts.workers.len();
+        let gradient_quorum = self
+            .options
+            .gradient_quorum
+            .unwrap_or_else(|| config.gradient_quorum(system));
+
+        // Node ids: servers 0..nps, workers nps..nps+nw, controller last.
+        let router = Router::new();
+        let server_ids: Vec<NodeId> = (0..nps).map(|i| NodeId(i as u32)).collect();
+        let worker_ids: Vec<NodeId> = (0..nw).map(|j| NodeId((nps + j) as u32)).collect();
+        let server_handles: Vec<_> = server_ids.iter().map(|&id| router.register(id)).collect();
+        let worker_handles: Vec<_> = worker_ids.iter().map(|&id| router.register(id)).collect();
+        let controller = router.register(NodeId((nps + nw) as u32));
+
+        let mut seed_rng = TensorRng::seed_from(config.seed ^ 0x4c49_5645); // "LIVE"
+        let mut worker_threads = Vec::with_capacity(nw);
+        for (j, (worker, handle)) in parts.workers.into_iter().zip(worker_handles).enumerate() {
+            let fault = self.faults.worker(j);
+            let fault_attack = match fault {
+                Some(Fault::Byzantine { attack }) => Some(attack.build()),
+                _ => None,
+            };
+            let actor = WorkerActor {
+                telemetry: NodeTelemetry::new(handle.id().0, Role::Worker),
+                handle,
+                router: router.clone(),
+                worker,
+                fault,
+                fault_attack,
+                fault_rng: seed_rng.derive(7_000 + j as u64),
+                idle_timeout: self.options.idle_timeout,
+            };
+            worker_threads.push(std::thread::spawn(move || actor.run()));
+        }
+
+        let mut server_threads = Vec::with_capacity(nps);
+        for (i, (server, handle)) in parts
+            .servers
+            .into_iter()
+            .take(nps)
+            .zip(server_handles)
+            .enumerate()
+        {
+            let fault = self.faults.server(i);
+            let fault_attack = match fault {
+                Some(Fault::Byzantine { attack }) => Some(attack.build()),
+                _ => None,
+            };
+            let peers: Vec<NodeId> = server_ids
+                .iter()
+                .copied()
+                .filter(|&p| p != handle.id())
+                .collect();
+            let actor = ServerActor::new(
+                i,
+                handle,
+                router.clone(),
+                server,
+                system,
+                config.clone(),
+                worker_ids.clone(),
+                peers,
+                gradient_quorum,
+                self.options.round_deadline,
+                fault,
+                fault_attack,
+                seed_rng.derive(8_000 + i as u64),
+                (i == 0).then(|| parts.test_batch.clone()),
+            );
+            server_threads.push(std::thread::spawn(move || actor.run()));
+        }
+
+        // Join the replicas, then wind the workers down regardless of outcome.
+        let mut outcomes: Vec<ServerOutcome> = Vec::with_capacity(nps);
+        let mut first_error: Option<CoreError> = None;
+        for thread in server_threads {
+            match thread.join() {
+                Ok(Ok(outcome)) => outcomes.push(outcome),
+                Ok(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_error.get_or_insert(CoreError::Net("a server thread panicked".into()));
+                }
+            }
+        }
+        let shutdown = WireMessage::control(MsgKind::Shutdown, config.iterations as u64).encode();
+        for &id in &worker_ids {
+            let _ = controller.send(id, config.iterations as u64, shutdown.clone());
+        }
+        let mut node_telemetry: Vec<NodeTelemetry> = Vec::with_capacity(nps + nw);
+        let mut worker_telemetry = Vec::with_capacity(nw);
+        for thread in worker_threads {
+            match thread.join() {
+                Ok(telemetry) => worker_telemetry.push(telemetry),
+                Err(_) => {
+                    first_error.get_or_insert(CoreError::Net("a worker thread panicked".into()));
+                }
+            }
+        }
+        if let Some(error) = first_error {
+            return Err(error);
+        }
+
+        outcomes.sort_by_key(|o| o.index);
+        let observer = outcomes
+            .iter()
+            .find(|o| o.index == 0)
+            .ok_or_else(|| CoreError::Net("live run produced no observer trace".into()))?;
+        for outcome in &outcomes {
+            node_telemetry.push(outcome.telemetry);
+        }
+        node_telemetry.extend(worker_telemetry);
+
+        let honest_servers = nps - config.actual_byzantine_servers.min(nps.saturating_sub(1));
+        let report = LiveReport {
+            trace: observer.trace.clone(),
+            telemetry: RuntimeTelemetry {
+                nodes: node_telemetry,
+                round_latencies: observer.round_latencies.clone(),
+            },
+            final_models: outcomes
+                .iter()
+                .take(honest_servers)
+                .map(|o| o.final_model.clone())
+                .collect(),
+        };
+        self.last = Some(report.clone());
+        Ok(report)
+    }
+}
+
+impl Executor for LiveExecutor {
+    fn name(&self) -> &'static str {
+        "live"
+    }
+
+    fn run(&mut self, system: SystemKind) -> CoreResult<TrainingTrace> {
+        self.run_live(system).map(|report| report.trace)
+    }
+}
+
+impl std::fmt::Debug for LiveExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveExecutor")
+            .field("nw", &self.config.nw)
+            .field("nps", &self.config.nps)
+            .field("faults", &self.faults.fault_count())
+            .finish()
+    }
+}
+
+/// Builds the executor for a mode: the analytic sim path or the threaded
+/// live path, behind one trait object so call sites stay substrate-agnostic.
+pub fn executor_for(mode: ExecMode, config: ExperimentConfig) -> Box<dyn Executor> {
+    match mode {
+        ExecMode::Sim => Box::new(SimExecutor::new(config)),
+        ExecMode::Live => Box::new(LiveExecutor::new(config)),
+    }
+}

@@ -1,0 +1,141 @@
+//! Fault injection for live runs: crash, delay and Byzantine payload rewrite.
+
+use garfield_attacks::AttackKind;
+use std::collections::HashMap;
+
+/// A fault installed on one node of a live deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The node goes silent from the given iteration onward: a worker stops
+    /// replying to gradient requests, a server stops driving its loop. The
+    /// router drops messages to it, so peers only notice through the
+    /// "fastest `q`" quorum — the failure mode the paper's asynchronous
+    /// liveness condition (`n ≥ q + f`) is designed to ride out.
+    CrashAt {
+        /// First iteration at which the node is silent.
+        iteration: usize,
+    },
+    /// The node services every request `millis` late — a straggler. With
+    /// `q < n` the pull primitives leave it behind; with `q = n` it slows
+    /// every round but liveness is preserved.
+    Delay {
+        /// Added latency before each reply, in milliseconds.
+        millis: u64,
+    },
+    /// The node rewrites the payload it serves with the given attack
+    /// (applied on top of any attack the experiment config installed) — a
+    /// Byzantine node on the wire path.
+    Byzantine {
+        /// The attack used to corrupt outgoing payloads.
+        attack: AttackKind,
+    },
+}
+
+/// Which nodes of a live run misbehave, and how.
+///
+/// Faults are assigned by node index (worker 0..nw, server 0..nps) with a
+/// builder-style API:
+///
+/// ```rust
+/// use garfield_runtime::FaultPlan;
+/// use garfield_attacks::AttackKind;
+///
+/// let plan = FaultPlan::new()
+///     .crash_worker_at(2, 1)
+///     .delay_worker(3, 50)
+///     .byzantine_worker(0, AttackKind::Reversed);
+/// assert_eq!(plan.fault_count(), 3);
+/// assert!(plan.worker(2).is_some() && plan.server(0).is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    workers: HashMap<usize, Fault>,
+    servers: HashMap<usize, Fault>,
+}
+
+impl FaultPlan {
+    /// Creates an empty (fault-free) plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crashes worker `index` at `iteration`.
+    pub fn crash_worker_at(mut self, index: usize, iteration: usize) -> Self {
+        self.workers.insert(index, Fault::CrashAt { iteration });
+        self
+    }
+
+    /// Delays every reply of worker `index` by `millis` milliseconds.
+    pub fn delay_worker(mut self, index: usize, millis: u64) -> Self {
+        self.workers.insert(index, Fault::Delay { millis });
+        self
+    }
+
+    /// Makes worker `index` rewrite its gradient payloads with `attack`.
+    pub fn byzantine_worker(mut self, index: usize, attack: AttackKind) -> Self {
+        self.workers.insert(index, Fault::Byzantine { attack });
+        self
+    }
+
+    /// Crashes server replica `index` at `iteration`.
+    pub fn crash_server_at(mut self, index: usize, iteration: usize) -> Self {
+        self.servers.insert(index, Fault::CrashAt { iteration });
+        self
+    }
+
+    /// Delays every round of server replica `index` by `millis` milliseconds.
+    pub fn delay_server(mut self, index: usize, millis: u64) -> Self {
+        self.servers.insert(index, Fault::Delay { millis });
+        self
+    }
+
+    /// Makes server replica `index` rewrite the models it serves with `attack`.
+    pub fn byzantine_server(mut self, index: usize, attack: AttackKind) -> Self {
+        self.servers.insert(index, Fault::Byzantine { attack });
+        self
+    }
+
+    /// The fault installed on worker `index`, if any.
+    pub fn worker(&self, index: usize) -> Option<Fault> {
+        self.workers.get(&index).copied()
+    }
+
+    /// The fault installed on server replica `index`, if any.
+    pub fn server(&self, index: usize) -> Option<Fault> {
+        self.servers.get(&index).copied()
+    }
+
+    /// Total number of faulted nodes.
+    pub fn fault_count(&self) -> usize {
+        self.workers.len() + self.servers.len()
+    }
+
+    /// Whether the plan installs no fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.fault_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_assigns_and_overwrites() {
+        let plan = FaultPlan::new()
+            .crash_worker_at(1, 5)
+            .delay_worker(1, 10) // overwrite: one fault per node
+            .byzantine_server(0, AttackKind::Random);
+        assert_eq!(plan.fault_count(), 2);
+        assert_eq!(plan.worker(1), Some(Fault::Delay { millis: 10 }));
+        assert_eq!(
+            plan.server(0),
+            Some(Fault::Byzantine {
+                attack: AttackKind::Random
+            })
+        );
+        assert!(plan.worker(0).is_none());
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+}

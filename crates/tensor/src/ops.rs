@@ -233,8 +233,9 @@ impl Tensor {
         let (r, c) = self.matrix_dims()?;
         let mut out = vec![0.0f32; c];
         for i in 0..r {
-            for j in 0..c {
-                out[j] += self.data()[i * c + j];
+            let row = &self.data()[i * c..(i + 1) * c];
+            for (acc, &v) in out.iter_mut().zip(row) {
+                *acc += v;
             }
         }
         Ok(Tensor::from(out))

@@ -1,0 +1,137 @@
+//! Live-mode smoke run: vanilla + SSMW + MSMW on the threaded actor runtime,
+//! each with an injected fault, compared against the sim executor.
+//!
+//! ```console
+//! cargo run --release --example live_training          # live + sim comparison
+//! cargo run --release --example live_training sim      # sim substrate only
+//! cargo run --release --example live_training live     # live substrate only
+//! ```
+//!
+//! Every node of the live runs is a real OS thread; every gradient and model
+//! is a length-prefixed byte message through the router. The telemetry block
+//! printed per system is the proof: nonzero per-node message/byte counts.
+
+use garfield::core::{ExecMode, Executor, SimExecutor, SystemKind};
+use garfield::runtime::{FaultPlan, LiveExecutor, LiveOptions};
+use garfield::{AttackKind, ExperimentConfig};
+use std::time::Duration;
+
+fn config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small();
+    cfg.nw = 6; // n ≥ 4 workers; q = n − f keeps Multi-Krum fed (2f + 3 = 5)
+    cfg.fw = 1;
+    cfg.nps = 3;
+    cfg.fps = 1;
+    cfg.iterations = 30;
+    cfg.eval_every = 10;
+    cfg
+}
+
+/// The f ≥ 1 injected fault per system: a straggler for vanilla (which needs
+/// all n replies), a Byzantine gradient rewrite for SSMW, and a crashed
+/// worker for MSMW (ridden out by the q = n − f asynchronous quorum).
+fn fault_for(system: SystemKind) -> (FaultPlan, LiveOptions, &'static str) {
+    let defaults = LiveOptions::default();
+    match system {
+        SystemKind::Ssmw => (
+            FaultPlan::new().byzantine_worker(0, AttackKind::Reversed),
+            defaults,
+            "worker 0 sends reversed×100 gradients",
+        ),
+        SystemKind::Msmw => (
+            FaultPlan::new().crash_worker_at(5, 2),
+            LiveOptions {
+                gradient_quorum: Some(5), // q = n − f
+                ..defaults
+            },
+            "worker 5 crashes at iteration 2, q = n − f = 5",
+        ),
+        _ => (
+            FaultPlan::new().delay_worker(5, 3),
+            defaults,
+            "worker 5 is a 3 ms straggler",
+        ),
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let mode: Option<ExecMode> = arg.as_deref().map(|s| {
+        s.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    });
+    let run_sim = mode != Some(ExecMode::Live);
+    let run_live = mode != Some(ExecMode::Sim);
+
+    println!("== live_training: threaded actor runtime vs analytic simulation ==");
+    let cfg = config();
+    println!(
+        "   {} workers ({} declared Byzantine), {} server replicas, {} iterations\n",
+        cfg.nw, cfg.fw, cfg.nps, cfg.iterations
+    );
+
+    for system in [SystemKind::Vanilla, SystemKind::Ssmw, SystemKind::Msmw] {
+        println!("-- {system} --");
+        if run_sim {
+            let trace = SimExecutor::new(cfg.clone())
+                .run(system)
+                .expect("sim run failed");
+            println!(
+                "   sim : final accuracy {:.3}, {:.1} updates/s (simulated time)",
+                trace.final_accuracy(),
+                trace.updates_per_second()
+            );
+        }
+        if run_live {
+            let (faults, options, description) = fault_for(system);
+            let mut live = LiveExecutor::new(cfg.clone())
+                .with_options(LiveOptions {
+                    round_deadline: Duration::from_secs(5),
+                    ..options
+                })
+                .with_faults(faults);
+            let report = live.run_live(system).expect("live run failed");
+            println!(
+                "   live: final accuracy {:.3}, {:.1} updates/s (wall clock), fault: {description}",
+                report.trace.final_accuracy(),
+                report.trace.len() as f64
+                    / report
+                        .telemetry
+                        .round_latencies
+                        .iter()
+                        .sum::<f64>()
+                        .max(1e-9)
+            );
+            println!(
+                "   live telemetry: {} messages, {:.2} MiB across {} nodes, mean round {:.2} ms",
+                report.telemetry.total_messages(),
+                report.telemetry.total_bytes() as f64 / (1024.0 * 1024.0),
+                report.telemetry.nodes.len(),
+                report.telemetry.mean_round_latency() * 1e3
+            );
+            for node in &report.telemetry.nodes {
+                println!(
+                    "     node {:>2} ({:?}): sent {:>4} msgs / {:>9} B, received {:>4} msgs / {:>9} B",
+                    node.node,
+                    node.role,
+                    node.messages_sent,
+                    node.bytes_sent,
+                    node.messages_received,
+                    node.bytes_received
+                );
+            }
+            assert!(
+                report
+                    .telemetry
+                    .nodes
+                    .iter()
+                    .all(|n| n.messages_sent > 0 && n.bytes_sent > 0),
+                "every node (even faulted ones, which act before failing) must move real bytes"
+            );
+        }
+        println!();
+    }
+    println!("done: live training completed through real router messages.");
+}

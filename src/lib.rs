@@ -17,8 +17,9 @@
 //! | [`ml`] | models, losses, SGD, synthetic datasets, the Table 1 model zoo |
 //! | [`aggregation`] | Average, Median, Krum, Multi-Krum, MDA, Bulyan + the variance probe |
 //! | [`attacks`] | random / reversed / little-is-enough / fall-of-empires … |
-//! | [`net`] | simulated cluster fabric, cost model, pull rounds, message router |
+//! | [`net`] | simulated cluster fabric, cost model, pull rounds, message router, wire format |
 //! | [`core`] | Server/Worker objects, Controller, SSMW / MSMW / decentralized apps, baselines |
+//! | [`runtime`] | threaded actor runtime: live training over real router messages, fault injection |
 //!
 //! The most common entry point is [`Controller`]:
 //!
@@ -56,11 +57,16 @@ pub use garfield_net as net;
 /// Garfield core: Server/Worker objects, Controller, applications, baselines.
 pub use garfield_core as core;
 
+/// Threaded actor runtime: live Byzantine training over real messages.
+pub use garfield_runtime as runtime;
+
 pub use garfield_aggregation::{build_gar, Gar, GarKind};
 pub use garfield_attacks::{Attack, AttackKind};
 pub use garfield_core::{
-    Controller, CoreError, CoreResult, Deployment, ExperimentConfig, SystemKind, TrainingTrace,
+    Controller, CoreError, CoreResult, Deployment, ExecMode, Executor, ExperimentConfig,
+    SimExecutor, SystemKind, TrainingTrace,
 };
 pub use garfield_ml::{Dataset, DatasetKind, Model, ShardStrategy};
 pub use garfield_net::Device;
+pub use garfield_runtime::{executor_for, FaultPlan, LiveExecutor};
 pub use garfield_tensor::{Tensor, TensorRng};

@@ -139,7 +139,7 @@ macro_rules! impl_int_range_strategy {
     )*};
 }
 
-impl_int_range_strategy!(usize, u64, u32, i64, i32);
+impl_int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
 
 macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(
