@@ -14,8 +14,8 @@ fn bench_fabric(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300));
 
     let router = Router::new();
-    let a = router.register(NodeId(1));
-    let b = router.register(NodeId(2));
+    let a = router.register(NodeId(1)).unwrap();
+    let b = router.register(NodeId(2)).unwrap();
     let payload = Bytes::from(vec![0u8; 64 * 1024]);
     group.bench_function("router_send_recv_64KiB", |bencher| {
         bencher.iter(|| {

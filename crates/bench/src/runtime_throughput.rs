@@ -26,6 +26,12 @@ pub struct RuntimePoint {
     pub live_messages: u64,
     /// Payload bytes the live actors put on the wire.
     pub live_bytes: u64,
+    /// On-wire bytes reported by the transport's per-peer counters. For the
+    /// in-process router this equals `live_bytes`; over `garfield-transport`
+    /// TCP it additionally includes frame headers.
+    pub live_wire_bytes: u64,
+    /// Messages dropped by transport backpressure (0 on a healthy run).
+    pub live_dropped: u64,
     /// Final accuracy of the sim run.
     pub sim_accuracy: f64,
     /// Final accuracy of the live run.
@@ -54,6 +60,8 @@ pub fn measure(iterations: usize) -> garfield_core::CoreResult<Vec<RuntimePoint>
             live_updates_per_second: report.trace.len() as f64 / wall.max(1e-9),
             live_messages: report.telemetry.total_messages(),
             live_bytes: report.telemetry.total_bytes(),
+            live_wire_bytes: report.telemetry.total_wire_bytes(),
+            live_dropped: report.telemetry.total_dropped(),
             sim_accuracy: sim_trace.final_accuracy() as f64,
             live_accuracy: report.trace.final_accuracy() as f64,
         });
@@ -81,6 +89,8 @@ pub fn runtime_report() -> Vec<Row> {
                     ("live_ups", p.live_updates_per_second),
                     ("live_msgs", p.live_messages as f64),
                     ("live_mb", p.live_bytes as f64 / 1.0e6),
+                    ("wire_mb", p.live_wire_bytes as f64 / 1.0e6),
+                    ("dropped", p.live_dropped as f64),
                     ("acc_gap", (p.sim_accuracy - p.live_accuracy).abs()),
                 ],
             )
@@ -101,6 +111,11 @@ mod tests {
             assert!(p.live_updates_per_second > 0.0);
             assert!(p.live_messages > 0, "{}: no live messages", p.system);
             assert!(p.live_bytes > 0);
+            // The router transport frames nothing: its per-peer on-wire
+            // counts must equal the actors' payload counts exactly, and a
+            // healthy full-quorum run drops nothing.
+            assert_eq!(p.live_wire_bytes, p.live_bytes, "{}", p.system);
+            assert_eq!(p.live_dropped, 0, "{}", p.system);
             assert!(
                 (p.sim_accuracy - p.live_accuracy).abs() < 1e-6,
                 "{}: sim {} vs live {}",

@@ -1,10 +1,11 @@
 //! Experiment configuration: the knobs of a Garfield deployment.
 
-use crate::{CoreError, CoreResult};
+use crate::{json, CoreError, CoreResult};
 use garfield_aggregation::GarKind;
 use garfield_attacks::AttackKind;
 use garfield_ml::ShardStrategy;
 use garfield_net::Device;
+use std::fmt::Write as _;
 
 /// The deployments evaluated in the paper (§5 and §6.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +54,17 @@ impl SystemKind {
 impl std::fmt::Display for SystemKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for SystemKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SystemKind::all()
+            .into_iter()
+            .find(|k| k.as_str() == s.to_ascii_lowercase())
+            .ok_or_else(|| format!("unknown system '{s}' (expected one of vanilla, crash-tolerant, ssmw, msmw, decentralized, aggregathor)"))
     }
 }
 
@@ -219,6 +231,147 @@ impl ExperimentConfig {
         self.nps.saturating_sub(self.fps).max(1)
     }
 
+    /// Serializes the configuration to JSON.
+    ///
+    /// This is how `garfield-node` processes receive their experiment: the
+    /// launcher writes the config once, every process parses the same bytes,
+    /// and [`Deployment::new`](crate::Deployment::new) then derives
+    /// bit-identical initial state in each of them. The `seed` is written as
+    /// a decimal *string* so the full `u64` range survives the `f64`-backed
+    /// JSON number representation.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"model\":");
+        json::write_string(&mut out, &self.model);
+        let _ = write!(
+            out,
+            ",\"dataset_samples\":{},\"test_samples\":{},\"batch_size\":{}",
+            self.dataset_samples, self.test_samples, self.batch_size
+        );
+        out.push_str(",\"learning_rate\":");
+        json::write_f32(&mut out, self.learning_rate);
+        out.push_str(",\"momentum\":");
+        json::write_f32(&mut out, self.momentum);
+        let _ = write!(
+            out,
+            ",\"nw\":{},\"fw\":{},\"nps\":{},\"fps\":{},\"actual_byzantine_workers\":{},\"actual_byzantine_servers\":{}",
+            self.nw, self.fw, self.nps, self.fps,
+            self.actual_byzantine_workers, self.actual_byzantine_servers
+        );
+        for (key, attack) in [
+            ("worker_attack", self.worker_attack),
+            ("server_attack", self.server_attack),
+        ] {
+            let _ = write!(out, ",\"{key}\":");
+            match attack {
+                Some(kind) => json::write_string(&mut out, kind.as_str()),
+                None => out.push_str("null"),
+            }
+        }
+        out.push_str(",\"gradient_gar\":");
+        json::write_string(&mut out, self.gradient_gar.as_str());
+        out.push_str(",\"model_gar\":");
+        json::write_string(&mut out, self.model_gar.as_str());
+        out.push_str(",\"device\":");
+        json::write_string(&mut out, self.device.as_str());
+        out.push_str(",\"shard_strategy\":");
+        json::write_string(&mut out, self.shard_strategy.as_str());
+        let _ = write!(
+            out,
+            ",\"iterations\":{},\"eval_every\":{},\"contraction_steps\":{},\"synchronous\":{},\"seed\":\"{}\"}}",
+            self.iterations, self.eval_every, self.contraction_steps, self.synchronous, self.seed
+        );
+        out
+    }
+
+    /// Parses a configuration previously produced by
+    /// [`ExperimentConfig::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Serialization`] on malformed JSON, missing
+    /// fields, or enum names no variant answers to.
+    pub fn from_json(input: &str) -> CoreResult<Self> {
+        let bad = |what: String| CoreError::Serialization(format!("config JSON: {what}"));
+        let doc = json::parse(input).map_err(CoreError::Serialization)?;
+        let str_field = |key: &str| {
+            doc.get(key)
+                .and_then(json::Value::as_str)
+                .ok_or_else(|| bad(format!("missing string field '{key}'")))
+        };
+        let usize_field = |key: &str| {
+            doc.get(key)
+                .and_then(json::Value::as_usize)
+                .ok_or_else(|| bad(format!("missing integer field '{key}'")))
+        };
+        // `to_json` writes non-finite floats as `null` (like serde_json),
+        // so the reader maps `null` back to NaN rather than rejecting a
+        // document the writer itself produced.
+        let f32_field = |key: &str| match doc.get(key) {
+            Some(json::Value::Null) => Ok(f32::NAN),
+            Some(field) => field
+                .as_f64()
+                .map(|v| v as f32)
+                .ok_or_else(|| bad(format!("missing number field '{key}'"))),
+            None => Err(bad(format!("missing number field '{key}'"))),
+        };
+        let attack_field = |key: &str| -> CoreResult<Option<AttackKind>> {
+            match doc.get(key) {
+                None | Some(json::Value::Null) => Ok(None),
+                Some(value) => value
+                    .as_str()
+                    .ok_or_else(|| bad(format!("field '{key}' must be a string or null")))?
+                    .parse::<AttackKind>()
+                    .map(Some)
+                    .map_err(bad),
+            }
+        };
+        // The seed is written as a string (u64 > 2^53 would lose precision
+        // as an f64-backed number) but a plain integral number is accepted
+        // too, for hand-written configs.
+        let seed = match doc.get("seed") {
+            Some(json::Value::String(s)) => s
+                .parse::<u64>()
+                .map_err(|e| bad(format!("seed '{s}': {e}")))?,
+            Some(json::Value::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+            _ => return Err(bad("missing field 'seed' (string or integer)".into())),
+        };
+        Ok(ExperimentConfig {
+            model: str_field("model")?.to_string(),
+            dataset_samples: usize_field("dataset_samples")?,
+            test_samples: usize_field("test_samples")?,
+            batch_size: usize_field("batch_size")?,
+            learning_rate: f32_field("learning_rate")?,
+            momentum: f32_field("momentum")?,
+            nw: usize_field("nw")?,
+            fw: usize_field("fw")?,
+            nps: usize_field("nps")?,
+            fps: usize_field("fps")?,
+            actual_byzantine_workers: usize_field("actual_byzantine_workers")?,
+            actual_byzantine_servers: usize_field("actual_byzantine_servers")?,
+            worker_attack: attack_field("worker_attack")?,
+            server_attack: attack_field("server_attack")?,
+            gradient_gar: str_field("gradient_gar")?
+                .parse::<GarKind>()
+                .map_err(|e| bad(e.to_string()))?,
+            model_gar: str_field("model_gar")?
+                .parse::<GarKind>()
+                .map_err(|e| bad(e.to_string()))?,
+            device: str_field("device")?.parse::<Device>().map_err(bad)?,
+            shard_strategy: str_field("shard_strategy")?
+                .parse::<ShardStrategy>()
+                .map_err(bad)?,
+            iterations: usize_field("iterations")?,
+            eval_every: usize_field("eval_every")?,
+            contraction_steps: usize_field("contraction_steps")?,
+            synchronous: doc
+                .get("synchronous")
+                .and_then(json::Value::as_bool)
+                .ok_or_else(|| bad("missing boolean field 'synchronous'".into()))?,
+            seed,
+        })
+    }
+
     /// Checks the configuration for internal consistency and for the
     /// Byzantine-resilience requirements of the chosen GARs.
     ///
@@ -358,5 +511,52 @@ mod tests {
     fn system_kind_names_are_stable() {
         assert_eq!(SystemKind::Msmw.to_string(), "msmw");
         assert_eq!(SystemKind::all().len(), 6);
+        for kind in SystemKind::all() {
+            assert_eq!(kind.as_str().parse::<SystemKind>().unwrap(), kind);
+        }
+        assert!("warp-drive".parse::<SystemKind>().is_err());
+    }
+
+    #[test]
+    fn config_json_round_trips_every_field() {
+        let mut cfg = ExperimentConfig::paper_cpu();
+        cfg.worker_attack = Some(garfield_attacks::AttackKind::LittleIsEnough);
+        cfg.server_attack = None;
+        cfg.shard_strategy = ShardStrategy::ByLabel;
+        cfg.seed = u64::MAX - 3; // beyond f64's 2^53 integer range
+        let back = ExperimentConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn config_json_accepts_numeric_seeds_and_rejects_garbage() {
+        let json = ExperimentConfig::small()
+            .to_json()
+            .replace("\"seed\":\"42\"", "\"seed\":42");
+        assert_eq!(ExperimentConfig::from_json(&json).unwrap().seed, 42);
+
+        assert!(ExperimentConfig::from_json("{").is_err());
+        assert!(ExperimentConfig::from_json("{}").is_err());
+        let bad_gar = ExperimentConfig::small()
+            .to_json()
+            .replace("multi-krum", "mega-krum");
+        assert!(ExperimentConfig::from_json(&bad_gar).is_err());
+        let bad_attack = {
+            let mut cfg = ExperimentConfig::small();
+            cfg.worker_attack = Some(garfield_attacks::AttackKind::Drop);
+            cfg.to_json().replace("\"drop\"", "\"smash\"")
+        };
+        assert!(ExperimentConfig::from_json(&bad_attack).is_err());
+
+        // Non-finite floats serialize as `null` (like serde_json); the
+        // reader must accept the writer's own output and map them to NaN.
+        let mut nan_cfg = ExperimentConfig::small();
+        nan_cfg.momentum = f32::NAN;
+        let json = nan_cfg.to_json();
+        assert!(json.contains("\"momentum\":null"));
+        assert!(ExperimentConfig::from_json(&json)
+            .unwrap()
+            .momentum
+            .is_nan());
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::json;
 use crate::{CoreError, CoreResult};
-use garfield_net::Role;
+use garfield_net::{PeerCounters, Role};
 use std::fmt::Write as _;
 
 /// Simulated time spent in each phase of one training iteration, in seconds.
@@ -253,7 +253,7 @@ impl TrainingTrace {
 /// instead of moving bytes; the live runtime actually routes every gradient
 /// and model over the wire, and these counters are the proof — they must be
 /// nonzero for every participating node after a live run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeTelemetry {
     /// Raw node id on the router.
     pub node: u32,
@@ -267,6 +267,11 @@ pub struct NodeTelemetry {
     pub bytes_sent: u64,
     /// Payload bytes this node received.
     pub bytes_received: u64,
+    /// Per-peer *on-wire* counters reported by the node's transport, sorted
+    /// by peer id. For the in-process router these equal payload bytes; for
+    /// TCP they include frame headers, so `wire_bytes_sent() ≥ bytes_sent`
+    /// minus any backpressure drops.
+    pub peers: Vec<PeerCounters>,
 }
 
 impl NodeTelemetry {
@@ -279,7 +284,25 @@ impl NodeTelemetry {
             messages_received: 0,
             bytes_sent: 0,
             bytes_received: 0,
+            peers: Vec::new(),
         }
+    }
+
+    /// Total on-wire bytes this node's transport put on the wire, summed
+    /// over peers (0 when the transport reported no per-peer counters).
+    pub fn wire_bytes_sent(&self) -> u64 {
+        self.peers.iter().map(|p| p.bytes_sent).sum()
+    }
+
+    /// Total on-wire bytes this node's transport received, summed over peers.
+    pub fn wire_bytes_received(&self) -> u64 {
+        self.peers.iter().map(|p| p.bytes_received).sum()
+    }
+
+    /// Messages this node's transport dropped under backpressure (bounded
+    /// outbound queue full — the signature of a slow or dead peer).
+    pub fn messages_dropped(&self) -> u64 {
+        self.peers.iter().map(|p| p.messages_dropped).sum()
     }
 
     /// Records one outbound message of `bytes` payload bytes.
@@ -319,6 +342,17 @@ impl RuntimeTelemetry {
     /// Total payload bytes sent across all nodes.
     pub fn total_bytes(&self) -> u64 {
         self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Total *on-wire* bytes sent across all nodes, from the per-peer
+    /// transport counters (includes frame headers on framed substrates).
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.nodes.iter().map(NodeTelemetry::wire_bytes_sent).sum()
+    }
+
+    /// Total messages dropped under backpressure across all nodes.
+    pub fn total_dropped(&self) -> u64 {
+        self.nodes.iter().map(NodeTelemetry::messages_dropped).sum()
     }
 
     /// The nodes that played the given role.
@@ -457,6 +491,30 @@ mod tests {
         assert!((telemetry.mean_round_latency() - 1.0).abs() < 1e-12);
         assert!(!RuntimeTelemetry::default().all_nodes_active());
         assert_eq!(RuntimeTelemetry::default().mean_round_latency(), 0.0);
+    }
+
+    #[test]
+    fn per_peer_wire_counters_aggregate() {
+        use garfield_net::NodeId;
+        let mut node = NodeTelemetry::new(0, Role::Server);
+        assert_eq!(node.wire_bytes_sent(), 0);
+        let mut toward_1 = PeerCounters::new(NodeId(1));
+        toward_1.messages_sent = 2;
+        toward_1.bytes_sent = 64;
+        toward_1.messages_dropped = 1;
+        let mut toward_2 = PeerCounters::new(NodeId(2));
+        toward_2.bytes_sent = 36;
+        toward_2.bytes_received = 12;
+        node.peers = vec![toward_1, toward_2];
+        assert_eq!(node.wire_bytes_sent(), 100);
+        assert_eq!(node.wire_bytes_received(), 12);
+        assert_eq!(node.messages_dropped(), 1);
+        let telemetry = RuntimeTelemetry {
+            nodes: vec![node],
+            round_latencies: vec![],
+        };
+        assert_eq!(telemetry.total_wire_bytes(), 100);
+        assert_eq!(telemetry.total_dropped(), 1);
     }
 
     #[test]

@@ -62,6 +62,36 @@ pub enum ShardStrategy {
     ByLabel,
 }
 
+impl ShardStrategy {
+    /// The canonical lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardStrategy::Iid => "iid",
+            ShardStrategy::ByLabel => "by-label",
+        }
+    }
+}
+
+impl std::fmt::Display for ShardStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ShardStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "iid" => Ok(ShardStrategy::Iid),
+            "by-label" => Ok(ShardStrategy::ByLabel),
+            other => Err(format!(
+                "unknown shard strategy '{other}' (expected iid or by-label)"
+            )),
+        }
+    }
+}
+
 /// A mini-batch: a `(batch, features)` input matrix plus integer labels.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Batch {

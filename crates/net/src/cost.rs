@@ -36,6 +36,18 @@ impl std::fmt::Display for Device {
     }
 }
 
+impl std::str::FromStr for Device {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cpu" => Ok(Device::Cpu),
+            "gpu" => Ok(Device::Gpu),
+            other => Err(format!("unknown device '{other}' (expected cpu or gpu)")),
+        }
+    }
+}
+
 /// Link characteristics between two nodes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

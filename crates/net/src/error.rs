@@ -40,6 +40,21 @@ pub enum NetError {
         /// The byte length actually received.
         actual: usize,
     },
+    /// A node id was registered twice on the same router.
+    DuplicateNode(NodeId),
+    /// A frame or wire header declared a payload beyond the accepted cap.
+    ///
+    /// Hostile peers control the length prefix of every frame; the cap is
+    /// checked *before* any allocation so a 4-byte header cannot demand
+    /// gigabytes of memory.
+    FrameTooLarge {
+        /// The payload size the header declared, in bytes.
+        declared: usize,
+        /// The maximum the decoder accepts, in bytes.
+        max: usize,
+    },
+    /// A socket-level I/O failure (connect, read or write).
+    Io(String),
 }
 
 impl fmt::Display for NetError {
@@ -63,7 +78,23 @@ impl fmt::Display for NetError {
             NetError::WireSize { expected, actual } => {
                 write!(f, "wire payload of {actual} bytes, expected {expected}")
             }
+            NetError::DuplicateNode(id) => {
+                write!(f, "node {id} is already registered")
+            }
+            NetError::FrameTooLarge { declared, max } => {
+                write!(
+                    f,
+                    "frame declares a {declared}-byte payload, above the {max}-byte cap"
+                )
+            }
+            NetError::Io(message) => write!(f, "transport i/o error: {message}"),
         }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
     }
 }
 
@@ -95,5 +126,20 @@ mod tests {
             actual: 4,
         };
         assert!(s.to_string().contains("18") && s.to_string().contains('4'));
+        assert!(NetError::DuplicateNode(NodeId(5)).to_string().contains('5'));
+        let big = NetError::FrameTooLarge {
+            declared: 1024,
+            max: 256,
+        };
+        assert!(big.to_string().contains("1024") && big.to_string().contains("256"));
+        assert!(NetError::Io("refused".into())
+            .to_string()
+            .contains("refused"));
+    }
+
+    #[test]
+    fn io_errors_convert_with_their_message() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "nope");
+        assert_eq!(NetError::from(io), NetError::Io("nope".to_string()));
     }
 }

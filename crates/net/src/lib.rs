@@ -22,7 +22,12 @@
 //!   quickstart example to demonstrate the communication layer end to end;
 //! * the compact binary [`WireMessage`] format (version byte, round tag,
 //!   length-prefixed `f32` payload) that the threaded `garfield-runtime`
-//!   actors exchange over the router when training runs for real.
+//!   actors exchange over the router when training runs for real;
+//! * the [`Transport`] trait abstracting the message substrate (send/recv
+//!   of [`Envelope`]s, crash silence, per-peer [`PeerCounters`]) with
+//!   [`RouterTransport`] as the in-process implementation — the TCP
+//!   implementation lives in `garfield-transport` and lets the same actors
+//!   span OS processes.
 //!
 //! # Quick example
 //!
@@ -53,6 +58,7 @@ mod error;
 mod pull;
 mod router;
 mod time;
+mod transport;
 mod wire;
 
 pub use cluster::{Cluster, ClusterBuilder, NodeId, NodeInfo, Role};
@@ -61,4 +67,5 @@ pub use error::{NetError, NetResult};
 pub use pull::PullRound;
 pub use router::{Envelope, Router, RouterHandle};
 pub use time::SimClock;
-pub use wire::{MsgKind, WireMessage, WIRE_HEADER_BYTES, WIRE_VERSION};
+pub use transport::{PeerCounterMap, PeerCounters, RouterTransport, Transport};
+pub use wire::{MsgKind, WireMessage, MAX_WIRE_VALUES, WIRE_HEADER_BYTES, WIRE_VERSION};

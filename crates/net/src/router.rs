@@ -50,16 +50,37 @@ impl Router {
 
     /// Registers a node and returns its handle (inbox + send capability).
     ///
-    /// Registering the same id twice replaces the previous inbox; the old
-    /// handle will stop receiving messages.
-    pub fn register(&self, id: NodeId) -> RouterHandle {
-        let (tx, rx) = unbounded();
+    /// # Errors
+    ///
+    /// Returns [`NetError::DuplicateNode`] when the id is already registered:
+    /// silently replacing an inbox would leave the previous handle dead while
+    /// its owner keeps waiting on it. A reconnecting node that *wants* to
+    /// replace its endpoint must say so via [`Router::register_replace`].
+    pub fn register(&self, id: NodeId) -> NetResult<RouterHandle> {
         let mut reg = self.registry.write();
+        if reg.inboxes.contains_key(&id) {
+            return Err(NetError::DuplicateNode(id));
+        }
+        Ok(Self::install(&mut reg, self.clone(), id))
+    }
+
+    /// Registers a node, replacing any previous registration of the same id.
+    ///
+    /// The replaced handle (if any) stops receiving messages immediately —
+    /// this is the reconnect path, where the old endpoint is known dead and
+    /// a fresh inbox must take over its identity.
+    pub fn register_replace(&self, id: NodeId) -> RouterHandle {
+        let mut reg = self.registry.write();
+        Self::install(&mut reg, self.clone(), id)
+    }
+
+    fn install(reg: &mut Registry, router: Router, id: NodeId) -> RouterHandle {
+        let (tx, rx) = unbounded();
         reg.inboxes.insert(id, tx);
         reg.crashed.insert(id, false);
         RouterHandle {
             id,
-            router: self.clone(),
+            router,
             inbox: rx,
         }
     }
@@ -188,8 +209,8 @@ mod tests {
     #[test]
     fn point_to_point_delivery() {
         let router = Router::new();
-        let a = router.register(NodeId(1));
-        let b = router.register(NodeId(2));
+        let a = router.register(NodeId(1)).unwrap();
+        let b = router.register(NodeId(2)).unwrap();
         a.send(NodeId(2), 7, Bytes::from_static(b"hello")).unwrap();
         let msg = b.recv_timeout(Duration::from_millis(100)).unwrap();
         assert_eq!(msg.from, NodeId(1));
@@ -200,7 +221,7 @@ mod tests {
     #[test]
     fn unknown_recipient_is_an_error_and_timeout_is_reported() {
         let router = Router::new();
-        let a = router.register(NodeId(1));
+        let a = router.register(NodeId(1)).unwrap();
         assert!(matches!(
             a.send(NodeId(9), 0, Bytes::new()),
             Err(NetError::UnknownNode(_))
@@ -214,8 +235,8 @@ mod tests {
     #[test]
     fn crashed_recipient_silently_drops_messages() {
         let router = Router::new();
-        let a = router.register(NodeId(1));
-        let b = router.register(NodeId(2));
+        let a = router.register(NodeId(1)).unwrap();
+        let b = router.register(NodeId(2)).unwrap();
         router.crash(NodeId(2));
         a.send(NodeId(2), 0, Bytes::from_static(b"x")).unwrap();
         assert!(b.recv_timeout(Duration::from_millis(20)).is_err());
@@ -230,8 +251,8 @@ mod tests {
     #[test]
     fn crashed_sender_cannot_send() {
         let router = Router::new();
-        let a = router.register(NodeId(1));
-        router.register(NodeId(2));
+        let a = router.register(NodeId(1)).unwrap();
+        router.register(NodeId(2)).unwrap();
         router.crash(NodeId(1));
         assert!(matches!(
             a.send(NodeId(2), 0, Bytes::new()),
@@ -242,9 +263,12 @@ mod tests {
     #[test]
     fn pull_round_collects_fastest_replies_despite_a_silent_peer() {
         let router = Router::new();
-        let server = router.register(NodeId(0));
+        let server = router.register(NodeId(0)).unwrap();
         let worker_ids = [NodeId(1), NodeId(2), NodeId(3)];
-        let handles: Vec<RouterHandle> = worker_ids.iter().map(|&id| router.register(id)).collect();
+        let handles: Vec<RouterHandle> = worker_ids
+            .iter()
+            .map(|&id| router.register(id).unwrap())
+            .collect();
         router.crash(NodeId(3)); // one worker never replies
 
         // Server "requests" by tag; workers reply on their own threads.
@@ -270,8 +294,8 @@ mod tests {
     #[test]
     fn collect_ignores_messages_from_other_rounds() {
         let router = Router::new();
-        let a = router.register(NodeId(1));
-        let b = router.register(NodeId(2));
+        let a = router.register(NodeId(1)).unwrap();
+        let b = router.register(NodeId(2)).unwrap();
         a.send(NodeId(2), 1, Bytes::from_static(b"old")).unwrap();
         a.send(NodeId(2), 2, Bytes::from_static(b"new")).unwrap();
         let replies = b.collect(2, 1, Duration::from_millis(100));
@@ -280,12 +304,53 @@ mod tests {
     }
 
     #[test]
+    fn double_registration_is_an_error_and_keeps_the_first_handle_alive() {
+        let router = Router::new();
+        let a = router.register(NodeId(1)).unwrap();
+        let b = router.register(NodeId(2)).unwrap();
+        assert_eq!(
+            router.register(NodeId(1)).unwrap_err(),
+            NetError::DuplicateNode(NodeId(1))
+        );
+        // The original handle still receives: no silent replacement happened.
+        b.send(NodeId(1), 3, Bytes::from_static(b"still here"))
+            .unwrap();
+        assert_eq!(
+            &a.recv_timeout(Duration::from_millis(100)).unwrap().payload[..],
+            b"still here"
+        );
+        assert_eq!(router.len(), 2);
+    }
+
+    #[test]
+    fn register_replace_redirects_traffic_to_the_new_handle() {
+        let router = Router::new();
+        let old = router.register(NodeId(1)).unwrap();
+        let b = router.register(NodeId(2)).unwrap();
+        let new = router.register_replace(NodeId(1)); // the reconnect path
+        b.send(NodeId(1), 9, Bytes::from_static(b"reconnected"))
+            .unwrap();
+        assert_eq!(
+            &new.recv_timeout(Duration::from_millis(100))
+                .unwrap()
+                .payload[..],
+            b"reconnected"
+        );
+        // The replaced handle is dead: nothing ever reaches it again.
+        assert!(old.recv_timeout(Duration::from_millis(20)).is_err());
+        // Replacing also clears crash state, like a fresh registration.
+        router.crash(NodeId(1));
+        let _fresh = router.register_replace(NodeId(1));
+        b.send(NodeId(1), 10, Bytes::from_static(b"x")).unwrap();
+    }
+
+    #[test]
     fn router_is_cloneable_and_countable() {
         let router = Router::new();
         assert!(router.is_empty());
-        let _a = router.register(NodeId(1));
+        let _a = router.register(NodeId(1)).unwrap();
         let clone = router.clone();
-        let _b = clone.register(NodeId(2));
+        let _b = clone.register(NodeId(2)).unwrap();
         assert_eq!(router.len(), 2);
         assert!(format!("{router:?}").contains("Router"));
     }

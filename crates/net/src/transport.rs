@@ -1,0 +1,276 @@
+//! The transport abstraction of the live runtime.
+//!
+//! PR 2 ran every replica on its own thread with messages moving through the
+//! in-process [`Router`]; the multi-process deployment moves the same
+//! [`WireMessage`](crate::WireMessage) bytes over TCP sockets
+//! (`garfield-transport`). [`Transport`] is the seam between the two: the
+//! actors in `garfield-runtime` are written against this trait only, so the
+//! *protocol* (pull-based `get_gradients()` / `get_models()`, quorums,
+//! deadlines, crash silence) is identical whether the peers are threads or
+//! OS processes on real sockets.
+//!
+//! Semantics every implementation must provide:
+//!
+//! * **Point-to-point sends** that never block the caller indefinitely: a
+//!   slow or dead peer may cause the message to be dropped, never a stall.
+//! * **Deadline-respecting receives** ([`Transport::recv_timeout`]): the
+//!   pull primitives ride out silent peers through timeouts, so a receive
+//!   must return [`NetError::Timeout`](crate::NetError::Timeout) when the
+//!   window closes.
+//! * **Crash silence** ([`Transport::crash`]): a crashed endpoint stops
+//!   emitting; peers only notice through their own quorums and timeouts
+//!   (no error is propagated on their side).
+//! * **Per-peer accounting** ([`Transport::peer_counters`]): on-wire message
+//!   and byte counts per remote peer, surfaced in
+//!   `RuntimeTelemetry`/`expfig runtime` so live-vs-sim reports cover TCP
+//!   runs too.
+
+use crate::{Envelope, NetResult, NodeId, Router, RouterHandle};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// On-wire traffic counters of one endpoint toward one remote peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerCounters {
+    /// The remote peer these counters describe.
+    pub peer: NodeId,
+    /// Messages successfully handed to the wire toward `peer`.
+    pub messages_sent: u64,
+    /// Bytes put on the wire toward `peer` (frame headers included where the
+    /// substrate frames; the in-process router counts payload bytes).
+    pub bytes_sent: u64,
+    /// Messages received from `peer`.
+    pub messages_received: u64,
+    /// Bytes received from `peer`.
+    pub bytes_received: u64,
+    /// Messages to `peer` dropped because its bounded outbound queue was
+    /// full — the backpressure signature of a slow or dead peer.
+    pub messages_dropped: u64,
+}
+
+impl PeerCounters {
+    /// Creates zeroed counters toward `peer`.
+    pub fn new(peer: NodeId) -> Self {
+        PeerCounters {
+            peer,
+            messages_sent: 0,
+            bytes_sent: 0,
+            messages_received: 0,
+            bytes_received: 0,
+            messages_dropped: 0,
+        }
+    }
+}
+
+/// A thread-safe map of [`PeerCounters`], shared between the I/O threads of
+/// a transport endpoint.
+#[derive(Debug, Default)]
+pub struct PeerCounterMap {
+    inner: Mutex<HashMap<NodeId, PeerCounters>>,
+}
+
+impl PeerCounterMap {
+    /// Creates an empty counter map.
+    pub fn new() -> Self {
+        PeerCounterMap::default()
+    }
+
+    fn with(&self, peer: NodeId, f: impl FnOnce(&mut PeerCounters)) {
+        let mut map = self.inner.lock();
+        f(map.entry(peer).or_insert_with(|| PeerCounters::new(peer)));
+    }
+
+    /// Records one message of `bytes` on-wire bytes sent to `peer`.
+    pub fn record_send(&self, peer: NodeId, bytes: usize) {
+        self.with(peer, |c| {
+            c.messages_sent += 1;
+            c.bytes_sent += bytes as u64;
+        });
+    }
+
+    /// Records one message of `bytes` on-wire bytes received from `peer`.
+    pub fn record_recv(&self, peer: NodeId, bytes: usize) {
+        self.with(peer, |c| {
+            c.messages_received += 1;
+            c.bytes_received += bytes as u64;
+        });
+    }
+
+    /// Records one message to `peer` dropped under backpressure.
+    pub fn record_drop(&self, peer: NodeId) {
+        self.with(peer, |c| c.messages_dropped += 1);
+    }
+
+    /// A snapshot of every peer's counters, sorted by peer id.
+    pub fn snapshot(&self) -> Vec<PeerCounters> {
+        let mut out: Vec<PeerCounters> = self.inner.lock().values().copied().collect();
+        out.sort_by_key(|c| c.peer);
+        out
+    }
+}
+
+/// One node's endpoint on some message substrate (threads or sockets).
+pub trait Transport: Send {
+    /// The node id this endpoint speaks as.
+    fn local_id(&self) -> NodeId;
+
+    /// Sends `payload` to `to` with the given `tag`, without ever blocking
+    /// indefinitely on a slow peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown recipients or a crashed/closed local
+    /// endpoint. A reachable-but-slow peer is *not* an error: the message
+    /// may be dropped (counted in [`PeerCounters::messages_dropped`]) and
+    /// the sender's quorum logic rides it out.
+    fn send(&self, to: NodeId, tag: u64, payload: Bytes) -> NetResult<()>;
+
+    /// Receives the next message, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`](crate::NetError::Timeout) when nothing
+    /// arrives in time and a closed-endpoint error when the substrate is
+    /// gone for good.
+    fn recv_timeout(&self, timeout: Duration) -> NetResult<Envelope>;
+
+    /// Makes this endpoint go silent (Byzantine crash semantics): it stops
+    /// emitting and delivering, and its peers notice only through timeouts.
+    fn crash(&self);
+
+    /// Waits up to `timeout` for messages already accepted by
+    /// [`Transport::send`] to actually reach the wire, so a subsequent
+    /// [`Transport::peer_counters`] snapshot covers them. Substrates that
+    /// deliver synchronously keep the no-op default.
+    fn flush(&self, timeout: Duration) {
+        let _ = timeout;
+    }
+
+    /// Per-peer on-wire counters accumulated so far, sorted by peer id.
+    fn peer_counters(&self) -> Vec<PeerCounters>;
+}
+
+/// The in-process [`Transport`]: a [`RouterHandle`] plus per-peer counters.
+///
+/// This is PR 2's substrate behind the new trait — one registered endpoint
+/// on a shared [`Router`], with channel sends standing in for sockets. The
+/// "on-wire" byte counts are payload bytes, since the router moves envelopes
+/// without framing.
+#[derive(Debug)]
+pub struct RouterTransport {
+    handle: RouterHandle,
+    router: Router,
+    counters: PeerCounterMap,
+}
+
+impl RouterTransport {
+    /// Registers `id` on the router and returns its transport endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::DuplicateNode`](crate::NetError::DuplicateNode)
+    /// when the id is already registered.
+    pub fn connect(router: &Router, id: NodeId) -> NetResult<Self> {
+        Ok(RouterTransport {
+            handle: router.register(id)?,
+            router: router.clone(),
+            counters: PeerCounterMap::new(),
+        })
+    }
+}
+
+impl Transport for RouterTransport {
+    fn local_id(&self) -> NodeId {
+        self.handle.id()
+    }
+
+    fn send(&self, to: NodeId, tag: u64, payload: Bytes) -> NetResult<()> {
+        let bytes = payload.len();
+        self.handle.send(to, tag, payload)?;
+        self.counters.record_send(to, bytes);
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> NetResult<Envelope> {
+        let envelope = self.handle.recv_timeout(timeout)?;
+        self.counters
+            .record_recv(envelope.from, envelope.payload.len());
+        Ok(envelope)
+    }
+
+    fn crash(&self) {
+        self.router.crash(self.handle.id());
+    }
+
+    fn peer_counters(&self) -> Vec<PeerCounters> {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetError;
+
+    #[test]
+    fn router_transport_sends_receives_and_counts_per_peer() {
+        let router = Router::new();
+        let a = RouterTransport::connect(&router, NodeId(1)).unwrap();
+        let b = RouterTransport::connect(&router, NodeId(2)).unwrap();
+        assert_eq!(a.local_id(), NodeId(1));
+        a.send(NodeId(2), 4, Bytes::from_static(b"abcde")).unwrap();
+        let env = b.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(env.from, NodeId(1));
+        assert_eq!(env.tag, 4);
+
+        let sent = a.peer_counters();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].peer, NodeId(2));
+        assert_eq!(sent[0].messages_sent, 1);
+        assert_eq!(sent[0].bytes_sent, 5);
+        let received = b.peer_counters();
+        assert_eq!(received[0].peer, NodeId(1));
+        assert_eq!(received[0].messages_received, 1);
+        assert_eq!(received[0].bytes_received, 5);
+    }
+
+    #[test]
+    fn duplicate_connect_is_rejected_and_crash_goes_silent() {
+        let router = Router::new();
+        let a = RouterTransport::connect(&router, NodeId(1)).unwrap();
+        assert_eq!(
+            RouterTransport::connect(&router, NodeId(1)).unwrap_err(),
+            NetError::DuplicateNode(NodeId(1))
+        );
+        let b = RouterTransport::connect(&router, NodeId(2)).unwrap();
+        a.crash();
+        assert!(matches!(
+            a.send(NodeId(2), 0, Bytes::new()),
+            Err(NetError::Unreachable { .. })
+        ));
+        // Messages toward a crashed endpoint vanish silently: the sender
+        // only notices through its own timeout.
+        b.send(NodeId(1), 0, Bytes::from_static(b"x")).unwrap();
+        assert!(matches!(
+            a.recv_timeout(Duration::from_millis(20)),
+            Err(NetError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn counter_map_snapshot_is_sorted_and_tracks_drops() {
+        let map = PeerCounterMap::new();
+        map.record_send(NodeId(7), 10);
+        map.record_recv(NodeId(2), 4);
+        map.record_drop(NodeId(7));
+        let snap = map.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].peer, NodeId(2));
+        assert_eq!(snap[1].peer, NodeId(7));
+        assert_eq!(snap[1].messages_dropped, 1);
+        assert_eq!(snap[1].messages_sent, 1);
+        assert_eq!(PeerCounters::new(NodeId(3)).bytes_sent, 0);
+    }
+}

@@ -29,6 +29,15 @@ pub const WIRE_VERSION: u8 = 1;
 /// Size of the fixed message header in bytes.
 pub const WIRE_HEADER_BYTES: usize = 18;
 
+/// Maximum number of `f32` payload values a message may declare or carry
+/// (64 Mi values = 256 MiB — more than an order of magnitude above the
+/// largest model in the paper's Table 1).
+///
+/// The cap is enforced *before* any allocation: a hostile peer controls the
+/// length prefix of every frame it sends, and an 18-byte header must never be
+/// able to demand gigabytes of memory on the receiving side.
+pub const MAX_WIRE_VALUES: usize = 64 * 1024 * 1024;
+
 /// The message kinds of the live training protocol.
 ///
 /// Servers pull gradients from workers and models from peer replicas — the
@@ -124,12 +133,12 @@ impl WireMessage {
     ///
     /// # Panics
     ///
-    /// Panics if the payload holds more than `u32::MAX` values (a vector four
-    /// orders of magnitude beyond the largest model in the paper's Table 1).
+    /// Panics if the payload holds more than [`MAX_WIRE_VALUES`] values —
+    /// such a message could never be decoded by a correct peer.
     pub fn encode(&self) -> Bytes {
         assert!(
-            self.values.len() <= u32::MAX as usize,
-            "wire payload of {} values exceeds the u32 length prefix",
+            self.values.len() <= MAX_WIRE_VALUES,
+            "wire payload of {} values exceeds the {MAX_WIRE_VALUES}-value cap",
             self.values.len()
         );
         let mut buf = Vec::with_capacity(self.encoded_len());
@@ -149,9 +158,11 @@ impl WireMessage {
     /// # Errors
     ///
     /// Returns [`NetError::WireVersion`] for an unsupported version byte,
-    /// [`NetError::WireKind`] for an unknown kind byte and
-    /// [`NetError::WireSize`] for a buffer that is truncated or carries
-    /// trailing bytes.
+    /// [`NetError::WireKind`] for an unknown kind byte,
+    /// [`NetError::FrameTooLarge`] when the header declares more than
+    /// [`MAX_WIRE_VALUES`] payload values (checked before anything is
+    /// allocated) and [`NetError::WireSize`] for a buffer that is truncated
+    /// or carries trailing bytes.
     pub fn decode(buf: &[u8]) -> NetResult<WireMessage> {
         if buf.len() < WIRE_HEADER_BYTES {
             return Err(NetError::WireSize {
@@ -166,6 +177,15 @@ impl WireMessage {
         let round = u64::from_le_bytes(buf[2..10].try_into().expect("8 header bytes"));
         let aux = f32::from_le_bytes(buf[10..14].try_into().expect("4 header bytes"));
         let len = u32::from_le_bytes(buf[14..18].try_into().expect("4 header bytes")) as usize;
+        // A hostile length prefix is rejected before any allocation or
+        // comparison against the buffer: the header alone must never be able
+        // to request an unbounded amount of memory.
+        if len > MAX_WIRE_VALUES {
+            return Err(NetError::FrameTooLarge {
+                declared: len.saturating_mul(4),
+                max: MAX_WIRE_VALUES * 4,
+            });
+        }
         // Checked arithmetic: on 32-bit targets an adversarial length prefix
         // could overflow `4 * len`; a malformed size must be an error, never
         // a panic or a wrapped comparison.
@@ -270,6 +290,37 @@ mod tests {
         ));
         assert!(matches!(
             WireMessage::decode(&[]),
+            Err(NetError::WireSize { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_before_allocation() {
+        // An adversarial header declaring u32::MAX payload values on a
+        // header-sized buffer: must fail with FrameTooLarge, not attempt a
+        // 16 GiB allocation or fall through to a size mismatch.
+        let mut buf = WireMessage::control(MsgKind::GradientRequest, 1)
+            .encode()
+            .to_vec();
+        buf[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            WireMessage::decode(&buf),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+
+        // One value above the cap is rejected, the cap itself would pass the
+        // length check (and then fail only on the buffer-size comparison).
+        buf[14..18].copy_from_slice(&((MAX_WIRE_VALUES + 1) as u32).to_le_bytes());
+        assert_eq!(
+            WireMessage::decode(&buf),
+            Err(NetError::FrameTooLarge {
+                declared: (MAX_WIRE_VALUES + 1) * 4,
+                max: MAX_WIRE_VALUES * 4,
+            })
+        );
+        buf[14..18].copy_from_slice(&(MAX_WIRE_VALUES as u32).to_le_bytes());
+        assert!(matches!(
+            WireMessage::decode(&buf),
             Err(NetError::WireSize { .. })
         ));
     }

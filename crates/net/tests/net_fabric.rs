@@ -121,10 +121,12 @@ fn sim_clock_advances_to_the_quorum_arrival() {
 #[test]
 fn router_delivers_exactly_the_live_replies() {
     let router = Router::new();
-    let server = router.register(NodeId(0));
+    let server = router.register(NodeId(0)).unwrap();
     let n = 6;
     let crashed = [NodeId(3), NodeId(5)];
-    let handles: Vec<_> = (1..=n).map(|i| router.register(NodeId(i))).collect();
+    let handles: Vec<_> = (1..=n)
+        .map(|i| router.register(NodeId(i)).unwrap())
+        .collect();
     for &id in &crashed {
         router.crash(id);
     }

@@ -1,4 +1,4 @@
-//! The worker and server actors: one OS thread per node, real messages only.
+//! The worker and server actors: one actor per node, real messages only.
 //!
 //! Workers are passive repliers (the paper's `Worker` object): they wait for
 //! a [`MsgKind::GradientRequest`] carrying the requesting server's model,
@@ -6,9 +6,13 @@
 //! replicas drive the training loop: broadcast the model, unblock on the
 //! fastest `q` gradient replies, robustly aggregate, update — and, in MSMW,
 //! pull peer models the same way. All payloads travel as
-//! [`WireMessage`]-encoded bytes through the [`Router`](garfield_net::Router).
+//! [`WireMessage`]-encoded bytes through a
+//! [`Transport`](garfield_net::Transport) — the in-process router when the
+//! [`LiveExecutor`](crate::LiveExecutor) spawns one thread per node, a TCP
+//! socket mesh when `garfield-node` runs each actor in its own OS process.
 
 use crate::fault::Fault;
+use crate::node::ServerNode;
 use garfield_aggregation::{build_gar, GarKind};
 use garfield_attacks::Attack;
 use garfield_core::{
@@ -16,15 +20,14 @@ use garfield_core::{
     IterationTiming, NodeTelemetry, SystemKind, TrainingTrace,
 };
 use garfield_ml::Batch;
-use garfield_net::{MsgKind, NodeId, Router, RouterHandle, WireMessage};
+use garfield_net::{MsgKind, NodeId, Transport, WireMessage};
 use garfield_tensor::{Tensor, TensorRng};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-/// Everything a worker thread needs.
+/// Everything a worker actor needs.
 pub(crate) struct WorkerActor {
-    pub handle: RouterHandle,
-    pub router: Router,
+    pub transport: Box<dyn Transport>,
     pub worker: ByzantineWorker,
     pub fault: Option<Fault>,
     pub fault_attack: Option<Box<dyn Attack>>,
@@ -38,8 +41,8 @@ impl WorkerActor {
     /// prolonged silence. Returns the node's network counters.
     pub fn run(mut self) -> NodeTelemetry {
         // Exits on shutdown/crash, or when the inbox stays silent past the
-        // idle timeout (router gone or run abandoned).
-        while let Ok(envelope) = self.handle.recv_timeout(self.idle_timeout) {
+        // idle timeout (transport gone or run abandoned).
+        while let Ok(envelope) = self.transport.recv_timeout(self.idle_timeout) {
             self.telemetry.record_recv(envelope.payload.len());
             let Ok(message) = WireMessage::decode(&envelope.payload) else {
                 continue; // garbage on the wire: a correct node ignores it
@@ -51,7 +54,7 @@ impl WorkerActor {
                     if let Some(Fault::CrashAt { iteration: at }) = self.fault {
                         if iteration >= at {
                             // Go silent: peers must survive via quorums, not errors.
-                            self.router.crash(self.handle.id());
+                            self.transport.crash();
                             break;
                         }
                     }
@@ -76,7 +79,7 @@ impl WorkerActor {
                     let payload = reply.encode();
                     let bytes = payload.len();
                     if self
-                        .handle
+                        .transport
                         .send(envelope.from, message.round, payload)
                         .is_ok()
                     {
@@ -86,6 +89,10 @@ impl WorkerActor {
                 _ => {} // server-to-server traffic never addresses a worker
             }
         }
+        // Let asynchronous transports put the queued tail on the wire so
+        // the per-peer snapshot below covers every message sent above.
+        self.transport.flush(Duration::from_secs(5));
+        self.telemetry.peers = self.transport.peer_counters();
         self.telemetry
     }
 }
@@ -93,11 +100,10 @@ impl WorkerActor {
 /// One collected reply: sender, aux scalar (loss), payload values.
 type Reply = (NodeId, f32, Vec<f32>);
 
-/// Everything a server-replica thread needs.
+/// Everything a server-replica actor needs.
 pub(crate) struct ServerActor {
     pub index: usize,
-    pub handle: RouterHandle,
-    pub router: Router,
+    pub transport: Box<dyn Transport>,
     pub server: ByzantineServer,
     pub system: SystemKind,
     pub config: ExperimentConfig,
@@ -110,6 +116,11 @@ pub(crate) struct ServerActor {
     pub fault_rng: TensorRng,
     /// Only the observer (server 0) evaluates accuracy.
     pub test_batch: Option<Batch>,
+    /// Worker ids this replica winds down with a `Shutdown` when it exits
+    /// (empty under the in-process executor, whose controller does it; the
+    /// coordinating `garfield-node` server owns the duty in process-per-node
+    /// deployments, where no controller exists).
+    pub shutdown_targets: Vec<NodeId>,
     pub telemetry: NodeTelemetry,
     // Protocol state.
     round: usize,
@@ -124,9 +135,8 @@ pub(crate) struct ServerActor {
     round_latencies: Vec<f64>,
 }
 
-/// What a server thread hands back when it finishes.
+/// What a server actor hands back when it finishes.
 pub(crate) struct ServerOutcome {
-    pub index: usize,
     pub trace: TrainingTrace,
     pub final_model: Tensor,
     pub telemetry: NodeTelemetry,
@@ -134,39 +144,28 @@ pub(crate) struct ServerOutcome {
 }
 
 impl ServerActor {
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        index: usize,
-        handle: RouterHandle,
-        router: Router,
-        server: ByzantineServer,
-        system: SystemKind,
-        config: ExperimentConfig,
-        worker_ids: Vec<NodeId>,
-        peer_ids: Vec<NodeId>,
-        gradient_quorum: usize,
-        round_deadline: Duration,
-        fault: Option<Fault>,
-        fault_attack: Option<Box<dyn Attack>>,
-        fault_rng: TensorRng,
-        test_batch: Option<Batch>,
-    ) -> Self {
-        let telemetry = NodeTelemetry::new(handle.id().0, garfield_net::Role::Server);
+    /// Builds the actor from its public description and a transport endpoint.
+    pub fn from_node(node: ServerNode, transport: Box<dyn Transport>) -> Self {
+        let telemetry = NodeTelemetry::new(transport.local_id().0, garfield_net::Role::Server);
+        let fault_attack = match node.fault {
+            Some(Fault::Byzantine { attack }) => Some(attack.build()),
+            _ => None,
+        };
         ServerActor {
-            index,
-            handle,
-            router,
-            server,
-            system,
-            config,
-            worker_ids,
-            peer_ids,
-            gradient_quorum,
-            round_deadline,
-            fault,
+            index: node.index,
+            transport,
+            server: node.server,
+            system: node.system,
+            config: node.config,
+            worker_ids: node.worker_ids,
+            peer_ids: node.peer_ids,
+            gradient_quorum: node.gradient_quorum,
+            round_deadline: node.round_deadline,
+            fault: node.fault,
             fault_attack,
-            fault_rng,
-            test_batch,
+            fault_rng: node.fault_rng,
+            test_batch: node.test_batch,
+            shutdown_targets: node.shutdown_targets,
             telemetry,
             round: 0,
             phase1_done: false,
@@ -177,8 +176,35 @@ impl ServerActor {
         }
     }
 
-    /// Runs the replica's training loop to completion.
+    /// Runs the replica to completion: the training loop, then — success or
+    /// liveness failure alike — the worker wind-down this replica owns.
     pub fn run(mut self) -> CoreResult<ServerOutcome> {
+        let result = self.train();
+        // Shutdown is best-effort and unconditional: after a liveness
+        // failure the surviving worker processes must not be left waiting
+        // out their idle timeout.
+        if !self.shutdown_targets.is_empty() {
+            let shutdown =
+                WireMessage::control(MsgKind::Shutdown, self.config.iterations as u64).encode();
+            for to in self.shutdown_targets.clone() {
+                self.send(to, self.config.iterations as u64, shutdown.clone());
+            }
+        }
+        // Let asynchronous transports put the queued tail (including the
+        // shutdowns just sent) on the wire before the counters are read.
+        self.transport.flush(Duration::from_secs(5));
+        self.telemetry.peers = self.transport.peer_counters();
+        let trace = result?;
+        Ok(ServerOutcome {
+            trace,
+            final_model: self.server.honest().parameters(),
+            telemetry: self.telemetry,
+            round_latencies: self.round_latencies,
+        })
+    }
+
+    /// The replica's training loop.
+    fn train(&mut self) -> CoreResult<TrainingTrace> {
         let (gar_kind, gar_f) = match self.system {
             SystemKind::Vanilla => (GarKind::Average, 0),
             _ => (self.config.gradient_gar, self.config.fw),
@@ -317,17 +343,11 @@ impl ServerActor {
         }
 
         if crashed {
-            self.router.crash(self.handle.id());
+            self.transport.crash();
         } else {
             self.linger();
         }
-        Ok(ServerOutcome {
-            index: self.index,
-            trace,
-            final_model: self.server.honest().parameters(),
-            telemetry: self.telemetry,
-            round_latencies: self.round_latencies,
-        })
+        Ok(trace)
     }
 
     /// Receives until `want` replies of `(kind, round)` arrived or the
@@ -346,7 +366,7 @@ impl ServerActor {
             if now >= deadline {
                 break;
             }
-            let envelope = match self.handle.recv_timeout(deadline - now) {
+            let envelope = match self.transport.recv_timeout(deadline - now) {
                 Ok(env) => env,
                 Err(_) => break,
             };
@@ -452,7 +472,7 @@ impl ServerActor {
             if now >= deadline {
                 break;
             }
-            let envelope = match self.handle.recv_timeout(deadline - now) {
+            let envelope = match self.transport.recv_timeout(deadline - now) {
                 Ok(env) => env,
                 Err(_) => break,
             };
@@ -467,7 +487,7 @@ impl ServerActor {
     /// crashed recipient is exactly what quorums exist for).
     fn send(&mut self, to: NodeId, tag: u64, payload: bytes::Bytes) {
         let bytes = payload.len();
-        if self.handle.send(to, tag, payload).is_ok() {
+        if self.transport.send(to, tag, payload).is_ok() {
             self.telemetry.record_send(bytes);
         }
     }

@@ -1,13 +1,13 @@
 //! The live executor: spawn every node, train over real messages, join.
 
-use crate::actors::{ServerActor, ServerOutcome, WorkerActor};
-use crate::fault::{Fault, FaultPlan};
+use crate::fault::FaultPlan;
+use crate::node::{fault_rng_streams, NodeLayout, ServerNode, ServerRun, WorkerNode};
 use garfield_core::{
     CoreError, CoreResult, Deployment, ExecMode, Executor, ExperimentConfig, NodeTelemetry,
     RuntimeTelemetry, SimExecutor, SystemKind, TrainingTrace,
 };
-use garfield_net::{MsgKind, NodeId, Role, Router, WireMessage};
-use garfield_tensor::{Tensor, TensorRng};
+use garfield_net::{MsgKind, NodeId, Router, RouterTransport, Transport, WireMessage};
+use garfield_tensor::Tensor;
 use std::time::Duration;
 
 /// Tuning knobs of a live run.
@@ -117,86 +117,91 @@ impl LiveExecutor {
         self.config.validate(system)?;
         let parts = Deployment::new(self.config.clone())?.into_live_parts();
         let config = parts.config.clone();
-        // Vanilla and SSMW use a single trusted server; MSMW runs every replica.
-        let nps = if system == SystemKind::Msmw {
-            parts.servers.len()
-        } else {
-            1
-        };
-        let nw = parts.workers.len();
+        let layout = NodeLayout::of(system, &config);
+        let nps = layout.server_ids.len();
+        let nw = layout.worker_ids.len();
         let gradient_quorum = self
             .options
             .gradient_quorum
             .unwrap_or_else(|| config.gradient_quorum(system));
 
-        // Node ids: servers 0..nps, workers nps..nps+nw, controller last.
+        // Every endpoint registers before any thread starts: a round-0
+        // broadcast must never race a peer's registration.
         let router = Router::new();
-        let server_ids: Vec<NodeId> = (0..nps).map(|i| NodeId(i as u32)).collect();
-        let worker_ids: Vec<NodeId> = (0..nw).map(|j| NodeId((nps + j) as u32)).collect();
-        let server_handles: Vec<_> = server_ids.iter().map(|&id| router.register(id)).collect();
-        let worker_handles: Vec<_> = worker_ids.iter().map(|&id| router.register(id)).collect();
-        let controller = router.register(NodeId((nps + nw) as u32));
+        let connect = |id: NodeId| -> CoreResult<Box<dyn Transport>> {
+            Ok(Box::new(
+                RouterTransport::connect(&router, id).map_err(CoreError::from)?,
+            ))
+        };
+        let server_transports: Vec<_> = layout
+            .server_ids
+            .iter()
+            .map(|&id| connect(id))
+            .collect::<CoreResult<_>>()?;
+        let worker_transports: Vec<_> = layout
+            .worker_ids
+            .iter()
+            .map(|&id| connect(id))
+            .collect::<CoreResult<_>>()?;
+        let controller = router
+            .register(NodeId((nps + nw) as u32))
+            .map_err(CoreError::from)?;
 
-        let mut seed_rng = TensorRng::seed_from(config.seed ^ 0x4c49_5645); // "LIVE"
+        let (worker_rngs, server_rngs) = fault_rng_streams(&config, nps);
         let mut worker_threads = Vec::with_capacity(nw);
-        for (j, (worker, handle)) in parts.workers.into_iter().zip(worker_handles).enumerate() {
-            let fault = self.faults.worker(j);
-            let fault_attack = match fault {
-                Some(Fault::Byzantine { attack }) => Some(attack.build()),
-                _ => None,
-            };
-            let actor = WorkerActor {
-                telemetry: NodeTelemetry::new(handle.id().0, Role::Worker),
-                handle,
-                router: router.clone(),
+        for (((j, worker), transport), fault_rng) in parts
+            .workers
+            .into_iter()
+            .enumerate()
+            .zip(worker_transports)
+            .zip(worker_rngs)
+        {
+            let node = WorkerNode {
                 worker,
-                fault,
-                fault_attack,
-                fault_rng: seed_rng.derive(7_000 + j as u64),
+                fault: self.faults.worker(j),
+                fault_rng,
                 idle_timeout: self.options.idle_timeout,
             };
-            worker_threads.push(std::thread::spawn(move || actor.run()));
+            worker_threads.push(std::thread::spawn(move || node.run(transport)));
         }
 
         let mut server_threads = Vec::with_capacity(nps);
-        for (i, (server, handle)) in parts
+        for (((i, server), transport), fault_rng) in parts
             .servers
             .into_iter()
             .take(nps)
-            .zip(server_handles)
             .enumerate()
+            .zip(server_transports)
+            .zip(server_rngs)
         {
-            let fault = self.faults.server(i);
-            let fault_attack = match fault {
-                Some(Fault::Byzantine { attack }) => Some(attack.build()),
-                _ => None,
-            };
-            let peers: Vec<NodeId> = server_ids
+            let peers: Vec<NodeId> = layout
+                .server_ids
                 .iter()
                 .copied()
-                .filter(|&p| p != handle.id())
+                .filter(|&p| p != layout.server_ids[i])
                 .collect();
-            let actor = ServerActor::new(
-                i,
-                handle,
-                router.clone(),
+            let node = ServerNode {
+                index: i,
                 server,
                 system,
-                config.clone(),
-                worker_ids.clone(),
-                peers,
+                config: config.clone(),
+                worker_ids: layout.worker_ids.clone(),
+                peer_ids: peers,
                 gradient_quorum,
-                self.options.round_deadline,
-                fault,
-                fault_attack,
-                seed_rng.derive(8_000 + i as u64),
-                (i == 0).then(|| parts.test_batch.clone()),
-            );
-            server_threads.push(std::thread::spawn(move || actor.run()));
+                round_deadline: self.options.round_deadline,
+                fault: self.faults.server(i),
+                fault_rng,
+                test_batch: (i == 0).then(|| parts.test_batch.clone()),
+                // The executor's controller below winds the workers down.
+                shutdown_targets: Vec::new(),
+            };
+            server_threads.push(std::thread::spawn(move || {
+                node.run(transport).map(|run| (i, run))
+            }));
         }
 
         // Join the replicas, then wind the workers down regardless of outcome.
-        let mut outcomes: Vec<ServerOutcome> = Vec::with_capacity(nps);
+        let mut outcomes: Vec<(usize, ServerRun)> = Vec::with_capacity(nps);
         let mut first_error: Option<CoreError> = None;
         for thread in server_threads {
             match thread.join() {
@@ -210,7 +215,7 @@ impl LiveExecutor {
             }
         }
         let shutdown = WireMessage::control(MsgKind::Shutdown, config.iterations as u64).encode();
-        for &id in &worker_ids {
+        for &id in &layout.worker_ids {
             let _ = controller.send(id, config.iterations as u64, shutdown.clone());
         }
         let mut node_telemetry: Vec<NodeTelemetry> = Vec::with_capacity(nps + nw);
@@ -227,13 +232,14 @@ impl LiveExecutor {
             return Err(error);
         }
 
-        outcomes.sort_by_key(|o| o.index);
+        outcomes.sort_by_key(|&(index, _)| index);
         let observer = outcomes
             .iter()
-            .find(|o| o.index == 0)
+            .find(|&&(index, _)| index == 0)
+            .map(|(_, run)| run)
             .ok_or_else(|| CoreError::Net("live run produced no observer trace".into()))?;
-        for outcome in &outcomes {
-            node_telemetry.push(outcome.telemetry);
+        for (_, run) in &outcomes {
+            node_telemetry.push(run.telemetry.clone());
         }
         node_telemetry.extend(worker_telemetry);
 
@@ -247,7 +253,7 @@ impl LiveExecutor {
             final_models: outcomes
                 .iter()
                 .take(honest_servers)
-                .map(|o| o.final_model.clone())
+                .map(|(_, run)| run.final_model.clone())
                 .collect(),
         };
         self.last = Some(report.clone());

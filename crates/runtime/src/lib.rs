@@ -68,6 +68,8 @@
 mod actors;
 mod executor;
 mod fault;
+pub mod node;
 
 pub use executor::{executor_for, LiveExecutor, LiveOptions, LiveReport};
 pub use fault::{Fault, FaultPlan};
+pub use node::{NodeLayout, ServerNode, ServerRun, WorkerNode};

@@ -1,0 +1,232 @@
+//! Per-node entry points: run *one* worker or server replica of an
+//! experiment over any [`Transport`].
+//!
+//! The [`LiveExecutor`](crate::LiveExecutor) uses these to spawn every node
+//! as a thread over the in-process router; the `garfield-node` binary
+//! (`garfield-transport`) uses the very same entry points to run a single
+//! node per OS process over TCP. Because both paths build their node objects
+//! through [`Deployment`](garfield_core::Deployment) and share the id layout
+//! and RNG derivation below, a fault-free full-quorum multi-process run
+//! produces a final model bit-identical to the in-process run of the same
+//! seed.
+
+use crate::actors::{ServerActor, WorkerActor};
+use crate::fault::Fault;
+use garfield_core::{
+    ByzantineServer, ByzantineWorker, CoreResult, ExperimentConfig, NodeTelemetry, SystemKind,
+    TrainingTrace,
+};
+use garfield_ml::Batch;
+use garfield_net::{NodeId, Role, Transport};
+use garfield_tensor::{Tensor, TensorRng};
+use std::time::Duration;
+
+/// The node-id layout of a live deployment: server replicas first
+/// (`0..servers`), workers after (`servers..servers + nw`).
+///
+/// Every substrate must use this layout — reply collection sorts by node id,
+/// so the aggregation input (and with it the final model) depends on ids
+/// being assigned identically in-process and across processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeLayout {
+    /// Ids of the server replicas, in replica-index order.
+    pub server_ids: Vec<NodeId>,
+    /// Ids of the workers, in worker-index order.
+    pub worker_ids: Vec<NodeId>,
+}
+
+impl NodeLayout {
+    /// Computes the layout of `config` under `system`.
+    ///
+    /// Vanilla and SSMW deploy a single trusted server no matter what
+    /// `config.nps` says; MSMW runs every replica.
+    pub fn of(system: SystemKind, config: &ExperimentConfig) -> NodeLayout {
+        let servers = live_server_count(system, config);
+        let workers = config.nw;
+        NodeLayout {
+            server_ids: (0..servers).map(|i| NodeId(i as u32)).collect(),
+            worker_ids: (0..workers).map(|j| NodeId((servers + j) as u32)).collect(),
+        }
+    }
+
+    /// Total number of nodes in the layout.
+    pub fn len(&self) -> usize {
+        self.server_ids.len() + self.worker_ids.len()
+    }
+
+    /// Whether the layout holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Number of server replicas that actually run live under `system`.
+pub fn live_server_count(system: SystemKind, config: &ExperimentConfig) -> usize {
+    if system == SystemKind::Msmw {
+        config.nps.max(1)
+    } else {
+        1
+    }
+}
+
+/// Replays the executor's per-node RNG derivation.
+///
+/// [`TensorRng::derive`] advances the parent generator, so the stream a node
+/// receives depends on the *order* of derivation. A `garfield-node` process
+/// hosts a single node but must hand it the exact stream the in-process
+/// executor would: this helper re-derives all of them (workers first, then
+/// the live servers) so both substrates agree.
+pub fn fault_rng_streams(
+    config: &ExperimentConfig,
+    live_servers: usize,
+) -> (Vec<TensorRng>, Vec<TensorRng>) {
+    let mut seed_rng = TensorRng::seed_from(config.seed ^ 0x4c49_5645); // "LIVE"
+    let workers = (0..config.nw)
+        .map(|j| seed_rng.derive(7_000 + j as u64))
+        .collect();
+    let servers = (0..live_servers)
+        .map(|i| seed_rng.derive(8_000 + i as u64))
+        .collect();
+    (workers, servers)
+}
+
+/// One worker replica, ready to run over a transport.
+pub struct WorkerNode {
+    /// The (possibly Byzantine) worker object, from
+    /// [`Deployment::into_live_parts`](garfield_core::Deployment::into_live_parts).
+    pub worker: ByzantineWorker,
+    /// The injected fault, if any.
+    pub fault: Option<Fault>,
+    /// RNG stream for fault-plan attacks (see [`fault_rng_streams`]).
+    pub fault_rng: TensorRng,
+    /// How long the worker waits on an empty inbox before assuming the run
+    /// is over.
+    pub idle_timeout: Duration,
+}
+
+impl WorkerNode {
+    /// Runs the worker loop to completion (blocking) and returns the node's
+    /// network counters, including the transport's per-peer on-wire bytes.
+    pub fn run(self, transport: Box<dyn Transport>) -> NodeTelemetry {
+        let fault_attack = match self.fault {
+            Some(Fault::Byzantine { attack }) => Some(attack.build()),
+            _ => None,
+        };
+        let actor = WorkerActor {
+            telemetry: NodeTelemetry::new(transport.local_id().0, Role::Worker),
+            transport,
+            worker: self.worker,
+            fault: self.fault,
+            fault_attack,
+            fault_rng: self.fault_rng,
+            idle_timeout: self.idle_timeout,
+        };
+        actor.run()
+    }
+}
+
+/// One server replica, ready to run over a transport.
+pub struct ServerNode {
+    /// Replica index (0 is the observer: it evaluates accuracy).
+    pub index: usize,
+    /// The (possibly Byzantine) server object.
+    pub server: ByzantineServer,
+    /// Which Garfield system drives the replica's loop.
+    pub system: SystemKind,
+    /// The experiment being run.
+    pub config: ExperimentConfig,
+    /// Ids of all workers (see [`NodeLayout`]).
+    pub worker_ids: Vec<NodeId>,
+    /// Ids of the peer replicas (the layout's server ids minus this one).
+    pub peer_ids: Vec<NodeId>,
+    /// Gradient replies to wait for each round.
+    pub gradient_quorum: usize,
+    /// Wall-clock deadline of each pull phase.
+    pub round_deadline: Duration,
+    /// The injected fault, if any.
+    pub fault: Option<Fault>,
+    /// RNG stream for fault-plan attacks (see [`fault_rng_streams`]).
+    pub fault_rng: TensorRng,
+    /// Held-out batch for accuracy evaluation (observer only).
+    pub test_batch: Option<Batch>,
+    /// Workers this replica sends `Shutdown` to when it exits. Empty under
+    /// the in-process executor (its controller winds workers down); the
+    /// coordinating server of a multi-process deployment names every worker
+    /// here, since no controller process exists.
+    pub shutdown_targets: Vec<NodeId>,
+}
+
+/// What one server replica produced.
+#[derive(Debug, Clone)]
+pub struct ServerRun {
+    /// The replica's training trace.
+    pub trace: TrainingTrace,
+    /// Its final model vector.
+    pub final_model: Tensor,
+    /// Its network counters (totals plus per-peer on-wire counts).
+    pub telemetry: NodeTelemetry,
+    /// Wall-clock seconds per training iteration.
+    pub round_latencies: Vec<f64>,
+}
+
+impl ServerNode {
+    /// Runs the replica's training loop to completion (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Net`](garfield_core::CoreError::Net) when a
+    /// quorum cannot be gathered before the round deadline, and propagates
+    /// ML/aggregation errors. The shutdown duty (if any) is discharged even
+    /// on the error paths.
+    pub fn run(self, transport: Box<dyn Transport>) -> CoreResult<ServerRun> {
+        let outcome = ServerActor::from_node(self, transport).run()?;
+        Ok(ServerRun {
+            trace: outcome.trace,
+            final_model: outcome.final_model,
+            telemetry: outcome.telemetry,
+            round_latencies: outcome.round_latencies,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_places_servers_before_workers() {
+        let mut cfg = ExperimentConfig::small();
+        cfg.nw = 4;
+        cfg.nps = 3;
+        let msmw = NodeLayout::of(SystemKind::Msmw, &cfg);
+        assert_eq!(msmw.server_ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            msmw.worker_ids,
+            vec![NodeId(3), NodeId(4), NodeId(5), NodeId(6)]
+        );
+        assert_eq!(msmw.len(), 7);
+        assert!(!msmw.is_empty());
+
+        // Single trusted server for the non-replicated systems.
+        let ssmw = NodeLayout::of(SystemKind::Ssmw, &cfg);
+        assert_eq!(ssmw.server_ids, vec![NodeId(0)]);
+        assert_eq!(ssmw.worker_ids[0], NodeId(1));
+        assert_eq!(live_server_count(SystemKind::Vanilla, &cfg), 1);
+    }
+
+    #[test]
+    fn fault_rng_streams_are_order_independent_reproducible() {
+        let cfg = ExperimentConfig::small();
+        let (workers_a, servers_a) = fault_rng_streams(&cfg, 3);
+        let (workers_b, servers_b) = fault_rng_streams(&cfg, 3);
+        assert_eq!(workers_a.len(), cfg.nw);
+        assert_eq!(servers_a.len(), 3);
+        // Same config ⇒ same streams, node by node.
+        for (mut a, mut b) in workers_a.into_iter().zip(workers_b) {
+            assert_eq!(a.uniform01(), b.uniform01());
+        }
+        for (mut a, mut b) in servers_a.into_iter().zip(servers_b) {
+            assert_eq!(a.uniform01(), b.uniform01());
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! `garfield-node`: one Garfield node per OS process, over TCP.
+//!
+//! The multi-process face of the live runtime: every worker and parameter
+//! server replica of an experiment runs as its own `garfield-node` process,
+//! exchanging wire messages over real sockets according to a shared cluster
+//! spec — the paper's deployment shape, on localhost or a real cluster.
+//!
+//! ```console
+//! garfield-node --role server --rank 0 --cluster cluster.txt \
+//!               --config experiment.json --system ssmw --out result.json
+//! garfield-node --role worker --rank 3 --cluster cluster.txt \
+//!               --config experiment.json --system ssmw
+//! ```
+//!
+//! * `--cluster` — `node id → host:port` lines (see `ClusterSpec`); ids are
+//!   laid out servers-first (`NodeLayout`): server replica `i` is node `i`,
+//!   worker `j` is node `servers + j`.
+//! * `--config` — an `ExperimentConfig` as JSON (`ExperimentConfig::to_json`).
+//! * `--system` — `vanilla`, `ssmw` or `msmw` (the systems the live runtime
+//!   implements).
+//! * `--gradient-quorum` — override `q`; `n − f` exercises the asynchronous
+//!   liveness condition (the run survives `f` dead workers).
+//! * `--round-deadline-ms` / `--idle-timeout-ms` — pull deadline (servers)
+//!   and inbox idle backstop (workers).
+//! * `--out` — servers write a JSON result (final accuracy + the final
+//!   model as exact `f32` bit patterns, for bit-identical comparison
+//!   against an in-process run of the same seed).
+//!
+//! Exit status: `0` on success, `1` on a runtime/liveness failure, `2` on
+//! bad usage.
+
+use garfield_core::{Deployment, ExperimentConfig, SystemKind};
+use garfield_runtime::node::{fault_rng_streams, NodeLayout};
+use garfield_runtime::{ServerNode, ServerRun, WorkerNode};
+use garfield_transport::{ClusterSpec, TcpOptions, TcpTransport};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct Args {
+    role: String,
+    rank: usize,
+    cluster: String,
+    config: String,
+    system: SystemKind,
+    gradient_quorum: Option<usize>,
+    round_deadline: Duration,
+    idle_timeout: Duration,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: garfield-node --role <server|worker> --rank <n> --cluster <file> \
+         --config <file> --system <vanilla|ssmw|msmw> [--gradient-quorum <q>] \
+         [--round-deadline-ms <ms>] [--idle-timeout-ms <ms>] [--out <file>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value = |name: &str| -> Option<&str> {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .map(String::as_str)
+    };
+    let required = |name: &str| -> &str {
+        value(name).unwrap_or_else(|| {
+            eprintln!("missing required flag {name}");
+            usage();
+        })
+    };
+    let parsed = |name: &str, raw: &str| -> usize {
+        raw.parse().unwrap_or_else(|e| {
+            eprintln!("flag {name}: {e}");
+            usage();
+        })
+    };
+    let role = required("--role").to_string();
+    if role != "server" && role != "worker" {
+        eprintln!("--role must be 'server' or 'worker', got '{role}'");
+        usage();
+    }
+    Args {
+        rank: parsed("--rank", required("--rank")),
+        cluster: required("--cluster").to_string(),
+        config: required("--config").to_string(),
+        system: required("--system").parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage();
+        }),
+        gradient_quorum: value("--gradient-quorum").map(|v| parsed("--gradient-quorum", v)),
+        round_deadline: Duration::from_millis(
+            value("--round-deadline-ms").map_or(5_000, |v| parsed("--round-deadline-ms", v) as u64),
+        ),
+        idle_timeout: Duration::from_millis(
+            value("--idle-timeout-ms").map_or(10_000, |v| parsed("--idle-timeout-ms", v) as u64),
+        ),
+        out: value("--out").map(str::to_string),
+        role,
+    }
+}
+
+/// The server result, serialized for the launcher: accuracy plus the final
+/// model as exact bit patterns (`f32::to_bits`), so a same-seed in-process
+/// run can be compared bit for bit.
+fn result_json(system: SystemKind, run: &ServerRun) -> String {
+    let mut out = String::with_capacity(64 + 12 * run.final_model.len());
+    let _ = write!(
+        out,
+        "{{\"system\":\"{system}\",\"iterations\":{},\"final_accuracy\":{},\"final_model_bits\":[",
+        run.trace.len(),
+        run.trace.final_accuracy()
+    );
+    for (i, v) in run.final_model.data().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", v.to_bits());
+    }
+    out.push_str("]}");
+    out
+}
+
+fn run(args: Args) -> Result<(), String> {
+    if !matches!(
+        args.system,
+        SystemKind::Vanilla | SystemKind::Ssmw | SystemKind::Msmw
+    ) {
+        return Err(format!(
+            "the live runtime implements vanilla, ssmw and msmw (requested {})",
+            args.system
+        ));
+    }
+    let config_text =
+        std::fs::read_to_string(&args.config).map_err(|e| format!("{}: {e}", args.config))?;
+    let config = ExperimentConfig::from_json(&config_text).map_err(|e| e.to_string())?;
+    config.validate(args.system).map_err(|e| e.to_string())?;
+    let spec = ClusterSpec::load(&args.cluster).map_err(|e| format!("{}: {e}", args.cluster))?;
+
+    let layout = NodeLayout::of(args.system, &config);
+    if spec.len() < layout.len() {
+        return Err(format!(
+            "cluster spec names {} nodes but the experiment deploys {} ({} servers + {} workers)",
+            spec.len(),
+            layout.len(),
+            layout.server_ids.len(),
+            layout.worker_ids.len()
+        ));
+    }
+
+    // Same construction path as the in-process executor: every process
+    // builds the full deployment from the shared config (identical shards,
+    // initial model and attack installation), then keeps only its node.
+    let parts = Deployment::new(config.clone())
+        .map_err(|e| e.to_string())?
+        .into_live_parts();
+    let (mut worker_rngs, mut server_rngs) = fault_rng_streams(&config, layout.server_ids.len());
+
+    match args.role.as_str() {
+        "worker" => {
+            if args.rank >= layout.worker_ids.len() {
+                return Err(format!(
+                    "worker rank {} out of range (nw = {})",
+                    args.rank,
+                    layout.worker_ids.len()
+                ));
+            }
+            let id = layout.worker_ids[args.rank];
+            let transport =
+                TcpTransport::bind(&spec, id, TcpOptions::default()).map_err(|e| e.to_string())?;
+            eprintln!(
+                "garfield-node: worker {} up as node {id} on {}",
+                args.rank,
+                transport.local_addr()
+            );
+            let node = WorkerNode {
+                worker: parts
+                    .workers
+                    .into_iter()
+                    .nth(args.rank)
+                    .expect("rank checked"),
+                fault: None,
+                fault_rng: worker_rngs.swap_remove(args.rank),
+                idle_timeout: args.idle_timeout,
+            };
+            let telemetry = node.run(Box::new(transport));
+            eprintln!(
+                "garfield-node: worker {} done — {} msgs / {} B sent, {} msgs / {} B received, {} on-wire B, {} dropped",
+                args.rank,
+                telemetry.messages_sent,
+                telemetry.bytes_sent,
+                telemetry.messages_received,
+                telemetry.bytes_received,
+                telemetry.wire_bytes_sent(),
+                telemetry.messages_dropped(),
+            );
+            Ok(())
+        }
+        "server" => {
+            if args.rank >= layout.server_ids.len() {
+                return Err(format!(
+                    "server rank {} out of range ({} replicas run live under {})",
+                    args.rank,
+                    layout.server_ids.len(),
+                    args.system
+                ));
+            }
+            let id = layout.server_ids[args.rank];
+            let transport =
+                TcpTransport::bind(&spec, id, TcpOptions::default()).map_err(|e| e.to_string())?;
+            eprintln!(
+                "garfield-node: server {} up as node {id} on {}",
+                args.rank,
+                transport.local_addr()
+            );
+            let node = ServerNode {
+                index: args.rank,
+                server: parts
+                    .servers
+                    .into_iter()
+                    .nth(args.rank)
+                    .expect("rank checked"),
+                system: args.system,
+                config: config.clone(),
+                worker_ids: layout.worker_ids.clone(),
+                peer_ids: layout
+                    .server_ids
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != id)
+                    .collect(),
+                gradient_quorum: args
+                    .gradient_quorum
+                    .unwrap_or_else(|| config.gradient_quorum(args.system)),
+                round_deadline: args.round_deadline,
+                fault: None,
+                fault_rng: server_rngs.swap_remove(args.rank),
+                test_batch: (args.rank == 0).then_some(parts.test_batch),
+                // No controller process exists: the coordinating replica
+                // winds every worker down when it exits.
+                shutdown_targets: if args.rank == 0 {
+                    layout.worker_ids.clone()
+                } else {
+                    Vec::new()
+                },
+            };
+            let run = node.run(Box::new(transport)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "garfield-node: server {} done — {} iterations, final accuracy {:.4}, mean round {:.1} ms, {} on-wire B sent",
+                args.rank,
+                run.trace.len(),
+                run.trace.final_accuracy(),
+                1e3 * run.round_latencies.iter().sum::<f64>()
+                    / run.round_latencies.len().max(1) as f64,
+                run.telemetry.wire_bytes_sent(),
+            );
+            if let Some(path) = &args.out {
+                std::fs::write(path, result_json(args.system, &run))
+                    .map_err(|e| format!("{path}: {e}"))?;
+            }
+            Ok(())
+        }
+        _ => unreachable!("role validated in parse_args"),
+    }
+}
+
+fn main() {
+    if let Err(message) = run(parse_args()) {
+        eprintln!("garfield-node: error: {message}");
+        std::process::exit(1);
+    }
+}

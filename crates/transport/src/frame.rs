@@ -1,0 +1,260 @@
+//! The TCP frame codec: length-prefixed envelopes over a byte stream.
+//!
+//! TCP is a byte stream — message boundaries must be reintroduced. Every
+//! [`WireMessage`](garfield_net::WireMessage) travelling between
+//! `garfield-node` processes is wrapped in one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     frame length  (u32 LE — bytes after this field)
+//! 4       4     sender id     (u32 LE — the NodeId the payload speaks as)
+//! 8       8     tag           (u64 LE — the envelope tag, a training round)
+//! 16      n−12  payload       (the PR 2 wire format, header included)
+//! ```
+//!
+//! and every connection opens with a fixed-size hello identifying the
+//! dialing node:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "GARF"
+//! 4       1     frame-format version (= [`WIRE_VERSION`])
+//! 5       4     dialer node id (u32 LE)
+//! ```
+//!
+//! Reads use `read_exact`, so partial reads (one frame split across many
+//! TCP segments) and coalesced reads (several frames arriving back-to-back
+//! in one segment) both reassemble correctly. The declared frame length is
+//! capped against [`MAX_FRAME_BYTES`] *before* any allocation — a hostile
+//! peer controls this prefix and must not be able to demand gigabytes with
+//! four bytes.
+
+use bytes::Bytes;
+use garfield_net::{NetError, NetResult, NodeId, MAX_WIRE_VALUES, WIRE_HEADER_BYTES, WIRE_VERSION};
+use std::io::{Read, Write};
+
+/// Magic bytes opening every connection ("GARF").
+pub const HELLO_MAGIC: [u8; 4] = *b"GARF";
+
+/// Size of the connection hello in bytes.
+pub const HELLO_BYTES: usize = 9;
+
+/// Frame bytes that precede the payload (sender id + tag).
+pub const FRAME_OVERHEAD: usize = 12;
+
+/// Largest frame body (sender id + tag + payload) a reader accepts: the
+/// frame overhead plus the largest encodable wire message.
+pub const MAX_FRAME_BYTES: usize = FRAME_OVERHEAD + WIRE_HEADER_BYTES + 4 * MAX_WIRE_VALUES;
+
+/// Writes the connection hello identifying `id` as the dialer.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_hello<W: Write>(writer: &mut W, id: NodeId) -> std::io::Result<()> {
+    let mut buf = [0u8; HELLO_BYTES];
+    buf[..4].copy_from_slice(&HELLO_MAGIC);
+    buf[4] = WIRE_VERSION;
+    buf[5..9].copy_from_slice(&id.0.to_le_bytes());
+    writer.write_all(&buf)
+}
+
+/// Reads and validates a connection hello, returning the dialer's id.
+///
+/// # Errors
+///
+/// Returns [`NetError::Io`] on socket failures, [`NetError::WireVersion`]
+/// for a version mismatch and [`NetError::WireKind`] for wrong magic (a
+/// non-Garfield client knocked on the port).
+pub fn read_hello<R: Read>(reader: &mut R) -> NetResult<NodeId> {
+    let mut buf = [0u8; HELLO_BYTES];
+    reader.read_exact(&mut buf)?;
+    if buf[..4] != HELLO_MAGIC {
+        return Err(NetError::WireKind(buf[0]));
+    }
+    if buf[4] != WIRE_VERSION {
+        return Err(NetError::WireVersion(buf[4]));
+    }
+    Ok(NodeId(u32::from_le_bytes(
+        buf[5..9].try_into().expect("4 hello bytes"),
+    )))
+}
+
+/// Writes one frame, returning the total on-wire byte count.
+///
+/// The frame is assembled into a single buffer and written with one
+/// `write_all`, so a frame is never interleaved with another writer's bytes
+/// and small payloads do not fragment into several segments.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_frame<W: Write>(
+    writer: &mut W,
+    from: NodeId,
+    tag: u64,
+    payload: &[u8],
+) -> std::io::Result<usize> {
+    let body = FRAME_OVERHEAD + payload.len();
+    debug_assert!(body <= MAX_FRAME_BYTES, "encode produced an oversize frame");
+    let mut buf = Vec::with_capacity(4 + body);
+    buf.extend_from_slice(&(body as u32).to_le_bytes());
+    buf.extend_from_slice(&from.0.to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(payload);
+    writer.write_all(&buf)?;
+    Ok(buf.len())
+}
+
+/// Reads one frame, returning `(sender, tag, payload, on-wire bytes)`.
+///
+/// # Errors
+///
+/// Returns [`NetError::Io`] on socket failures (including EOF mid-frame),
+/// [`NetError::FrameTooLarge`] when the length prefix exceeds
+/// [`MAX_FRAME_BYTES`] (checked before allocating) and
+/// [`NetError::WireSize`] when it is too short to hold the frame overhead.
+pub fn read_frame<R: Read>(reader: &mut R) -> NetResult<(NodeId, u64, Bytes, usize)> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let body = u32::from_le_bytes(len_buf) as usize;
+    if body > MAX_FRAME_BYTES {
+        return Err(NetError::FrameTooLarge {
+            declared: body,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    if body < FRAME_OVERHEAD {
+        return Err(NetError::WireSize {
+            expected: FRAME_OVERHEAD,
+            actual: body,
+        });
+    }
+    let mut buf = vec![0u8; body];
+    reader.read_exact(&mut buf)?;
+    let from = NodeId(u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")));
+    let tag = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+    let payload = Bytes::from(buf.split_off(FRAME_OVERHEAD));
+    Ok((from, tag, payload, 4 + body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garfield_net::{MsgKind, WireMessage};
+
+    /// A reader that hands out at most `chunk` bytes per call: the
+    /// worst-case fragmentation a TCP stream can produce.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_even_one_byte_at_a_time() {
+        let msg = WireMessage::new(MsgKind::GradientReply, 9, 0.25, vec![1.0, -2.0, 3.5]);
+        let payload = msg.encode();
+        let mut wire = Vec::new();
+        let written = write_frame(&mut wire, NodeId(7), 9, &payload).unwrap();
+        assert_eq!(written, wire.len());
+
+        for chunk in [1, 3, 1024] {
+            let mut reader = Trickle {
+                data: &wire,
+                pos: 0,
+                chunk,
+            };
+            let (from, tag, body, on_wire) = read_frame(&mut reader).unwrap();
+            assert_eq!(from, NodeId(7));
+            assert_eq!(tag, 9);
+            assert_eq!(on_wire, wire.len());
+            assert_eq!(WireMessage::decode(&body).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_in_one_buffer_reassemble() {
+        let mut wire = Vec::new();
+        for round in 0..5u64 {
+            let payload = WireMessage::control(MsgKind::ModelRequest, round).encode();
+            write_frame(&mut wire, NodeId(round as u32), round, &payload).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for round in 0..5u64 {
+            let (from, tag, body, _) = read_frame(&mut cursor).unwrap();
+            assert_eq!(from, NodeId(round as u32));
+            assert_eq!(tag, round);
+            assert_eq!(WireMessage::decode(&body).unwrap().round, round);
+        }
+        assert!(read_frame(&mut cursor).is_err(), "stream exhausted");
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_strangers() {
+        let mut wire = Vec::new();
+        write_hello(&mut wire, NodeId(3)).unwrap();
+        assert_eq!(wire.len(), HELLO_BYTES);
+        assert_eq!(
+            read_hello(&mut std::io::Cursor::new(&wire)).unwrap(),
+            NodeId(3)
+        );
+
+        let mut bad_magic = wire.clone();
+        bad_magic[0] = b'H';
+        assert!(matches!(
+            read_hello(&mut std::io::Cursor::new(&bad_magic)),
+            Err(NetError::WireKind(_))
+        ));
+        let mut bad_version = wire.clone();
+        bad_version[4] = WIRE_VERSION + 1;
+        assert!(matches!(
+            read_hello(&mut std::io::Cursor::new(&bad_version)),
+            Err(NetError::WireVersion(_))
+        ));
+        assert!(matches!(
+            read_hello(&mut std::io::Cursor::new(&wire[..4])),
+            Err(NetError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_frame_lengths_are_rejected_before_allocation() {
+        // Length prefix demanding ~4 GiB: rejected from the 4-byte header
+        // alone, without touching the (absent) body.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(&wire)),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+
+        // A frame too short to even carry the sender id + tag.
+        let mut runt = Vec::new();
+        runt.extend_from_slice(&4u32.to_le_bytes());
+        runt.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(&runt)),
+            Err(NetError::WireSize { .. })
+        ));
+
+        // EOF mid-frame is an I/O error, not a panic.
+        let msg = WireMessage::control(MsgKind::Shutdown, 0).encode();
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, NodeId(0), 0, &msg).unwrap();
+        truncated.truncate(truncated.len() - 1);
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(&truncated)),
+            Err(NetError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! # garfield-transport
+//!
+//! Real TCP transport for the Garfield-rs reproduction of *"Garfield:
+//! System Support for Byzantine Machine Learning"* (DSN 2021) — the layer
+//! that takes the threaded actor runtime of `garfield-runtime` and spans it
+//! across OS processes, the way the paper's workers and parameter servers
+//! talk gRPC across machines.
+//!
+//! Three pieces:
+//!
+//! * [`ClusterSpec`] — the static `node id → host:port` map every process
+//!   of a deployment shares (the paper's Controller cluster definition);
+//! * [`TcpTransport`] — the [`garfield_net::Transport`] implementation over
+//!   `std::net` sockets: length-prefixed frames of the PR 2 wire format,
+//!   one accept loop plus per-peer reader/writer threads, bounded outbound
+//!   queues, dial-with-retry, and crash semantics where a dead peer is
+//!   *silent*, never an error;
+//! * the **`garfield-node` binary** — one process per node: give it a role
+//!   (`server`/`worker`), a rank, a cluster spec and an
+//!   [`ExperimentConfig`](garfield_core::ExperimentConfig) JSON, and it
+//!   runs that node's actor loop over TCP. `n` of them on localhost (or a
+//!   real cluster) perform the same SSMW/MSMW training the in-process
+//!   [`LiveExecutor`](garfield_runtime::LiveExecutor) runs on threads — and
+//!   a fault-free full-quorum run produces a bit-identical final model.
+//!
+//! # Quick example (in-process, two endpoints)
+//!
+//! ```rust
+//! use garfield_net::{NodeId, Transport};
+//! use garfield_transport::{ClusterSpec, TcpOptions, TcpTransport};
+//! use bytes::Bytes;
+//! use std::time::Duration;
+//!
+//! let spec = ClusterSpec::localhost(2)?; // ports picked by the OS
+//! let a = TcpTransport::bind(&spec, NodeId(0), TcpOptions::default())?;
+//! let b = TcpTransport::bind(&spec, NodeId(1), TcpOptions::default())?;
+//! a.send(NodeId(1), 42, Bytes::from_static(b"gradient bytes"))?;
+//! let envelope = b.recv_timeout(Duration::from_secs(5))?;
+//! assert_eq!(envelope.from, NodeId(0));
+//! assert_eq!(envelope.tag, 42);
+//! # Ok::<(), garfield_net::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+mod spec;
+mod tcp;
+
+pub use spec::ClusterSpec;
+pub use tcp::{TcpOptions, TcpTransport};

@@ -1,0 +1,211 @@
+//! Multi-process integration tests: real `garfield-node` child processes
+//! training over TCP on localhost.
+//!
+//! These are the system-level claims of the transport layer:
+//!
+//! * a full-quorum, fault-free run across ≥ 5 OS processes converges and
+//!   produces a final model **bit-identical** to the in-process
+//!   [`LiveExecutor`] run of the same seed;
+//! * with `q = n − f`, the deployment survives `f` workers being *killed*
+//!   (`SIGKILL`, not a polite crash message) mid-run.
+
+use garfield_core::{json, ExperimentConfig, SystemKind};
+use garfield_runtime::LiveExecutor;
+use garfield_transport::ClusterSpec;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const NODE_BIN: &str = env!("CARGO_BIN_EXE_garfield-node");
+
+/// A scratch directory for one test's spec/config/result files.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("garfield-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The shared experiment: SSMW over Multi-Krum, tiny model, short run.
+fn config(nw: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small();
+    cfg.nw = nw;
+    cfg.fw = 1; // Multi-Krum needs 2f + 3 = 5 inputs
+    cfg.nps = 1;
+    cfg.fps = 0;
+    cfg.iterations = 10;
+    cfg.eval_every = 5;
+    cfg
+}
+
+fn spawn_node(dir: &Path, role: &str, rank: usize, system: &str, extra: &[&str]) -> Child {
+    let log = std::fs::File::create(dir.join(format!("{role}{rank}.log"))).unwrap();
+    Command::new(NODE_BIN)
+        .current_dir(dir)
+        .args([
+            "--role",
+            role,
+            "--rank",
+            &rank.to_string(),
+            "--cluster",
+            "cluster.txt",
+            "--config",
+            "config.json",
+            "--system",
+            system,
+            // Generous deadlines: CI machines stall under load, and the
+            // correctness claims are about quorums, not about speed.
+            "--round-deadline-ms",
+            "20000",
+            "--idle-timeout-ms",
+            "30000",
+        ])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(log)
+        .spawn()
+        .expect("spawn garfield-node")
+}
+
+fn dump_logs(dir: &Path) {
+    for entry in std::fs::read_dir(dir).unwrap().flatten() {
+        if entry.path().extension().is_some_and(|e| e == "log") {
+            eprintln!("--- {}", entry.path().display());
+            eprintln!(
+                "{}",
+                std::fs::read_to_string(entry.path()).unwrap_or_default()
+            );
+        }
+    }
+}
+
+#[test]
+fn five_process_full_quorum_run_matches_in_process_executor_bit_for_bit() {
+    let cfg = config(5); // 1 server + 5 workers = 6 garfield-node processes
+    let dir = scratch_dir("full-quorum");
+    ClusterSpec::localhost(1 + cfg.nw)
+        .unwrap()
+        .save(dir.join("cluster.txt"))
+        .unwrap();
+    std::fs::write(dir.join("config.json"), cfg.to_json()).unwrap();
+
+    let mut workers: Vec<Child> = (0..cfg.nw)
+        .map(|j| spawn_node(&dir, "worker", j, "ssmw", &[]))
+        .collect();
+    let mut server = spawn_node(&dir, "server", 0, "ssmw", &["--out", "result.json"]);
+
+    let status = server.wait().expect("server exits");
+    if !status.success() {
+        dump_logs(&dir);
+        panic!("server process failed: {status}");
+    }
+    for worker in &mut workers {
+        let status = worker.wait().expect("worker exits");
+        assert!(status.success(), "worker failed: {status}");
+    }
+
+    // Parse the multi-process result: exact f32 bit patterns.
+    let result = std::fs::read_to_string(dir.join("result.json")).unwrap();
+    let doc = json::parse(&result).unwrap();
+    assert_eq!(
+        doc.get("iterations").and_then(json::Value::as_usize),
+        Some(cfg.iterations)
+    );
+    let tcp_bits: Vec<u32> = doc
+        .get("final_model_bits")
+        .and_then(json::Value::as_array)
+        .expect("final_model_bits array")
+        .iter()
+        .map(|v| v.as_usize().expect("u32 bit pattern") as u32)
+        .collect();
+    let tcp_accuracy = doc
+        .get("final_accuracy")
+        .and_then(json::Value::as_f64)
+        .expect("final_accuracy") as f32;
+
+    // Same seed, in-process substrate: must agree bit for bit.
+    let report = LiveExecutor::new(cfg)
+        .run_live(SystemKind::Ssmw)
+        .expect("in-process run");
+    let live_bits: Vec<u32> = report.final_models[0]
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(
+        tcp_bits.len(),
+        live_bits.len(),
+        "model dimensions must agree"
+    );
+    assert_eq!(
+        tcp_bits, live_bits,
+        "full-quorum same-seed TCP and in-process runs must produce bit-identical models"
+    );
+    assert_eq!(
+        tcp_accuracy.to_bits(),
+        report.trace.final_accuracy().to_bits()
+    );
+    assert!(
+        tcp_accuracy > 0.5,
+        "the shared model must have learned something (accuracy {tcp_accuracy})"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_run_survives_f_killed_workers_at_q_equals_n_minus_f() {
+    // n = 6 workers, f = 1: q = 5 keeps Multi-Krum satisfied (2f + 3 = 5)
+    // while tolerating one dead worker. 8 processes total.
+    let cfg = config(6);
+    let n = cfg.nw;
+    let f = 1usize;
+    let dir = scratch_dir("kill-worker");
+    ClusterSpec::localhost(1 + n)
+        .unwrap()
+        .save(dir.join("cluster.txt"))
+        .unwrap();
+    std::fs::write(dir.join("config.json"), cfg.to_json()).unwrap();
+
+    let quorum = (n - f).to_string();
+    let mut workers: Vec<Child> = (0..n)
+        .map(|j| spawn_node(&dir, "worker", j, "ssmw", &["--gradient-quorum", &quorum]))
+        .collect();
+
+    // SIGKILL `f` workers once they are up — no crash message, no socket
+    // shutdown handshake — *before* the server starts: every single round
+    // must then ride out the dead peers through the q = n − f quorum (a
+    // later kill could race training to completion and prove nothing).
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let victim = workers.last_mut().expect("f workers to kill");
+    victim.kill().expect("kill worker");
+    victim.wait().expect("reap killed worker");
+
+    let mut server = spawn_node(
+        &dir,
+        "server",
+        0,
+        "ssmw",
+        &["--gradient-quorum", &quorum, "--out", "result.json"],
+    );
+
+    let status = server.wait().expect("server exits");
+    if !status.success() {
+        dump_logs(&dir);
+        panic!("server did not survive {f} killed worker(s) at q = n - f: {status}");
+    }
+    for worker in workers.iter_mut().take(n - f) {
+        let status = worker.wait().expect("worker exits");
+        assert!(status.success(), "surviving worker failed: {status}");
+    }
+
+    let result = std::fs::read_to_string(dir.join("result.json")).unwrap();
+    let doc = json::parse(&result).unwrap();
+    assert_eq!(
+        doc.get("iterations").and_then(json::Value::as_usize),
+        Some(cfg.iterations),
+        "every iteration must complete despite the killed worker"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -113,13 +113,15 @@ fn main() {
             );
             for node in &report.telemetry.nodes {
                 println!(
-                    "     node {:>2} ({:?}): sent {:>4} msgs / {:>9} B, received {:>4} msgs / {:>9} B",
+                    "     node {:>2} ({:?}): sent {:>4} msgs / {:>9} B, received {:>4} msgs / {:>9} B, on-wire {:>9} B to {} peers",
                     node.node,
                     node.role,
                     node.messages_sent,
                     node.bytes_sent,
                     node.messages_received,
-                    node.bytes_received
+                    node.bytes_received,
+                    node.wire_bytes_sent(),
+                    node.peers.len(),
                 );
             }
             assert!(

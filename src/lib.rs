@@ -20,6 +20,7 @@
 //! | [`net`] | simulated cluster fabric, cost model, pull rounds, message router, wire format |
 //! | [`core`] | Server/Worker objects, Controller, SSMW / MSMW / decentralized apps, baselines |
 //! | [`runtime`] | threaded actor runtime: live training over real router messages, fault injection |
+//! | [`transport`] | TCP transport + the `garfield-node` binary: one process per node on real sockets |
 //!
 //! The most common entry point is [`Controller`]:
 //!
@@ -59,6 +60,9 @@ pub use garfield_core as core;
 
 /// Threaded actor runtime: live Byzantine training over real messages.
 pub use garfield_runtime as runtime;
+
+/// TCP transport and the `garfield-node` per-process deployment layer.
+pub use garfield_transport as transport;
 
 pub use garfield_aggregation::{build_gar, Gar, GarKind};
 pub use garfield_attacks::{Attack, AttackKind};
