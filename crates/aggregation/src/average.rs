@@ -1,7 +1,8 @@
 //! Plain averaging — the vanilla baseline GAR.
 
-use crate::{validate_inputs, AggregationError, AggregationResult, Gar};
-use garfield_tensor::Tensor;
+use crate::engine::average_views;
+use crate::{validate_views, AggregationError, AggregationResult, Engine, Gar};
+use garfield_tensor::{GradientView, Tensor};
 
 /// Coordinate-wise arithmetic mean of the inputs.
 ///
@@ -45,14 +46,13 @@ impl Gar for Average {
         0
     }
 
-    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
-        validate_inputs(inputs, self.n)?;
-        let mut acc = inputs[0].clone();
-        for t in &inputs[1..] {
-            acc.add_assign_checked(t).expect("shapes validated");
-        }
-        acc.scale_inplace(1.0 / inputs.len() as f32);
-        Ok(acc)
+    fn aggregate_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Tensor> {
+        validate_views(inputs, self.n)?;
+        Ok(Tensor::from(average_views(inputs, engine)))
     }
 
     fn is_byzantine_resilient(&self) -> bool {

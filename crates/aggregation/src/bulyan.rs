@@ -1,9 +1,11 @@
 //! Bulyan GAR (El Mhamdi et al., ICML 2018).
 
-use crate::krum::{krum_scores, smallest_scores};
-use crate::median::coordinate_wise_median;
-use crate::{validate_inputs, AggregationError, AggregationResult, Gar};
-use garfield_tensor::Tensor;
+use crate::engine::bulyan_select_cached;
+use crate::{
+    validate_views, AggregationError, AggregationResult, DistanceCache, Engine, Gar,
+    SelectionScratch,
+};
+use garfield_tensor::{median_inplace, GradientView, Tensor};
 
 /// Bulyan of Multi-Krum.
 ///
@@ -18,6 +20,12 @@ use garfield_tensor::Tensor;
 ///
 /// The per-coordinate trimming is what lets Bulyan sustain high-dimensional
 /// models against the "hidden vulnerability" attack. Requires `n ≥ 4f + 3`.
+///
+/// The selection loop runs on the shared [`DistanceCache`]: distances are
+/// computed once (`O(n² d)`, thread-chunked) and each repeated-Krum round is
+/// an incremental score update over pre-sorted neighbour lists — the old
+/// implementation cloned the full candidate pool and re-ran Krum from raw
+/// tensors every round. Phase 2 is chunked across threads by coordinate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bulyan {
     n: usize,
@@ -53,25 +61,34 @@ impl Bulyan {
         self.selection_size().saturating_sub(2 * self.f).max(1)
     }
 
-    /// Runs the selection phase and returns the chosen input indices.
-    fn select(&self, inputs: &[Tensor]) -> Vec<usize> {
-        let k = self.selection_size();
-        let mut remaining: Vec<usize> = (0..inputs.len()).collect();
-        let mut selected = Vec::with_capacity(k);
-        for _ in 0..k {
-            if remaining.len() <= 1 {
-                selected.append(&mut remaining);
-                break;
-            }
-            let pool: Vec<Tensor> = remaining.iter().map(|&i| inputs[i].clone()).collect();
-            // Krum scoring over the remaining pool; f is capped so the
-            // neighbour count stays valid as the pool shrinks.
-            let f_eff = self.f.min(remaining.len().saturating_sub(3));
-            let scores = krum_scores(&pool, f_eff);
-            let best_local = smallest_scores(&scores, 1)[0];
-            selected.push(remaining.remove(best_local));
-        }
-        selected
+    /// Zero-copy selection phase: the chosen input indices, in selection
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`Gar::aggregate_views`].
+    pub fn select_indices_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Vec<usize>> {
+        validate_views(inputs, self.n)?;
+        let cache = DistanceCache::build(inputs, engine);
+        let mut scratch = SelectionScratch::new();
+        let mut selected = Vec::with_capacity(self.selection_size());
+        self.select_cached(&cache, &mut scratch, &mut selected);
+        Ok(selected)
+    }
+
+    /// Allocation-free selection over a prebuilt cache (steady state): the
+    /// selected indices are written into `selected` in selection order.
+    pub fn select_cached(
+        &self,
+        cache: &DistanceCache,
+        scratch: &mut SelectionScratch,
+        selected: &mut Vec<usize>,
+    ) {
+        bulyan_select_cached(cache, self.f, self.selection_size(), scratch, selected);
     }
 }
 
@@ -88,31 +105,39 @@ impl Gar for Bulyan {
         self.f
     }
 
-    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
-        validate_inputs(inputs, self.n)?;
-        let selected_idx = self.select(inputs);
-        let selection: Vec<Tensor> = selected_idx.iter().map(|&i| inputs[i].clone()).collect();
-
-        // Phase 2: per-coordinate trimmed average around the median.
-        let median = coordinate_wise_median(&selection);
-        let d = median.len();
+    fn aggregate_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Tensor> {
+        let selected = self.select_indices_views(inputs, engine)?;
+        let d = inputs[0].len();
         let beta = self.trimmed_size();
-        let mut out = Vec::with_capacity(d);
-        let mut column: Vec<f32> = Vec::with_capacity(selection.len());
-        for coord in 0..d {
-            column.clear();
-            column.extend(selection.iter().map(|t| t.data()[coord]));
-            let m = median.data()[coord];
-            column.sort_by(|a, b| {
-                (a - m)
-                    .abs()
-                    .partial_cmp(&(b - m).abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let sum: f32 = column.iter().take(beta).sum();
-            out.push(sum / beta as f32);
-        }
-        Ok(Tensor::from_vec(out, inputs[0].shape().clone()).expect("output preserves input shape"))
+        let sel = selected.len();
+
+        // Phase 2: per-coordinate trimmed average around the selection set's
+        // median, chunked across threads by coordinate range. Each chunk owns
+        // a private column buffer; every coordinate is computed with the same
+        // scalar sequence on any engine.
+        let mut out = vec![0.0f32; d];
+        engine.fill_chunks(&mut out, sel, |base, chunk| {
+            let mut column: Vec<f32> = Vec::with_capacity(sel);
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let coord = base + k;
+                column.clear();
+                column.extend(selected.iter().map(|&i| inputs[i].data()[coord]));
+                let m = median_inplace(&mut column);
+                column.sort_unstable_by(|a, b| {
+                    (a - m)
+                        .abs()
+                        .partial_cmp(&(b - m).abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let sum: f32 = column.iter().take(beta).sum();
+                *slot = sum / beta as f32;
+            }
+        });
+        Ok(Tensor::from(out))
     }
 }
 
@@ -194,6 +219,26 @@ mod tests {
             let max = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             assert!(out.data()[c] >= min - 1e-5 && out.data()[c] <= max + 1e-5);
         }
+    }
+
+    #[test]
+    fn selection_does_not_clone_the_pool_and_agrees_across_engines() {
+        let inputs = honest_cluster(11, 24, 12);
+        let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+        let b = Bulyan::new(11, 2).unwrap();
+        let seq = b
+            .select_indices_views(&views, &Engine::sequential())
+            .unwrap();
+        let par = b
+            .select_indices_views(&views, &Engine::with_threads(4))
+            .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), b.selection_size());
+        // Selection returns distinct input indices.
+        let mut sorted = seq.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seq.len());
     }
 
     #[test]

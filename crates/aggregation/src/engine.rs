@@ -1,0 +1,578 @@
+//! The parallel, zero-copy aggregation engine.
+//!
+//! Garfield's evaluation shows the GAR is the dominant server-side cost:
+//! Multi-Krum and Bulyan are `O(n² d)` in pairwise distances, and the old
+//! implementations re-derived those distances from freshly cloned [`Tensor`]s
+//! on every call (Bulyan even re-ran Krum from scratch per selection round).
+//! This module removes both costs:
+//!
+//! * **Zero-copy inputs** — GARs consume [`GradientView`]s, borrowed `&[f32]`
+//!   slices over wire payloads or tensor storage. Only the final output is
+//!   copied.
+//! * **One shared [`DistanceCache`]** — the n×n squared-distance matrix is
+//!   computed once, chunked across OS threads (vendored crossbeam scoped
+//!   threads), and reused across Krum scoring and the whole Bulyan selection
+//!   loop, whose repeated-Krum inner loop becomes incremental score updates
+//!   on pre-sorted neighbour lists.
+//! * **Deterministic parallelism** — every parallel fill computes element `k`
+//!   with exactly the scalar code the sequential path runs, each element on
+//!   one thread, so parallel and sequential engines are **bit-identical** by
+//!   construction (enforced by the engine-equivalence proptests and the
+//!   `expfig perf` harness).
+
+use crossbeam::thread as cb_thread;
+use garfield_tensor::{squared_l2_distance_slices, GradientView};
+use std::cmp::Ordering;
+use std::sync::OnceLock;
+
+/// Below this many scalar operations a parallel engine stays on the calling
+/// thread: spawning costs more than the work saves.
+const PAR_MIN_WORK: usize = 1 << 15;
+
+fn cmp_f32(a: &f32, b: &f32) -> Ordering {
+    a.partial_cmp(b).unwrap_or(Ordering::Equal)
+}
+
+/// Execution policy of the aggregation engine: how many OS threads to chunk
+/// data-parallel fills across.
+///
+/// `Engine::sequential()` is the retained single-threaded reference path;
+/// `Engine::auto()` matches the machine's parallelism. Both produce
+/// bit-identical outputs — parallelism changes *where* each element is
+/// computed, never *how*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// The single-threaded reference engine.
+    pub fn sequential() -> Self {
+        Engine { threads: 1 }
+    }
+
+    /// An engine sized to the machine (`std::thread::available_parallelism`).
+    pub fn auto() -> Self {
+        static CORES: OnceLock<usize> = OnceLock::new();
+        let threads = *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        });
+        Engine { threads }
+    }
+
+    /// An engine with an explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Engine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of threads fills are chunked across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this engine ever spawns worker threads.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    fn threads_for(&self, items: usize, work_per_item: usize) -> usize {
+        if self.threads <= 1 || items.saturating_mul(work_per_item.max(1)) < PAR_MIN_WORK {
+            1
+        } else {
+            self.threads.min(items)
+        }
+    }
+
+    /// Fills `out` in contiguous chunks: `fill(base, chunk)` must write
+    /// `chunk[k]` as a pure function of the absolute index `base + k`.
+    ///
+    /// The chunk closure runs once per chunk (so it may allocate per-chunk
+    /// scratch); with one thread — or when `items × work_per_item` is too
+    /// small to amortise a spawn — everything runs on the calling thread.
+    pub(crate) fn fill_chunks<T, F>(&self, out: &mut [T], work_per_item: usize, fill: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if out.is_empty() {
+            return;
+        }
+        let threads = self.threads_for(out.len(), work_per_item);
+        if threads <= 1 {
+            fill(0, out);
+            return;
+        }
+        let chunk = out.len().div_ceil(threads);
+        cb_thread::scope(|s| {
+            // The calling thread takes the last chunk itself instead of
+            // idling in the scope join: exactly `threads` runnable threads,
+            // one fewer spawn per fill.
+            let mut chunks: Vec<(usize, &mut [T])> = out.chunks_mut(chunk).enumerate().collect();
+            let local = chunks.pop();
+            for (c, slice) in chunks {
+                let fill = &fill;
+                s.spawn(move || fill(c * chunk, slice));
+            }
+            if let Some((c, slice)) = local {
+                fill(c * chunk, slice);
+            }
+        });
+    }
+
+    /// Element-wise parallel fill: `out[k] = f(k)`.
+    pub(crate) fn fill<T, F>(&self, out: &mut [T], work_per_item: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.fill_chunks(out, work_per_item, |base, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = f(base + k);
+            }
+        });
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::auto()
+    }
+}
+
+/// The n×n squared-distance matrix of a set of gradient views, computed once
+/// and shared across every distance-based GAR decision.
+///
+/// Building the cache is the `O(n² d)` hot spot of Krum, Multi-Krum, MDA and
+/// Bulyan; the engine chunks the `n(n-1)/2` unique pairs across threads, each
+/// pair computed sequentially over `d` on one thread (bit-identical to the
+/// sequential engine).
+#[derive(Debug, Clone)]
+pub struct DistanceCache {
+    n: usize,
+    dist: Vec<f32>,
+    finite: bool,
+}
+
+impl DistanceCache {
+    /// Computes all pairwise squared distances of `inputs` under `engine`.
+    pub fn build(inputs: &[GradientView<'_>], engine: &Engine) -> Self {
+        let n = inputs.len();
+        let d = inputs.first().map(|v| v.len()).unwrap_or(0);
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((i as u32, j as u32));
+            }
+        }
+        let mut vals = vec![0.0f32; pairs.len()];
+        engine.fill(&mut vals, d, |k| {
+            let (i, j) = pairs[k];
+            squared_l2_distance_slices(inputs[i as usize].data(), inputs[j as usize].data())
+        });
+        let mut dist = vec![0.0f32; n * n];
+        for (&(i, j), &v) in pairs.iter().zip(vals.iter()) {
+            dist[i as usize * n + j as usize] = v;
+            dist[j as usize * n + i as usize] = v;
+        }
+        let finite = vals.iter().all(|v| v.is_finite());
+        DistanceCache { n, dist, finite }
+    }
+
+    /// Number of cached inputs.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The cached squared distance between inputs `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.dist[i * self.n + j]
+    }
+
+    /// Whether every cached distance is finite (NaN inputs poison distances;
+    /// the incremental Bulyan path requires a totally ordered matrix and
+    /// falls back to per-round rescoring otherwise).
+    pub fn is_finite(&self) -> bool {
+        self.finite
+    }
+}
+
+/// Reusable scratch buffers for cache-based selection.
+///
+/// All selection entry points write into these pre-sized buffers and sort
+/// in place with `sort_unstable`, so steady-state selection (after the first
+/// warm-up call) performs **zero heap allocations** — asserted by the
+/// counting-allocator regression test.
+#[derive(Debug, Default)]
+pub struct SelectionScratch {
+    row: Vec<f32>,
+    scores: Vec<f32>,
+    order: Vec<usize>,
+    remaining: Vec<usize>,
+    /// Flattened per-candidate sorted neighbour-distance lists (stride n−1),
+    /// used by the incremental Bulyan selection loop.
+    neighbours: Vec<f32>,
+    neighbour_len: Vec<usize>,
+}
+
+impl SelectionScratch {
+    /// Creates empty scratch; buffers grow to fit on first use and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        SelectionScratch::default()
+    }
+
+    /// The scores the last scoring pass produced, indexed by candidate.
+    pub fn scores(&self) -> &[f32] {
+        &self.scores
+    }
+
+    /// The index order the last selection pass produced (best first).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+/// Computes every candidate's Krum score — the sum of its squared distances
+/// to its `n − f − 2` closest neighbours — from the cache into
+/// `scratch.scores`.
+pub(crate) fn krum_scores_cached(cache: &DistanceCache, f: usize, scratch: &mut SelectionScratch) {
+    let n = cache.n();
+    let neighbours = n.saturating_sub(f + 2).max(1);
+    scratch.scores.clear();
+    scratch.scores.reserve(n);
+    for i in 0..n {
+        scratch.row.clear();
+        scratch.row.reserve(n.saturating_sub(1));
+        for j in 0..n {
+            if j != i {
+                scratch.row.push(cache.get(i, j));
+            }
+        }
+        scratch.row.sort_unstable_by(cmp_f32);
+        scratch
+            .scores
+            .push(scratch.row.iter().take(neighbours).sum());
+    }
+}
+
+/// Writes the indices of the `m` smallest scores into `scratch.order`
+/// (ascending score, ties broken by index — the stable-sort order the
+/// original implementation produced).
+pub(crate) fn smallest_scores_cached(m: usize, scratch: &mut SelectionScratch) {
+    scratch.order.clear();
+    scratch.order.extend(0..scratch.scores.len());
+    let scores = &scratch.scores;
+    scratch
+        .order
+        .sort_unstable_by(|&a, &b| cmp_f32(&scores[a], &scores[b]).then(a.cmp(&b)));
+    scratch.order.truncate(m);
+}
+
+/// Cache-based Krum selection: the single smallest-scoring index.
+pub(crate) fn krum_best_cached(
+    cache: &DistanceCache,
+    f: usize,
+    scratch: &mut SelectionScratch,
+) -> usize {
+    krum_scores_cached(cache, f, scratch);
+    smallest_scores_cached(1, scratch);
+    scratch.order[0]
+}
+
+/// The selected indices (ascending score order) of Multi-Krum, left in
+/// `scratch.order`.
+pub(crate) fn multi_krum_cached(
+    cache: &DistanceCache,
+    f: usize,
+    m: usize,
+    scratch: &mut SelectionScratch,
+) {
+    krum_scores_cached(cache, f, scratch);
+    smallest_scores_cached(m, scratch);
+}
+
+/// Bulyan's selection phase over the shared cache: iterate Krum `k` times,
+/// moving the winner out of the candidate pool each round.
+///
+/// On a finite cache the repeated-Krum inner loop is *incremental*: each
+/// candidate's neighbour distances are sorted once, the selected candidate's
+/// distance is deleted from every survivor's sorted list in `O(n)`, and each
+/// round's score is a prefix sum — `O(n² log n)` once plus `O(n²)` per round,
+/// with no dependence on the gradient dimension `d`. Non-finite distances
+/// (NaN payloads) break total ordering, so those fall back to per-round
+/// rescoring from the cache, which is what the old clone-the-pool code
+/// computed — still without touching `d` again.
+pub(crate) fn bulyan_select_cached(
+    cache: &DistanceCache,
+    f: usize,
+    k: usize,
+    scratch: &mut SelectionScratch,
+    selected: &mut Vec<usize>,
+) {
+    let n = cache.n();
+    selected.clear();
+    scratch.remaining.clear();
+    scratch.remaining.extend(0..n);
+    let incremental = cache.is_finite();
+    let stride = n.saturating_sub(1);
+    if incremental {
+        scratch.neighbours.clear();
+        scratch.neighbours.resize(n * stride, 0.0);
+        scratch.neighbour_len.clear();
+        scratch.neighbour_len.resize(n, stride);
+        for i in 0..n {
+            let list = &mut scratch.neighbours[i * stride..(i + 1) * stride];
+            let mut w = 0;
+            for j in 0..n {
+                if j != i {
+                    list[w] = cache.get(i, j);
+                    w += 1;
+                }
+            }
+            list.sort_unstable_by(cmp_f32);
+        }
+    }
+    for _ in 0..k {
+        let m = scratch.remaining.len();
+        if m <= 1 {
+            selected.append(&mut scratch.remaining);
+            break;
+        }
+        // Krum parameters over the current pool, matching the original
+        // shrink-the-pool semantics: f is capped so the neighbour count
+        // stays valid as the pool shrinks.
+        let f_eff = f.min(m.saturating_sub(3));
+        let nb = m.saturating_sub(f_eff + 2).max(1);
+
+        // Score every remaining candidate.
+        let mut best_pos = 0usize;
+        let mut best_score = f32::INFINITY;
+        let mut have_best = false;
+        for (pos, &i) in scratch.remaining.iter().enumerate() {
+            let score: f32 = if incremental {
+                let len = scratch.neighbour_len[i];
+                scratch.neighbours[i * stride..i * stride + len]
+                    .iter()
+                    .take(nb)
+                    .sum()
+            } else {
+                scratch.row.clear();
+                scratch.row.reserve(m.saturating_sub(1));
+                for &j in &scratch.remaining {
+                    if j != i {
+                        scratch.row.push(cache.get(i, j));
+                    }
+                }
+                scratch.row.sort_unstable_by(cmp_f32);
+                scratch.row.iter().take(nb).sum()
+            };
+            // First index wins ties, exactly like the stable argmin of the
+            // original smallest-scores path.
+            if !have_best || cmp_f32(&score, &best_score) == Ordering::Less {
+                best_pos = pos;
+                best_score = score;
+                have_best = true;
+            }
+        }
+        let winner = scratch.remaining.remove(best_pos);
+        selected.push(winner);
+
+        if incremental {
+            // Delete the winner's distance from every survivor's sorted
+            // list: binary search to its first occurrence, shift left.
+            // Duplicate distances are interchangeable (equal values), so
+            // removing the first occurrence preserves every prefix sum.
+            for &i in &scratch.remaining {
+                let len = scratch.neighbour_len[i];
+                let list = &mut scratch.neighbours[i * stride..i * stride + len];
+                let v = cache.get(i, winner);
+                let pos = list.partition_point(|x| cmp_f32(x, &v) == Ordering::Less);
+                debug_assert!(pos < len && list[pos].to_bits() == v.to_bits());
+                list.copy_within(pos + 1.., pos);
+                scratch.neighbour_len[i] = len - 1;
+            }
+        }
+    }
+}
+
+/// Averages the views at `indices` into `out` (sum accumulated from 0.0 in
+/// `indices` order per coordinate, then scaled — the accumulation order of
+/// the original tensor loop, chunked across threads by coordinate range).
+pub(crate) fn average_indices_into(
+    inputs: &[GradientView<'_>],
+    indices: &[usize],
+    engine: &Engine,
+    out: &mut Vec<f32>,
+) {
+    let d = inputs.first().map(|v| v.len()).unwrap_or(0);
+    out.clear();
+    out.resize(d, 0.0);
+    let inv = 1.0 / indices.len().max(1) as f32;
+    engine.fill_chunks(out, indices.len(), |base, chunk| {
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            let c = base + k;
+            let mut sum = 0.0f32;
+            for &i in indices {
+                sum += inputs[i].data()[c];
+            }
+            *slot = sum * inv;
+        }
+    });
+}
+
+/// Averages all views (the plain-averaging GAR and the variance probe's
+/// empirical-mean step share this kernel).
+pub fn average_views(inputs: &[GradientView<'_>], engine: &Engine) -> Vec<f32> {
+    let indices: Vec<usize> = (0..inputs.len()).collect();
+    let mut out = Vec::new();
+    average_indices_into(inputs, &indices, engine, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garfield_tensor::Tensor;
+
+    fn views(data: &[Vec<f32>]) -> Vec<GradientView<'_>> {
+        data.iter().map(GradientView::from).collect()
+    }
+
+    #[test]
+    fn engines_report_their_shape() {
+        assert_eq!(Engine::sequential().threads(), 1);
+        assert!(!Engine::sequential().is_parallel());
+        assert_eq!(Engine::with_threads(0).threads(), 1);
+        assert_eq!(Engine::with_threads(4).threads(), 4);
+        assert!(Engine::auto().threads() >= 1);
+        assert_eq!(Engine::default().threads(), Engine::auto().threads());
+    }
+
+    #[test]
+    fn parallel_fill_matches_sequential_fill() {
+        let mut seq = vec![0.0f32; 10_000];
+        let mut par = vec![0.0f32; 10_000];
+        Engine::sequential().fill(&mut seq, 64, |k| (k as f32).sin());
+        Engine::with_threads(4).fill(&mut par, 64, |k| (k as f32).sin());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn small_work_stays_on_the_calling_thread() {
+        // 8 items × 1 op is far below the spawn threshold; this must not
+        // deadlock or misindex when the engine short-circuits.
+        let mut out = vec![0usize; 8];
+        Engine::with_threads(8).fill(&mut out, 1, |k| k * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        Engine::with_threads(8).fill(&mut [] as &mut [usize], 1, |k| k);
+    }
+
+    #[test]
+    fn distance_cache_matches_direct_distances() {
+        let data: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..16).map(|c| (i * 16 + c) as f32 * 0.25).collect())
+            .collect();
+        let v = views(&data);
+        let cache = DistanceCache::build(&v, &Engine::sequential());
+        assert_eq!(cache.n(), 5);
+        assert!(cache.is_finite());
+        for i in 0..5 {
+            assert_eq!(cache.get(i, i), 0.0);
+            for j in 0..5 {
+                let a = Tensor::from_slice(&data[i]);
+                let b = Tensor::from_slice(&data[j]);
+                assert_eq!(
+                    cache.get(i, j),
+                    garfield_tensor::squared_l2_distance(&a, &b)
+                );
+                assert_eq!(cache.get(i, j), cache.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cache_is_bit_identical_to_sequential() {
+        let data: Vec<Vec<f32>> = (0..9)
+            .map(|i| {
+                (0..4096)
+                    .map(|c| ((i * 31 + c) as f32 * 0.1).sin())
+                    .collect()
+            })
+            .collect();
+        let v = views(&data);
+        let seq = DistanceCache::build(&v, &Engine::sequential());
+        let par = DistanceCache::build(&v, &Engine::with_threads(4));
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(seq.get(i, j).to_bits(), par.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn nan_payloads_mark_the_cache_non_finite() {
+        let data = vec![vec![0.0f32, f32::NAN], vec![1.0, 2.0], vec![3.0, 4.0]];
+        let cache = DistanceCache::build(&views(&data), &Engine::sequential());
+        assert!(!cache.is_finite());
+    }
+
+    #[test]
+    fn incremental_bulyan_selection_matches_per_round_rescoring() {
+        // Same cache, both paths: force the fallback by scoring through a
+        // synthetic non-finite flag is impossible from outside, so instead
+        // compare the incremental path against a hand-rolled per-round
+        // re-sort over the same cache.
+        let data: Vec<Vec<f32>> = (0..9)
+            .map(|i| (0..12).map(|c| ((i * 7 + c) as f32).cos()).collect())
+            .collect();
+        let v = views(&data);
+        let cache = DistanceCache::build(&v, &Engine::sequential());
+        let f = 1usize;
+        let k = 7usize;
+        let mut scratch = SelectionScratch::new();
+        let mut fast = Vec::new();
+        bulyan_select_cached(&cache, f, k, &mut scratch, &mut fast);
+
+        // Reference: per-round recompute.
+        let mut remaining: Vec<usize> = (0..9).collect();
+        let mut slow = Vec::new();
+        for _ in 0..k {
+            if remaining.len() <= 1 {
+                slow.append(&mut remaining);
+                break;
+            }
+            let m = remaining.len();
+            let f_eff = f.min(m.saturating_sub(3));
+            let nb = m.saturating_sub(f_eff + 2).max(1);
+            let mut best = (0usize, f32::INFINITY);
+            for (pos, &i) in remaining.iter().enumerate() {
+                let mut row: Vec<f32> = remaining
+                    .iter()
+                    .filter(|&&j| j != i)
+                    .map(|&j| cache.get(i, j))
+                    .collect();
+                row.sort_unstable_by(cmp_f32);
+                let s: f32 = row.iter().take(nb).sum();
+                if s < best.1 {
+                    best = (pos, s);
+                }
+            }
+            slow.push(remaining.remove(best.0));
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn average_views_matches_tensor_averaging() {
+        let data = vec![vec![1.0f32, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let out = average_views(&views(&data), &Engine::sequential());
+        assert_eq!(out, vec![3.0, 4.0]);
+        let par = average_views(&views(&data), &Engine::with_threads(3));
+        assert_eq!(out, par);
+    }
+}

@@ -1,7 +1,9 @@
 //! The [`Gar`] trait and the paper's `init()`-style factory.
 
-use crate::{AggregationError, AggregationResult, Average, Bulyan, Krum, Mda, Median, MultiKrum};
-use garfield_tensor::Tensor;
+use crate::{
+    AggregationError, AggregationResult, Average, Bulyan, Engine, Krum, Mda, Median, MultiKrum,
+};
+use garfield_tensor::{GradientView, Tensor};
 use std::fmt;
 use std::str::FromStr;
 
@@ -10,6 +12,11 @@ use std::str::FromStr;
 /// This is the paper's uniform `aggregate()` interface (§3.2, *Aggregation*):
 /// construction corresponds to `init(name, n, f)` via [`build_gar`], and the
 /// rule is agnostic to whether its inputs are gradients or model vectors.
+///
+/// The required entry point is the zero-copy [`Gar::aggregate_views`], which
+/// scores and selects over borrowed `&[f32]` slices and copies only the
+/// output; [`Gar::aggregate`] is the owned-tensor convenience wrapper, which
+/// preserves the input shape on the output.
 pub trait Gar: Send + Sync {
     /// The rule's short name (e.g. `"median"`).
     fn name(&self) -> &'static str;
@@ -20,14 +27,39 @@ pub trait Gar: Send + Sync {
     /// Declared maximum number of Byzantine input vectors.
     fn f(&self) -> usize;
 
-    /// Aggregates exactly `n` equally-shaped input vectors into one output.
+    /// Aggregates exactly `n` equal-length flat input views into one output,
+    /// under the given execution [`Engine`]. Inputs are borrowed — the only
+    /// copy a rule performs is into its output tensor.
+    ///
+    /// Sequential and parallel engines produce **bit-identical** outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::WrongInputCount`],
+    /// [`AggregationError::HeterogeneousShapes`] (unequal view lengths) or
+    /// [`AggregationError::EmptyInput`] when the inputs are malformed.
+    fn aggregate_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Tensor>;
+
+    /// Aggregates exactly `n` equally-shaped input tensors into one output
+    /// of the same shape, using the machine-sized engine.
     ///
     /// # Errors
     ///
     /// Returns [`AggregationError::WrongInputCount`],
     /// [`AggregationError::HeterogeneousShapes`] or
     /// [`AggregationError::EmptyInput`] when the inputs are malformed.
-    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor>;
+    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
+        crate::validate_inputs(inputs, self.n())?;
+        let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+        let flat = self.aggregate_views(&views, &Engine::auto())?;
+        Ok(flat
+            .reshape(inputs[0].shape().clone())
+            .expect("aggregation preserves the element count"))
+    }
 
     /// Whether the rule provides Byzantine resilience (everything except `Average`).
     fn is_byzantine_resilient(&self) -> bool {

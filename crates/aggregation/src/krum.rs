@@ -1,45 +1,16 @@
 //! Krum and Multi-Krum GARs (Blanchard et al., NeurIPS 2017).
+//!
+//! Both rules run on the zero-copy engine: the `O(n² d)` pairwise-distance
+//! matrix is built once into a [`DistanceCache`] (chunked across threads by
+//! the [`Engine`]) and every scoring decision reads from it. Selection
+//! returns *indices*; the only data copied is the output vector.
 
-use crate::{validate_inputs, AggregationError, AggregationResult, Gar};
-use garfield_tensor::{squared_l2_distance, Tensor};
-
-/// Computes each input's Krum score: the sum of its squared distances to its
-/// `n - f - 2` closest neighbours.
-pub(crate) fn krum_scores(inputs: &[Tensor], f: usize) -> Vec<f32> {
-    let n = inputs.len();
-    // Pairwise squared distances.
-    let mut dist = vec![0.0f32; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = squared_l2_distance(&inputs[i], &inputs[j]);
-            dist[i * n + j] = d;
-            dist[j * n + i] = d;
-        }
-    }
-    let neighbours = n.saturating_sub(f + 2).max(1);
-    (0..n)
-        .map(|i| {
-            let mut row: Vec<f32> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| dist[i * n + j])
-                .collect();
-            row.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            row.iter().take(neighbours).sum()
-        })
-        .collect()
-}
-
-/// Returns the indices of the `m` smallest-scoring inputs, in ascending score order.
-pub(crate) fn smallest_scores(scores: &[f32], m: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    idx.truncate(m);
-    idx
-}
+use crate::engine::{krum_best_cached, multi_krum_cached};
+use crate::{
+    validate_inputs, validate_views, AggregationError, AggregationResult, DistanceCache, Engine,
+    Gar, SelectionScratch,
+};
+use garfield_tensor::{GradientView, Tensor};
 
 /// Krum: selects the single gradient with the smallest score.
 ///
@@ -75,8 +46,31 @@ impl Krum {
     /// Same validation errors as [`Gar::aggregate`].
     pub fn select_index(&self, inputs: &[Tensor]) -> AggregationResult<usize> {
         validate_inputs(inputs, self.n)?;
-        let scores = krum_scores(inputs, self.f);
-        Ok(smallest_scores(&scores, 1)[0])
+        let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+        self.select_index_views(&views, &Engine::auto())
+    }
+
+    /// Zero-copy selection: the index Krum selects among `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`Gar::aggregate_views`].
+    pub fn select_index_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<usize> {
+        validate_views(inputs, self.n)?;
+        let cache = DistanceCache::build(inputs, engine);
+        let mut scratch = SelectionScratch::new();
+        Ok(self.select_cached(&cache, &mut scratch))
+    }
+
+    /// Allocation-free selection over a prebuilt cache: after one warm-up
+    /// call the scratch buffers are sized and repeated calls perform zero
+    /// heap allocations (asserted by the counting-allocator test).
+    pub fn select_cached(&self, cache: &DistanceCache, scratch: &mut SelectionScratch) -> usize {
+        krum_best_cached(cache, self.f, scratch)
     }
 }
 
@@ -93,9 +87,13 @@ impl Gar for Krum {
         self.f
     }
 
-    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
-        let idx = self.select_index(inputs)?;
-        Ok(inputs[idx].clone())
+    fn aggregate_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Tensor> {
+        let idx = self.select_index_views(inputs, engine)?;
+        Ok(inputs[idx].to_tensor())
     }
 }
 
@@ -143,8 +141,37 @@ impl MultiKrum {
     /// Same validation errors as [`Gar::aggregate`].
     pub fn select_indices(&self, inputs: &[Tensor]) -> AggregationResult<Vec<usize>> {
         validate_inputs(inputs, self.n)?;
-        let scores = krum_scores(inputs, self.f);
-        Ok(smallest_scores(&scores, self.m))
+        let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+        self.select_indices_views(&views, &Engine::auto())
+    }
+
+    /// Zero-copy selection: the indices Multi-Krum selects, best first.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`Gar::aggregate_views`].
+    pub fn select_indices_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Vec<usize>> {
+        validate_views(inputs, self.n)?;
+        let cache = DistanceCache::build(inputs, engine);
+        let mut scratch = SelectionScratch::new();
+        multi_krum_cached(&cache, self.f, self.m, &mut scratch);
+        Ok(scratch.order().to_vec())
+    }
+
+    /// Allocation-free selection over a prebuilt cache: the selected indices
+    /// are left in the scratch's order buffer (best first) and returned as a
+    /// slice.
+    pub fn select_cached<'s>(
+        &self,
+        cache: &DistanceCache,
+        scratch: &'s mut SelectionScratch,
+    ) -> &'s [usize] {
+        multi_krum_cached(cache, self.f, self.m, scratch);
+        scratch.order()
     }
 }
 
@@ -161,15 +188,18 @@ impl Gar for MultiKrum {
         self.f
     }
 
-    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
-        let selected = self.select_indices(inputs)?;
-        let mut acc = Tensor::zeros(inputs[0].shape().clone());
-        for &i in &selected {
-            acc.add_assign_checked(&inputs[i])
-                .expect("shapes validated");
-        }
-        acc.scale_inplace(1.0 / selected.len() as f32);
-        Ok(acc)
+    fn aggregate_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Tensor> {
+        validate_views(inputs, self.n)?;
+        let cache = DistanceCache::build(inputs, engine);
+        let mut scratch = SelectionScratch::new();
+        multi_krum_cached(&cache, self.f, self.m, &mut scratch);
+        let mut out = Vec::new();
+        crate::engine::average_indices_into(inputs, scratch.order(), engine, &mut out);
+        Ok(Tensor::from(out))
     }
 }
 
@@ -186,6 +216,15 @@ mod tests {
                 Tensor::ones(d).try_add(&noise).unwrap()
             })
             .collect()
+    }
+
+    /// Krum scores of owned tensors, through the cache path.
+    fn krum_scores(inputs: &[Tensor], f: usize) -> Vec<f32> {
+        let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+        let cache = DistanceCache::build(&views, &Engine::sequential());
+        let mut scratch = SelectionScratch::new();
+        crate::engine::krum_scores_cached(&cache, f, &mut scratch);
+        scratch.scores().to_vec()
     }
 
     #[test]
@@ -251,6 +290,24 @@ mod tests {
         for (a, b) in scores.iter().zip(scores_rev.iter()) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn view_and_tensor_selection_agree() {
+        let inputs = honest_cluster(7, 32, 6);
+        let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+        let krum = Krum::new(7, 1).unwrap();
+        assert_eq!(
+            krum.select_index(&inputs).unwrap(),
+            krum.select_index_views(&views, &Engine::sequential())
+                .unwrap()
+        );
+        let mk = MultiKrum::new(7, 1).unwrap();
+        assert_eq!(
+            mk.select_indices(&inputs).unwrap(),
+            mk.select_indices_views(&views, &Engine::with_threads(3))
+                .unwrap()
+        );
     }
 
     #[test]

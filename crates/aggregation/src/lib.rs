@@ -18,6 +18,13 @@
 //! models — the paper aggregates both) and produce one output tensor with the
 //! statistical guarantees described in the paper.
 //!
+//! Under the hood every rule runs on the zero-copy [`engine`]: inputs are
+//! borrowed [`GradientView`](garfield_tensor::GradientView)s (wire payloads,
+//! tensor storage), the `O(n² d)` pairwise-distance matrix is computed once
+//! into a shared [`DistanceCache`] — chunked across OS threads by the
+//! [`Engine`] — and selection returns indices, so the only copy a rule makes
+//! is its output. Sequential and parallel engines are bit-identical.
+//!
 //! The crate also ships the paper's `measure_variance.py` equivalent: a
 //! [`variance::VarianceProbe`] that empirically checks the bounded-variance
 //! condition each GAR needs.
@@ -41,6 +48,7 @@
 
 mod average;
 mod bulyan;
+pub mod engine;
 mod error;
 mod gar;
 mod krum;
@@ -50,6 +58,7 @@ pub mod variance;
 
 pub use average::Average;
 pub use bulyan::Bulyan;
+pub use engine::{average_views, DistanceCache, Engine, SelectionScratch};
 pub use error::{AggregationError, AggregationResult};
 pub use gar::{build_gar, build_gar_by_name, Gar, GarKind};
 pub use krum::{Krum, MultiKrum};
@@ -73,6 +82,27 @@ pub(crate) fn validate_inputs(
     }
     let shape = inputs[0].shape();
     if inputs.iter().any(|t| t.shape() != shape) {
+        return Err(AggregationError::HeterogeneousShapes);
+    }
+    Ok(())
+}
+
+/// Validates that all views exist, share one length, and match the expected count.
+pub(crate) fn validate_views(
+    inputs: &[garfield_tensor::GradientView<'_>],
+    expected: usize,
+) -> AggregationResult<()> {
+    if inputs.is_empty() {
+        return Err(AggregationError::EmptyInput);
+    }
+    if inputs.len() != expected {
+        return Err(AggregationError::WrongInputCount {
+            expected,
+            got: inputs.len(),
+        });
+    }
+    let d = inputs[0].len();
+    if inputs.iter().any(|v| v.len() != d) {
         return Err(AggregationError::HeterogeneousShapes);
     }
     Ok(())

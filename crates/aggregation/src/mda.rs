@@ -1,7 +1,10 @@
 //! MDA — Minimum-Diameter Averaging (Rousseeuw 1985, as used by the paper).
 
-use crate::{validate_inputs, AggregationError, AggregationResult, Gar};
-use garfield_tensor::{squared_l2_distance, Tensor};
+use crate::{
+    validate_inputs, validate_views, AggregationError, AggregationResult, DistanceCache, Engine,
+    Gar,
+};
+use garfield_tensor::{GradientView, Tensor};
 
 /// Minimum-Diameter Averaging.
 ///
@@ -44,18 +47,35 @@ impl Mda {
     /// Same validation errors as [`Gar::aggregate`].
     pub fn select_indices(&self, inputs: &[Tensor]) -> AggregationResult<Vec<usize>> {
         validate_inputs(inputs, self.n)?;
+        let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+        self.select_indices_views(&views, &Engine::auto())
+    }
+
+    /// Zero-copy selection: the minimum-diameter subset over borrowed views.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`Gar::aggregate_views`].
+    pub fn select_indices_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Vec<usize>> {
+        validate_views(inputs, self.n)?;
+        let cache = DistanceCache::build(inputs, engine);
+        Ok(self.select_cached(&cache))
+    }
+
+    /// Minimum-diameter subset selection over a prebuilt distance cache.
+    ///
+    /// The `C(n, f)` subset enumeration itself is sequential (it is a tiny
+    /// scan over cached scalars once the `O(n² d)` distance work is paid) and
+    /// keeps the original incumbent-pruned lexicographic order, so every
+    /// engine selects the same subset.
+    pub fn select_cached(&self, cache: &DistanceCache) -> Vec<usize> {
         let n = self.n;
         let keep = n - self.f;
-
-        // Pairwise squared distances, computed once.
-        let mut dist = vec![0.0f32; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = squared_l2_distance(&inputs[i], &inputs[j]);
-                dist[i * n + j] = d;
-                dist[j * n + i] = d;
-            }
-        }
+        let dist = |i: usize, j: usize| cache.get(i, j);
 
         let mut best: Option<(f32, Vec<usize>)> = None;
         let mut subset: Vec<usize> = (0..keep).collect();
@@ -64,7 +84,7 @@ impl Mda {
             let mut diameter = 0.0f32;
             'outer: for a in 0..keep {
                 for b in (a + 1)..keep {
-                    let d = dist[subset[a] * n + subset[b]];
+                    let d = dist(subset[a], subset[b]);
                     if d > diameter {
                         diameter = d;
                         if let Some((best_d, _)) = &best {
@@ -84,7 +104,7 @@ impl Mda {
             let mut i = keep;
             loop {
                 if i == 0 {
-                    return Ok(best.expect("at least one subset was evaluated").1);
+                    return best.expect("at least one subset was evaluated").1;
                 }
                 i -= 1;
                 if subset[i] != i + n - keep {
@@ -112,15 +132,15 @@ impl Gar for Mda {
         self.f
     }
 
-    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
-        let selected = self.select_indices(inputs)?;
-        let mut acc = Tensor::zeros(inputs[0].shape().clone());
-        for &i in &selected {
-            acc.add_assign_checked(&inputs[i])
-                .expect("shapes validated");
-        }
-        acc.scale_inplace(1.0 / selected.len() as f32);
-        Ok(acc)
+    fn aggregate_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Tensor> {
+        let selected = self.select_indices_views(inputs, engine)?;
+        let mut out = Vec::new();
+        crate::engine::average_indices_into(inputs, &selected, engine, &mut out);
+        Ok(Tensor::from(out))
     }
 }
 

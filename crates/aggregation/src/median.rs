@@ -1,7 +1,7 @@
 //! Coordinate-wise Median GAR and the branchless 3-element ordering primitive.
 
-use crate::{validate_inputs, AggregationError, AggregationResult, Gar};
-use garfield_tensor::Tensor;
+use crate::{validate_views, AggregationError, AggregationResult, Engine, Gar};
+use garfield_tensor::{GradientView, Tensor};
 
 /// Orders three values without data-dependent branching.
 ///
@@ -64,32 +64,38 @@ impl Gar for Median {
         self.f
     }
 
-    fn aggregate(&self, inputs: &[Tensor]) -> AggregationResult<Tensor> {
-        validate_inputs(inputs, self.n)?;
-        Ok(coordinate_wise_median(inputs))
+    fn aggregate_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Tensor> {
+        validate_views(inputs, self.n)?;
+        Ok(coordinate_wise_median_views(inputs, engine))
     }
 }
 
-/// Coordinate-wise median of a non-empty, equally-shaped set of tensors.
-///
-/// Exposed for reuse by [`crate::Bulyan`], which medians its selection set.
-pub(crate) fn coordinate_wise_median(inputs: &[Tensor]) -> Tensor {
+/// Coordinate-wise median of a non-empty, equal-length set of views, chunked
+/// across threads by coordinate range (each chunk owns a private column
+/// buffer; every coordinate runs the same scalar kernel on any engine).
+pub(crate) fn coordinate_wise_median_views(inputs: &[GradientView<'_>], engine: &Engine) -> Tensor {
     let d = inputs[0].len();
     let n = inputs.len();
-    let mut out = Vec::with_capacity(d);
-    let mut column = vec![0.0f32; n];
-    for coord in 0..d {
-        for (i, t) in inputs.iter().enumerate() {
-            column[i] = t.data()[coord];
+    let mut out = vec![0.0f32; d];
+    engine.fill_chunks(&mut out, n, |base, chunk| {
+        let mut column = vec![0.0f32; n];
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            let coord = base + k;
+            for (i, v) in inputs.iter().enumerate() {
+                column[i] = v.data()[coord];
+            }
+            *slot = if n == 3 {
+                sort3_branchless([column[0], column[1], column[2]])[1]
+            } else {
+                garfield_tensor::median_inplace(&mut column)
+            };
         }
-        let value = if n == 3 {
-            sort3_branchless([column[0], column[1], column[2]])[1]
-        } else {
-            garfield_tensor::median_inplace(&mut column)
-        };
-        out.push(value);
-    }
-    Tensor::from_vec(out, inputs[0].shape().clone()).expect("output preserves the input shape")
+    });
+    Tensor::from(out)
 }
 
 #[cfg(test)]

@@ -12,9 +12,9 @@
 //! the true gradient with a huge batch, and reports how often the condition
 //! holds. [`VarianceProbe`] is the Rust equivalent.
 
-use crate::GarKind;
+use crate::{average_views, Engine, GarKind};
 use garfield_ml::{Dataset, Model, Optimizer, Sgd};
-use garfield_tensor::Tensor;
+use garfield_tensor::{squared_l2_distance_slices, GradientView, Tensor};
 
 /// The GAR-specific factor `Δ` of the bounded-variance condition (§3.1).
 ///
@@ -130,6 +130,7 @@ impl VarianceProbe {
         let mut opt = Sgd::new(self.learning_rate);
         let mut steps = Vec::with_capacity(self.steps);
         let full = dataset.full_batch().expect("dataset is non-empty");
+        let engine = Engine::auto();
         for step in 0..self.steps {
             // Per-worker noisy gradients.
             let mut grads: Vec<Tensor> = Vec::with_capacity(self.n);
@@ -139,17 +140,15 @@ impl VarianceProbe {
                     .expect("batch size validated");
                 grads.push(model.gradient(&batch).1);
             }
-            // Empirical mean and deviation of worker gradients.
-            let mut mean = Tensor::zeros(grads[0].len());
-            for g in &grads {
-                mean.add_assign_checked(g).expect("equal lengths");
-            }
-            mean.scale_inplace(1.0 / grads.len() as f32);
-            let var: f64 = grads
+            // Empirical mean and deviation of worker gradients, through the
+            // engine's zero-copy averaging and slice-distance kernels.
+            let views: Vec<GradientView<'_>> = grads.iter().map(GradientView::from).collect();
+            let mean = Tensor::from(average_views(&views, &engine));
+            let var: f64 = views
                 .iter()
-                .map(|g| garfield_tensor::squared_l2_distance(g, &mean) as f64)
+                .map(|g| squared_l2_distance_slices(g.data(), mean.data()) as f64)
                 .sum::<f64>()
-                / grads.len() as f64;
+                / views.len() as f64;
             let gradient_std = var.sqrt();
 
             // Large-batch "true" gradient.

@@ -1,0 +1,121 @@
+//! Regression test: steady-state GAR selection is allocation-free.
+//!
+//! The original implementations cloned tensors on the hot path — Bulyan
+//! cloned its full candidate pool every selection round and Krum cloned its
+//! winner — so selection cost included `O(n d)`–`O(n² d)` heap churn per
+//! call. The engine rewrite returns indices over a shared [`DistanceCache`]
+//! and reuses [`SelectionScratch`] buffers, so once the buffers are warm a
+//! selection performs **zero** heap allocations. A counting global-allocator
+//! shim asserts exactly that; any future clone sneaking back into the
+//! selection loop fails this test.
+
+use garfield_aggregation::{Bulyan, DistanceCache, Engine, Krum, MultiKrum, SelectionScratch};
+use garfield_tensor::GradientView;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Forwards to the system allocator, counting every allocation (alloc,
+/// alloc_zeroed, realloc) made while the gate is open.
+struct CountingAllocator;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `work` with the counting gate open and returns how many heap
+/// allocations it performed.
+fn count_allocations(work: impl FnOnce()) -> usize {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    work();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+fn payloads(n: usize, d: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|c| ((i * 131 + c * 17) as f32 * 0.01).sin())
+                .collect()
+        })
+        .collect()
+}
+
+/// This file holds a single test on purpose: the counter is process-global,
+/// and the default multi-threaded test runner would cross-count allocations
+/// from sibling tests.
+#[test]
+fn steady_state_selection_performs_zero_heap_allocations() {
+    let n = 11;
+    let f = 2;
+    let d = 64;
+    let data = payloads(n, d);
+    let views: Vec<GradientView<'_>> = data.iter().map(GradientView::from).collect();
+    // Selection must be allocation-free on the *sequential* engine; thread
+    // spawns on the parallel engine allocate stacks by nature (and only at
+    // cache-build time, never during selection).
+    let cache = DistanceCache::build(&views, &Engine::sequential());
+
+    let krum = Krum::new(n, f).unwrap();
+    let multi_krum = MultiKrum::new(n, f).unwrap();
+    let bulyan = Bulyan::new(n, f).unwrap();
+    let mut scratch = SelectionScratch::new();
+    let mut selected = Vec::with_capacity(n);
+
+    // Warm-up: sizes every scratch buffer.
+    let warm_krum = krum.select_cached(&cache, &mut scratch);
+    let warm_multi = multi_krum.select_cached(&cache, &mut scratch).to_vec();
+    bulyan.select_cached(&cache, &mut scratch, &mut selected);
+    let warm_bulyan = selected.clone();
+
+    // Steady state: repeated selections must not touch the heap at all.
+    let mut steady_krum = 0usize;
+    let mut steady_multi_len = 0usize;
+    let allocations = count_allocations(|| {
+        for _ in 0..10 {
+            steady_krum = krum.select_cached(&cache, &mut scratch);
+            steady_multi_len = multi_krum.select_cached(&cache, &mut scratch).len();
+            bulyan.select_cached(&cache, &mut scratch, &mut selected);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "steady-state Krum/Multi-Krum/Bulyan selection allocated {allocations} times"
+    );
+
+    // And the warm results are reproduced exactly.
+    assert_eq!(steady_krum, warm_krum);
+    assert_eq!(steady_multi_len, warm_multi.len());
+    assert_eq!(selected, warm_bulyan);
+    assert_eq!(selected.len(), bulyan.selection_size());
+}

@@ -1,9 +1,13 @@
 //! Criterion micro-benchmark for Fig. 3b: GAR aggregation time versus the
 //! gradient dimension `d`, at n = 17 inputs (CPU kernels).
+//!
+//! Every GAR is measured on both execution engines so the criterion output
+//! names `seq/<gar>` (single-threaded reference path) and `par/<gar>`
+//! (thread-chunked distance matrix and coordinate fills) side by side.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use garfield_aggregation::{build_gar, GarKind};
-use garfield_tensor::{Tensor, TensorRng};
+use garfield_aggregation::{build_gar, Engine, GarKind};
+use garfield_tensor::{GradientView, TensorRng};
 use std::time::Duration;
 
 fn bench_gar_dim(c: &mut Criterion) {
@@ -16,7 +20,8 @@ fn bench_gar_dim(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
     for d in [10_000usize, 100_000] {
-        let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
+        let inputs: Vec<Vec<f32>> = (0..n).map(|_| rng.normal_tensor(d).into_vec()).collect();
+        let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
         for kind in [
             GarKind::Average,
             GarKind::Median,
@@ -25,9 +30,13 @@ fn bench_gar_dim(c: &mut Criterion) {
             GarKind::Bulyan,
         ] {
             let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f }).unwrap();
-            group.bench_with_input(BenchmarkId::new(kind.as_str(), d), &inputs, |b, inputs| {
-                b.iter(|| gar.aggregate(inputs).unwrap())
-            });
+            for (engine_name, engine) in [("seq", Engine::sequential()), ("par", Engine::auto())] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{engine_name}/{}", kind.as_str()), d),
+                    &views,
+                    |b, views| b.iter(|| gar.aggregate_views(views, &engine).unwrap()),
+                );
+            }
         }
     }
     group.finish();

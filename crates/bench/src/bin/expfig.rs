@@ -5,6 +5,9 @@
 //! ```text
 //! cargo run --release -p garfield-bench --bin expfig -- <experiment> [...]
 //! cargo run --release -p garfield-bench --bin expfig -- all
+//! cargo run --release -p garfield-bench --bin expfig -- perf \
+//!     [--quick] [--out BENCH_aggregation.json] \
+//!     [--check results/perf_baseline.json] [--tolerance 0.20]
 //! ```
 //!
 //! Recognised experiment ids: `table1`, `fig3a`, `fig3b`, `fig4a`, `fig4b`,
@@ -12,8 +15,15 @@
 //! `fig13`, `fig14`, `fig15`, `fig16`, `table2`, `variance`, `dec-scaling`,
 //! `runtime` (live-vs-sim executor comparison).
 //! Each prints its rows and writes `results/<id>.csv`.
+//!
+//! `perf` is the GAR-engine micro-benchmark: it sweeps every GAR over
+//! d × n on the sequential and parallel engines, asserts bit-identical
+//! outputs, writes `BENCH_aggregation.json`, and with `--check` exits
+//! non-zero when any GAR's throughput regressed more than the tolerance
+//! against the recorded baseline (the CI `perf-smoke` gate).
 
 use garfield_bench::figures;
+use garfield_bench::perf;
 use garfield_bench::report::{print_table, write_csv, Row};
 use garfield_net::Device;
 
@@ -50,11 +60,118 @@ fn run_one(id: &str) -> Option<(String, Vec<Row>)> {
     Some((id.to_string(), rows))
 }
 
+/// Runs the `perf` subcommand; returns the process exit code.
+fn run_perf(args: &[String]) -> i32 {
+    let mut config = perf::PerfConfig::full();
+    let mut out_path = String::from("BENCH_aggregation.json");
+    let mut check_path: Option<String> = None;
+    let mut tolerance = perf::DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => config = perf::PerfConfig::quick(),
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out requires a path");
+                    return 2;
+                }
+            },
+            "--check" => match it.next() {
+                Some(p) => check_path = Some(p.clone()),
+                None => {
+                    eprintln!("--check requires a baseline path");
+                    return 2;
+                }
+            },
+            "--tolerance" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance requires a fraction in [0, 1)");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown perf flag '{other}'");
+                return 2;
+            }
+        }
+    }
+
+    let threads = garfield_aggregation::Engine::auto().threads();
+    println!(
+        "perf sweep: {} mode, {} threads, d={:?}, n={:?}",
+        if config.quick { "quick" } else { "full" },
+        threads,
+        config.dims,
+        config.ns
+    );
+    let points = perf::run(&config);
+    print_table(
+        "perf (GAR engine, parallel vs sequential)",
+        &perf::as_rows(&points),
+    );
+
+    let divergent: Vec<&perf::PerfPoint> = points.iter().filter(|p| !p.identical).collect();
+    for p in &divergent {
+        eprintln!(
+            "ENGINE MISMATCH: {} n={} d={} — parallel output differs from sequential",
+            p.gar, p.n, p.d
+        );
+    }
+
+    let json = perf::to_json(&points, threads, config.quick);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("could not write {out_path}: {e}");
+        return 1;
+    }
+    println!("(written to {out_path})");
+
+    if !divergent.is_empty() {
+        return 1;
+    }
+    if let Some(baseline_path) = check_path {
+        let baseline_text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("could not read baseline {baseline_path}: {e}");
+                return 1;
+            }
+        };
+        let baseline = match perf::parse_report(&baseline_text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("malformed baseline {baseline_path}: {e}");
+                return 1;
+            }
+        };
+        let problems = perf::regressions(&points, &baseline, tolerance);
+        if !problems.is_empty() {
+            eprintln!(
+                "perf regression vs {baseline_path} (tolerance {:.0}%):",
+                tolerance * 100.0
+            );
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            return 1;
+        }
+        println!(
+            "perf gate passed: no GAR regressed more than {:.0}% vs {baseline_path}",
+            tolerance * 100.0
+        );
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: expfig <experiment id ...> | all   (see --help in the doc comment)");
+        eprintln!("usage: expfig <experiment id ...> | all | perf [flags]   (see --help in the doc comment)");
         std::process::exit(2);
+    }
+    if args[0] == "perf" {
+        std::process::exit(run_perf(&args[1..]));
     }
     let quick_all = [
         "table1",

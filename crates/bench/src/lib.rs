@@ -17,10 +17,12 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perf;
 pub mod report;
 pub mod runtime_throughput;
 pub mod throughput;
 
+pub use perf::{PerfConfig, PerfPoint};
 pub use report::{write_csv, Row};
 pub use runtime_throughput::{measure as measure_runtime, runtime_report, RuntimePoint};
 pub use throughput::{iteration_time, throughput, ThroughputPoint};

@@ -1,0 +1,391 @@
+//! The `expfig perf` harness: GAR engine throughput, recorded and enforced.
+//!
+//! Sweeps every GAR over gradient dimension `d` × input count `n`, timing the
+//! **sequential** engine (the retained single-threaded reference path) and
+//! the **parallel** engine (thread-chunked distance matrix and coordinate
+//! fills) on identical inputs, asserting their outputs are bit-identical,
+//! and emitting `BENCH_aggregation.json` — the recorded perf trajectory CI
+//! uploads as an artifact and gates against `results/perf_baseline.json`
+//! (any GAR regressing more than the tolerance fails the `perf-smoke` job).
+
+use crate::report::Row;
+use garfield_aggregation::{build_gar, Engine, Gar, GarKind};
+use garfield_core::json::{self, Value};
+use garfield_tensor::{GradientView, TensorRng};
+use std::time::Instant;
+
+/// Relative throughput loss versus the baseline that fails the CI gate.
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// One sweep configuration.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Gradient dimensions to sweep.
+    pub dims: Vec<usize>,
+    /// Input counts to sweep.
+    pub ns: Vec<usize>,
+    /// Keep repeating a cell until it has run at least this long...
+    pub target_secs: f64,
+    /// ...but at most this many repetitions.
+    pub max_reps: usize,
+    /// Whether this is the CI quick sweep (recorded in the report).
+    pub quick: bool,
+}
+
+impl PerfConfig {
+    /// The full sweep of the issue spec: d ∈ {1e4, 1e5, 1e6} × n ∈ {15, 25, 51}.
+    pub fn full() -> Self {
+        PerfConfig {
+            dims: vec![10_000, 100_000, 1_000_000],
+            ns: vec![15, 25, 51],
+            target_secs: 0.2,
+            max_reps: 5,
+            quick: false,
+        }
+    }
+
+    /// The CI smoke sweep: small enough for a PR gate, still covering every
+    /// GAR and both engines. The timing window is generous relative to the
+    /// cell cost (sub-millisecond cells run many reps) so the 20% regression
+    /// gate measures code, not scheduler noise.
+    pub fn quick() -> Self {
+        PerfConfig {
+            dims: vec![10_000, 100_000],
+            ns: vec![15, 25],
+            target_secs: 0.15,
+            max_reps: 40,
+            quick: true,
+        }
+    }
+}
+
+/// One measured (GAR, n, d) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPoint {
+    /// GAR name.
+    pub gar: String,
+    /// Number of inputs.
+    pub n: usize,
+    /// Declared Byzantine bound used for this cell.
+    pub f: usize,
+    /// Gradient dimension.
+    pub d: usize,
+    /// Seconds per aggregation on the sequential engine.
+    pub seq_secs: f64,
+    /// Seconds per aggregation on the parallel engine.
+    pub par_secs: f64,
+    /// Parallel-engine throughput in gradient values per second (n·d / s).
+    pub throughput: f64,
+    /// Parallel-engine input bandwidth in MB/s (n·d·4 bytes / s).
+    pub mb_s: f64,
+    /// Sequential time over parallel time.
+    pub speedup: f64,
+    /// Whether the two engines produced bit-identical outputs.
+    pub identical: bool,
+}
+
+/// The Byzantine bound each GAR is swept with.
+///
+/// Distance-based rules use the strongest `f` valid for every rule at that
+/// `n` (`(n-3)/4`, satisfying both `n ≥ 2f+3` and `n ≥ 4f+3`); MDA's subset
+/// enumeration is `C(n, f)` — exponential in `f`, as the paper's Fig. 3
+/// discussion notes — so it is swept at `f = 2` to keep the cell about the
+/// distance matrix rather than the combinatorics.
+pub fn sweep_f(kind: GarKind, n: usize) -> usize {
+    match kind {
+        GarKind::Average => 0,
+        GarKind::Mda => 2.min((n.saturating_sub(1)) / 2),
+        GarKind::Median => (n.saturating_sub(1)) / 2,
+        GarKind::Krum | GarKind::MultiKrum | GarKind::Bulyan => (n.saturating_sub(3)) / 4,
+    }
+}
+
+fn time_cell(
+    gar: &dyn Gar,
+    views: &[GradientView<'_>],
+    engine: &Engine,
+    config: &PerfConfig,
+) -> (f64, Vec<f32>) {
+    let start = Instant::now();
+    let mut out = gar
+        .aggregate_views(views, engine)
+        .expect("sweep inputs are well-formed")
+        .into_vec();
+    let mut reps = 1usize;
+    while start.elapsed().as_secs_f64() < config.target_secs && reps < config.max_reps {
+        out = gar
+            .aggregate_views(views, engine)
+            .expect("sweep inputs are well-formed")
+            .into_vec();
+        reps += 1;
+    }
+    (start.elapsed().as_secs_f64() / reps as f64, out)
+}
+
+/// Runs the sweep, returning one point per (GAR, n, d) cell.
+///
+/// Inputs are deterministic (seeded per cell), and each cell runs the
+/// sequential and parallel engines on the *same* borrowed views, comparing
+/// outputs bit for bit.
+pub fn run(config: &PerfConfig) -> Vec<PerfPoint> {
+    let parallel = Engine::auto();
+    let sequential = Engine::sequential();
+    let mut points = Vec::new();
+    for &d in &config.dims {
+        for &n in &config.ns {
+            // One input set per (n, d) cell, shared by every GAR.
+            let mut rng = TensorRng::seed_from(0x9a2f_0000 ^ (d as u64) ^ ((n as u64) << 32));
+            let inputs: Vec<Vec<f32>> = (0..n).map(|_| rng.normal_tensor(d).into_vec()).collect();
+            let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+            for kind in GarKind::all() {
+                let f = sweep_f(kind, n);
+                let gar = build_gar(kind, n, f).expect("sweep (n, f) satisfies every rule");
+                let (seq_secs, seq_out) = time_cell(gar.as_ref(), &views, &sequential, config);
+                let (par_secs, par_out) = time_cell(gar.as_ref(), &views, &parallel, config);
+                let identical = seq_out.len() == par_out.len()
+                    && seq_out
+                        .iter()
+                        .zip(par_out.iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                let values = (n * d) as f64;
+                points.push(PerfPoint {
+                    gar: kind.as_str().to_string(),
+                    n,
+                    f,
+                    d,
+                    seq_secs,
+                    par_secs,
+                    throughput: values / par_secs,
+                    mb_s: values * 4.0 / par_secs / 1e6,
+                    speedup: seq_secs / par_secs,
+                    identical,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Renders points as report rows (for the aligned text table).
+pub fn as_rows(points: &[PerfPoint]) -> Vec<Row> {
+    points
+        .iter()
+        .map(|p| {
+            Row::new(
+                format!("{} n={} d={}", p.gar, p.n, p.d),
+                vec![
+                    ("seq_ms", p.seq_secs * 1e3),
+                    ("par_ms", p.par_secs * 1e3),
+                    ("mvals_s", p.throughput / 1e6),
+                    ("mb_s", p.mb_s),
+                    ("speedup", p.speedup),
+                    ("identical", if p.identical { 1.0 } else { 0.0 }),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Serialises a sweep to the `BENCH_aggregation.json` schema.
+pub fn to_json(points: &[PerfPoint], threads: usize, quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"garfield-bench/aggregation-v1\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"gar\": \"{}\", ", p.gar));
+        out.push_str(&format!("\"n\": {}, \"f\": {}, \"d\": {}, ", p.n, p.f, p.d));
+        let mut num = String::new();
+        json::write_f64(&mut num, p.seq_secs);
+        out.push_str(&format!("\"seq_secs\": {num}, "));
+        num.clear();
+        json::write_f64(&mut num, p.par_secs);
+        out.push_str(&format!("\"par_secs\": {num}, "));
+        num.clear();
+        json::write_f64(&mut num, p.throughput);
+        out.push_str(&format!("\"throughput\": {num}, "));
+        num.clear();
+        json::write_f64(&mut num, p.mb_s);
+        out.push_str(&format!("\"mb_s\": {num}, "));
+        num.clear();
+        json::write_f64(&mut num, p.speedup);
+        out.push_str(&format!("\"speedup\": {num}, "));
+        out.push_str(&format!("\"identical\": {}", p.identical));
+        out.push('}');
+        if i + 1 < points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a `BENCH_aggregation.json` document back into points.
+///
+/// # Errors
+///
+/// Returns a message describing the first structural problem.
+pub fn parse_report(text: &str) -> Result<Vec<PerfPoint>, String> {
+    let doc = json::parse(text)?;
+    let entries = doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or("report has no 'entries' array")?;
+    let mut points = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let field_f64 = |k: &str| -> Result<f64, String> {
+            e.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("entry {i} misses numeric '{k}'"))
+        };
+        let field_usize = |k: &str| -> Result<usize, String> {
+            e.get(k)
+                .and_then(Value::as_usize)
+                .ok_or_else(|| format!("entry {i} misses integer '{k}'"))
+        };
+        points.push(PerfPoint {
+            gar: e
+                .get("gar")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("entry {i} misses 'gar'"))?
+                .to_string(),
+            n: field_usize("n")?,
+            f: field_usize("f")?,
+            d: field_usize("d")?,
+            seq_secs: field_f64("seq_secs")?,
+            par_secs: field_f64("par_secs")?,
+            throughput: field_f64("throughput")?,
+            mb_s: field_f64("mb_s")?,
+            speedup: field_f64("speedup")?,
+            identical: e.get("identical").and_then(Value::as_bool).unwrap_or(false),
+        });
+    }
+    Ok(points)
+}
+
+/// Compares a fresh sweep against a recorded baseline.
+///
+/// Every baseline cell present in the current sweep must reach at least
+/// `(1 - tolerance)` of the baseline's parallel-engine throughput; a cell
+/// that disappeared from the sweep also counts as a regression (so the gate
+/// cannot be dodged by shrinking the sweep). Returns one human-readable
+/// message per violation — empty means the gate passes.
+pub fn regressions(current: &[PerfPoint], baseline: &[PerfPoint], tolerance: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    for base in baseline {
+        let Some(now) = current
+            .iter()
+            .find(|p| p.gar == base.gar && p.n == base.n && p.d == base.d)
+        else {
+            problems.push(format!(
+                "{} n={} d={}: cell present in baseline but missing from this sweep",
+                base.gar, base.n, base.d
+            ));
+            continue;
+        };
+        let floor = base.throughput * (1.0 - tolerance);
+        if now.throughput < floor {
+            problems.push(format!(
+                "{} n={} d={}: throughput {:.3e} values/s fell below {:.3e} \
+                 ({:.0}% of baseline {:.3e})",
+                now.gar,
+                now.n,
+                now.d,
+                now.throughput,
+                floor,
+                (1.0 - tolerance) * 100.0,
+                base.throughput,
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PerfConfig {
+        PerfConfig {
+            dims: vec![256],
+            ns: vec![7],
+            target_secs: 0.0,
+            max_reps: 1,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_gar_and_outputs_are_identical() {
+        let points = run(&tiny_config());
+        assert_eq!(points.len(), GarKind::all().len());
+        for p in &points {
+            assert!(p.identical, "{} outputs diverged between engines", p.gar);
+            assert!(p.seq_secs > 0.0 && p.par_secs > 0.0);
+            assert!(p.throughput > 0.0 && p.mb_s > 0.0 && p.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let points = run(&tiny_config());
+        let text = to_json(&points, 4, true);
+        let back = parse_report(&text).unwrap();
+        assert_eq!(back.len(), points.len());
+        for (a, b) in points.iter().zip(back.iter()) {
+            assert_eq!(a.gar, b.gar);
+            assert_eq!((a.n, a.f, a.d), (b.n, b.f, b.d));
+            assert!((a.throughput - b.throughput).abs() <= a.throughput * 1e-9);
+            assert_eq!(a.identical, b.identical);
+        }
+    }
+
+    #[test]
+    fn regression_gate_fires_on_slowdowns_and_missing_cells() {
+        let mut base = run(&tiny_config());
+        // Same sweep: no regression.
+        assert!(regressions(&base, &base, DEFAULT_TOLERANCE).is_empty());
+
+        // 2x slower current: regression.
+        let mut slow = base.clone();
+        for p in &mut slow {
+            p.throughput /= 2.0;
+        }
+        let problems = regressions(&slow, &base, DEFAULT_TOLERANCE);
+        assert_eq!(problems.len(), base.len());
+
+        // Dropped cell: regression too.
+        let dropped: Vec<PerfPoint> = base[1..].to_vec();
+        assert_eq!(regressions(&dropped, &base, DEFAULT_TOLERANCE).len(), 1);
+
+        // Within tolerance: fine.
+        for p in &mut base {
+            p.throughput *= 0.9;
+        }
+        let within = regressions(&base, &run(&tiny_config()), 0.5);
+        assert!(within.is_empty());
+    }
+
+    #[test]
+    fn sweep_f_respects_every_rule_requirement() {
+        for kind in GarKind::all() {
+            for n in [15usize, 25, 51] {
+                let f = sweep_f(kind, n);
+                assert!(
+                    n >= kind.minimum_inputs(f),
+                    "{kind} n={n} f={f} violates its requirement"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(parse_report("not json").is_err());
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("{\"entries\": [{}]}").is_err());
+    }
+}

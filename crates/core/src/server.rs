@@ -1,10 +1,10 @@
 //! The Garfield `Server` object and its Byzantine variant.
 
 use crate::CoreResult;
-use garfield_aggregation::Gar;
+use garfield_aggregation::{Engine, Gar};
 use garfield_attacks::Attack;
 use garfield_ml::{Batch, Model, Optimizer, Sgd};
-use garfield_tensor::{Tensor, TensorRng};
+use garfield_tensor::{GradientView, Tensor, TensorRng};
 
 /// A parameter-server replica: owns the model state, updates it with
 /// aggregated gradients, rewrites it from aggregated peer models and evaluates
@@ -69,6 +69,23 @@ impl ParameterServer {
     /// Returns [`CoreError::Aggregation`] when the GAR rejects the inputs.
     pub fn aggregate(&self, gar: &dyn Gar, inputs: &[Tensor]) -> CoreResult<Tensor> {
         Ok(gar.aggregate(inputs)?)
+    }
+
+    /// Zero-copy aggregation: scores and selects over borrowed gradient
+    /// views (e.g. decoded wire payloads) under the given engine, without
+    /// materialising one `Tensor` per input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Aggregation`](crate::CoreError::Aggregation)
+    /// when the GAR rejects the inputs.
+    pub fn aggregate_views(
+        &self,
+        gar: &dyn Gar,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> CoreResult<Tensor> {
+        Ok(gar.aggregate_views(inputs, engine)?)
     }
 
     /// Top-1 accuracy of the current model on a held-out batch.

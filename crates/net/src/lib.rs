@@ -68,4 +68,6 @@ pub use pull::PullRound;
 pub use router::{Envelope, Router, RouterHandle};
 pub use time::SimClock;
 pub use transport::{PeerCounterMap, PeerCounters, RouterTransport, Transport};
-pub use wire::{MsgKind, WireMessage, MAX_WIRE_VALUES, WIRE_HEADER_BYTES, WIRE_VERSION};
+pub use wire::{
+    MsgKind, PayloadPool, WireHeader, WireMessage, MAX_WIRE_VALUES, WIRE_HEADER_BYTES, WIRE_VERSION,
+};

@@ -94,6 +94,27 @@ impl MsgKind {
     }
 }
 
+/// The fixed header of a wire message, validated without touching the
+/// payload.
+///
+/// [`WireMessage::peek`] performs the *full* structural validation of
+/// [`WireMessage::decode`] — version, kind, length cap, exact buffer size —
+/// but materialises zero `f32` values. The receive loops use it to route
+/// control traffic (requests, done-markers) and reject garbage without
+/// allocating, and then [`WireMessage::decode_into`] fills a pooled buffer
+/// only for the payloads that are actually aggregated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireHeader {
+    /// What the message is (request, reply, control).
+    pub kind: MsgKind,
+    /// The training iteration the message belongs to.
+    pub round: u64,
+    /// Kind-specific scalar (gradient replies carry the training loss here).
+    pub aux: f32,
+    /// Number of `f32` payload values that follow the header.
+    pub payload_len: usize,
+}
+
 /// One decoded protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireMessage {
@@ -164,6 +185,24 @@ impl WireMessage {
     /// allocated) and [`NetError::WireSize`] for a buffer that is truncated
     /// or carries trailing bytes.
     pub fn decode(buf: &[u8]) -> NetResult<WireMessage> {
+        let mut values = Vec::new();
+        let header = WireMessage::decode_into(buf, &mut values)?;
+        Ok(WireMessage {
+            kind: header.kind,
+            round: header.round,
+            aux: header.aux,
+            values,
+        })
+    }
+
+    /// Validates the whole message (header *and* exact payload size) without
+    /// materialising the payload.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`WireMessage::decode`] — `peek` accepting a buffer
+    /// guarantees `decode`/`decode_into` will too.
+    pub fn peek(buf: &[u8]) -> NetResult<WireHeader> {
         if buf.len() < WIRE_HEADER_BYTES {
             return Err(NetError::WireSize {
                 expected: WIRE_HEADER_BYTES,
@@ -201,16 +240,82 @@ impl WireMessage {
                 })
             }
         }
-        let values = buf[WIRE_HEADER_BYTES..]
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("exact 4-byte chunks")))
-            .collect();
-        Ok(WireMessage {
+        Ok(WireHeader {
             kind,
             round,
             aux,
-            values,
+            payload_len: len,
         })
+    }
+
+    /// Decodes the payload into a caller-provided buffer (cleared first,
+    /// capacity reused), validating exactly like [`WireMessage::decode`].
+    ///
+    /// This is the zero-garbage receive path: with a [`PayloadPool`] feeding
+    /// `values`, a steady-state server decodes every gradient without a
+    /// fresh `Vec<f32>` allocation per message.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WireMessage::decode`]; on error `values` is left cleared.
+    pub fn decode_into(buf: &[u8], values: &mut Vec<f32>) -> NetResult<WireHeader> {
+        values.clear();
+        let header = WireMessage::peek(buf)?;
+        values.reserve(header.payload_len);
+        values.extend(
+            buf[WIRE_HEADER_BYTES..]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("exact 4-byte chunks"))),
+        );
+        Ok(header)
+    }
+}
+
+/// A free-list of reusable `f32` payload buffers.
+///
+/// Every decoded gradient used to cost one fresh `Vec<f32>` allocation
+/// (then dropped after aggregation). A pool checks buffers out for
+/// [`WireMessage::decode_into`] and takes them back once the round's
+/// aggregation is done; capacity is retained, so a steady-state training
+/// loop recycles the same handful of buffers forever. Bounded (`max_idle`)
+/// so a burst cannot pin unbounded memory.
+#[derive(Debug)]
+pub struct PayloadPool {
+    free: Vec<Vec<f32>>,
+    max_idle: usize,
+}
+
+impl PayloadPool {
+    /// Creates a pool retaining at most `max_idle` idle buffers.
+    pub fn new(max_idle: usize) -> Self {
+        PayloadPool {
+            free: Vec::new(),
+            max_idle,
+        }
+    }
+
+    /// Checks a cleared buffer out of the pool (fresh if the pool is empty).
+    pub fn checkout(&mut self) -> Vec<f32> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool; dropped if the pool is full.
+    pub fn restore(&mut self, mut buf: Vec<f32>) {
+        if self.free.len() < self.max_idle {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl Default for PayloadPool {
+    fn default() -> Self {
+        PayloadPool::new(64)
     }
 }
 
@@ -323,5 +428,77 @@ mod tests {
             WireMessage::decode(&buf),
             Err(NetError::WireSize { .. })
         ));
+    }
+
+    #[test]
+    fn peek_validates_exactly_like_decode() {
+        let good = WireMessage::new(MsgKind::GradientReply, 11, 0.5, vec![1.0, 2.0]).encode();
+        let header = WireMessage::peek(&good).unwrap();
+        assert_eq!(header.kind, MsgKind::GradientReply);
+        assert_eq!(header.round, 11);
+        assert_eq!(header.aux, 0.5);
+        assert_eq!(header.payload_len, 2);
+
+        // Every malformed buffer peek rejects, decode must reject too (and
+        // vice versa).
+        let mut cases: Vec<Vec<u8>> = vec![good.to_vec(), vec![], good[..10].to_vec()];
+        let mut bad_version = good.to_vec();
+        bad_version[0] = 9;
+        cases.push(bad_version);
+        let mut bad_kind = good.to_vec();
+        bad_kind[1] = 77;
+        cases.push(bad_kind);
+        let mut trailing = good.to_vec();
+        trailing.push(0);
+        cases.push(trailing);
+        for case in cases {
+            assert_eq!(
+                WireMessage::peek(&case).is_ok(),
+                WireMessage::decode(&case).is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_into_reuses_capacity_and_clears_on_error() {
+        let msg = WireMessage::new(MsgKind::ModelReply, 3, 0.0, vec![5.0; 100]);
+        let mut buf = Vec::new();
+        let header = WireMessage::decode_into(&msg.encode(), &mut buf).unwrap();
+        assert_eq!(header.payload_len, 100);
+        assert_eq!(buf, vec![5.0; 100]);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+
+        // Second decode of an equal-size payload reuses the same storage.
+        let again = WireMessage::new(MsgKind::GradientReply, 4, 1.0, vec![7.0; 100]);
+        WireMessage::decode_into(&again.encode(), &mut buf).unwrap();
+        assert_eq!(buf, vec![7.0; 100]);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr);
+
+        // Errors leave the buffer cleared, never with stale values.
+        assert!(WireMessage::decode_into(&[1, 2, 3], &mut buf).is_err());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn payload_pool_recycles_buffers_up_to_its_bound() {
+        let mut pool = PayloadPool::new(2);
+        let mut a = pool.checkout();
+        a.extend_from_slice(&[1.0, 2.0, 3.0]);
+        let cap = a.capacity();
+        let ptr = a.as_ptr();
+        pool.restore(a);
+        assert_eq!(pool.idle(), 1);
+
+        let b = pool.checkout();
+        assert!(b.is_empty(), "restored buffers come back cleared");
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(b.as_ptr(), ptr);
+        pool.restore(b);
+
+        pool.restore(Vec::new());
+        pool.restore(Vec::new()); // beyond max_idle: dropped
+        assert_eq!(pool.idle(), 2);
     }
 }

@@ -13,15 +13,15 @@
 
 use crate::fault::Fault;
 use crate::node::ServerNode;
-use garfield_aggregation::{build_gar, GarKind};
+use garfield_aggregation::{build_gar, Engine, GarKind};
 use garfield_attacks::Attack;
 use garfield_core::{
     AccuracyPoint, ByzantineServer, ByzantineWorker, CoreError, CoreResult, ExperimentConfig,
     IterationTiming, NodeTelemetry, SystemKind, TrainingTrace,
 };
 use garfield_ml::Batch;
-use garfield_net::{MsgKind, NodeId, Transport, WireMessage};
-use garfield_tensor::{Tensor, TensorRng};
+use garfield_net::{MsgKind, NodeId, PayloadPool, Transport, WireMessage};
+use garfield_tensor::{GradientView, Tensor, TensorRng};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -40,17 +40,20 @@ impl WorkerActor {
     /// The worker loop: serve gradient requests until shutdown, crash or
     /// prolonged silence. Returns the node's network counters.
     pub fn run(mut self) -> NodeTelemetry {
+        // One payload buffer, reused for every decoded request: steady-state
+        // serving allocates nothing on the receive path.
+        let mut values: Vec<f32> = Vec::new();
         // Exits on shutdown/crash, or when the inbox stays silent past the
         // idle timeout (transport gone or run abandoned).
         while let Ok(envelope) = self.transport.recv_timeout(self.idle_timeout) {
             self.telemetry.record_recv(envelope.payload.len());
-            let Ok(message) = WireMessage::decode(&envelope.payload) else {
+            let Ok(header) = WireMessage::peek(&envelope.payload) else {
                 continue; // garbage on the wire: a correct node ignores it
             };
-            match message.kind {
+            match header.kind {
                 MsgKind::Shutdown => break,
                 MsgKind::GradientRequest => {
-                    let iteration = message.round as usize;
+                    let iteration = header.round as usize;
                     if let Some(Fault::CrashAt { iteration: at }) = self.fault {
                         if iteration >= at {
                             // Go silent: peers must survive via quorums, not errors.
@@ -61,7 +64,10 @@ impl WorkerActor {
                     if let Some(Fault::Delay { millis }) = self.fault {
                         std::thread::sleep(Duration::from_millis(millis));
                     }
-                    let params = Tensor::from_slice(&message.values);
+                    if WireMessage::decode_into(&envelope.payload, &mut values).is_err() {
+                        continue;
+                    }
+                    let params = Tensor::from_slice(&values);
                     let Ok((loss, gradient)) = self.worker.reply_gradient(&params, iteration, &[])
                     else {
                         continue; // malformed request (wrong dimension): drop it
@@ -72,7 +78,7 @@ impl WorkerActor {
                     };
                     let reply = WireMessage::new(
                         MsgKind::GradientReply,
-                        message.round,
+                        header.round,
                         loss,
                         sent.into_vec(),
                     );
@@ -80,7 +86,7 @@ impl WorkerActor {
                     let bytes = payload.len();
                     if self
                         .transport
-                        .send(envelope.from, message.round, payload)
+                        .send(envelope.from, header.round, payload)
                         .is_ok()
                     {
                         self.telemetry.record_send(bytes);
@@ -122,6 +128,12 @@ pub(crate) struct ServerActor {
     /// deployments, where no controller exists).
     pub shutdown_targets: Vec<NodeId>,
     pub telemetry: NodeTelemetry,
+    // Zero-copy aggregation machinery: decoded payloads live in pooled
+    // buffers and the GAR reads them through borrowed views under the
+    // machine-sized engine (bit-identical to the sequential engine, so
+    // full-quorum reproducibility guarantees are unaffected).
+    engine: Engine,
+    pool: PayloadPool,
     // Protocol state.
     round: usize,
     phase1_done: bool,
@@ -167,6 +179,8 @@ impl ServerActor {
             test_batch: node.test_batch,
             shutdown_targets: node.shutdown_targets,
             telemetry,
+            engine: Engine::auto(),
+            pool: PayloadPool::default(),
             round: 0,
             phase1_done: false,
             served_snapshot: None,
@@ -254,22 +268,32 @@ impl ServerActor {
                     self.gradient_quorum,
                 ));
             }
-            let mut gradients = Vec::with_capacity(replies.len());
             let mut loss_sum = 0.0f32;
-            for (_, loss, values) in &replies {
-                gradients.push(Tensor::from_slice(values));
+            for (_, loss, _) in &replies {
                 loss_sum += loss;
             }
             let mean_loss = loss_sum / replies.len() as f32;
             let mut communication = round_start.elapsed().as_secs_f64();
 
+            // Aggregate straight from the decoded wire payloads: the GAR
+            // reads the pooled buffers through borrowed views — no
+            // per-gradient Tensor materialisation on the hot path.
             let aggregate_start = Instant::now();
-            let aggregated = self
-                .server
-                .honest()
-                .aggregate(gradient_gar.as_ref(), &gradients)?;
+            let views: Vec<GradientView<'_>> = replies
+                .iter()
+                .map(|(_, _, values)| GradientView::from(values))
+                .collect();
+            let aggregated = self.server.honest().aggregate_views(
+                gradient_gar.as_ref(),
+                &views,
+                &self.engine,
+            )?;
+            drop(views);
             self.server.honest_mut().update_model(&aggregated)?;
             let mut aggregation = aggregate_start.elapsed().as_secs_f64();
+            for (_, _, values) in replies {
+                self.pool.restore(values);
+            }
 
             // The model is now the post-update state of this round: snapshot
             // it as the vector served to peers (one Byzantine corruption per
@@ -299,21 +323,27 @@ impl ServerActor {
                         model_quorum,
                     ));
                 }
-                let mut inputs: Vec<Tensor> = model_replies
-                    .iter()
-                    .map(|(_, _, values)| Tensor::from_slice(values))
-                    .collect();
-                inputs.push(self.server.honest().parameters());
+                let own = self.server.honest().parameters();
                 communication += pull_start.elapsed().as_secs_f64();
 
                 let merge_start = Instant::now();
+                let mut inputs: Vec<GradientView<'_>> = model_replies
+                    .iter()
+                    .map(|(_, _, values)| GradientView::from(values))
+                    .collect();
+                inputs.push(GradientView::from(&own));
                 let model_gar = build_gar(self.config.model_gar, inputs.len(), self.config.fps)?;
-                let merged = self
-                    .server
-                    .honest()
-                    .aggregate(model_gar.as_ref(), &inputs)?;
+                let merged = self.server.honest().aggregate_views(
+                    model_gar.as_ref(),
+                    &inputs,
+                    &self.engine,
+                )?;
+                drop(inputs);
                 self.server.honest_mut().write_model(&merged)?;
                 aggregation += merge_start.elapsed().as_secs_f64();
+                for (_, _, values) in model_replies {
+                    self.pool.restore(values);
+                }
             }
 
             // Live timing is wall-clock: the server cannot separate its
@@ -371,16 +401,23 @@ impl ServerActor {
                 Err(_) => break,
             };
             self.telemetry.record_recv(envelope.payload.len());
-            let Ok(message) = WireMessage::decode(&envelope.payload) else {
+            // Structural validation without materialising the payload:
+            // control traffic and garbage never cost an allocation.
+            let Ok(header) = WireMessage::peek(&envelope.payload) else {
                 continue;
             };
-            if message.kind == kind && message.round == round {
+            if header.kind == kind && header.round == round {
                 // One reply per peer per round; duplicates are Byzantine noise.
                 if !collected.iter().any(|(id, _, _)| *id == envelope.from) {
-                    collected.push((envelope.from, message.aux, message.values));
+                    let mut values = self.pool.checkout();
+                    if WireMessage::decode_into(&envelope.payload, &mut values).is_ok() {
+                        collected.push((envelope.from, header.aux, values));
+                    } else {
+                        self.pool.restore(values); // unreachable: peek accepted
+                    }
                 }
             } else {
-                self.handle_protocol(envelope.from, &message);
+                self.handle_protocol(envelope.from, header.kind, header.round);
             }
         }
         collected.sort_by_key(|(id, _, _)| *id);
@@ -388,8 +425,9 @@ impl ServerActor {
     }
 
     /// Handles protocol traffic that is not the reply currently waited on.
-    fn handle_protocol(&mut self, from: NodeId, message: &WireMessage) {
-        match message.kind {
+    /// Only the header matters: requests and done-markers carry no payload.
+    fn handle_protocol(&mut self, from: NodeId, kind: MsgKind, round: u64) {
+        match kind {
             MsgKind::ModelRequest => {
                 // Serve the post-update state of the requested round: a
                 // request for a round this replica has not yet updated for
@@ -397,11 +435,11 @@ impl ServerActor {
                 // raced into) is deferred until the matching snapshot exists
                 // — sim semantics, where get_models() always observes peers
                 // after their gradient step of the same round.
-                let requested = message.round as usize;
+                let requested = round as usize;
                 if requested < self.round || (requested == self.round && self.phase1_done) {
-                    self.serve_model(from, message.round);
+                    self.serve_model(from, round);
                 } else {
-                    self.deferred_requests.push((from, message.round));
+                    self.deferred_requests.push((from, round));
                 }
             }
             MsgKind::ServerDone => {
@@ -477,8 +515,8 @@ impl ServerActor {
                 Err(_) => break,
             };
             self.telemetry.record_recv(envelope.payload.len());
-            if let Ok(message) = WireMessage::decode(&envelope.payload) {
-                self.handle_protocol(envelope.from, &message);
+            if let Ok(header) = WireMessage::peek(&envelope.payload) {
+                self.handle_protocol(envelope.from, header.kind, header.round);
             }
         }
     }

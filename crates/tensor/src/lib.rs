@@ -32,10 +32,12 @@ mod ops;
 mod shape;
 mod stats;
 mod tensor;
+mod view;
 
 pub use error::{TensorError, TensorResult};
 pub use init::{Initializer, TensorRng};
-pub use linalg::{cosine_similarity, l2_distance, squared_l2_distance};
+pub use linalg::{cosine_similarity, l2_distance, squared_l2_distance, squared_l2_distance_slices};
 pub use shape::Shape;
 pub use stats::{mean, median_inplace, std_dev, variance};
 pub use tensor::Tensor;
+pub use view::GradientView;

@@ -15,9 +15,19 @@ use crate::Tensor;
 /// assert_eq!(squared_l2_distance(&a, &b), 25.0);
 /// ```
 pub fn squared_l2_distance(a: &Tensor, b: &Tensor) -> f32 {
-    a.data()
-        .iter()
-        .zip(b.data().iter())
+    squared_l2_distance_slices(a.data(), b.data())
+}
+
+/// Squared Euclidean distance between two flat slices.
+///
+/// This is the allocation-free kernel behind [`squared_l2_distance`] and the
+/// zero-copy aggregation engine's `DistanceCache`: callers hand in borrowed
+/// wire payloads or tensor storage directly. The accumulation order is a
+/// single left-to-right pass, so sequential and thread-chunked engines that
+/// compute each *pair* on one thread produce bit-identical results.
+pub fn squared_l2_distance_slices(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
         .map(|(&x, &y)| {
             let d = x - y;
             d * d

@@ -115,9 +115,13 @@ pub fn write_frame<W: Write>(
 /// [`MAX_FRAME_BYTES`] (checked before allocating) and
 /// [`NetError::WireSize`] when it is too short to hold the frame overhead.
 pub fn read_frame<R: Read>(reader: &mut R) -> NetResult<(NodeId, u64, Bytes, usize)> {
-    let mut len_buf = [0u8; 4];
-    reader.read_exact(&mut len_buf)?;
-    let body = u32::from_le_bytes(len_buf) as usize;
+    // Length prefix + frame overhead land in one stack buffer; the payload is
+    // then read *directly* into its final exact-size allocation. The previous
+    // implementation read the whole body into one heap buffer and
+    // `split_off` the payload — a second full-payload copy per message.
+    let mut head = [0u8; 4 + FRAME_OVERHEAD];
+    reader.read_exact(&mut head[..4])?;
+    let body = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
     if body > MAX_FRAME_BYTES {
         return Err(NetError::FrameTooLarge {
             declared: body,
@@ -130,12 +134,12 @@ pub fn read_frame<R: Read>(reader: &mut R) -> NetResult<(NodeId, u64, Bytes, usi
             actual: body,
         });
     }
-    let mut buf = vec![0u8; body];
-    reader.read_exact(&mut buf)?;
-    let from = NodeId(u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")));
-    let tag = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
-    let payload = Bytes::from(buf.split_off(FRAME_OVERHEAD));
-    Ok((from, tag, payload, 4 + body))
+    reader.read_exact(&mut head[4..])?;
+    let from = NodeId(u32::from_le_bytes(head[4..8].try_into().expect("4 bytes")));
+    let tag = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+    let mut payload = vec![0u8; body - FRAME_OVERHEAD];
+    reader.read_exact(&mut payload)?;
+    Ok((from, tag, Bytes::from(payload), 4 + body))
 }
 
 #[cfg(test)]

@@ -1,8 +1,11 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only the `channel` module is provided, implemented on top of
+//! Two modules are provided: `channel`, implemented on top of
 //! `std::sync::mpsc`, whose `Sender`/`Receiver`/`RecvTimeoutError` types have
-//! the exact shape the router needs (cloneable senders, `recv_timeout`).
+//! the exact shape the router needs (cloneable senders, `recv_timeout`), and
+//! `thread`, whose scoped-spawn API is satisfied by `std::thread::scope`
+//! (stabilised in Rust 1.63, after crossbeam pioneered the pattern) — the
+//! parallel aggregation engine fans its distance-matrix chunks out through it.
 
 #![forbid(unsafe_code)]
 
@@ -14,6 +17,15 @@ pub mod channel {
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
     }
+}
+
+/// Scoped threads (std::thread's scope API under crossbeam's module name).
+///
+/// `scope` guarantees every spawned thread is joined before it returns, which
+/// is what lets the aggregation engine hand out borrowed `&[f32]` gradient
+/// views to worker threads without any `'static` bound or reference counting.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
 }
 
 #[cfg(test)]
@@ -40,5 +52,23 @@ mod tests {
         tx2.send(2u32).unwrap();
         drop((tx, tx2));
         assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u32, 2, 3, 4];
+        let mut out = vec![0u32; 4];
+        crate::thread::scope(|s| {
+            let (lo, hi) = out.split_at_mut(2);
+            s.spawn(|| {
+                for (o, v) in lo.iter_mut().zip(&data[..2]) {
+                    *o = v * 10;
+                }
+            });
+            for (o, v) in hi.iter_mut().zip(&data[2..]) {
+                *o = v * 10;
+            }
+        });
+        assert_eq!(out, vec![10, 20, 30, 40]);
     }
 }
