@@ -5,7 +5,7 @@ use crate::{
     validate_views, AggregationError, AggregationResult, DistanceCache, Engine, Gar,
     SelectionScratch,
 };
-use garfield_tensor::{median_inplace, GradientView, Tensor};
+use garfield_tensor::{median_inplace, total_cmp_f32, GradientView, Tensor};
 
 /// Bulyan of Multi-Krum.
 ///
@@ -127,12 +127,12 @@ impl Gar for Bulyan {
                 column.clear();
                 column.extend(selected.iter().map(|&i| inputs[i].data()[coord]));
                 let m = median_inplace(&mut column);
-                column.sort_unstable_by(|a, b| {
-                    (a - m)
-                        .abs()
-                        .partial_cmp(&(b - m).abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+                // The workspace-wide total order, not an ad-hoc
+                // `partial_cmp(..).unwrap_or(Equal)`: a NaN coordinate lands
+                // in the same (trailing) position here as in every other GAR
+                // sort, so the trimmed window cannot be scrambled differently
+                // across call sites.
+                column.sort_unstable_by(|a, b| total_cmp_f32(&(a - m).abs(), &(b - m).abs()));
                 let sum: f32 = column.iter().take(beta).sum();
                 *slot = sum / beta as f32;
             }
@@ -239,6 +239,38 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), seq.len());
+    }
+
+    #[test]
+    fn nan_column_is_trimmed_identically_on_every_engine() {
+        // A Byzantine input that is honest everywhere except one coordinate,
+        // which it sets to NaN. Phase 2 sorts that column through the shared
+        // total-order comparator, so the trimmed window — and therefore the
+        // output bits — must be identical between the sequential and the
+        // parallel engine, and stable across repeated calls.
+        let mut inputs = honest_cluster(7, 16, 21);
+        let mut poisoned = Tensor::ones(16usize);
+        poisoned.set(5, f32::NAN).unwrap();
+        inputs.push(poisoned);
+        // n = 8 won't satisfy 4f + 3 with the poisoned input counted in f;
+        // drop one honest input to stay at n = 7, f = 1.
+        inputs.remove(0);
+        let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+        let b = Bulyan::new(7, 1).unwrap();
+        let seq = b.aggregate_views(&views, &Engine::sequential()).unwrap();
+        let par = b.aggregate_views(&views, &Engine::with_threads(4)).unwrap();
+        let seq_bits: Vec<u32> = seq.data().iter().map(|v| v.to_bits()).collect();
+        let par_bits: Vec<u32> = par.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(seq_bits, par_bits, "NaN column scrambled across engines");
+        let again = b.aggregate_views(&views, &Engine::sequential()).unwrap();
+        let again_bits: Vec<u32> = again.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(seq_bits, again_bits, "NaN column order is unstable");
+        // Every non-poisoned coordinate still aggregates to a finite value.
+        for (c, v) in seq.data().iter().enumerate() {
+            if c != 5 {
+                assert!(v.is_finite(), "coordinate {c} became {v}");
+            }
+        }
     }
 
     #[test]

@@ -21,17 +21,13 @@
 //!   `expfig perf` harness).
 
 use crossbeam::thread as cb_thread;
-use garfield_tensor::{squared_l2_distance_slices, GradientView};
+use garfield_tensor::{squared_l2_distance_slices, total_cmp_f32 as cmp_f32, GradientView};
 use std::cmp::Ordering;
 use std::sync::OnceLock;
 
 /// Below this many scalar operations a parallel engine stays on the calling
 /// thread: spawning costs more than the work saves.
 const PAR_MIN_WORK: usize = 1 << 15;
-
-fn cmp_f32(a: &f32, b: &f32) -> Ordering {
-    a.partial_cmp(b).unwrap_or(Ordering::Equal)
-}
 
 /// Execution policy of the aggregation engine: how many OS threads to chunk
 /// data-parallel fills across.

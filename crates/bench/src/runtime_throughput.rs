@@ -32,6 +32,12 @@ pub struct RuntimePoint {
     pub live_wire_bytes: u64,
     /// Messages dropped by transport backpressure (0 on a healthy run).
     pub live_dropped: u64,
+    /// Crash-recovery rejoins across the run's nodes (0 fault-free; nonzero
+    /// when a `RestartAt` fault or a `--resume` was in play).
+    pub live_resumes: u64,
+    /// Requests re-sent to peers that had not replied within the retry
+    /// window (0 when every peer answers promptly).
+    pub live_retried: u64,
     /// Final accuracy of the sim run.
     pub sim_accuracy: f64,
     /// Final accuracy of the live run.
@@ -62,6 +68,8 @@ pub fn measure(iterations: usize) -> garfield_core::CoreResult<Vec<RuntimePoint>
             live_bytes: report.telemetry.total_bytes(),
             live_wire_bytes: report.telemetry.total_wire_bytes(),
             live_dropped: report.telemetry.total_dropped(),
+            live_resumes: report.telemetry.total_resumes(),
+            live_retried: report.telemetry.total_requests_retried(),
             sim_accuracy: sim_trace.final_accuracy() as f64,
             live_accuracy: report.trace.final_accuracy() as f64,
         });
@@ -91,6 +99,8 @@ pub fn runtime_report() -> Vec<Row> {
                     ("live_mb", p.live_bytes as f64 / 1.0e6),
                     ("wire_mb", p.live_wire_bytes as f64 / 1.0e6),
                     ("dropped", p.live_dropped as f64),
+                    ("resumes", p.live_resumes as f64),
+                    ("retried", p.live_retried as f64),
                     ("acc_gap", (p.sim_accuracy - p.live_accuracy).abs()),
                 ],
             )
@@ -116,6 +126,9 @@ mod tests {
             // healthy full-quorum run drops nothing.
             assert_eq!(p.live_wire_bytes, p.live_bytes, "{}", p.system);
             assert_eq!(p.live_dropped, 0, "{}", p.system);
+            // A fault-free run never recovers and never needs a re-ask.
+            assert_eq!(p.live_resumes, 0, "{}", p.system);
+            assert_eq!(p.live_retried, 0, "{}", p.system);
             assert!(
                 (p.sim_accuracy - p.live_accuracy).abs() < 1e-6,
                 "{}: sim {} vs live {}",

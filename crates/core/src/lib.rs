@@ -38,6 +38,7 @@
 
 mod alignment;
 pub mod apps;
+pub mod checkpoint;
 mod controller;
 mod deployment;
 mod error;
@@ -49,6 +50,7 @@ mod telemetry;
 mod worker;
 
 pub use alignment::{alignment_sample, AlignmentSample};
+pub use checkpoint::{Checkpoint, CheckpointPolicy};
 pub use controller::Controller;
 pub use deployment::{Deployment, GradientRound, LiveParts, ModelRound};
 pub use error::{CoreError, CoreResult};

@@ -40,6 +40,16 @@ impl ParameterServer {
         self.model.num_parameters()
     }
 
+    /// The optimizer's current state (read by the checkpoint writer).
+    pub fn optimizer(&self) -> &Sgd {
+        &self.optimizer
+    }
+
+    /// Mutable optimizer access (used to restore checkpointed state).
+    pub fn optimizer_mut(&mut self) -> &mut Sgd {
+        &mut self.optimizer
+    }
+
     /// Applies one SGD step with an (already aggregated) gradient.
     ///
     /// # Errors
@@ -139,6 +149,17 @@ impl ByzantineServer {
     /// normal update protocol locally).
     pub fn honest_mut(&mut self) -> &mut ParameterServer {
         &mut self.inner
+    }
+
+    /// The attack RNG's internal state (checkpointed so a resumed Byzantine
+    /// replica keeps corrupting with the stream it would have used).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state_words()
+    }
+
+    /// Restores the attack RNG from checkpointed state words.
+    pub fn set_rng_state(&mut self, words: [u64; 4]) {
+        self.rng = TensorRng::from_state_words(words);
     }
 
     /// The model vector this replica *serves* when peers call `get_models()`.

@@ -272,6 +272,19 @@ pub struct NodeTelemetry {
     /// TCP they include frame headers, so `wire_bytes_sent() ≥ bytes_sent`
     /// minus any backpressure drops.
     pub peers: Vec<PeerCounters>,
+    /// Times this node came back from a crash (a `RestartAt` rejoin in
+    /// process, or a disk-checkpoint resume in `garfield-node --resume`).
+    pub resumes: u64,
+    /// Checkpoints this node persisted to disk.
+    pub checkpoints_written: u64,
+    /// `StateChunk` messages this node served to recovering peers.
+    pub state_chunks_served: u64,
+    /// `StateChunk` messages this node adopted while catching up.
+    pub state_chunks_received: u64,
+    /// Requests this node re-sent to peers that had not replied yet (the
+    /// idempotent re-ask that lets a respawned peer contribute to a round
+    /// whose original request died with its previous incarnation).
+    pub requests_retried: u64,
 }
 
 impl NodeTelemetry {
@@ -285,6 +298,11 @@ impl NodeTelemetry {
             bytes_sent: 0,
             bytes_received: 0,
             peers: Vec::new(),
+            resumes: 0,
+            checkpoints_written: 0,
+            state_chunks_served: 0,
+            state_chunks_received: 0,
+            requests_retried: 0,
         }
     }
 
@@ -353,6 +371,23 @@ impl RuntimeTelemetry {
     /// Total messages dropped under backpressure across all nodes.
     pub fn total_dropped(&self) -> u64 {
         self.nodes.iter().map(NodeTelemetry::messages_dropped).sum()
+    }
+
+    /// Total crash-recovery rejoins/resumes across all nodes (0 on an
+    /// uninterrupted run).
+    pub fn total_resumes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.resumes).sum()
+    }
+
+    /// Total requests re-sent to silent peers across all nodes (0 when every
+    /// peer answered its first request in time).
+    pub fn total_requests_retried(&self) -> u64 {
+        self.nodes.iter().map(|n| n.requests_retried).sum()
+    }
+
+    /// Total state chunks served to recovering peers across all nodes.
+    pub fn total_state_chunks_served(&self) -> u64 {
+        self.nodes.iter().map(|n| n.state_chunks_served).sum()
     }
 
     /// The nodes that played the given role.

@@ -45,8 +45,12 @@ pub struct PeerCounters {
     pub messages_received: u64,
     /// Bytes received from `peer`.
     pub bytes_received: u64,
-    /// Messages to `peer` dropped because its bounded outbound queue was
-    /// full — the backpressure signature of a slow or dead peer.
+    /// Messages involving `peer` this endpoint dropped: outbound sends shed
+    /// because the peer's bounded queue was full (the backpressure signature
+    /// of a slow or dead peer), plus stale inbound envelopes from `peer`
+    /// discarded when a rejoining endpoint replaced its inbox
+    /// ([`Transport::rejoin`]) — every message lost at this endpoint is
+    /// accounted for here rather than vanishing.
     pub messages_dropped: u64,
 }
 
@@ -140,6 +144,24 @@ pub trait Transport: Send {
     /// emitting and delivering, and its peers notice only through timeouts.
     fn crash(&self);
 
+    /// Rejoins the substrate after [`Transport::crash`] under the same id,
+    /// as a *fresh incarnation*: envelopes stranded on the dead incarnation
+    /// are dropped (and counted per sending peer in
+    /// [`PeerCounters::messages_dropped`]), and only messages sent after the
+    /// rejoin reach the endpoint again.
+    ///
+    /// # Errors
+    ///
+    /// The default is unsupported ([`NetError::Io`](crate::NetError::Io)):
+    /// substrates whose endpoints live and die with their OS process (TCP)
+    /// rejoin by *respawning* the process — `garfield-node --resume` — not
+    /// in place.
+    fn rejoin(&self) -> NetResult<()> {
+        Err(crate::NetError::Io(
+            "this transport cannot rejoin in place; restart the node process".into(),
+        ))
+    }
+
     /// Waits up to `timeout` for messages already accepted by
     /// [`Transport::send`] to actually reach the wire, so a subsequent
     /// [`Transport::peer_counters`] snapshot covers them. Substrates that
@@ -158,9 +180,15 @@ pub trait Transport: Send {
 /// on a shared [`Router`], with channel sends standing in for sockets. The
 /// "on-wire" byte counts are payload bytes, since the router moves envelopes
 /// without framing.
+///
+/// The handle sits behind a mutex so [`Transport::rejoin`] can swap in a
+/// fresh inbox (via [`Router::register_replace`]) without `&mut self`; a
+/// transport endpoint is driven by a single actor thread, so the lock is
+/// never contended.
 #[derive(Debug)]
 pub struct RouterTransport {
-    handle: RouterHandle,
+    id: NodeId,
+    handle: Mutex<RouterHandle>,
     router: Router,
     counters: PeerCounterMap,
 }
@@ -174,7 +202,8 @@ impl RouterTransport {
     /// when the id is already registered.
     pub fn connect(router: &Router, id: NodeId) -> NetResult<Self> {
         Ok(RouterTransport {
-            handle: router.register(id)?,
+            id,
+            handle: Mutex::new(router.register(id)?),
             router: router.clone(),
             counters: PeerCounterMap::new(),
         })
@@ -183,25 +212,41 @@ impl RouterTransport {
 
 impl Transport for RouterTransport {
     fn local_id(&self) -> NodeId {
-        self.handle.id()
+        self.id
     }
 
     fn send(&self, to: NodeId, tag: u64, payload: Bytes) -> NetResult<()> {
         let bytes = payload.len();
-        self.handle.send(to, tag, payload)?;
+        self.handle.lock().send(to, tag, payload)?;
         self.counters.record_send(to, bytes);
         Ok(())
     }
 
     fn recv_timeout(&self, timeout: Duration) -> NetResult<Envelope> {
-        let envelope = self.handle.recv_timeout(timeout)?;
+        let envelope = self.handle.lock().recv_timeout(timeout)?;
         self.counters
             .record_recv(envelope.from, envelope.payload.len());
         Ok(envelope)
     }
 
     fn crash(&self) {
-        self.router.crash(self.handle.id());
+        self.router.crash(self.id);
+    }
+
+    fn rejoin(&self) -> NetResult<()> {
+        let mut handle = self.handle.lock();
+        // Envelopes stranded on the stale inbox were addressed to the dead
+        // incarnation: they are dropped here, counted per sending peer, so
+        // the accounting never loses a message silently. (While the endpoint
+        // is crashed the router drops new sends on the sender side, so
+        // nothing races this drain.)
+        while let Ok(stale) = handle.recv_timeout(Duration::ZERO) {
+            self.counters.record_drop(stale.from);
+        }
+        // A fresh inbox takes over the identity; replacing also clears the
+        // router-side crash flag, like a node process coming back up.
+        *handle = self.router.register_replace(self.id);
+        Ok(())
     }
 
     fn peer_counters(&self) -> Vec<PeerCounters> {
@@ -257,6 +302,71 @@ mod tests {
             a.recv_timeout(Duration::from_millis(20)),
             Err(NetError::Timeout)
         ));
+    }
+
+    #[test]
+    fn rejoin_drops_and_counts_stale_envelopes_then_receives_fresh_ones() {
+        // The satellite claim for the rejoin path: envelopes queued on the
+        // stale handle at the moment of `register_replace` are never
+        // delivered to the new incarnation, and each one is counted as
+        // dropped in the PeerCounters instead of vanishing silently.
+        let router = Router::new();
+        let a = RouterTransport::connect(&router, NodeId(1)).unwrap();
+        let b = RouterTransport::connect(&router, NodeId(2)).unwrap();
+        let c = RouterTransport::connect(&router, NodeId(3)).unwrap();
+
+        // Three envelopes land in a's inbox before it dies.
+        b.send(NodeId(1), 0, Bytes::from_static(b"stale-b1"))
+            .unwrap();
+        b.send(NodeId(1), 0, Bytes::from_static(b"stale-b2"))
+            .unwrap();
+        c.send(NodeId(1), 0, Bytes::from_static(b"stale-c"))
+            .unwrap();
+
+        a.crash();
+        // Sends toward the crashed endpoint vanish at the router (sender
+        // side) — they are *not* part of the stale-inbox accounting.
+        b.send(NodeId(1), 0, Bytes::from_static(b"while-dead"))
+            .unwrap();
+        a.rejoin().unwrap();
+
+        // The new incarnation only sees traffic sent after the rejoin.
+        b.send(NodeId(1), 7, Bytes::from_static(b"fresh")).unwrap();
+        let env = a.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.tag, 7);
+        assert_eq!(&env.payload[..], b"fresh");
+        assert!(matches!(
+            a.recv_timeout(Duration::from_millis(20)),
+            Err(NetError::Timeout)
+        ));
+
+        // Every stale envelope is in the drop accounting, per sending peer.
+        let counters = a.peer_counters();
+        let from_b = counters.iter().find(|p| p.peer == NodeId(2)).unwrap();
+        let from_c = counters.iter().find(|p| p.peer == NodeId(3)).unwrap();
+        assert_eq!(from_b.messages_dropped, 2);
+        assert_eq!(from_c.messages_dropped, 1);
+        // The fresh envelope was received, not dropped.
+        assert_eq!(from_b.messages_received, 1);
+        assert_eq!(router.len(), 3, "rejoin replaces, never duplicates");
+    }
+
+    #[test]
+    fn rejoined_endpoint_can_send_again() {
+        let router = Router::new();
+        let a = RouterTransport::connect(&router, NodeId(1)).unwrap();
+        let b = RouterTransport::connect(&router, NodeId(2)).unwrap();
+        a.crash();
+        assert!(matches!(
+            a.send(NodeId(2), 0, Bytes::new()),
+            Err(NetError::Unreachable { .. })
+        ));
+        a.rejoin().unwrap();
+        a.send(NodeId(2), 1, Bytes::from_static(b"back")).unwrap();
+        assert_eq!(
+            &b.recv_timeout(Duration::from_secs(2)).unwrap().payload[..],
+            b"back"
+        );
     }
 
     #[test]

@@ -61,11 +61,23 @@ pub enum MsgKind {
     /// Server → server: "I finished my last iteration" (empty payload);
     /// lets peers stop serving model requests without a timeout.
     ServerDone,
+    /// Recovering node → live peer: "send me your training state" (empty
+    /// payload; the round tag names the lowest round the requester will
+    /// accept). The crash-recovery catch-up path polls with this until a
+    /// peer has advanced far enough.
+    StateRequest,
+    /// Live peer → recovering node: a serialized training-state checkpoint
+    /// (round, model, optimizer state), bit-cast into the `f32` payload so
+    /// it flows through the same pooled zero-copy decode path as gradients.
+    /// The round tag names the round the state resumes at; `aux` is the
+    /// chunk index (always 0 today — state fits one frame, the field exists
+    /// so multi-chunk transfer stays wire-compatible).
+    StateChunk,
 }
 
 impl MsgKind {
     /// All kinds, in wire-byte order.
-    pub fn all() -> [MsgKind; 6] {
+    pub fn all() -> [MsgKind; 8] {
         [
             MsgKind::GradientRequest,
             MsgKind::GradientReply,
@@ -73,6 +85,8 @@ impl MsgKind {
             MsgKind::ModelReply,
             MsgKind::Shutdown,
             MsgKind::ServerDone,
+            MsgKind::StateRequest,
+            MsgKind::StateChunk,
         ]
     }
 
@@ -85,6 +99,8 @@ impl MsgKind {
             MsgKind::ModelReply => 3,
             MsgKind::Shutdown => 4,
             MsgKind::ServerDone => 5,
+            MsgKind::StateRequest => 6,
+            MsgKind::StateChunk => 7,
         }
     }
 
@@ -328,7 +344,7 @@ mod tests {
         for kind in MsgKind::all() {
             assert_eq!(MsgKind::from_byte(kind.to_byte()), Some(kind));
         }
-        assert_eq!(MsgKind::from_byte(6), None);
+        assert_eq!(MsgKind::from_byte(8), None);
         assert_eq!(MsgKind::from_byte(255), None);
     }
 

@@ -100,7 +100,7 @@ proptest! {
     #[test]
     fn wrong_version_and_unknown_kind_are_rejected(
         version in 0u8..=255,
-        kind_byte in 6u8..=255,
+        kind_byte in 8u8..=255,
         values in prop::collection::vec(-1.0f32..1.0, 0..8),
     ) {
         prop_assume!(version != WIRE_VERSION);

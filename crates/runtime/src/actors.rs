@@ -16,8 +16,8 @@ use crate::node::ServerNode;
 use garfield_aggregation::{build_gar, Engine, GarKind};
 use garfield_attacks::Attack;
 use garfield_core::{
-    AccuracyPoint, ByzantineServer, ByzantineWorker, CoreError, CoreResult, ExperimentConfig,
-    IterationTiming, NodeTelemetry, SystemKind, TrainingTrace,
+    AccuracyPoint, ByzantineServer, ByzantineWorker, Checkpoint, CheckpointPolicy, CoreError,
+    CoreResult, ExperimentConfig, IterationTiming, NodeTelemetry, SystemKind, TrainingTrace,
 };
 use garfield_ml::Batch;
 use garfield_net::{MsgKind, NodeId, PayloadPool, Transport, WireMessage};
@@ -34,6 +34,8 @@ pub(crate) struct WorkerActor {
     pub fault_rng: TensorRng,
     pub idle_timeout: Duration,
     pub telemetry: NodeTelemetry,
+    /// Whether a `RestartAt` fault already fired (one restart per run).
+    pub restarted: bool,
 }
 
 impl WorkerActor {
@@ -59,6 +61,27 @@ impl WorkerActor {
                             // Go silent: peers must survive via quorums, not errors.
                             self.transport.crash();
                             break;
+                        }
+                    }
+                    if let Some(Fault::RestartAt { crash, rejoin }) = self.fault {
+                        if !self.restarted && iteration >= crash {
+                            // Die for real, then come back as a fresh
+                            // incarnation: envelopes addressed to the dead
+                            // one (including this request) are dropped and
+                            // counted by the transport.
+                            self.transport.crash();
+                            if self.transport.rejoin().is_err() {
+                                break; // substrate rejoins by process respawn
+                            }
+                            self.restarted = true;
+                            self.telemetry.resumes += 1;
+                            continue;
+                        }
+                        if self.restarted && iteration < rejoin {
+                            // Respawned but not yet rejoined: observationally
+                            // dead — peers ride the silence out via quorums
+                            // and re-requests.
+                            continue;
                         }
                     }
                     if let Some(Fault::Delay { millis }) = self.fault {
@@ -128,6 +151,20 @@ pub(crate) struct ServerActor {
     /// deployments, where no controller exists).
     pub shutdown_targets: Vec<NodeId>,
     pub telemetry: NodeTelemetry,
+    /// How long a pull waits before re-asking peers that have not replied.
+    /// Requests are idempotent (a worker recomputes the same gradient for
+    /// the same round), so the re-ask is what lets a peer that died and came
+    /// back contribute to a round whose original request died with it.
+    request_retry: Duration,
+    /// Disk persistence policy; `None` disables checkpointing.
+    checkpoint: Option<CheckpointPolicy>,
+    /// First iteration to run (non-zero after a `--resume` restore).
+    start_round: usize,
+    /// Whether a `RestartAt` fault already fired (one restart per run).
+    restarted: bool,
+    /// The encoded `StateChunk` this replica serves to recovering peers:
+    /// `(next round, wire bytes)`, refreshed at each iteration boundary.
+    state_chunk: Option<(u64, bytes::Bytes)>,
     // Zero-copy aggregation machinery: decoded payloads live in pooled
     // buffers and the GAR reads them through borrowed views under the
     // machine-sized engine (bit-identical to the sequential engine, so
@@ -153,17 +190,26 @@ pub(crate) struct ServerOutcome {
     pub final_model: Tensor,
     pub telemetry: NodeTelemetry,
     pub round_latencies: Vec<f64>,
+    pub resumed_from: Option<usize>,
 }
 
 impl ServerActor {
-    /// Builds the actor from its public description and a transport endpoint.
-    pub fn from_node(node: ServerNode, transport: Box<dyn Transport>) -> Self {
+    /// Builds the actor from its public description and a transport
+    /// endpoint, restoring checkpointed state when the node carries a resume
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the resume checkpoint
+    /// belongs to a different experiment, and [`CoreError::Ml`] when its
+    /// model does not fit this deployment.
+    pub fn from_node(node: ServerNode, transport: Box<dyn Transport>) -> CoreResult<Self> {
         let telemetry = NodeTelemetry::new(transport.local_id().0, garfield_net::Role::Server);
         let fault_attack = match node.fault {
             Some(Fault::Byzantine { attack }) => Some(attack.build()),
             _ => None,
         };
-        ServerActor {
+        let mut actor = ServerActor {
             index: node.index,
             transport,
             server: node.server,
@@ -179,6 +225,11 @@ impl ServerActor {
             test_batch: node.test_batch,
             shutdown_targets: node.shutdown_targets,
             telemetry,
+            request_retry: node.request_retry,
+            checkpoint: node.checkpoint,
+            start_round: 0,
+            restarted: false,
+            state_chunk: None,
             engine: Engine::auto(),
             pool: PayloadPool::default(),
             round: 0,
@@ -187,6 +238,52 @@ impl ServerActor {
             deferred_requests: Vec::new(),
             done_peers: HashSet::new(),
             round_latencies: Vec::new(),
+        };
+        if let Some(cp) = node.resume {
+            cp.validate_for(actor.system.as_str(), actor.config.seed)?;
+            actor.adopt_state(&cp, true)?;
+            actor.start_round = cp.round as usize;
+            actor.telemetry.resumes += 1;
+        }
+        Ok(actor)
+    }
+
+    /// Installs a checkpoint's training state: model, optimizer, and — for a
+    /// disk resume of this node's *own* state (`own = true`) — the RNG
+    /// streams. Live catch-up adopts a *peer's* chunk, whose RNG streams
+    /// belong to that peer and are skipped.
+    fn adopt_state(&mut self, cp: &Checkpoint, own: bool) -> CoreResult<()> {
+        self.server
+            .honest_mut()
+            .write_model(&Tensor::from_slice(&cp.model))?;
+        self.server
+            .honest_mut()
+            .optimizer_mut()
+            .restore(cp.opt_steps, cp.velocity.as_deref().map(Tensor::from_slice));
+        if own {
+            if let Some(words) = cp.fault_rng {
+                self.fault_rng = TensorRng::from_state_words(words);
+            }
+            if let Some(words) = cp.attack_rng {
+                self.server.set_rng_state(words);
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes this replica's current training state as of the completed
+    /// iteration `iteration` (the checkpoint resumes at `iteration + 1`).
+    fn build_checkpoint(&self, iteration: usize) -> Checkpoint {
+        let optimizer = self.server.honest().optimizer();
+        Checkpoint {
+            system: self.system.as_str().to_string(),
+            seed: self.config.seed,
+            round: (iteration + 1) as u64,
+            opt_steps: optimizer.steps(),
+            model: self.server.honest().parameters().into_vec(),
+            velocity: optimizer.velocity().map(|v| v.data().to_vec()),
+            fault_rng: Some(self.fault_rng.state_words()),
+            attack_rng: Some(self.server.rng_state()),
         }
     }
 
@@ -214,6 +311,7 @@ impl ServerActor {
             final_model: self.server.honest().parameters(),
             telemetry: self.telemetry,
             round_latencies: self.round_latencies,
+            resumed_from: (self.start_round > 0).then_some(self.start_round),
         })
     }
 
@@ -228,13 +326,29 @@ impl ServerActor {
         let mut trace = TrainingTrace::new(self.system.as_str(), self.config.effective_batch());
         let mut crashed = false;
 
-        for iteration in 0..self.config.iterations {
+        let mut iteration = self.start_round;
+        while iteration < self.config.iterations {
             self.round = iteration;
             self.phase1_done = false;
             if let Some(Fault::CrashAt { iteration: at }) = self.fault {
                 if iteration >= at {
                     crashed = true;
                     break;
+                }
+            }
+            if let Some(Fault::RestartAt { crash, rejoin }) = self.fault {
+                if !self.restarted && iteration >= crash {
+                    // Die for real, then come back as a fresh incarnation
+                    // and catch up from the fastest live peer's StateChunk.
+                    self.transport.crash();
+                    if self.transport.rejoin().is_err() {
+                        crashed = true; // substrate rejoins by process respawn
+                        break;
+                    }
+                    self.restarted = true;
+                    self.telemetry.resumes += 1;
+                    iteration = self.catch_up(rejoin.max(iteration))?;
+                    continue;
                 }
             }
             if let Some(Fault::Delay { millis }) = self.fault {
@@ -255,10 +369,13 @@ impl ServerActor {
             for to in self.worker_ids.clone() {
                 self.send(to, iteration as u64, request.clone());
             }
+            let worker_ids = self.worker_ids.clone();
             let replies = self.collect(
                 MsgKind::GradientReply,
                 iteration as u64,
                 self.gradient_quorum,
+                &request,
+                &worker_ids,
             );
             if replies.len() < self.gradient_quorum {
                 return Err(self.liveness_error(
@@ -313,8 +430,14 @@ impl ServerActor {
                 for to in self.peer_ids.clone() {
                     self.send(to, iteration as u64, request.clone());
                 }
-                let model_replies =
-                    self.collect(MsgKind::ModelReply, iteration as u64, model_quorum);
+                let peer_ids = self.peer_ids.clone();
+                let model_replies = self.collect(
+                    MsgKind::ModelReply,
+                    iteration as u64,
+                    model_quorum,
+                    &request,
+                    &peer_ids,
+                );
                 if model_replies.len() < model_quorum {
                     return Err(self.liveness_error(
                         "model",
@@ -360,7 +483,7 @@ impl ServerActor {
             if let Some(test) = &self.test_batch {
                 let every = self.config.eval_every;
                 let last = iteration + 1 == self.config.iterations;
-                if every != 0 && (iteration % every == 0 || last) {
+                if every != 0 && (iteration.is_multiple_of(every) || last) {
                     let accuracy = self.server.honest().compute_accuracy(test);
                     trace.accuracy.push(AccuracyPoint {
                         iteration,
@@ -370,6 +493,12 @@ impl ServerActor {
                     });
                 }
             }
+
+            // The iteration boundary is the recoverable state: refresh the
+            // StateChunk served to catching-up peers and, on the configured
+            // cadence, persist the same record to disk.
+            self.record_recovery_state(iteration)?;
+            iteration += 1;
         }
 
         if crashed {
@@ -383,21 +512,47 @@ impl ServerActor {
     /// Receives until `want` replies of `(kind, round)` arrived or the
     /// deadline passed, servicing peer model requests along the way.
     ///
+    /// Peers that have not replied after [`ServerActor::request_retry`] are
+    /// re-sent `request`. Requests are idempotent (a worker recomputes the
+    /// same gradient for the same round; model pulls answer from snapshots),
+    /// so re-asking never changes what a live peer contributes — it exists
+    /// for the peer whose first request died with a crashed incarnation and
+    /// who can only contribute to this round if asked again.
+    ///
     /// The result is sorted by sender id, which makes the aggregation input
     /// independent of message arrival *order*. Note the quorum *membership*
     /// is still arrival-driven when `want` is below the number of live
     /// repliers: full-quorum (synchronous) runs are bit-reproducible,
     /// sub-quorum asynchronous runs are live but not.
-    fn collect(&mut self, kind: MsgKind, round: u64, want: usize) -> Vec<Reply> {
+    fn collect(
+        &mut self,
+        kind: MsgKind,
+        round: u64,
+        want: usize,
+        request: &bytes::Bytes,
+        recipients: &[NodeId],
+    ) -> Vec<Reply> {
         let deadline = Instant::now() + self.round_deadline;
+        let mut next_retry = Instant::now() + self.request_retry;
         let mut collected: Vec<Reply> = Vec::with_capacity(want);
         while collected.len() < want {
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
-            let envelope = match self.transport.recv_timeout(deadline - now) {
+            if now >= next_retry {
+                for &to in recipients {
+                    if !collected.iter().any(|(id, _, _)| *id == to) {
+                        self.send(to, round, request.clone());
+                        self.telemetry.requests_retried += 1;
+                    }
+                }
+                next_retry = now + self.request_retry;
+            }
+            let wait = deadline.min(next_retry).saturating_duration_since(now);
+            let envelope = match self.transport.recv_timeout(wait) {
                 Ok(env) => env,
+                Err(garfield_net::NetError::Timeout) => continue, // retry or deadline
                 Err(_) => break,
             };
             self.telemetry.record_recv(envelope.payload.len());
@@ -445,8 +600,138 @@ impl ServerActor {
             MsgKind::ServerDone => {
                 self.done_peers.insert(from);
             }
+            MsgKind::StateRequest => {
+                // A recovering peer wants to catch up. Serve the latest
+                // iteration-boundary state; `round` names the lowest round
+                // the requester will accept, but serving an older one is
+                // harmless — the requester keeps polling until the cluster
+                // has advanced far enough.
+                if let Some((next_round, chunk)) = self.state_chunk.clone() {
+                    self.send(from, next_round, chunk);
+                    self.telemetry.state_chunks_served += 1;
+                }
+            }
             _ => {} // stale replies from rounds this replica already left behind
         }
+    }
+
+    /// Refreshes the recovery artefacts at the boundary of the completed
+    /// `iteration`: the in-memory `StateChunk` served to catching-up peers
+    /// (only where peers exist to request it) and, on the configured
+    /// cadence, the on-disk checkpoint.
+    fn record_recovery_state(&mut self, iteration: usize) -> CoreResult<()> {
+        let serve_peers = !self.peer_ids.is_empty();
+        let disk_due = self.checkpoint.as_ref().is_some_and(|p| p.due(iteration));
+        if !serve_peers && !disk_due {
+            return Ok(());
+        }
+        // One state capture feeds both transports: the model (and velocity)
+        // copy is the expensive part at large d, so never take it twice.
+        let cp = self.build_checkpoint(iteration);
+        if serve_peers {
+            let message = WireMessage::new(
+                MsgKind::StateChunk,
+                cp.round,
+                0.0, // chunk index: state fits a single frame today
+                cp.to_wire_words(),
+            );
+            self.state_chunk = Some((cp.round, message.encode()));
+        }
+        if disk_due {
+            let dir = self
+                .checkpoint
+                .as_ref()
+                .expect("disk_due implies a policy")
+                .dir
+                .clone();
+            cp.save(dir)?;
+            self.telemetry.checkpoints_written += 1;
+        }
+        Ok(())
+    }
+
+    /// The rejoin catch-up: poll live peers with `StateRequest` until one
+    /// serves a `StateChunk` at or past `min_round`, adopt its model and
+    /// optimizer state, and return the round training resumes at.
+    ///
+    /// While catching up the replica is not silent: it keeps answering peer
+    /// model requests with its (stale) crash-time snapshot — a straggler's
+    /// behaviour, covered by the model GAR's `fps` tolerance — so peers at
+    /// full model quorum are not stalled by the recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Net`] when no peer serves a fresh-enough chunk
+    /// before the round deadline.
+    fn catch_up(&mut self, min_round: usize) -> CoreResult<usize> {
+        let deadline = Instant::now() + self.round_deadline;
+        let mut next_ask = Instant::now(); // ask immediately, then retry
+        let request = WireMessage::control(MsgKind::StateRequest, min_round as u64).encode();
+        let mut values = self.pool.checkout();
+        let adopted = loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.pool.restore(values);
+                return Err(self.liveness_error("state", min_round, 0, 1));
+            }
+            if now >= next_ask {
+                for to in self.peer_ids.clone() {
+                    self.send(to, min_round as u64, request.clone());
+                }
+                next_ask = now + self.request_retry;
+            }
+            let wait = deadline.min(next_ask).saturating_duration_since(now);
+            let envelope = match self.transport.recv_timeout(wait) {
+                Ok(env) => env,
+                Err(garfield_net::NetError::Timeout) => continue,
+                Err(_) => {
+                    self.pool.restore(values);
+                    return Err(self.liveness_error("state", min_round, 0, 1));
+                }
+            };
+            self.telemetry.record_recv(envelope.payload.len());
+            let Ok(header) = WireMessage::peek(&envelope.payload) else {
+                continue;
+            };
+            match header.kind {
+                MsgKind::StateChunk => {
+                    if WireMessage::decode_into(&envelope.payload, &mut values).is_err() {
+                        continue; // unreachable: peek accepted
+                    }
+                    let Ok(cp) = Checkpoint::from_wire_words(&values) else {
+                        continue; // a Byzantine peer may serve garbage state
+                    };
+                    // A chunk is adopted only if it survives every shape
+                    // check a Byzantine peer could fail: experiment identity,
+                    // freshness, model and velocity dimensions. A hostile
+                    // chunk must cost this replica nothing but the poll —
+                    // never an aborted run.
+                    let d = self.server.honest().dimension();
+                    if cp
+                        .validate_for(self.system.as_str(), self.config.seed)
+                        .is_err()
+                        || cp.model.len() != d
+                        || cp.velocity.as_ref().is_some_and(|v| v.len() != d)
+                    {
+                        continue;
+                    }
+                    if (cp.round as usize) < min_round {
+                        continue; // peer not there yet: keep polling
+                    }
+                    self.telemetry.state_chunks_received += 1;
+                    break cp;
+                }
+                MsgKind::ModelRequest => {
+                    // Serve the stale snapshot rather than deferring: a
+                    // recovering replica must not stall its peers' merges.
+                    self.serve_model(envelope.from, header.round);
+                }
+                _ => self.handle_protocol(envelope.from, header.kind, header.round),
+            }
+        };
+        self.pool.restore(values);
+        self.adopt_state(&adopted, false)?;
+        Ok((adopted.round as usize).min(self.config.iterations))
     }
 
     /// Recomputes the vector this replica serves to peers (corrupted if the

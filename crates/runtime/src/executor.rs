@@ -24,6 +24,12 @@ pub struct LiveOptions {
     /// uses [`ExperimentConfig::gradient_quorum`]; tests use `Some(n - f)` to
     /// exercise the asynchronous liveness condition on any system.
     pub gradient_quorum: Option<usize>,
+    /// How long a pull waits before re-sending its (idempotent) request to
+    /// peers that have not replied. Far above a healthy round time, so the
+    /// re-ask only ever fires when a peer is stalled, dead — or dead and
+    /// *respawned*, which is the case it exists for: the respawned peer can
+    /// only contribute to the in-flight round if someone asks it again.
+    pub request_retry: Duration,
 }
 
 impl Default for LiveOptions {
@@ -32,6 +38,7 @@ impl Default for LiveOptions {
             round_deadline: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(10),
             gradient_quorum: None,
+            request_retry: Duration::from_millis(1250),
         }
     }
 }
@@ -194,6 +201,11 @@ impl LiveExecutor {
                 test_batch: (i == 0).then(|| parts.test_batch.clone()),
                 // The executor's controller below winds the workers down.
                 shutdown_targets: Vec::new(),
+                request_retry: self.options.request_retry,
+                // Disk persistence is a per-process concern (garfield-node);
+                // in-process recovery flows through live state transfer.
+                checkpoint: None,
+                resume: None,
             };
             server_threads.push(std::thread::spawn(move || {
                 node.run(transport).map(|run| (i, run))

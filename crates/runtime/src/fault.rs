@@ -29,6 +29,21 @@ pub enum Fault {
         /// The attack used to corrupt outgoing payloads.
         attack: AttackKind,
     },
+    /// The node crashes at iteration `crash` and *comes back* for iteration
+    /// `rejoin` — the recovery scenario [`Fault::CrashAt`] cannot express.
+    ///
+    /// The crash is real: the transport goes silent and the node rejoins as
+    /// a fresh incarnation ([`Transport::rejoin`](garfield_net::Transport)),
+    /// dropping every envelope addressed to the dead one. On rejoin, a
+    /// worker simply serves gradient requests again (workers are stateless
+    /// repliers); a server replica first catches up by pulling a
+    /// `StateChunk` from the fastest live peer.
+    RestartAt {
+        /// First iteration at which the node is silent.
+        crash: usize,
+        /// First iteration at which the node participates again.
+        rejoin: usize,
+    },
 }
 
 /// Which nodes of a live run misbehave, and how.
@@ -77,9 +92,25 @@ impl FaultPlan {
         self
     }
 
+    /// Crashes worker `index` at iteration `crash` and rejoins it for
+    /// iteration `rejoin`.
+    pub fn restart_worker_at(mut self, index: usize, crash: usize, rejoin: usize) -> Self {
+        self.workers
+            .insert(index, Fault::RestartAt { crash, rejoin });
+        self
+    }
+
     /// Crashes server replica `index` at `iteration`.
     pub fn crash_server_at(mut self, index: usize, iteration: usize) -> Self {
         self.servers.insert(index, Fault::CrashAt { iteration });
+        self
+    }
+
+    /// Crashes server replica `index` at iteration `crash` and rejoins it
+    /// (with live state transfer from a peer) for iteration `rejoin`.
+    pub fn restart_server_at(mut self, index: usize, crash: usize, rejoin: usize) -> Self {
+        self.servers
+            .insert(index, Fault::RestartAt { crash, rejoin });
         self
     }
 
@@ -137,5 +168,27 @@ mod tests {
         assert!(plan.worker(0).is_none());
         assert!(!plan.is_empty());
         assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn restart_faults_carry_crash_and_rejoin_iterations() {
+        let plan = FaultPlan::new()
+            .restart_worker_at(2, 3, 7)
+            .restart_server_at(1, 4, 6);
+        assert_eq!(
+            plan.worker(2),
+            Some(Fault::RestartAt {
+                crash: 3,
+                rejoin: 7
+            })
+        );
+        assert_eq!(
+            plan.server(1),
+            Some(Fault::RestartAt {
+                crash: 4,
+                rejoin: 6
+            })
+        );
+        assert_eq!(plan.fault_count(), 2);
     }
 }

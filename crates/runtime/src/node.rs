@@ -13,8 +13,8 @@
 use crate::actors::{ServerActor, WorkerActor};
 use crate::fault::Fault;
 use garfield_core::{
-    ByzantineServer, ByzantineWorker, CoreResult, ExperimentConfig, NodeTelemetry, SystemKind,
-    TrainingTrace,
+    ByzantineServer, ByzantineWorker, Checkpoint, CheckpointPolicy, CoreResult, ExperimentConfig,
+    NodeTelemetry, SystemKind, TrainingTrace,
 };
 use garfield_ml::Batch;
 use garfield_net::{NodeId, Role, Transport};
@@ -120,6 +120,7 @@ impl WorkerNode {
             fault_attack,
             fault_rng: self.fault_rng,
             idle_timeout: self.idle_timeout,
+            restarted: false,
         };
         actor.run()
     }
@@ -154,6 +155,16 @@ pub struct ServerNode {
     /// coordinating server of a multi-process deployment names every worker
     /// here, since no controller process exists.
     pub shutdown_targets: Vec<NodeId>,
+    /// How long a pull waits before re-asking peers that have not replied
+    /// (see [`LiveOptions::request_retry`](crate::LiveOptions)).
+    pub request_retry: Duration,
+    /// Where and how often this replica persists its training state to disk
+    /// (`None` disables checkpointing).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Checkpointed state to resume from: training starts at its `round`
+    /// with its model/optimizer/RNG state instead of from scratch
+    /// (`garfield-node --resume`).
+    pub resume: Option<Checkpoint>,
 }
 
 /// What one server replica produced.
@@ -167,6 +178,9 @@ pub struct ServerRun {
     pub telemetry: NodeTelemetry,
     /// Wall-clock seconds per training iteration.
     pub round_latencies: Vec<f64>,
+    /// The round a disk checkpoint resumed training at, if this run resumed
+    /// (`None` for runs that started from scratch).
+    pub resumed_from: Option<usize>,
 }
 
 impl ServerNode {
@@ -179,12 +193,13 @@ impl ServerNode {
     /// ML/aggregation errors. The shutdown duty (if any) is discharged even
     /// on the error paths.
     pub fn run(self, transport: Box<dyn Transport>) -> CoreResult<ServerRun> {
-        let outcome = ServerActor::from_node(self, transport).run()?;
+        let outcome = ServerActor::from_node(self, transport)?.run()?;
         Ok(ServerRun {
             trace: outcome.trace,
             final_model: outcome.final_model,
             telemetry: outcome.telemetry,
             round_latencies: outcome.round_latencies,
+            resumed_from: outcome.resumed_from,
         })
     }
 }

@@ -50,6 +50,91 @@ fn live_run_with_f_crashed_workers_and_q_equals_n_minus_f_completes() {
 }
 
 #[test]
+fn restarted_worker_rejoins_and_contributes_again() {
+    // RestartAt is the scenario CrashAt cannot express: the worker dies at
+    // iteration 2 (its transport really goes silent and its inbox is
+    // replaced), sits out iterations 2..5, then serves again from
+    // iteration 5. With q = n − 1 the run never stalls, and the rejoined
+    // worker's reply counter proves it contributed after coming back.
+    let mut cfg = live_config();
+    cfg.nw = 6; // q = 5 keeps Multi-Krum satisfied (2f + 3 = 5)
+    cfg.iterations = 10;
+    let n = cfg.nw;
+    let (crash, rejoin) = (2usize, 5usize);
+    let restarted_rank = n - 1;
+    let faults = FaultPlan::new().restart_worker_at(restarted_rank, crash, rejoin);
+    let mut live = LiveExecutor::new(cfg)
+        .with_options(LiveOptions {
+            gradient_quorum: Some(n - 1),
+            request_retry: std::time::Duration::from_millis(100),
+            ..LiveOptions::default()
+        })
+        .with_faults(faults);
+    let report = live.run_live(SystemKind::Ssmw).unwrap();
+    assert_eq!(report.trace.len(), 10, "all iterations must complete");
+    assert!(report.trace.final_accuracy() > 0.5);
+
+    let workers: Vec<_> = report.telemetry.nodes_with_role(Role::Worker).collect();
+    let restarted = workers.iter().max_by_key(|w| w.node).unwrap();
+    assert_eq!(restarted.resumes, 1, "exactly one rejoin must be recorded");
+    // Replies before the crash (rounds 0..crash) plus replies after the
+    // rejoin (rounds rejoin..iterations); re-requests may add duplicates,
+    // never remove contributions.
+    let min_replies = (crash + (10 - rejoin)) as u64;
+    assert!(
+        restarted.messages_sent >= min_replies,
+        "rejoined worker sent {} replies, expected at least {min_replies}",
+        restarted.messages_sent
+    );
+    for w in &workers {
+        if w.node != restarted.node {
+            assert_eq!(w.resumes, 0);
+        }
+    }
+}
+
+#[test]
+fn restarted_server_replica_catches_up_via_state_transfer_bit_exactly() {
+    // MSMW with a *server* replica that dies and comes back. While it is
+    // down it keeps serving its stale crash-time snapshot (a straggler —
+    // covered by the fps tolerance of the model GAR), so its peers never
+    // stall; on rejoin it pulls a StateChunk from the fastest live peer and
+    // adopts that replica's model + optimizer state. Because synchronous
+    // full-quorum replicas evolve in lockstep, adopting a peer's state puts
+    // the restarted replica back in lockstep: all three final models must
+    // agree bit for bit.
+    let mut cfg = live_config(); // nps = 3, fps = 1, synchronous (q = nw)
+    cfg.iterations = 10;
+    let faults = FaultPlan::new().restart_server_at(2, 3, 6);
+    let mut live = LiveExecutor::new(cfg)
+        .with_options(LiveOptions {
+            request_retry: std::time::Duration::from_millis(100),
+            ..LiveOptions::default()
+        })
+        .with_faults(faults);
+    let report = live.run_live(SystemKind::Msmw).unwrap();
+    assert_eq!(report.trace.len(), 10, "the observer completes every round");
+    assert_eq!(report.final_models.len(), 3);
+    let bits: Vec<Vec<u32>> = report
+        .final_models
+        .iter()
+        .map(|m| m.data().iter().map(|v| v.to_bits()).collect())
+        .collect();
+    assert_eq!(bits[0], bits[1], "peers stay in lockstep");
+    assert_eq!(
+        bits[0], bits[2],
+        "the restarted replica must catch up bit-exactly via state transfer"
+    );
+
+    let servers: Vec<_> = report.telemetry.nodes_with_role(Role::Server).collect();
+    let restarted = servers.iter().find(|s| s.node == 2).unwrap();
+    assert_eq!(restarted.resumes, 1);
+    assert_eq!(restarted.state_chunks_received, 1);
+    let served: u64 = servers.iter().map(|s| s.state_chunks_served).sum();
+    assert!(served >= 1, "some live peer must have served the state");
+}
+
+#[test]
 fn live_run_without_quorum_reports_a_liveness_failure() {
     // q = n with a crashed worker can never gather the quorum: the deadline
     // must convert the stall into an error instead of blocking forever.

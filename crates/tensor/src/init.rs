@@ -64,6 +64,23 @@ impl TensorRng {
         TensorRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
+    /// The generator's full internal state, for checkpointing.
+    ///
+    /// A generator rebuilt via [`TensorRng::from_state_words`] continues the
+    /// stream exactly where this one stands — the property crash recovery
+    /// relies on to keep resumed runs bit-identical to uninterrupted ones.
+    pub fn state_words(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a generator from a state previously returned by
+    /// [`TensorRng::state_words`].
+    pub fn from_state_words(words: [u64; 4]) -> Self {
+        TensorRng {
+            rng: StdRng::from_state(words),
+        }
+    }
+
     /// Samples a single uniform value in `[0, 1)`.
     pub fn uniform01(&mut self) -> f32 {
         self.rng.gen::<f32>()

@@ -38,6 +38,6 @@ pub use error::{TensorError, TensorResult};
 pub use init::{Initializer, TensorRng};
 pub use linalg::{cosine_similarity, l2_distance, squared_l2_distance, squared_l2_distance_slices};
 pub use shape::Shape;
-pub use stats::{mean, median_inplace, std_dev, variance};
+pub use stats::{mean, median_inplace, std_dev, total_cmp_f32, variance};
 pub use tensor::Tensor;
 pub use view::GradientView;

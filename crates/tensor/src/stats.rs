@@ -1,5 +1,20 @@
 //! Scalar statistics helpers shared by the GARs and the variance tool.
 
+/// The total order every float sort in the workspace uses
+/// ([`f32::total_cmp`]: `-NaN < -∞ < … < -0.0 < +0.0 < … < +∞ < +NaN`).
+///
+/// Byzantine peers send NaN payloads on purpose. An ad-hoc
+/// `partial_cmp(..).unwrap_or(Equal)` comparator is *not* a total order
+/// (NaN compares equal to everything), so two call sites sorting the same
+/// NaN-bearing column could disagree on the resulting order — and a trimmed
+/// window cut from that order would differ between them. Funnelling every
+/// sort through this one comparator makes NaN placement identical
+/// everywhere.
+#[inline]
+pub fn total_cmp_f32(a: &f32, b: &f32) -> std::cmp::Ordering {
+    a.total_cmp(b)
+}
+
 /// Arithmetic mean of a slice (0.0 for an empty slice).
 pub fn mean(values: &[f32]) -> f32 {
     if values.is_empty() {
@@ -34,9 +49,7 @@ pub fn std_dev(values: &[f32]) -> f32 {
 pub fn median_inplace(values: &mut [f32]) -> f32 {
     assert!(!values.is_empty(), "median of an empty slice is undefined");
     let mid = (values.len() - 1) / 2;
-    let (_, m, _) = values.select_nth_unstable_by(mid, |a, b| {
-        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let (_, m, _) = values.select_nth_unstable_by(mid, total_cmp_f32);
     *m
 }
 

@@ -22,6 +22,22 @@
 //!   liveness condition (the run survives `f` dead workers).
 //! * `--round-deadline-ms` / `--idle-timeout-ms` — pull deadline (servers)
 //!   and inbox idle backstop (workers).
+//! * `--retry-ms` — how long a server pull waits before re-asking peers
+//!   that have not replied (idempotent re-requests; what lets a respawned
+//!   worker contribute to the round whose original request died with it).
+//! * `--delay-ms` — straggler injection: this node services every request
+//!   (worker) or starts every round (server) that many milliseconds late —
+//!   the CLI face of the runtime's `Fault::Delay`. Pacing a run this way
+//!   never changes reply *contents*, so full-quorum results stay
+//!   bit-identical; the recovery tests use it to pin kill timing.
+//! * `--checkpoint <dir>` / `--checkpoint-every <k>` — servers persist
+//!   their training state (model, optimizer, RNG streams, round) to
+//!   `<dir>/checkpoint.bin` atomically after every `k`-th iteration.
+//! * `--resume <dir>` — load the checkpoint in `<dir>` (if one exists) and
+//!   continue training from its round instead of from scratch. The same
+//!   command line therefore works for the first launch *and* for every
+//!   respawn after a SIGKILL. Workers are stateless repliers; they accept
+//!   the flag and simply rejoin.
 //! * `--out` — servers write a JSON result (final accuracy + the final
 //!   model as exact `f32` bit patterns, for bit-identical comparison
 //!   against an in-process run of the same seed).
@@ -29,9 +45,9 @@
 //! Exit status: `0` on success, `1` on a runtime/liveness failure, `2` on
 //! bad usage.
 
-use garfield_core::{Deployment, ExperimentConfig, SystemKind};
+use garfield_core::{Checkpoint, CheckpointPolicy, Deployment, ExperimentConfig, SystemKind};
 use garfield_runtime::node::{fault_rng_streams, NodeLayout};
-use garfield_runtime::{ServerNode, ServerRun, WorkerNode};
+use garfield_runtime::{Fault, ServerNode, ServerRun, WorkerNode};
 use garfield_transport::{ClusterSpec, TcpOptions, TcpTransport};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -45,6 +61,11 @@ struct Args {
     gradient_quorum: Option<usize>,
     round_deadline: Duration,
     idle_timeout: Duration,
+    request_retry: Duration,
+    delay: Option<u64>,
+    checkpoint: Option<String>,
+    checkpoint_every: usize,
+    resume: Option<String>,
     out: Option<String>,
 }
 
@@ -52,7 +73,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: garfield-node --role <server|worker> --rank <n> --cluster <file> \
          --config <file> --system <vanilla|ssmw|msmw> [--gradient-quorum <q>] \
-         [--round-deadline-ms <ms>] [--idle-timeout-ms <ms>] [--out <file>]"
+         [--round-deadline-ms <ms>] [--idle-timeout-ms <ms>] [--retry-ms <ms>] \
+         [--delay-ms <ms>] [--checkpoint <dir>] [--checkpoint-every <k>] \
+         [--resume <dir>] [--out <file>]"
     );
     std::process::exit(2);
 }
@@ -97,6 +120,14 @@ fn parse_args() -> Args {
         idle_timeout: Duration::from_millis(
             value("--idle-timeout-ms").map_or(10_000, |v| parsed("--idle-timeout-ms", v) as u64),
         ),
+        request_retry: Duration::from_millis(
+            value("--retry-ms").map_or(1_250, |v| parsed("--retry-ms", v) as u64),
+        ),
+        delay: value("--delay-ms").map(|v| parsed("--delay-ms", v) as u64),
+        checkpoint: value("--checkpoint").map(str::to_string),
+        checkpoint_every: value("--checkpoint-every")
+            .map_or(1, |v| parsed("--checkpoint-every", v)),
+        resume: value("--resume").map(str::to_string),
         out: value("--out").map(str::to_string),
         role,
     }
@@ -106,11 +137,17 @@ fn parse_args() -> Args {
 /// model as exact bit patterns (`f32::to_bits`), so a same-seed in-process
 /// run can be compared bit for bit.
 fn result_json(system: SystemKind, run: &ServerRun) -> String {
-    let mut out = String::with_capacity(64 + 12 * run.final_model.len());
+    let mut out = String::with_capacity(96 + 12 * run.final_model.len());
     let _ = write!(
         out,
-        "{{\"system\":\"{system}\",\"iterations\":{},\"final_accuracy\":{},\"final_model_bits\":[",
+        "{{\"system\":\"{system}\",\"iterations\":{},\"resumed_from\":{},\"resumes\":{},\
+         \"checkpoints_written\":{},\"requests_retried\":{},\"final_accuracy\":{},\
+         \"final_model_bits\":[",
         run.trace.len(),
+        run.resumed_from.unwrap_or(0),
+        run.telemetry.resumes,
+        run.telemetry.checkpoints_written,
+        run.telemetry.requests_retried,
         run.trace.final_accuracy()
     );
     for (i, v) in run.final_model.data().iter().enumerate() {
@@ -168,6 +205,15 @@ fn run(args: Args) -> Result<(), String> {
                 ));
             }
             let id = layout.worker_ids[args.rank];
+            if args.resume.is_some() {
+                // Workers are stateless repliers: the model arrives with
+                // every request and shards derive from the shared config, so
+                // "resuming" a worker is simply rejoining the cluster.
+                eprintln!(
+                    "garfield-node: worker {} rejoining (workers carry no checkpointable state)",
+                    args.rank
+                );
+            }
             let transport =
                 TcpTransport::bind(&spec, id, TcpOptions::default()).map_err(|e| e.to_string())?;
             eprintln!(
@@ -181,7 +227,7 @@ fn run(args: Args) -> Result<(), String> {
                     .into_iter()
                     .nth(args.rank)
                     .expect("rank checked"),
-                fault: None,
+                fault: args.delay.map(|millis| Fault::Delay { millis }),
                 fault_rng: worker_rngs.swap_remove(args.rank),
                 idle_timeout: args.idle_timeout,
             };
@@ -208,6 +254,45 @@ fn run(args: Args) -> Result<(), String> {
                 ));
             }
             let id = layout.server_ids[args.rank];
+            // Load the resume checkpoint *before* binding the port, so a
+            // corrupt or foreign checkpoint fails fast. A missing file is a
+            // fresh start: the same command line serves first launch and
+            // respawn.
+            let resume = match &args.resume {
+                Some(dir) => {
+                    let loaded = Checkpoint::load_if_present(dir).map_err(|e| e.to_string())?;
+                    match &loaded {
+                        Some(cp) => {
+                            cp.validate_for(args.system.as_str(), config.seed)
+                                .map_err(|e| e.to_string())?;
+                            if cp.round >= config.iterations as u64 {
+                                // A supervisor blindly restarting after a
+                                // *successful* run lands here: every
+                                // iteration is already done. Exit cleanly
+                                // without touching --out — rewriting it
+                                // would clobber the recorded result with an
+                                // empty zero-accuracy trace.
+                                eprintln!(
+                                    "garfield-node: server {} checkpoint in {dir} is already \
+                                     complete (round {} of {}); nothing to resume",
+                                    args.rank, cp.round, config.iterations
+                                );
+                                return Ok(());
+                            }
+                            eprintln!(
+                                "garfield-node: server {} resuming from {dir} at round {}",
+                                args.rank, cp.round
+                            );
+                        }
+                        None => eprintln!(
+                            "garfield-node: server {} found no checkpoint in {dir}, starting fresh",
+                            args.rank
+                        ),
+                    }
+                    loaded
+                }
+                None => None,
+            };
             let transport =
                 TcpTransport::bind(&spec, id, TcpOptions::default()).map_err(|e| e.to_string())?;
             eprintln!(
@@ -235,7 +320,7 @@ fn run(args: Args) -> Result<(), String> {
                     .gradient_quorum
                     .unwrap_or_else(|| config.gradient_quorum(args.system)),
                 round_deadline: args.round_deadline,
-                fault: None,
+                fault: args.delay.map(|millis| Fault::Delay { millis }),
                 fault_rng: server_rngs.swap_remove(args.rank),
                 test_batch: (args.rank == 0).then_some(parts.test_batch),
                 // No controller process exists: the coordinating replica
@@ -245,16 +330,28 @@ fn run(args: Args) -> Result<(), String> {
                 } else {
                     Vec::new()
                 },
+                request_retry: args.request_retry,
+                checkpoint: args
+                    .checkpoint
+                    .as_ref()
+                    .map(|dir| CheckpointPolicy::new(dir, args.checkpoint_every)),
+                resume,
             };
             let run = node.run(Box::new(transport)).map_err(|e| e.to_string())?;
             eprintln!(
-                "garfield-node: server {} done — {} iterations, final accuracy {:.4}, mean round {:.1} ms, {} on-wire B sent",
+                "garfield-node: server {} done — {} iterations{}, final accuracy {:.4}, mean round {:.1} ms, {} on-wire B sent, {} checkpoints, {} retried requests",
                 args.rank,
                 run.trace.len(),
+                match run.resumed_from {
+                    Some(round) => format!(" (resumed at {round})"),
+                    None => String::new(),
+                },
                 run.trace.final_accuracy(),
                 1e3 * run.round_latencies.iter().sum::<f64>()
                     / run.round_latencies.len().max(1) as f64,
                 run.telemetry.wire_bytes_sent(),
+                run.telemetry.checkpoints_written,
+                run.telemetry.requests_retried,
             );
             if let Some(path) = &args.out {
                 std::fs::write(path, result_json(args.system, &run))

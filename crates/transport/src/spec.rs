@@ -202,6 +202,36 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_node_ids_fail_loudly_never_shadow() {
+        // A spec naming the same rank twice must be a dedicated error — a
+        // silently shadowed endpoint would send one node's traffic to
+        // another's port. Same or different address, separated or adjacent,
+        // commented or not: always DuplicateNode, naming the culprit.
+        for text in [
+            "0 127.0.0.1:1\n0 127.0.0.1:2",                // different addresses
+            "0 127.0.0.1:1\n0 127.0.0.1:1",                // identical lines
+            "0 127.0.0.1:1\n1 127.0.0.1:2\n0 127.0.0.1:3", // separated
+            "# c\n0 127.0.0.1:1 # first\n\n0 127.0.0.1:2 # again",
+        ] {
+            assert_eq!(
+                ClusterSpec::parse(text).unwrap_err(),
+                NetError::DuplicateNode(NodeId(0)),
+                "spec must reject:\n{text}"
+            );
+        }
+        // load() propagates the same error from a file.
+        let dir = std::env::temp_dir().join(format!("garfield-spec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dup.txt");
+        std::fs::write(&path, "3 127.0.0.1:1\n3 127.0.0.1:2").unwrap();
+        assert_eq!(
+            ClusterSpec::load(&path).unwrap_err(),
+            NetError::DuplicateNode(NodeId(3))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn localhost_spec_assigns_distinct_loopback_ports() {
         let spec = ClusterSpec::localhost(5).unwrap();
         assert_eq!(spec.len(), 5);

@@ -21,6 +21,30 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// The generator's full internal state, for checkpointing.
+    ///
+    /// Together with [`StdRng::from_state`] this makes the stream resumable:
+    /// a generator rebuilt from a saved state produces exactly the values the
+    /// original would have produced next.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state previously returned by
+    /// [`StdRng::state`].
+    ///
+    /// The all-zero state is a fixed point of xoshiro256++ and is mapped to
+    /// the seed-0 state instead (a real generator can never reach it, so this
+    /// only defends against hand-crafted input).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return StdRng::seed_from_u64(0);
+        }
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
