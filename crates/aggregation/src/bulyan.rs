@@ -1,11 +1,11 @@
 //! Bulyan GAR (El Mhamdi et al., ICML 2018).
 
-use crate::engine::bulyan_select_cached;
+use crate::engine::{bulyan_select_cached, COLUMN_TILE};
 use crate::{
     validate_views, AggregationError, AggregationResult, DistanceCache, Engine, Gar,
     SelectionScratch,
 };
-use garfield_tensor::{median_inplace, total_cmp_f32, GradientView, Tensor};
+use garfield_tensor::{total_order_key_f32, total_order_unkey_f32, GradientView, Tensor};
 
 /// Bulyan of Multi-Krum.
 ///
@@ -119,22 +119,73 @@ impl Gar for Bulyan {
         // median, chunked across threads by coordinate range. Each chunk owns
         // a private column buffer; every coordinate is computed with the same
         // scalar sequence on any engine.
+        //
+        // The column is processed on order-preserving integer keys
+        // (total_order_key_f32 — the workspace-wide total order, so a NaN
+        // coordinate lands in the same trailing position here as in every
+        // other GAR sort): one native `u32` sort gives the median at the
+        // middle index, and because "the β values closest to the median" are
+        // always a *contiguous window* of the sorted column, the trim is a
+        // β−1-step two-pointer expansion around the median instead of a
+        // second selection pass. Candidate distances `|v − m|` are
+        // non-negative (or NaN), so comparing their raw bits IS the total
+        // order: NaN distances (from NaN coordinates, or ∞−∞) lose every
+        // comparison until only they remain, exactly where the old
+        // `sort_by(total_cmp)` reference placed them. Ties pick the left
+        // (smaller-key) candidate — deterministic on every engine. The sum
+        // accumulates in the expansion order, i.e. ascending |v − m|, as the
+        // sort-based reference did.
+        //
+        // Coordinates are processed through an L2-resident transpose tile:
+        // gathering a column straight from `sel` multi-megabyte inputs is
+        // `sel` concurrent strided streams — more than the hardware
+        // prefetchers track — so each input's tile segment is first copied
+        // sequentially (prefetch-friendly) and the per-coordinate column then
+        // read contiguously from the tile. Every per-coordinate result is a
+        // pure function of the column *multiset*, so chunk/tile boundaries
+        // (which differ across engines) cannot change the output bits.
+        let mid = (sel - 1) / 2;
         let mut out = vec![0.0f32; d];
         engine.fill_chunks(&mut out, sel, |base, chunk| {
-            let mut column: Vec<f32> = Vec::with_capacity(sel);
-            for (k, slot) in chunk.iter_mut().enumerate() {
-                let coord = base + k;
-                column.clear();
-                column.extend(selected.iter().map(|&i| inputs[i].data()[coord]));
-                let m = median_inplace(&mut column);
-                // The workspace-wide total order, not an ad-hoc
-                // `partial_cmp(..).unwrap_or(Equal)`: a NaN coordinate lands
-                // in the same (trailing) position here as in every other GAR
-                // sort, so the trimmed window cannot be scrambled differently
-                // across call sites.
-                column.sort_unstable_by(|a, b| total_cmp_f32(&(a - m).abs(), &(b - m).abs()));
-                let sum: f32 = column.iter().take(beta).sum();
-                *slot = sum / beta as f32;
+            let mut tile: Vec<u32> = vec![0; sel * COLUMN_TILE];
+            let mut t0 = 0;
+            while t0 < chunk.len() {
+                let t_len = COLUMN_TILE.min(chunk.len() - t0);
+                for (si, &i) in selected.iter().enumerate() {
+                    let src = &inputs[i].data()[base + t0..base + t0 + t_len];
+                    for (t, &v) in src.iter().enumerate() {
+                        tile[t * sel + si] = total_order_key_f32(v);
+                    }
+                }
+                for (t, slot) in chunk[t0..t0 + t_len].iter_mut().enumerate() {
+                    let col = &mut tile[t * sel..t * sel + sel];
+                    col.sort_unstable();
+                    let m = total_order_unkey_f32(col[mid]);
+                    let mut lo = mid;
+                    let mut hi = mid;
+                    let mut sum = m;
+                    for _ in 1..beta {
+                        let l_bits = if lo > 0 {
+                            (total_order_unkey_f32(col[lo - 1]) - m).abs().to_bits()
+                        } else {
+                            u32::MAX
+                        };
+                        let r_bits = if hi + 1 < sel {
+                            (total_order_unkey_f32(col[hi + 1]) - m).abs().to_bits()
+                        } else {
+                            u32::MAX
+                        };
+                        if l_bits <= r_bits {
+                            lo -= 1;
+                            sum += total_order_unkey_f32(col[lo]);
+                        } else {
+                            hi += 1;
+                            sum += total_order_unkey_f32(col[hi]);
+                        }
+                    }
+                    *slot = sum / beta as f32;
+                }
+                t0 += t_len;
             }
         });
         Ok(Tensor::from(out))

@@ -21,30 +21,60 @@
 //!   `expfig perf` harness).
 
 use crossbeam::thread as cb_thread;
-use garfield_tensor::{squared_l2_distance_slices, total_cmp_f32 as cmp_f32, GradientView};
+use garfield_tensor::{
+    accumulate_dot, accumulate_squared_l2, reduce_kernel_lanes, total_cmp_f32 as cmp_f32,
+    GradientView, KERNEL_LANES,
+};
 use std::cmp::Ordering;
 use std::sync::OnceLock;
 
-/// Below this many scalar operations a parallel engine stays on the calling
-/// thread: spawning costs more than the work saves.
-const PAR_MIN_WORK: usize = 1 << 15;
+/// Minimum scalar operations every *spawned* thread must carry before a
+/// parallel engine fans out. A thread spawn + scope join costs tens of
+/// microseconds; `2^18` multiply-adds is on the order of 100 µs of work, so a
+/// chunk below this floor would spend more time being scheduled than
+/// computing. The old heuristic compared `items × work` against a flat
+/// `2^15` *total* and then split across every core — at d = 10⁴ that spawned
+/// threads carrying ~20 µs of work each, which is exactly why the parallel
+/// engine measured *slower* than sequential (median 0.65×, multi-krum 0.82×)
+/// at small d. Fan-out is now derived from work-per-thread, so `Engine::auto`
+/// degrades to the sequential path instead of losing to it.
+const PAR_WORK_PER_THREAD: usize = 1 << 18;
 
 /// Execution policy of the aggregation engine: how many OS threads to chunk
-/// data-parallel fills across.
+/// data-parallel fills across, and whether the distance fill may use the
+/// approximate fast-math (Gram) kernel.
 ///
 /// `Engine::sequential()` is the retained single-threaded reference path;
 /// `Engine::auto()` matches the machine's parallelism. Both produce
 /// bit-identical outputs — parallelism changes *where* each element is
-/// computed, never *how*.
+/// computed, never *how*. The thread count is clamped to at least 1 in
+/// exactly one place ([`Engine::with_threads`], which every constructor
+/// funnels through); the rest of the engine trusts the `threads ≥ 1`
+/// invariant.
+///
+/// # Fast-math mode
+///
+/// [`Engine::fast_math`] opts in to the Gram-trick distance fill:
+/// `‖a − b‖² = ‖a‖² + ‖b‖² − 2·a·b` with per-input cached norms, computed as
+/// a matmul-shaped pass over cache-sized `d`-blocks. It is off by default
+/// because it changes the *values* of distances within floating-point
+/// rounding (see [`gram_error_bound`]) — close Krum/MDA scores can therefore
+/// resolve to a different (equally honest-by-the-bound) selection rank than
+/// the exact kernel. The mode remains deterministic and bit-identical
+/// between sequential and parallel engines, and it falls back to the exact
+/// kernel whenever any input or cached norm is non-finite, so NaN/±inf
+/// Byzantine payloads cannot exploit the identity. See the README
+/// "Performance" section for the full robustness contract.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Engine {
     threads: usize,
+    fast_math: bool,
 }
 
 impl Engine {
     /// The single-threaded reference engine.
     pub fn sequential() -> Self {
-        Engine { threads: 1 }
+        Engine::with_threads(1)
     }
 
     /// An engine sized to the machine (`std::thread::available_parallelism`).
@@ -55,14 +85,32 @@ impl Engine {
                 .map(|p| p.get())
                 .unwrap_or(1)
         });
-        Engine { threads }
+        Engine::with_threads(threads)
     }
 
-    /// An engine with an explicit thread count (clamped to at least 1).
+    /// An engine with an explicit thread count.
+    ///
+    /// This is the single clamping point of the engine: a requested count of
+    /// 0 is clamped to 1 here, and nowhere else re-clamps.
     pub fn with_threads(threads: usize) -> Self {
         Engine {
             threads: threads.max(1),
+            fast_math: false,
         }
+    }
+
+    /// Returns this engine with fast-math distance fills switched on or off
+    /// (builder style: `Engine::auto().fast_math(true)`).
+    ///
+    /// See the type-level docs for the accuracy/robustness contract.
+    pub fn fast_math(mut self, enabled: bool) -> Self {
+        self.fast_math = enabled;
+        self
+    }
+
+    /// Whether the distance fill may use the approximate Gram kernel.
+    pub fn is_fast_math(&self) -> bool {
+        self.fast_math
     }
 
     /// Number of threads fills are chunked across.
@@ -75,11 +123,17 @@ impl Engine {
         self.threads > 1
     }
 
+    /// Fan-out for a fill of `items` elements costing `work_per_item` scalar
+    /// operations each: as many threads as the machine allows, capped so
+    /// every thread's chunk carries at least [`PAR_WORK_PER_THREAD`]
+    /// operations (otherwise the spawn dominates and one thread is faster).
     fn threads_for(&self, items: usize, work_per_item: usize) -> usize {
-        if self.threads <= 1 || items.saturating_mul(work_per_item.max(1)) < PAR_MIN_WORK {
+        let total = items.saturating_mul(work_per_item.max(1));
+        let affordable = self.threads.min(items).min(total / PAR_WORK_PER_THREAD);
+        if affordable < 2 {
             1
         } else {
-            self.threads.min(items)
+            affordable
         }
     }
 
@@ -139,18 +193,167 @@ impl Default for Engine {
     }
 }
 
+/// Bytes of gradient data a blocked distance fill tries to keep resident
+/// per block sweep (all `n` inputs' current `d`-block together). 256 KiB
+/// sits inside a typical per-core L2, so every input block is read from
+/// memory once and then hit `n − 1` times from cache instead of being
+/// re-streamed from DRAM for every pair — the unblocked fill moves
+/// `n(n−1)·d` floats of traffic, the blocked one `n·d` per thread.
+const DISTANCE_BLOCK_BUDGET_BYTES: usize = 1 << 18;
+
+/// Coordinates per transpose tile in the coordinate-wise kernels
+/// (Median, Bulyan phase 2). Gathering one coordinate straight from `n`
+/// multi-megabyte gradients is `n` concurrent strided streams — more than
+/// the hardware prefetchers track — so the kernels first copy each input's
+/// tile segment sequentially into an L2-resident `n × COLUMN_TILE` scratch
+/// and then read per-coordinate columns contiguously. 256 coordinates keeps
+/// the tile at `n · 1 KiB` (51 inputs → 51 KiB), well inside L2.
+pub(crate) const COLUMN_TILE: usize = 256;
+
+/// Block length (in elements) for a blocked pairwise fill over `n` inputs:
+/// a multiple of [`KERNEL_LANES`] (required for bit-identical blocking),
+/// sized so all `n` input blocks fit the cache budget together.
+fn distance_block_len(n: usize) -> usize {
+    let per_input = DISTANCE_BLOCK_BUDGET_BYTES / (4 * n.max(1));
+    (per_input / KERNEL_LANES * KERNEL_LANES).clamp(KERNEL_LANES, 8192)
+}
+
+/// Fills `out[p] = ‖inputs[i_p] − inputs[j_p]‖²` (exact chunked kernel) for a
+/// slice of pairs, blocked over cache-sized `d`-ranges.
+///
+/// Per-pair lane accumulators persist across blocks and every block boundary
+/// is [`KERNEL_LANES`]-aligned, so the result is bit-identical to calling
+/// [`squared_l2_distance_slices`] on each whole pair — the blocking only
+/// changes memory traffic, never the accumulation order.
+fn fill_pair_distances_exact(inputs: &[GradientView<'_>], pairs: &[(u32, u32)], out: &mut [f32]) {
+    let d = inputs.first().map(|v| v.len()).unwrap_or(0);
+    let block = distance_block_len(inputs.len());
+    let mut acc = vec![[0.0f32; KERNEL_LANES]; pairs.len()];
+    let mut start = 0;
+    while start < d {
+        let end = (start + block).min(d);
+        for (&(i, j), lanes) in pairs.iter().zip(acc.iter_mut()) {
+            accumulate_squared_l2(
+                &inputs[i as usize].data()[start..end],
+                &inputs[j as usize].data()[start..end],
+                lanes,
+            );
+        }
+        start = end;
+    }
+    for (slot, lanes) in out.iter_mut().zip(acc) {
+        *slot = reduce_kernel_lanes(lanes);
+    }
+}
+
+/// Squared L2 norm of a slice, accumulated block-by-block: `f32` kernel lanes
+/// within each cache block, an `f64` running total across blocks.
+///
+/// The Gram identity `‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b` subtracts three large
+/// numbers to produce a potentially tiny one, so at d = 10⁶ a pure-`f32` sum's
+/// rounding error (`~(d/LANES)·ε·‖a‖²`) can exceed the distance itself.
+/// Promoting the *cross-block* accumulation to `f64` caps the `f32` error at
+/// one block's worth (`~(block/LANES)·ε`, see [`gram_error_bound`]) while
+/// keeping the hot inner loop in `f32` SIMD lanes.
+///
+/// The result is also the Gram-eligibility probe: it is finite iff every
+/// element is finite (squares are non-negative, so NaN/±inf propagate and
+/// never cancel) *and* no per-block `f32` lane sum overflowed.
+fn squared_norm_blocked_f64(a: &[f32], block: usize) -> f64 {
+    let mut total = 0.0f64;
+    let mut start = 0;
+    while start < a.len() {
+        let end = (start + block).min(a.len());
+        let mut lanes = [0.0f32; KERNEL_LANES];
+        accumulate_dot(&a[start..end], &a[start..end], &mut lanes);
+        total += f64::from(reduce_kernel_lanes(lanes));
+        start = end;
+    }
+    total
+}
+
+/// Fills `out[p] = max(0, ‖i_p‖² + ‖j_p‖² − 2·(i_p · j_p))` — the Gram-trick
+/// distance — for a slice of pairs, blocked over cache-sized `d`-ranges.
+///
+/// Dot products use the same `f32`-lanes-per-block / `f64`-across-blocks
+/// scheme as [`squared_norm_blocked_f64`], and the three-term combination runs
+/// entirely in `f64`, so the cancellation of the Gram identity happens at
+/// `f64` precision and only per-block `f32` lane rounding survives into the
+/// result (bounded by [`gram_error_bound`]). The clamp at 0 absorbs the tiny
+/// negative values that residual rounding can produce for near-identical
+/// inputs. Only called on inputs whose cached `norms` are all finite.
+fn fill_pair_distances_gram(
+    inputs: &[GradientView<'_>],
+    norms: &[f64],
+    pairs: &[(u32, u32)],
+    out: &mut [f32],
+) {
+    let d = inputs.first().map(|v| v.len()).unwrap_or(0);
+    let block = distance_block_len(inputs.len());
+    let mut acc = vec![0.0f64; pairs.len()];
+    let mut start = 0;
+    while start < d {
+        let end = (start + block).min(d);
+        for (&(i, j), dot) in pairs.iter().zip(acc.iter_mut()) {
+            let mut lanes = [0.0f32; KERNEL_LANES];
+            accumulate_dot(
+                &inputs[i as usize].data()[start..end],
+                &inputs[j as usize].data()[start..end],
+                &mut lanes,
+            );
+            *dot += f64::from(reduce_kernel_lanes(lanes));
+        }
+        start = end;
+    }
+    for ((slot, dot), &(i, j)) in out.iter_mut().zip(acc).zip(pairs) {
+        let dist = norms[i as usize] + norms[j as usize] - 2.0 * dot;
+        *slot = (dist as f32).max(0.0);
+    }
+}
+
+/// Worst-case absolute error of the Gram-trick distance versus the exact
+/// chunked kernel, for finite inputs with squared norms `na2` and `nb2` over
+/// dimension `d`, in a cache built over `n` inputs.
+///
+/// The Gram fill accumulates in `f32` lanes only *within* one cache block and
+/// in `f64` across blocks, and combines `‖a‖² + ‖b‖² − 2a·b` in `f64`, so the
+/// surviving error is per-block `f32` lane rounding: each block of length `L ≤
+/// min(block_len(n), d)` contributes at most `(L/KERNEL_LANES + lg
+/// KERNEL_LANES) · ε · Σ|block terms|` to each of the three sums, and summing
+/// over blocks keeps the same factor against the *total* `Σ|terms|` — which is
+/// `na2`, `nb2`, and (by AM–GM) at most `(na2 + nb2)/2` for the dot. The
+/// `f64`-side error and the final rounding to `f32` add a few ulps of `na2 +
+/// nb2`; the exact kernel's own `f32` rounding contributes the same order
+/// again. The bound below folds all of it with a 4× safety factor —
+/// proptested in `tests/kernel_properties.rs` and `engine_equivalence.rs`.
+pub fn gram_error_bound(n: usize, d: usize, na2: f32, nb2: f32) -> f32 {
+    let block = distance_block_len(n).min(d.max(1));
+    let terms = (block as f32) / (KERNEL_LANES as f32) + 8.0;
+    4.0 * terms * f32::EPSILON * (na2 + nb2)
+}
+
 /// The n×n squared-distance matrix of a set of gradient views, computed once
 /// and shared across every distance-based GAR decision.
 ///
 /// Building the cache is the `O(n² d)` hot spot of Krum, Multi-Krum, MDA and
-/// Bulyan; the engine chunks the `n(n-1)/2` unique pairs across threads, each
-/// pair computed sequentially over `d` on one thread (bit-identical to the
-/// sequential engine).
+/// Bulyan; the engine chunks the `n(n-1)/2` unique pairs across threads, and
+/// each thread fills its pairs *blocked* over cache-sized `d`-ranges with
+/// the chunked multi-lane kernel, so every input block is read from memory
+/// once per thread instead of once per pair. Each pair is computed entirely
+/// on one thread with a fixed accumulation order — bit-identical to the
+/// sequential engine by construction.
+///
+/// Under a fast-math engine ([`Engine::fast_math`]) the fill switches to the
+/// Gram identity with cached per-input norms (≈⅓ fewer flops and one shared
+/// norm pass), unless any input value or norm is non-finite, in which case
+/// it falls back to the exact kernel (Byzantine NaN/±inf payloads must hit
+/// the exact path).
 #[derive(Debug, Clone)]
 pub struct DistanceCache {
     n: usize,
     dist: Vec<f32>,
     finite: bool,
+    gram: bool,
 }
 
 impl DistanceCache {
@@ -164,23 +367,61 @@ impl DistanceCache {
                 pairs.push((i as u32, j as u32));
             }
         }
+
+        // Fast-math eligibility: the cached norm pass doubles as the probe.
+        // A blocked-`f64` squared norm is finite iff every input element is
+        // finite (squares are non-negative, so NaN/±inf propagate and never
+        // cancel) and no per-block `f32` lane sum overflowed — exactly the
+        // inputs the Gram identity handles safely. Anything else (Byzantine
+        // NaN/±inf payloads, overflow-scaled gradients) falls back to the
+        // exact kernel, at the cost of one wasted `O(n d)` norm pass.
+        let mut norms = Vec::new();
+        let mut use_gram = false;
+        if engine.is_fast_math() && n > 0 {
+            let block = distance_block_len(n);
+            norms = vec![0.0f64; n];
+            engine.fill(&mut norms, d, |i| {
+                squared_norm_blocked_f64(inputs[i].data(), block)
+            });
+            use_gram = norms.iter().all(|v| v.is_finite());
+        }
+
         let mut vals = vec![0.0f32; pairs.len()];
-        engine.fill(&mut vals, d, |k| {
-            let (i, j) = pairs[k];
-            squared_l2_distance_slices(inputs[i as usize].data(), inputs[j as usize].data())
+        // Each pair costs ~2d scalar ops; the closure fills a contiguous
+        // chunk of pairs with the blocked kernel.
+        engine.fill_chunks(&mut vals, 2 * d, |base, chunk| {
+            let chunk_pairs = &pairs[base..base + chunk.len()];
+            if use_gram {
+                fill_pair_distances_gram(inputs, &norms, chunk_pairs, chunk);
+            } else {
+                fill_pair_distances_exact(inputs, chunk_pairs, chunk);
+            }
         });
+
         let mut dist = vec![0.0f32; n * n];
         for (&(i, j), &v) in pairs.iter().zip(vals.iter()) {
             dist[i as usize * n + j as usize] = v;
             dist[j as usize * n + i as usize] = v;
         }
         let finite = vals.iter().all(|v| v.is_finite());
-        DistanceCache { n, dist, finite }
+        DistanceCache {
+            n,
+            dist,
+            finite,
+            gram: use_gram,
+        }
     }
 
     /// Number of cached inputs.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Whether this cache was filled with the approximate Gram kernel
+    /// (`false` under a default engine, and under a fast-math engine whose
+    /// inputs forced the exact fallback).
+    pub fn used_gram(&self) -> bool {
+        self.gram
     }
 
     /// The cached squared distance between inputs `i` and `j`.
@@ -433,7 +674,7 @@ pub fn average_views(inputs: &[GradientView<'_>], engine: &Engine) -> Vec<f32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use garfield_tensor::Tensor;
+    use garfield_tensor::{squared_l2_distance_slices, Tensor};
 
     fn views(data: &[Vec<f32>]) -> Vec<GradientView<'_>> {
         data.iter().map(GradientView::from).collect()
@@ -447,6 +688,29 @@ mod tests {
         assert_eq!(Engine::with_threads(4).threads(), 4);
         assert!(Engine::auto().threads() >= 1);
         assert_eq!(Engine::default().threads(), Engine::auto().threads());
+        assert!(!Engine::auto().is_fast_math());
+        assert!(Engine::auto().fast_math(true).is_fast_math());
+        assert!(!Engine::auto()
+            .fast_math(true)
+            .fast_math(false)
+            .is_fast_math());
+        // Fast-math engines keep their thread shape.
+        assert_eq!(Engine::with_threads(4).fast_math(true).threads(), 4);
+    }
+
+    #[test]
+    fn fan_out_requires_enough_work_per_thread() {
+        let e = Engine::with_threads(8);
+        // Median-shaped fill at d = 10⁴ (10 000 coordinates × n = 15 scalar
+        // ops): far below a single thread's worth of work — stay sequential.
+        assert_eq!(e.threads_for(10_000, 15), 1);
+        // Distance fill at d = 10⁶ (105 pairs × 2·10⁶ ops): full fan-out.
+        assert_eq!(e.threads_for(105, 2_000_000), 8);
+        // Fan-out is capped by affordable work per thread, not just items.
+        assert_eq!(e.threads_for(3 * PAR_WORK_PER_THREAD, 1), 3);
+        assert_eq!(e.threads_for(PAR_WORK_PER_THREAD, 1), 1);
+        // A sequential engine never fans out regardless of work.
+        assert_eq!(Engine::sequential().threads_for(1 << 30, 1024), 1);
     }
 
     #[test]
@@ -515,6 +779,123 @@ mod tests {
         let data = vec![vec![0.0f32, f32::NAN], vec![1.0, 2.0], vec![3.0, 4.0]];
         let cache = DistanceCache::build(&views(&data), &Engine::sequential());
         assert!(!cache.is_finite());
+    }
+
+    #[test]
+    fn blocked_fill_is_bit_identical_to_whole_pair_kernel() {
+        // d spans many cache blocks plus a ragged tail, so the fill crosses
+        // several block boundaries per pair.
+        let d = distance_block_len(6) * 3 + 13;
+        let data: Vec<Vec<f32>> = (0..6)
+            .map(|i| {
+                (0..d)
+                    .map(|c| ((i * 131 + c) as f32 * 0.01).sin())
+                    .collect()
+            })
+            .collect();
+        let v = views(&data);
+        let cache = DistanceCache::build(&v, &Engine::sequential());
+        for i in 0..6 {
+            for j in 0..6 {
+                let direct = if i == j {
+                    0.0
+                } else {
+                    squared_l2_distance_slices(&data[i], &data[j])
+                };
+                assert_eq!(cache.get(i, j).to_bits(), direct.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_math_cache_uses_gram_within_the_documented_bound() {
+        let d = 700; // not a multiple of the lanes or the block
+        let data: Vec<Vec<f32>> = (0..7)
+            .map(|i| {
+                (0..d)
+                    .map(|c| ((i * 31 + c) as f32 * 0.05).cos() * 3.0)
+                    .collect()
+            })
+            .collect();
+        let v = views(&data);
+        let exact = DistanceCache::build(&v, &Engine::sequential());
+        let gram = DistanceCache::build(&v, &Engine::sequential().fast_math(true));
+        assert!(!exact.used_gram());
+        assert!(gram.used_gram());
+        for i in 0..7 {
+            for j in 0..7 {
+                let bound = gram_error_bound(
+                    7,
+                    d,
+                    garfield_tensor::squared_norm_slices(&data[i]),
+                    garfield_tensor::squared_norm_slices(&data[j]),
+                );
+                let err = (gram.get(i, j) - exact.get(i, j)).abs();
+                assert!(
+                    err <= bound,
+                    "({i},{j}): |{} - {}| = {err} > {bound}",
+                    gram.get(i, j),
+                    exact.get(i, j)
+                );
+                assert!(gram.get(i, j) >= 0.0, "gram distance went negative");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_math_parallel_is_bit_identical_to_fast_math_sequential() {
+        let data: Vec<Vec<f32>> = (0..9)
+            .map(|i| {
+                (0..4096)
+                    .map(|c| ((i * 31 + c) as f32 * 0.1).sin())
+                    .collect()
+            })
+            .collect();
+        let v = views(&data);
+        let seq = DistanceCache::build(&v, &Engine::sequential().fast_math(true));
+        let par = DistanceCache::build(&v, &Engine::with_threads(4).fast_math(true));
+        assert!(seq.used_gram() && par.used_gram());
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(seq.get(i, j).to_bits(), par.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fast_math_falls_back_to_exact_on_non_finite_inputs() {
+        let data = vec![
+            vec![0.0f32, f32::NAN, 1.0, 2.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![3.0, 4.0, 5.0, 6.0],
+        ];
+        let v = views(&data);
+        let exact = DistanceCache::build(&v, &Engine::sequential());
+        let fast = DistanceCache::build(&v, &Engine::sequential().fast_math(true));
+        assert!(!fast.used_gram(), "NaN payload must force the exact kernel");
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(exact.get(i, j).to_bits(), fast.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fast_math_falls_back_to_exact_on_norm_overflow() {
+        // Finite inputs whose squared norm overflows f32: ‖a‖² = d·(1e20)²
+        // = +inf, so the Gram identity would poison every distance even
+        // though the exact distance (a − b ≡ 0 here) is finite.
+        let data = vec![vec![1e20f32; 64], vec![1e20f32; 64], vec![0.0f32; 64]];
+        let v = views(&data);
+        let fast = DistanceCache::build(&v, &Engine::sequential().fast_math(true));
+        assert!(!fast.used_gram(), "inf norm must force the exact kernel");
+        assert_eq!(fast.get(0, 1), 0.0);
+        let exact = DistanceCache::build(&v, &Engine::sequential());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(exact.get(i, j).to_bits(), fast.get(i, j).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod variance;
 
 pub use average::Average;
 pub use bulyan::Bulyan;
-pub use engine::{average_views, DistanceCache, Engine, SelectionScratch};
+pub use engine::{average_views, gram_error_bound, DistanceCache, Engine, SelectionScratch};
 pub use error::{AggregationError, AggregationResult};
 pub use gar::{build_gar, build_gar_by_name, Gar, GarKind};
 pub use krum::{Krum, MultiKrum};

@@ -75,24 +75,58 @@ impl Gar for Median {
 }
 
 /// Coordinate-wise median of a non-empty, equal-length set of views, chunked
-/// across threads by coordinate range (each chunk owns a private column
-/// buffer; every coordinate runs the same scalar kernel on any engine).
+/// across threads by coordinate range (each chunk owns private scratch;
+/// every coordinate runs the same scalar kernel on any engine).
+///
+/// Columns are gathered as [`total_order_key_f32`] integer keys and the
+/// median selected with native `u32` quickselect — the keying is a monotone
+/// bijection of the workspace's `total_cmp_f32` order, so the selected
+/// element (NaN placement included) is exactly what
+/// `median_inplace`/`select_nth_unstable_by(total_cmp_f32)` would return,
+/// without spending the whole coordinate budget on comparator calls.
+///
+/// Gathering goes through an L2-resident transpose tile of
+/// [`COLUMN_TILE`](crate::engine::COLUMN_TILE) coordinates: reading a column
+/// straight from `n` multi-megabyte inputs is `n` concurrent strided
+/// streams, so each input's tile segment is copied sequentially first and
+/// the column then read contiguously. The median is a pure function of the
+/// column multiset, so tile/chunk boundaries (which differ across engines)
+/// cannot change the output bits.
 pub(crate) fn coordinate_wise_median_views(inputs: &[GradientView<'_>], engine: &Engine) -> Tensor {
+    use crate::engine::COLUMN_TILE;
+    use garfield_tensor::{total_order_key_f32, total_order_unkey_f32};
     let d = inputs[0].len();
     let n = inputs.len();
+    let mid = (n - 1) / 2;
     let mut out = vec![0.0f32; d];
     engine.fill_chunks(&mut out, n, |base, chunk| {
-        let mut column = vec![0.0f32; n];
-        for (k, slot) in chunk.iter_mut().enumerate() {
-            let coord = base + k;
-            for (i, v) in inputs.iter().enumerate() {
-                column[i] = v.data()[coord];
+        if n == 3 {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let coord = base + k;
+                *slot = sort3_branchless([
+                    inputs[0].data()[coord],
+                    inputs[1].data()[coord],
+                    inputs[2].data()[coord],
+                ])[1];
             }
-            *slot = if n == 3 {
-                sort3_branchless([column[0], column[1], column[2]])[1]
-            } else {
-                garfield_tensor::median_inplace(&mut column)
-            };
+            return;
+        }
+        let mut tile: Vec<u32> = vec![0; n * COLUMN_TILE];
+        let mut t0 = 0;
+        while t0 < chunk.len() {
+            let t_len = COLUMN_TILE.min(chunk.len() - t0);
+            for (i, input) in inputs.iter().enumerate() {
+                let src = &input.data()[base + t0..base + t0 + t_len];
+                for (t, &v) in src.iter().enumerate() {
+                    tile[t * n + i] = total_order_key_f32(v);
+                }
+            }
+            for (t, slot) in chunk[t0..t0 + t_len].iter_mut().enumerate() {
+                let col = &mut tile[t * n..t * n + n];
+                let (_, m, _) = col.select_nth_unstable(mid);
+                *slot = total_order_unkey_f32(*m);
+            }
+            t0 += t_len;
         }
     });
     Tensor::from(out)

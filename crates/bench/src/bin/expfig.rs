@@ -7,7 +7,8 @@
 //! cargo run --release -p garfield-bench --bin expfig -- all
 //! cargo run --release -p garfield-bench --bin expfig -- perf \
 //!     [--quick] [--out BENCH_aggregation.json] \
-//!     [--check results/perf_baseline.json] [--tolerance 0.20]
+//!     [--check results/perf_baseline.json] [--tolerance 0.20] \
+//!     [--merge-baseline results/perf_baseline.json]
 //! ```
 //!
 //! Recognised experiment ids: `table1`, `fig3a`, `fig3b`, `fig4a`, `fig4b`,
@@ -16,11 +17,20 @@
 //! `runtime` (live-vs-sim executor comparison).
 //! Each prints its rows and writes `results/<id>.csv`.
 //!
-//! `perf` is the GAR-engine micro-benchmark: it sweeps every GAR over
-//! d × n on the sequential and parallel engines, asserts bit-identical
-//! outputs, writes `BENCH_aggregation.json`, and with `--check` exits
-//! non-zero when any GAR's throughput regressed more than the tolerance
-//! against the recorded baseline (the CI `perf-smoke` gate).
+//! `perf` is the GAR-engine micro-benchmark: it times the distance kernels
+//! (scalar / chunked / blocked / Gram), sweeps every GAR over d × n on the
+//! sequential and parallel engines, asserts bit-identical outputs, and
+//! writes `BENCH_aggregation.json` stamped with the effective thread count.
+//!
+//! With `--check` it gates against a baseline file holding one recorded
+//! report per `(threads, quick)` key: entries recorded at a *different*
+//! thread count are never compared (throughput is not comparable across
+//! machine shapes) — if the file has no entry for this machine's thread
+//! count the gate prints a notice and passes, and `--merge-baseline PATH`
+//! records the current report into the file so CI can capture a multi-core
+//! baseline as an artifact. On multi-thread runs the gate additionally
+//! fails if `Engine::auto` lost to `Engine::sequential` by more than 10%
+//! on any cell (the fan-out heuristic regression assertion).
 
 use garfield_bench::figures;
 use garfield_bench::perf;
@@ -65,6 +75,7 @@ fn run_perf(args: &[String]) -> i32 {
     let mut config = perf::PerfConfig::full();
     let mut out_path = String::from("BENCH_aggregation.json");
     let mut check_path: Option<String> = None;
+    let mut merge_path: Option<String> = None;
     let mut tolerance = perf::DEFAULT_TOLERANCE;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -84,6 +95,13 @@ fn run_perf(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--merge-baseline" => match it.next() {
+                Some(p) => merge_path = Some(p.clone()),
+                None => {
+                    eprintln!("--merge-baseline requires a path");
+                    return 2;
+                }
+            },
             "--tolerance" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
                 Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
                 _ => {
@@ -98,21 +116,31 @@ fn run_perf(args: &[String]) -> i32 {
         }
     }
 
-    let threads = garfield_aggregation::Engine::auto().threads();
+    // The effective engine shape, logged and recorded in the report so every
+    // entry is self-describing: Engine::with_threads clamps a requested 0 to
+    // 1 in exactly one place, so what auto() reports here is what every
+    // sweep cell actually ran with.
+    let engine = garfield_aggregation::Engine::auto();
     println!(
-        "perf sweep: {} mode, {} threads, d={:?}, n={:?}",
+        "perf sweep: {} mode, effective engine: {} thread{} (Engine::auto), \
+         fast-math off, d={:?}, n={:?}",
         if config.quick { "quick" } else { "full" },
-        threads,
+        engine.threads(),
+        if engine.threads() == 1 { "" } else { "s" },
         config.dims,
         config.ns
     );
-    let points = perf::run(&config);
+    let report = perf::run_report(&config);
+    print_table(
+        "kernels (pairwise distance fill, 1 thread)",
+        &perf::kernel_rows(&report.kernels),
+    );
     print_table(
         "perf (GAR engine, parallel vs sequential)",
-        &perf::as_rows(&points),
+        &perf::as_rows(&report.entries),
     );
 
-    let divergent: Vec<&perf::PerfPoint> = points.iter().filter(|p| !p.identical).collect();
+    let divergent: Vec<&perf::PerfPoint> = report.entries.iter().filter(|p| !p.identical).collect();
     for p in &divergent {
         eprintln!(
             "ENGINE MISMATCH: {} n={} d={} — parallel output differs from sequential",
@@ -120,7 +148,7 @@ fn run_perf(args: &[String]) -> i32 {
         );
     }
 
-    let json = perf::to_json(&points, threads, config.quick);
+    let json = perf::report_to_json(&report);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("could not write {out_path}: {e}");
         return 1;
@@ -130,6 +158,23 @@ fn run_perf(args: &[String]) -> i32 {
     if !divergent.is_empty() {
         return 1;
     }
+
+    // The fan-out sanity gate needs no baseline: parallel vs sequential is
+    // measured within this very sweep.
+    let fanout = perf::parallel_regressions(&report, perf::PARALLEL_LOSS_TOLERANCE);
+    if !fanout.is_empty() {
+        eprintln!(
+            "parallel-engine fan-out regression (Engine::auto must stay within {:.0}% of \
+             sequential):",
+            perf::PARALLEL_LOSS_TOLERANCE * 100.0
+        );
+        for p in &fanout {
+            eprintln!("  {p}");
+        }
+        return 1;
+    }
+
+    let mut code = 0;
     if let Some(baseline_path) = check_path {
         let baseline_text = match std::fs::read_to_string(&baseline_path) {
             Ok(t) => t,
@@ -138,30 +183,94 @@ fn run_perf(args: &[String]) -> i32 {
                 return 1;
             }
         };
-        let baseline = match perf::parse_report(&baseline_text) {
+        let baselines = match perf::parse_baselines(&baseline_text) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("malformed baseline {baseline_path}: {e}");
                 return 1;
             }
         };
-        let problems = perf::regressions(&points, &baseline, tolerance);
-        if !problems.is_empty() {
-            eprintln!(
-                "perf regression vs {baseline_path} (tolerance {:.0}%):",
-                tolerance * 100.0
-            );
-            for p in &problems {
-                eprintln!("  {p}");
+        match perf::matching_baseline(&baselines, &report) {
+            None => {
+                // Refuse to compare across machine shapes: a 1-core baseline
+                // says nothing about an 8-core run. Not an error — record a
+                // baseline for this shape with --merge-baseline.
+                let shapes: Vec<String> = baselines
+                    .iter()
+                    .map(|b| {
+                        format!(
+                            "{} thread{}/{}",
+                            b.threads,
+                            if b.threads == 1 { "" } else { "s" },
+                            if b.quick { "quick" } else { "full" }
+                        )
+                    })
+                    .collect();
+                println!(
+                    "perf gate SKIPPED: {baseline_path} has no baseline recorded at \
+                     {} threads ({} mode); recorded shapes: [{}]. Refusing to compare \
+                     across thread counts — run with --merge-baseline {baseline_path} \
+                     to record one for this machine.",
+                    report.threads,
+                    if report.quick { "quick" } else { "full" },
+                    shapes.join(", ")
+                );
             }
+            Some(base) => {
+                let mut problems = perf::regressions(&report.entries, &base.entries, tolerance);
+                problems.extend(perf::kernel_regressions(
+                    &report.kernels,
+                    &base.kernels,
+                    tolerance,
+                ));
+                if !problems.is_empty() {
+                    eprintln!(
+                        "perf regression vs {baseline_path} at {} threads (tolerance {:.0}%):",
+                        base.threads,
+                        tolerance * 100.0
+                    );
+                    for p in &problems {
+                        eprintln!("  {p}");
+                    }
+                    code = 1;
+                } else {
+                    println!(
+                        "perf gate passed: no GAR or kernel regressed more than {:.0}% vs \
+                         {baseline_path} at {} threads",
+                        tolerance * 100.0,
+                        base.threads
+                    );
+                }
+            }
+        }
+    }
+
+    if let Some(merge_path) = merge_path {
+        let mut baselines = match std::fs::read_to_string(&merge_path) {
+            Ok(text) => match perf::parse_baselines(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("malformed baseline {merge_path}: {e}");
+                    return 1;
+                }
+            },
+            Err(_) => Vec::new(), // new file
+        };
+        perf::merge_baseline(&mut baselines, report);
+        if let Err(e) = std::fs::write(&merge_path, perf::baselines_to_json(&baselines)) {
+            eprintln!("could not write {merge_path}: {e}");
             return 1;
         }
         println!(
-            "perf gate passed: no GAR regressed more than {:.0}% vs {baseline_path}",
-            tolerance * 100.0
+            "(baseline for {} recorded into {merge_path})",
+            baselines
+                .iter()
+                .map(|b| format!("{}t", b.threads))
+                .collect::<Vec<_>>()
+                .join("+")
         );
     }
-    0
+    code
 }
 
 fn main() {

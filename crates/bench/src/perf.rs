@@ -3,19 +3,40 @@
 //! Sweeps every GAR over gradient dimension `d` × input count `n`, timing the
 //! **sequential** engine (the retained single-threaded reference path) and
 //! the **parallel** engine (thread-chunked distance matrix and coordinate
-//! fills) on identical inputs, asserting their outputs are bit-identical,
-//! and emitting `BENCH_aggregation.json` — the recorded perf trajectory CI
-//! uploads as an artifact and gates against `results/perf_baseline.json`
-//! (any GAR regressing more than the tolerance fails the `perf-smoke` job).
+//! fills) on identical inputs, asserting their outputs are bit-identical.
+//! A separate `kernels` section times the distance kernels themselves
+//! (retained scalar reference vs chunked multi-lane vs blocked cache fill vs
+//! Gram fast-math fill) so kernel-level regressions are visible even when a
+//! GAR's end-to-end cost is dominated by something else.
+//!
+//! The sweep emits `BENCH_aggregation.json` (schema
+//! `garfield-bench/aggregation-v2`) — the recorded perf trajectory CI uploads
+//! as an artifact — and gates against `results/perf_baseline.json`, which
+//! holds one recorded report *per thread count* (schema
+//! `garfield-bench/aggregation-baselines-v2`): throughput is only comparable
+//! between runs with the same parallelism, so `expfig perf --check` refuses
+//! to compare against a baseline recorded at a different thread count (the
+//! old gate silently compared every machine against a 1-core recording, so
+//! parallel-engine regressions were invisible).
 
 use crate::report::Row;
-use garfield_aggregation::{build_gar, Engine, Gar, GarKind};
+use garfield_aggregation::{build_gar, DistanceCache, Engine, Gar, GarKind};
 use garfield_core::json::{self, Value};
-use garfield_tensor::{GradientView, TensorRng};
+use garfield_tensor::{
+    squared_l2_distance_scalar, squared_l2_distance_slices, GradientView, TensorRng,
+};
+use std::hint::black_box;
 use std::time::Instant;
 
 /// Relative throughput loss versus the baseline that fails the CI gate.
 pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Fraction of sequential-engine throughput `Engine::auto` may lose before
+/// the parallel gate fails (speedup < 1 − this is a bug in `threads_for`,
+/// not noise). Only enforced when the report was recorded with > 1 thread:
+/// at 1 thread both engines run the identical code path and the ratio is
+/// pure measurement noise.
+pub const PARALLEL_LOSS_TOLERANCE: f64 = 0.10;
 
 /// One sweep configuration.
 #[derive(Debug, Clone)]
@@ -84,6 +105,34 @@ pub struct PerfPoint {
     pub identical: bool,
 }
 
+/// One measured distance-kernel cell (single-threaded, pair-element rate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    /// Kernel name: `scalar`, `chunked`, `blocked_exact` or `gram`.
+    pub kernel: String,
+    /// Number of inputs whose `n(n−1)/2` pairs were filled.
+    pub n: usize,
+    /// Gradient dimension.
+    pub d: usize,
+    /// Pair elements per second (`n(n−1)/2 · d` per fill / seconds).
+    pub elem_s: f64,
+}
+
+/// One complete `expfig perf` recording: the machine shape it was measured
+/// under plus every measured point. Baselines are keyed on `(threads,
+/// quick)` — comparing across either is comparing different experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Thread count of the parallel engine when this report was recorded.
+    pub threads: usize,
+    /// Whether the quick (CI smoke) sweep produced this report.
+    pub quick: bool,
+    /// Distance-kernel throughput points.
+    pub kernels: Vec<KernelPoint>,
+    /// GAR sweep points.
+    pub entries: Vec<PerfPoint>,
+}
+
 /// The Byzantine bound each GAR is swept with.
 ///
 /// Distance-based rules use the strongest `f` valid for every rule at that
@@ -106,13 +155,19 @@ fn time_cell(
     engine: &Engine,
     config: &PerfConfig,
 ) -> (f64, Vec<f32>) {
-    let start = Instant::now();
+    // One untimed warm-up rep: first-touch page faults and thread-pool
+    // spin-up used to land inside the first timed rep and could make a
+    // single-rep cell read ~10–30% slow, which at 1 thread masqueraded as a
+    // "parallel engine slower than sequential" bug.
     let mut out = gar
         .aggregate_views(views, engine)
         .expect("sweep inputs are well-formed")
         .into_vec();
-    let mut reps = 1usize;
-    while start.elapsed().as_secs_f64() < config.target_secs && reps < config.max_reps {
+    let start = Instant::now();
+    let mut reps = 0usize;
+    while reps == 0
+        || (start.elapsed().as_secs_f64() < config.target_secs && reps < config.max_reps)
+    {
         out = gar
             .aggregate_views(views, engine)
             .expect("sweep inputs are well-formed")
@@ -120,6 +175,84 @@ fn time_cell(
         reps += 1;
     }
     (start.elapsed().as_secs_f64() / reps as f64, out)
+}
+
+/// Times one closure with the same warm-up + repeat-until-budget policy as
+/// the GAR cells; returns seconds per rep.
+fn time_kernel<F: FnMut() -> f32>(config: &PerfConfig, mut work: F) -> f64 {
+    black_box(work());
+    let start = Instant::now();
+    let mut reps = 0usize;
+    while reps == 0
+        || (start.elapsed().as_secs_f64() < config.target_secs && reps < config.max_reps)
+    {
+        black_box(work());
+        reps += 1;
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Measures the distance kernels themselves — single-threaded, at the
+/// sweep's largest `d` — in pair elements per second.
+///
+/// `scalar` is the retained pre-rewrite reference (serial `f32` adds),
+/// `chunked` the multi-lane kernel applied per whole pair, `blocked_exact`
+/// the `DistanceCache` cache-blocked fill, and `gram` the fast-math Gram
+/// fill (norm pass included in its time).
+pub fn run_kernels(config: &PerfConfig) -> Vec<KernelPoint> {
+    let d = config.dims.iter().copied().max().unwrap_or(100_000);
+    let n = 15usize;
+    let mut rng = TensorRng::seed_from(0x6b72_6e6c ^ (d as u64));
+    let inputs: Vec<Vec<f32>> = (0..n).map(|_| rng.normal_tensor(d).into_vec()).collect();
+    let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+    let pair_elems = (n * (n - 1) / 2 * d) as f64;
+    let seq = Engine::sequential();
+    let gram_engine = Engine::sequential().fast_math(true);
+
+    let pairwise = |kernel: fn(&[f32], &[f32]) -> f32| {
+        let mut sum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                sum += kernel(&inputs[i], &inputs[j]);
+            }
+        }
+        sum
+    };
+
+    let mut points = Vec::new();
+    let secs = time_kernel(config, || pairwise(squared_l2_distance_scalar));
+    points.push(KernelPoint {
+        kernel: "scalar".into(),
+        n,
+        d,
+        elem_s: pair_elems / secs,
+    });
+    let secs = time_kernel(config, || pairwise(squared_l2_distance_slices));
+    points.push(KernelPoint {
+        kernel: "chunked".into(),
+        n,
+        d,
+        elem_s: pair_elems / secs,
+    });
+    let secs = time_kernel(config, || DistanceCache::build(&views, &seq).get(0, 1));
+    points.push(KernelPoint {
+        kernel: "blocked_exact".into(),
+        n,
+        d,
+        elem_s: pair_elems / secs,
+    });
+    let secs = time_kernel(config, || {
+        let cache = DistanceCache::build(&views, &gram_engine);
+        debug_assert!(cache.used_gram());
+        cache.get(0, 1)
+    });
+    points.push(KernelPoint {
+        kernel: "gram".into(),
+        n,
+        d,
+        elem_s: pair_elems / secs,
+    });
+    points
 }
 
 /// Runs the sweep, returning one point per (GAR, n, d) cell.
@@ -166,6 +299,17 @@ pub fn run(config: &PerfConfig) -> Vec<PerfPoint> {
     points
 }
 
+/// Runs the whole recording: kernel points plus the GAR sweep, stamped with
+/// the machine shape.
+pub fn run_report(config: &PerfConfig) -> PerfReport {
+    PerfReport {
+        threads: Engine::auto().threads(),
+        quick: config.quick,
+        kernels: run_kernels(config),
+        entries: run(config),
+    }
+}
+
 /// Renders points as report rows (for the aligned text table).
 pub fn as_rows(points: &[PerfPoint]) -> Vec<Row> {
     points
@@ -186,35 +330,62 @@ pub fn as_rows(points: &[PerfPoint]) -> Vec<Row> {
         .collect()
 }
 
-/// Serialises a sweep to the `BENCH_aggregation.json` schema.
-pub fn to_json(points: &[PerfPoint], threads: usize, quick: bool) -> String {
+/// Renders kernel points as report rows.
+pub fn kernel_rows(points: &[KernelPoint]) -> Vec<Row> {
+    points
+        .iter()
+        .map(|p| {
+            Row::new(
+                format!("{} n={} d={}", p.kernel, p.n, p.d),
+                vec![("melem_s", p.elem_s / 1e6)],
+            )
+        })
+        .collect()
+}
+
+fn push_json_f64(out: &mut String, key: &str, v: f64, trailing: bool) {
+    let mut num = String::new();
+    json::write_f64(&mut num, v);
+    out.push_str(&format!("\"{key}\": {num}"));
+    if trailing {
+        out.push_str(", ");
+    }
+}
+
+/// Serialises one recording to the `garfield-bench/aggregation-v2` schema.
+pub fn report_to_json(report: &PerfReport) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"garfield-bench/aggregation-v1\",\n");
-    out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"schema\": \"garfield-bench/aggregation-v2\",\n");
+    out.push_str(&format!("  \"threads\": {},\n", report.threads));
+    out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in report.kernels.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"kernel\": \"{}\", \"n\": {}, \"d\": {}, ",
+            k.kernel, k.n, k.d
+        ));
+        push_json_f64(&mut out, "elem_s", k.elem_s, false);
+        out.push('}');
+        if i + 1 < report.kernels.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"entries\": [\n");
-    for (i, p) in points.iter().enumerate() {
+    for (i, p) in report.entries.iter().enumerate() {
         out.push_str("    {");
         out.push_str(&format!("\"gar\": \"{}\", ", p.gar));
         out.push_str(&format!("\"n\": {}, \"f\": {}, \"d\": {}, ", p.n, p.f, p.d));
-        let mut num = String::new();
-        json::write_f64(&mut num, p.seq_secs);
-        out.push_str(&format!("\"seq_secs\": {num}, "));
-        num.clear();
-        json::write_f64(&mut num, p.par_secs);
-        out.push_str(&format!("\"par_secs\": {num}, "));
-        num.clear();
-        json::write_f64(&mut num, p.throughput);
-        out.push_str(&format!("\"throughput\": {num}, "));
-        num.clear();
-        json::write_f64(&mut num, p.mb_s);
-        out.push_str(&format!("\"mb_s\": {num}, "));
-        num.clear();
-        json::write_f64(&mut num, p.speedup);
-        out.push_str(&format!("\"speedup\": {num}, "));
+        push_json_f64(&mut out, "seq_secs", p.seq_secs, true);
+        push_json_f64(&mut out, "par_secs", p.par_secs, true);
+        push_json_f64(&mut out, "throughput", p.throughput, true);
+        push_json_f64(&mut out, "mb_s", p.mb_s, true);
+        push_json_f64(&mut out, "speedup", p.speedup, true);
         out.push_str(&format!("\"identical\": {}", p.identical));
         out.push('}');
-        if i + 1 < points.len() {
+        if i + 1 < report.entries.len() {
             out.push(',');
         }
         out.push('\n');
@@ -223,34 +394,44 @@ pub fn to_json(points: &[PerfPoint], threads: usize, quick: bool) -> String {
     out
 }
 
-/// Parses a `BENCH_aggregation.json` document back into points.
-///
-/// # Errors
-///
-/// Returns a message describing the first structural problem.
-pub fn parse_report(text: &str) -> Result<Vec<PerfPoint>, String> {
-    let doc = json::parse(text)?;
+/// Serialises a set of per-thread-count baselines
+/// (`garfield-bench/aggregation-baselines-v2`).
+pub fn baselines_to_json(baselines: &[PerfReport]) -> String {
+    let mut out = String::from("{\n\"schema\": \"garfield-bench/aggregation-baselines-v2\",\n");
+    out.push_str("\"baselines\": [\n");
+    for (i, b) in baselines.iter().enumerate() {
+        out.push_str(report_to_json(b).trim_end());
+        if i + 1 < baselines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn report_from_value(doc: &Value, what: &str) -> Result<PerfReport, String> {
     let entries = doc
         .get("entries")
         .and_then(Value::as_array)
-        .ok_or("report has no 'entries' array")?;
+        .ok_or_else(|| format!("{what} has no 'entries' array"))?;
     let mut points = Vec::with_capacity(entries.len());
     for (i, e) in entries.iter().enumerate() {
         let field_f64 = |k: &str| -> Result<f64, String> {
             e.get(k)
                 .and_then(Value::as_f64)
-                .ok_or_else(|| format!("entry {i} misses numeric '{k}'"))
+                .ok_or_else(|| format!("{what} entry {i} misses numeric '{k}'"))
         };
         let field_usize = |k: &str| -> Result<usize, String> {
             e.get(k)
                 .and_then(Value::as_usize)
-                .ok_or_else(|| format!("entry {i} misses integer '{k}'"))
+                .ok_or_else(|| format!("{what} entry {i} misses integer '{k}'"))
         };
         points.push(PerfPoint {
             gar: e
                 .get("gar")
                 .and_then(Value::as_str)
-                .ok_or_else(|| format!("entry {i} misses 'gar'"))?
+                .ok_or_else(|| format!("{what} entry {i} misses 'gar'"))?
                 .to_string(),
             n: field_usize("n")?,
             f: field_usize("f")?,
@@ -263,7 +444,87 @@ pub fn parse_report(text: &str) -> Result<Vec<PerfPoint>, String> {
             identical: e.get("identical").and_then(Value::as_bool).unwrap_or(false),
         });
     }
-    Ok(points)
+    // v1 reports have no kernels section; parse it when present.
+    let mut kernels = Vec::new();
+    if let Some(ks) = doc.get("kernels").and_then(Value::as_array) {
+        for (i, k) in ks.iter().enumerate() {
+            kernels.push(KernelPoint {
+                kernel: k
+                    .get("kernel")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("{what} kernel {i} misses 'kernel'"))?
+                    .to_string(),
+                n: k.get("n")
+                    .and_then(Value::as_usize)
+                    .ok_or_else(|| format!("{what} kernel {i} misses 'n'"))?,
+                d: k.get("d")
+                    .and_then(Value::as_usize)
+                    .ok_or_else(|| format!("{what} kernel {i} misses 'd'"))?,
+                elem_s: k
+                    .get("elem_s")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{what} kernel {i} misses 'elem_s'"))?,
+            });
+        }
+    }
+    Ok(PerfReport {
+        // v1 reports always carried 'threads'; default 1 for hand-written
+        // fixtures.
+        threads: doc.get("threads").and_then(Value::as_usize).unwrap_or(1),
+        quick: doc.get("quick").and_then(Value::as_bool).unwrap_or(false),
+        kernels,
+        entries: points,
+    })
+}
+
+/// Parses one `BENCH_aggregation.json` document (v1 or v2) back into a
+/// report.
+///
+/// # Errors
+///
+/// Returns a message describing the first structural problem.
+pub fn parse_report(text: &str) -> Result<PerfReport, String> {
+    let doc = json::parse(text)?;
+    report_from_value(&doc, "report")
+}
+
+/// Parses a baseline file: either the multi-report
+/// `garfield-bench/aggregation-baselines-v2` document or, for backward
+/// compatibility, a single legacy v1/v2 report (treated as one baseline).
+pub fn parse_baselines(text: &str) -> Result<Vec<PerfReport>, String> {
+    let doc = json::parse(text)?;
+    match doc.get("baselines").and_then(Value::as_array) {
+        Some(list) => list
+            .iter()
+            .enumerate()
+            .map(|(i, b)| report_from_value(b, &format!("baseline {i}")))
+            .collect(),
+        None => Ok(vec![report_from_value(&doc, "baseline")?]),
+    }
+}
+
+/// Inserts `report` into a baseline set, replacing any existing baseline
+/// recorded at the same `(threads, quick)` key.
+pub fn merge_baseline(baselines: &mut Vec<PerfReport>, report: PerfReport) {
+    match baselines
+        .iter_mut()
+        .find(|b| b.threads == report.threads && b.quick == report.quick)
+    {
+        Some(slot) => *slot = report,
+        None => baselines.push(report),
+    }
+    baselines.sort_by_key(|b| (b.threads, b.quick));
+}
+
+/// Finds the baseline recorded under the same `(threads, quick)` key as
+/// `report`, if any.
+pub fn matching_baseline<'a>(
+    baselines: &'a [PerfReport],
+    report: &PerfReport,
+) -> Option<&'a PerfReport> {
+    baselines
+        .iter()
+        .find(|b| b.threads == report.threads && b.quick == report.quick)
 }
 
 /// Compares a fresh sweep against a recorded baseline.
@@ -304,6 +565,72 @@ pub fn regressions(current: &[PerfPoint], baseline: &[PerfPoint], tolerance: f64
     problems
 }
 
+/// The kernel-level regression gate: same shape as [`regressions`], keyed on
+/// `(kernel, n, d)`.
+pub fn kernel_regressions(
+    current: &[KernelPoint],
+    baseline: &[KernelPoint],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for base in baseline {
+        let Some(now) = current
+            .iter()
+            .find(|k| k.kernel == base.kernel && k.n == base.n && k.d == base.d)
+        else {
+            problems.push(format!(
+                "kernel {} n={} d={}: present in baseline but missing from this sweep",
+                base.kernel, base.n, base.d
+            ));
+            continue;
+        };
+        let floor = base.elem_s * (1.0 - tolerance);
+        if now.elem_s < floor {
+            problems.push(format!(
+                "kernel {} n={} d={}: {:.3e} elem/s fell below {:.3e} \
+                 ({:.0}% of baseline {:.3e})",
+                now.kernel,
+                now.n,
+                now.d,
+                now.elem_s,
+                floor,
+                (1.0 - tolerance) * 100.0,
+                base.elem_s,
+            ));
+        }
+    }
+    problems
+}
+
+/// The parallel-engine sanity gate: on a multi-core recording, no (GAR, n,
+/// d) cell may show `Engine::auto` losing to `Engine::sequential` by more
+/// than `max_loss` — that is the `threads_for` fan-out heuristic spawning
+/// threads that cost more than they compute, the exact bug the old
+/// `PAR_MIN_WORK` floor had at d = 10⁴. Returns one message per violation;
+/// always empty for single-threaded reports.
+pub fn parallel_regressions(report: &PerfReport, max_loss: f64) -> Vec<String> {
+    if report.threads <= 1 {
+        return Vec::new();
+    }
+    report
+        .entries
+        .iter()
+        .filter(|p| p.speedup < 1.0 - max_loss)
+        .map(|p| {
+            format!(
+                "{} n={} d={}: parallel engine is {:.0}% slower than sequential \
+                 (speedup {:.2} at {} threads)",
+                p.gar,
+                p.n,
+                p.d,
+                (1.0 - p.speedup) * 100.0,
+                p.speedup,
+                report.threads,
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +642,15 @@ mod tests {
             target_secs: 0.0,
             max_reps: 1,
             quick: true,
+        }
+    }
+
+    fn tiny_report() -> PerfReport {
+        PerfReport {
+            threads: Engine::auto().threads(),
+            quick: true,
+            kernels: run_kernels(&tiny_config()),
+            entries: run(&tiny_config()),
         }
     }
 
@@ -330,17 +666,78 @@ mod tests {
     }
 
     #[test]
+    fn kernel_sweep_measures_every_kernel() {
+        let points = run_kernels(&tiny_config());
+        let names: Vec<&str> = points.iter().map(|k| k.kernel.as_str()).collect();
+        assert_eq!(names, ["scalar", "chunked", "blocked_exact", "gram"]);
+        for k in &points {
+            assert!(k.elem_s > 0.0, "{} measured no throughput", k.kernel);
+        }
+    }
+
+    #[test]
     fn json_round_trips() {
-        let points = run(&tiny_config());
-        let text = to_json(&points, 4, true);
+        let report = tiny_report();
+        let text = report_to_json(&report);
         let back = parse_report(&text).unwrap();
-        assert_eq!(back.len(), points.len());
-        for (a, b) in points.iter().zip(back.iter()) {
+        assert_eq!(back.threads, report.threads);
+        assert_eq!(back.quick, report.quick);
+        assert_eq!(back.entries.len(), report.entries.len());
+        assert_eq!(back.kernels.len(), report.kernels.len());
+        for (a, b) in report.entries.iter().zip(back.entries.iter()) {
             assert_eq!(a.gar, b.gar);
             assert_eq!((a.n, a.f, a.d), (b.n, b.f, b.d));
             assert!((a.throughput - b.throughput).abs() <= a.throughput * 1e-9);
             assert_eq!(a.identical, b.identical);
         }
+        for (a, b) in report.kernels.iter().zip(back.kernels.iter()) {
+            assert_eq!(a.kernel, b.kernel);
+            assert!((a.elem_s - b.elem_s).abs() <= a.elem_s * 1e-9);
+        }
+    }
+
+    #[test]
+    fn baseline_files_round_trip_and_merge_by_thread_count() {
+        let mut a = tiny_report();
+        a.threads = 1;
+        let mut b = tiny_report();
+        b.threads = 8;
+
+        let mut baselines = Vec::new();
+        merge_baseline(&mut baselines, a.clone());
+        merge_baseline(&mut baselines, b.clone());
+        assert_eq!(baselines.len(), 2);
+
+        // Re-recording at an existing thread count replaces, not appends.
+        let mut a2 = a.clone();
+        a2.entries[0].throughput *= 2.0;
+        merge_baseline(&mut baselines, a2.clone());
+        assert_eq!(baselines.len(), 2);
+        assert_eq!(
+            matching_baseline(&baselines, &a).unwrap().entries[0].throughput,
+            a2.entries[0].throughput
+        );
+
+        let text = baselines_to_json(&baselines);
+        let back = parse_baselines(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].threads, 1);
+        assert_eq!(back[1].threads, 8);
+
+        // A report only matches a baseline recorded at its thread count.
+        assert!(matching_baseline(&back, &b).is_some());
+        let mut c = tiny_report();
+        c.threads = 4;
+        assert!(matching_baseline(&back, &c).is_none());
+    }
+
+    #[test]
+    fn legacy_single_report_parses_as_one_baseline() {
+        let report = tiny_report();
+        let text = report_to_json(&report);
+        let baselines = parse_baselines(&text).unwrap();
+        assert_eq!(baselines.len(), 1);
+        assert_eq!(baselines[0].threads, report.threads);
     }
 
     #[test]
@@ -370,6 +767,47 @@ mod tests {
     }
 
     #[test]
+    fn kernel_gate_fires_on_slowdowns_and_missing_kernels() {
+        let base = run_kernels(&tiny_config());
+        assert!(kernel_regressions(&base, &base, DEFAULT_TOLERANCE).is_empty());
+        let mut slow = base.clone();
+        for k in &mut slow {
+            k.elem_s /= 2.0;
+        }
+        assert_eq!(
+            kernel_regressions(&slow, &base, DEFAULT_TOLERANCE).len(),
+            base.len()
+        );
+        let dropped: Vec<KernelPoint> = base[1..].to_vec();
+        assert_eq!(
+            kernel_regressions(&dropped, &base, DEFAULT_TOLERANCE).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn parallel_gate_only_fires_on_multi_thread_reports() {
+        let mut report = tiny_report();
+        report.threads = 4;
+        for p in &mut report.entries {
+            p.speedup = 1.5;
+        }
+        report.entries[0].speedup = 0.6; // a genuine fan-out loss
+        let problems = parallel_regressions(&report, PARALLEL_LOSS_TOLERANCE);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("slower than sequential"));
+
+        // Borderline loss within tolerance passes.
+        report.entries[0].speedup = 0.95;
+        assert!(parallel_regressions(&report, PARALLEL_LOSS_TOLERANCE).is_empty());
+
+        // At 1 thread the ratio is noise — never gated.
+        report.threads = 1;
+        report.entries[0].speedup = 0.5;
+        assert!(parallel_regressions(&report, PARALLEL_LOSS_TOLERANCE).is_empty());
+    }
+
+    #[test]
     fn sweep_f_respects_every_rule_requirement() {
         for kind in GarKind::all() {
             for n in [15usize, 25, 51] {
@@ -387,5 +825,6 @@ mod tests {
         assert!(parse_report("not json").is_err());
         assert!(parse_report("{}").is_err());
         assert!(parse_report("{\"entries\": [{}]}").is_err());
+        assert!(parse_baselines("{\"baselines\": [{}]}").is_err());
     }
 }

@@ -36,8 +36,15 @@ mod view;
 
 pub use error::{TensorError, TensorResult};
 pub use init::{Initializer, TensorRng};
-pub use linalg::{cosine_similarity, l2_distance, squared_l2_distance, squared_l2_distance_slices};
+pub use linalg::{
+    accumulate_dot, accumulate_squared_l2, cosine_similarity, dot_slices, l2_distance,
+    reduce_kernel_lanes, squared_l2_distance, squared_l2_distance_scalar,
+    squared_l2_distance_slices, squared_norm_slices, KERNEL_LANES,
+};
 pub use shape::Shape;
-pub use stats::{mean, median_inplace, std_dev, total_cmp_f32, variance};
+pub use stats::{
+    mean, median_inplace, std_dev, total_cmp_f32, total_order_key_f32, total_order_unkey_f32,
+    variance,
+};
 pub use tensor::Tensor;
 pub use view::GradientView;

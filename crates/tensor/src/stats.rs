@@ -53,6 +53,30 @@ pub fn median_inplace(values: &mut [f32]) -> f32 {
     *m
 }
 
+/// Maps an `f32` to a `u32` whose *native unsigned order* equals the
+/// [`total_cmp_f32`] total order: the sign bit is flipped for non-negatives
+/// and all bits are flipped for negatives (IEEE 754 totalOrder, the classic
+/// radix-sort float key).
+///
+/// The map is a bijection, so selecting the `k`-th key and mapping back with
+/// [`total_order_unkey_f32`] returns exactly the element that
+/// `select_nth_unstable_by(k, total_cmp_f32)` would — but the selection runs
+/// on branch-predictable integer compares instead of comparator calls, which
+/// is what makes the coordinate-wise Median/Bulyan trimmed-median kernels
+/// `O(n)`-per-coordinate in practice and not comparator-call-bound.
+#[inline]
+pub fn total_order_key_f32(x: f32) -> u32 {
+    let b = x.to_bits();
+    b ^ ((((b as i32) >> 31) as u32) | 0x8000_0000)
+}
+
+/// Inverse of [`total_order_key_f32`].
+#[inline]
+pub fn total_order_unkey_f32(k: u32) -> f32 {
+    let b = k ^ ((((k ^ 0x8000_0000) as i32 >> 31) as u32) | 0x8000_0000);
+    f32::from_bits(b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +110,38 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn median_of_empty_slice_panics() {
         median_inplace(&mut []);
+    }
+
+    #[test]
+    fn total_order_key_is_a_monotone_bijection() {
+        let samples = [
+            f32::NEG_INFINITY,
+            -1e30,
+            -1.0,
+            -f32::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE,
+            1.0,
+            1e30,
+            f32::INFINITY,
+            f32::NAN,
+            -f32::NAN,
+        ];
+        for &a in &samples {
+            // Bijective: round-trips to the same bits (including NaN payloads).
+            assert_eq!(
+                total_order_unkey_f32(total_order_key_f32(a)).to_bits(),
+                a.to_bits()
+            );
+            for &b in &samples {
+                // Monotone: key order is exactly the totalOrder predicate.
+                assert_eq!(
+                    total_order_key_f32(a).cmp(&total_order_key_f32(b)),
+                    total_cmp_f32(&a, &b),
+                    "key order diverged from total_cmp for {a} vs {b}"
+                );
+            }
+        }
     }
 }
