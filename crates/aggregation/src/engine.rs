@@ -356,9 +356,43 @@ pub struct DistanceCache {
     gram: bool,
 }
 
+/// Cached `garfield-obs` handles for the fill instrumentation: one registry
+/// lookup per process, relaxed-atomic bumps per fill, a load and a branch
+/// when observability is disabled.
+struct FillObs {
+    fill_seconds: garfield_obs::Histogram,
+    gelem_s: garfield_obs::Gauge,
+    fallbacks: garfield_obs::Counter,
+}
+
+fn fill_obs() -> &'static FillObs {
+    static OBS: std::sync::OnceLock<FillObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| FillObs {
+        fill_seconds: garfield_obs::metrics::histogram(
+            "garfield_distance_fill_seconds",
+            "Wall time of one DistanceCache pairwise fill.",
+            &[],
+        ),
+        gelem_s: garfield_obs::metrics::gauge(
+            "garfield_kernel_gelem_s",
+            "Distance-kernel throughput of the most recent fill, in Gelem/s \
+             (pair elements per second / 1e9).",
+            &[],
+        ),
+        fallbacks: garfield_obs::metrics::counter(
+            "garfield_fastmath_fallback_total",
+            "Fast-math fills that fell back to the exact kernels because an \
+             input or norm was non-finite.",
+            &[],
+        ),
+    })
+}
+
 impl DistanceCache {
     /// Computes all pairwise squared distances of `inputs` under `engine`.
     pub fn build(inputs: &[GradientView<'_>], engine: &Engine) -> Self {
+        let obs = fill_obs();
+        let span = garfield_obs::span_start();
         let n = inputs.len();
         let d = inputs.first().map(|v| v.len()).unwrap_or(0);
         let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(n * n.saturating_sub(1) / 2);
@@ -404,6 +438,24 @@ impl DistanceCache {
             dist[j as usize * n + i as usize] = v;
         }
         let finite = vals.iter().all(|v| v.is_finite());
+
+        if engine.is_fast_math() && n > 0 && !use_gram {
+            obs.fallbacks.inc();
+            garfield_obs::flight::record(
+                garfield_obs::flight::EventKind::FastMathFallback,
+                0,
+                None,
+                n as f64,
+            );
+        }
+        if let Some(elapsed) = garfield_obs::span_end(span, &obs.fill_seconds) {
+            let secs = elapsed.as_secs_f64();
+            if secs > 0.0 {
+                let pair_elems = pairs.len() as f64 * d as f64;
+                obs.gelem_s.set(pair_elems / secs / 1.0e9);
+            }
+        }
+
         DistanceCache {
             n,
             dist,

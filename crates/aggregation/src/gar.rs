@@ -143,6 +143,42 @@ impl FromStr for GarKind {
     }
 }
 
+/// A transparent [`Gar`] wrapper counting aggregations into the
+/// `garfield_gar_selections_total{gar=...}` metric family. Pure delegation
+/// otherwise: outputs are bit-identical to the wrapped rule, and with
+/// observability disabled the count is a load and a branch.
+struct CountedGar {
+    inner: Box<dyn Gar>,
+    selections: garfield_obs::Counter,
+}
+
+impl Gar for CountedGar {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn f(&self) -> usize {
+        self.inner.f()
+    }
+
+    fn aggregate_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Tensor> {
+        self.selections.inc();
+        self.inner.aggregate_views(inputs, engine)
+    }
+
+    fn is_byzantine_resilient(&self) -> bool {
+        self.inner.is_byzantine_resilient()
+    }
+}
+
 /// Builds a GAR from its kind, total input count `n` and Byzantine bound `f`.
 ///
 /// This is the paper's `init(name, n, f)`.
@@ -159,14 +195,20 @@ impl FromStr for GarKind {
 /// assert!(build_gar(GarKind::Bulyan, 6, 1).is_err());
 /// ```
 pub fn build_gar(kind: GarKind, n: usize, f: usize) -> AggregationResult<Box<dyn Gar>> {
-    Ok(match kind {
+    let inner: Box<dyn Gar> = match kind {
         GarKind::Average => Box::new(Average::new(n)?),
         GarKind::Median => Box::new(Median::new(n, f)?),
         GarKind::Krum => Box::new(Krum::new(n, f)?),
         GarKind::MultiKrum => Box::new(MultiKrum::new(n, f)?),
         GarKind::Mda => Box::new(Mda::new(n, f)?),
         GarKind::Bulyan => Box::new(Bulyan::new(n, f)?),
-    })
+    };
+    let selections = garfield_obs::metrics::counter(
+        "garfield_gar_selections_total",
+        "Aggregations performed, by GAR.",
+        &[("gar", kind.as_str())],
+    );
+    Ok(Box::new(CountedGar { inner, selections }))
 }
 
 /// Builds a GAR from a string name, mirroring the paper's `init("median", n, f)`.

@@ -8,7 +8,9 @@
 //! cargo run --release -p garfield-bench --bin expfig -- perf \
 //!     [--quick] [--out BENCH_aggregation.json] \
 //!     [--check results/perf_baseline.json] [--tolerance 0.20] \
-//!     [--merge-baseline results/perf_baseline.json]
+//!     [--merge-baseline results/perf_baseline.json] \
+//!     [--threads N] [--require-baseline] [--obs-gate]
+//! cargo run --release -p garfield-bench --bin expfig -- trace <flight-dir>
 //! ```
 //!
 //! Recognised experiment ids: `table1`, `fig3a`, `fig3b`, `fig4a`, `fig4b`,
@@ -26,15 +28,30 @@
 //! report per `(threads, quick)` key: entries recorded at a *different*
 //! thread count are never compared (throughput is not comparable across
 //! machine shapes) — if the file has no entry for this machine's thread
-//! count the gate prints a notice and passes, and `--merge-baseline PATH`
-//! records the current report into the file so CI can capture a multi-core
-//! baseline as an artifact. On multi-thread runs the gate additionally
-//! fails if `Engine::auto` lost to `Engine::sequential` by more than 10%
-//! on any cell (the fan-out heuristic regression assertion).
+//! count the gate prints a notice and passes (or, with `--require-baseline`,
+//! fails with recording instructions — the CI arming step), and
+//! `--merge-baseline PATH` records the current report into the file so CI
+//! can capture a multi-core baseline as an artifact. On multi-thread runs
+//! the gate additionally fails if `Engine::auto` lost to
+//! `Engine::sequential` by more than 10% on any cell (the fan-out heuristic
+//! regression assertion). `--threads N` pins the parallel engine's thread
+//! count (for recording a baseline under another machine shape's key; the
+//! fan-out gate is skipped, since an oversubscribed engine tells you
+//! nothing about the heuristic). `--obs-gate` additionally times a
+//! representative aggregation cell with the `garfield-obs` layer disabled
+//! vs enabled and fails if the instrumentation costs more than 2% of
+//! aggregation throughput.
+//!
+//! `trace <dir>` merges the `flight-*.jsonl` dumps that `garfield-node
+//! --flight-dir` processes wrote into one per-round cross-node timeline
+//! (who was slow, which pulls were re-asked, how the round split between
+//! gathering the quorum and the aggregate/apply tail), printed and written
+//! to `results/trace.csv`.
 
 use garfield_bench::figures;
 use garfield_bench::perf;
 use garfield_bench::report::{print_table, write_csv, Row};
+use garfield_bench::trace;
 use garfield_net::Device;
 
 fn run_one(id: &str) -> Option<(String, Vec<Row>)> {
@@ -77,10 +94,22 @@ fn run_perf(args: &[String]) -> i32 {
     let mut check_path: Option<String> = None;
     let mut merge_path: Option<String> = None;
     let mut tolerance = perf::DEFAULT_TOLERANCE;
+    let mut threads_override: Option<usize> = None;
+    let mut require_baseline = false;
+    let mut obs_gate = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => config = perf::PerfConfig::quick(),
+            "--threads" => match it.next().and_then(|t| t.parse::<usize>().ok()) {
+                Some(t) if t >= 1 => threads_override = Some(t),
+                _ => {
+                    eprintln!("--threads requires an integer ≥ 1");
+                    return 2;
+                }
+            },
+            "--require-baseline" => require_baseline = true,
+            "--obs-gate" => obs_gate = true,
             "--out" => match it.next() {
                 Some(p) => out_path = p.clone(),
                 None => {
@@ -118,19 +147,27 @@ fn run_perf(args: &[String]) -> i32 {
 
     // The effective engine shape, logged and recorded in the report so every
     // entry is self-describing: Engine::with_threads clamps a requested 0 to
-    // 1 in exactly one place, so what auto() reports here is what every
-    // sweep cell actually ran with.
-    let engine = garfield_aggregation::Engine::auto();
+    // 1 in exactly one place, so what it reports here is what every sweep
+    // cell actually ran with.
+    let engine = match threads_override {
+        Some(t) => garfield_aggregation::Engine::with_threads(t),
+        None => garfield_aggregation::Engine::auto(),
+    };
     println!(
-        "perf sweep: {} mode, effective engine: {} thread{} (Engine::auto), \
+        "perf sweep: {} mode, effective engine: {} thread{} ({}), \
          fast-math off, d={:?}, n={:?}",
         if config.quick { "quick" } else { "full" },
         engine.threads(),
         if engine.threads() == 1 { "" } else { "s" },
+        if threads_override.is_some() {
+            "--threads override"
+        } else {
+            "Engine::auto"
+        },
         config.dims,
         config.ns
     );
-    let report = perf::run_report(&config);
+    let report = perf::run_report_with(&config, &engine);
     print_table(
         "kernels (pairwise distance fill, 1 thread)",
         &perf::kernel_rows(&report.kernels),
@@ -160,8 +197,15 @@ fn run_perf(args: &[String]) -> i32 {
     }
 
     // The fan-out sanity gate needs no baseline: parallel vs sequential is
-    // measured within this very sweep.
-    let fanout = perf::parallel_regressions(&report, perf::PARALLEL_LOSS_TOLERANCE);
+    // measured within this very sweep. Skipped under a --threads override —
+    // a pinned thread count can oversubscribe this machine, and losing to
+    // sequential then says nothing about the `threads_for` heuristic.
+    let fanout = if threads_override.is_some() {
+        println!("fan-out gate skipped under --threads override");
+        Vec::new()
+    } else {
+        perf::parallel_regressions(&report, perf::PARALLEL_LOSS_TOLERANCE)
+    };
     if !fanout.is_empty() {
         eprintln!(
             "parallel-engine fan-out regression (Engine::auto must stay within {:.0}% of \
@@ -172,6 +216,32 @@ fn run_perf(args: &[String]) -> i32 {
             eprintln!("  {p}");
         }
         return 1;
+    }
+
+    if obs_gate {
+        let m = perf::obs_overhead(&config);
+        println!(
+            "obs overhead ({} n={} d={}): disabled {:.3} ms, enabled {:.3} ms — {:+.2}%",
+            m.gar,
+            m.n,
+            m.d,
+            m.disabled_secs * 1e3,
+            m.enabled_secs * 1e3,
+            m.overhead() * 100.0
+        );
+        if m.overhead() > perf::OBS_OVERHEAD_TOLERANCE {
+            eprintln!(
+                "obs gate FAILED: enabled observability costs {:.2}% of aggregation \
+                 throughput (limit {:.0}%)",
+                m.overhead() * 100.0,
+                perf::OBS_OVERHEAD_TOLERANCE * 100.0
+            );
+            return 1;
+        }
+        println!(
+            "obs gate passed: instrumentation overhead within {:.0}%",
+            perf::OBS_OVERHEAD_TOLERANCE * 100.0
+        );
     }
 
     let mut code = 0;
@@ -193,7 +263,8 @@ fn run_perf(args: &[String]) -> i32 {
         match perf::matching_baseline(&baselines, &report) {
             None => {
                 // Refuse to compare across machine shapes: a 1-core baseline
-                // says nothing about an 8-core run. Not an error — record a
+                // says nothing about an 8-core run. Without
+                // --require-baseline this is not an error — record a
                 // baseline for this shape with --merge-baseline.
                 let shapes: Vec<String> = baselines
                     .iter()
@@ -206,15 +277,23 @@ fn run_perf(args: &[String]) -> i32 {
                         )
                     })
                     .collect();
-                println!(
-                    "perf gate SKIPPED: {baseline_path} has no baseline recorded at \
-                     {} threads ({} mode); recorded shapes: [{}]. Refusing to compare \
-                     across thread counts — run with --merge-baseline {baseline_path} \
-                     to record one for this machine.",
+                let notice = format!(
+                    "{baseline_path} has no baseline recorded at {} threads ({} mode); \
+                     recorded shapes: [{}]. Refusing to compare across thread counts — \
+                     run `expfig perf --quick --merge-baseline {baseline_path}` on this \
+                     machine (or `--threads {} --merge-baseline …` elsewhere) and commit \
+                     the result to record one.",
                     report.threads,
                     if report.quick { "quick" } else { "full" },
-                    shapes.join(", ")
+                    shapes.join(", "),
+                    report.threads,
                 );
+                if require_baseline {
+                    eprintln!("perf gate UNARMED (--require-baseline): {notice}");
+                    code = 1;
+                } else {
+                    println!("perf gate SKIPPED: {notice}");
+                }
             }
             Some(base) => {
                 let mut problems = perf::regressions(&report.entries, &base.entries, tolerance);
@@ -273,14 +352,76 @@ fn run_perf(args: &[String]) -> i32 {
     code
 }
 
+/// Runs the `trace` subcommand: merge a directory of flight dumps into a
+/// per-round cross-node timeline. Returns the process exit code.
+fn run_trace(args: &[String]) -> i32 {
+    let Some(dir) = args.first() else {
+        eprintln!("usage: expfig trace <dir with flight-*.jsonl dumps>");
+        return 2;
+    };
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("{dir}: {e}");
+            return 1;
+        }
+    };
+    let mut files: Vec<std::path::PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no .jsonl flight dumps in {dir} (run nodes with --flight-dir {dir})");
+        return 1;
+    }
+    let mut dumps = Vec::new();
+    for path in &files {
+        let parsed = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| trace::parse_dump(&text));
+        match parsed {
+            Ok(dump) => {
+                println!(
+                    "{}: {} events (pid {})",
+                    path.display(),
+                    dump.events.len(),
+                    dump.pid
+                );
+                dumps.push(dump);
+            }
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
+    let merged = trace::merge(&dumps);
+    let rows = trace::as_rows(&trace::rounds(&merged));
+    print_table(
+        &format!("trace ({} dumps, {} events)", dumps.len(), merged.len()),
+        &rows,
+    );
+    if let Err(e) = write_csv("results/trace.csv", &rows) {
+        eprintln!("could not write results/trace.csv: {e}");
+        return 1;
+    }
+    println!("(written to results/trace.csv)");
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: expfig <experiment id ...> | all | perf [flags]   (see --help in the doc comment)");
+        eprintln!("usage: expfig <experiment id ...> | all | perf [flags] | trace <dir>   (see --help in the doc comment)");
         std::process::exit(2);
     }
     if args[0] == "perf" {
         std::process::exit(run_perf(&args[1..]));
+    }
+    if args[0] == "trace" {
+        std::process::exit(run_trace(&args[1..]));
     }
     let quick_all = [
         "table1",

@@ -21,8 +21,18 @@ pub mod perf;
 pub mod report;
 pub mod runtime_throughput;
 pub mod throughput;
+pub mod trace;
 
 pub use perf::{PerfConfig, PerfPoint};
 pub use report::{write_csv, Row};
 pub use runtime_throughput::{measure as measure_runtime, runtime_report, RuntimePoint};
 pub use throughput::{iteration_time, throughput, ThroughputPoint};
+
+/// Serializes tests that toggle or read the process-global `garfield-obs`
+/// enabled flag (the default test runner is multi-threaded).
+#[cfg(test)]
+pub(crate) fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

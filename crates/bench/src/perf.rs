@@ -261,7 +261,13 @@ pub fn run_kernels(config: &PerfConfig) -> Vec<KernelPoint> {
 /// sequential and parallel engines on the *same* borrowed views, comparing
 /// outputs bit for bit.
 pub fn run(config: &PerfConfig) -> Vec<PerfPoint> {
-    let parallel = Engine::auto();
+    run_with(config, &Engine::auto())
+}
+
+/// [`run`] with an explicit parallel engine (the `--threads` override used
+/// to record baselines for a machine shape other than this one's).
+pub fn run_with(config: &PerfConfig, parallel: &Engine) -> Vec<PerfPoint> {
+    let parallel = parallel.clone();
     let sequential = Engine::sequential();
     let mut points = Vec::new();
     for &d in &config.dims {
@@ -302,11 +308,104 @@ pub fn run(config: &PerfConfig) -> Vec<PerfPoint> {
 /// Runs the whole recording: kernel points plus the GAR sweep, stamped with
 /// the machine shape.
 pub fn run_report(config: &PerfConfig) -> PerfReport {
+    run_report_with(config, &Engine::auto())
+}
+
+/// [`run_report`] with an explicit parallel engine; the report is stamped
+/// with that engine's thread count, so a `--threads 4` recording lands under
+/// the 4-thread baseline key regardless of the machine it ran on.
+pub fn run_report_with(config: &PerfConfig, parallel: &Engine) -> PerfReport {
     PerfReport {
-        threads: Engine::auto().threads(),
+        threads: parallel.threads(),
         quick: config.quick,
         kernels: run_kernels(config),
-        entries: run(config),
+        entries: run_with(config, parallel),
+    }
+}
+
+/// Relative aggregation slowdown the enabled observability layer may cost
+/// before the `--obs-gate` check fails.
+pub const OBS_OVERHEAD_TOLERANCE: f64 = 0.02;
+
+/// The enabled-vs-disabled observability measurement: one representative
+/// DistanceCache-heavy cell, timed with the recorder/registry off and on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsOverhead {
+    /// GAR timed.
+    pub gar: String,
+    /// Number of inputs.
+    pub n: usize,
+    /// Gradient dimension.
+    pub d: usize,
+    /// Min-of-rounds seconds per aggregation with observability disabled.
+    pub disabled_secs: f64,
+    /// Min-of-rounds seconds per aggregation with observability enabled.
+    pub enabled_secs: f64,
+}
+
+impl ObsOverhead {
+    /// Fractional slowdown (`enabled / disabled − 1`; a negative value is
+    /// measurement noise reading as a speedup).
+    pub fn overhead(&self) -> f64 {
+        self.enabled_secs / self.disabled_secs - 1.0
+    }
+}
+
+/// Measures what the `garfield-obs` instrumentation costs on the aggregation
+/// hot path: Multi-Krum at the sweep's largest cell, where every aggregation
+/// crosses the instrumented `DistanceCache::build` (fill histogram +
+/// throughput gauge) and the per-GAR selection counter.
+///
+/// The two states are timed *interleaved* (disabled, enabled, disabled, …)
+/// and each side keeps its minimum over the rounds, so machine drift hits
+/// both sides alike instead of biasing whichever state ran second. Restores
+/// the observability state it found.
+pub fn obs_overhead(config: &PerfConfig) -> ObsOverhead {
+    const ROUNDS: usize = 7;
+    let d = config.dims.iter().copied().max().unwrap_or(100_000);
+    let n = config.ns.iter().copied().max().unwrap_or(15);
+    let kind = GarKind::MultiKrum;
+    let f = sweep_f(kind, n);
+    let gar = build_gar(kind, n, f).expect("sweep (n, f) satisfies every rule");
+    let mut rng = TensorRng::seed_from(0x0b50_bd0b ^ (d as u64));
+    let inputs: Vec<Vec<f32>> = (0..n).map(|_| rng.normal_tensor(d).into_vec()).collect();
+    let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+    let engine = Engine::auto();
+    let was_enabled = garfield_obs::enabled();
+
+    let time_one = |on: bool| -> f64 {
+        if on {
+            garfield_obs::enable();
+        } else {
+            garfield_obs::disable();
+        }
+        let start = Instant::now();
+        black_box(
+            gar.aggregate_views(&views, &engine)
+                .expect("sweep inputs are well-formed"),
+        );
+        start.elapsed().as_secs_f64()
+    };
+    // Warm both paths untimed: page faults, thread-pool spin-up, and metric
+    // registration (a one-time cold-path cost, not steady-state overhead).
+    time_one(false);
+    time_one(true);
+    let (mut disabled_secs, mut enabled_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        disabled_secs = disabled_secs.min(time_one(false));
+        enabled_secs = enabled_secs.min(time_one(true));
+    }
+    if was_enabled {
+        garfield_obs::enable();
+    } else {
+        garfield_obs::disable();
+    }
+    ObsOverhead {
+        gar: kind.as_str().to_string(),
+        n,
+        d,
+        disabled_secs,
+        enabled_secs,
     }
 }
 
@@ -805,6 +904,22 @@ mod tests {
         report.threads = 1;
         report.entries[0].speedup = 0.5;
         assert!(parallel_regressions(&report, PARALLEL_LOSS_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn obs_overhead_times_both_states_and_restores_the_flag() {
+        let _lock = crate::obs_test_lock();
+        garfield_obs::disable();
+        let m = obs_overhead(&tiny_config());
+        assert_eq!(m.gar, "multi-krum");
+        assert!(m.disabled_secs > 0.0 && m.enabled_secs > 0.0);
+        assert!(m.overhead().is_finite());
+        assert!(!garfield_obs::enabled(), "flag not restored");
+
+        garfield_obs::enable();
+        let _ = obs_overhead(&tiny_config());
+        assert!(garfield_obs::enabled(), "enabled state not restored");
+        garfield_obs::disable();
     }
 
     #[test]

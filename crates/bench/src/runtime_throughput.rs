@@ -9,8 +9,35 @@
 //! over time and to pin the invariant that both substrates learn the same
 //! model (the `acc_gap` column should stay ~0).
 
+//! The live run additionally reports wall-clock latency *distributions*
+//! sourced from the `garfield-obs` phase histograms the runtime actors feed
+//! (`garfield_phase_seconds{phase=…}` / `garfield_round_seconds`): p50 and
+//! p99 per phase, where a mean alone would hide a straggler tail. Quantiles
+//! are log-bucket upper bounds (factor-of-2 buckets), so they are coarse
+//! but monotone and cheap.
+//!
+//! ### `results/runtime.csv` schema
+//!
+//! One row per system (`vanilla`, `ssmw`, `msmw`); columns:
+//!
+//! | column | meaning |
+//! |---|---|
+//! | `sim_ups` | simulated updates/s of the analytic substrate |
+//! | `live_ups` | wall-clock updates/s of the threaded substrate |
+//! | `live_msgs` | messages the live actors put on the wire |
+//! | `live_mb` | payload megabytes sent |
+//! | `wire_mb` | on-wire megabytes (payload + framing) |
+//! | `dropped` | frames dropped by transport backpressure |
+//! | `resumes` | crash-recovery rejoins |
+//! | `retried` | re-asked pull requests |
+//! | `comm_p50_ms` / `comm_p99_ms` | communication-phase latency quantiles |
+//! | `agg_p50_ms` / `agg_p99_ms` | aggregation-phase latency quantiles |
+//! | `round_p50_ms` / `round_p99_ms` | whole-round latency quantiles |
+//! | `acc_gap` | \|sim − live\| final accuracy (should stay ~0) |
+
 use crate::report::Row;
 use garfield_core::{Executor, ExperimentConfig, SimExecutor, SystemKind};
+use garfield_obs::{metrics, Histogram, HistogramSnapshot};
 use garfield_runtime::LiveExecutor;
 
 /// One system's sim-vs-live measurement.
@@ -42,6 +69,61 @@ pub struct RuntimePoint {
     pub sim_accuracy: f64,
     /// Final accuracy of the live run.
     pub live_accuracy: f64,
+    /// Communication-phase (p50, p99) seconds from the live run's histograms.
+    pub comm_quantiles: (f64, f64),
+    /// Aggregation-phase (p50, p99) seconds from the live run's histograms.
+    pub agg_quantiles: (f64, f64),
+    /// Whole-round (p50, p99) seconds from the live run's histograms.
+    pub round_quantiles: (f64, f64),
+}
+
+/// Handles on the phase histograms the runtime actors feed, plus a snapshot
+/// taken before a run so per-run quantiles come from interval deltas (the
+/// registry is process-global and accumulates across systems).
+struct PhaseHists {
+    communication: Histogram,
+    aggregation: Histogram,
+    round: Histogram,
+}
+
+impl PhaseHists {
+    fn get() -> PhaseHists {
+        // Same (name, labels) keys the actors register; help text is taken
+        // from whichever registration happens first.
+        let phase = |name| {
+            metrics::histogram(
+                "garfield_phase_seconds",
+                "Per-round phase latency (the paper's compute/communication/\
+                 aggregation breakdown, plus checkpointing), by phase.",
+                &[("phase", name)],
+            )
+        };
+        PhaseHists {
+            communication: phase("communication"),
+            aggregation: phase("aggregation"),
+            round: metrics::histogram(
+                "garfield_round_seconds",
+                "End-to-end server round latency.",
+                &[],
+            ),
+        }
+    }
+
+    fn snapshot(&self) -> [HistogramSnapshot; 3] {
+        [
+            self.communication.snapshot(),
+            self.aggregation.snapshot(),
+            self.round.snapshot(),
+        ]
+    }
+}
+
+fn quantiles(after: &HistogramSnapshot, before: &HistogramSnapshot) -> (f64, f64) {
+    let delta = after.since(before);
+    (
+        delta.quantile(0.5).unwrap_or(0.0),
+        delta.quantile(0.99).unwrap_or(0.0),
+    )
 }
 
 /// Runs vanilla, SSMW and MSMW on both substrates (fault-free, identical
@@ -54,11 +136,18 @@ pub fn measure(iterations: usize) -> garfield_core::CoreResult<Vec<RuntimePoint>
     let mut cfg = ExperimentConfig::small();
     cfg.iterations = iterations.max(1);
     cfg.eval_every = iterations.max(1);
+    // The phase quantile columns exist only if the actors record: turn the
+    // observability layer on for the measurement (it stays on — `expfig`
+    // is a harness process, not a latency-critical service).
+    garfield_obs::enable();
+    let hists = PhaseHists::get();
     let mut points = Vec::new();
     for system in [SystemKind::Vanilla, SystemKind::Ssmw, SystemKind::Msmw] {
         let sim_trace = SimExecutor::new(cfg.clone()).run(system)?;
         let mut live = LiveExecutor::new(cfg.clone());
+        let before = hists.snapshot();
         let report = live.run_live(system)?;
+        let after = hists.snapshot();
         let wall: f64 = report.telemetry.round_latencies.iter().sum();
         points.push(RuntimePoint {
             system,
@@ -72,6 +161,9 @@ pub fn measure(iterations: usize) -> garfield_core::CoreResult<Vec<RuntimePoint>
             live_retried: report.telemetry.total_requests_retried(),
             sim_accuracy: sim_trace.final_accuracy() as f64,
             live_accuracy: report.trace.final_accuracy() as f64,
+            comm_quantiles: quantiles(&after[0], &before[0]),
+            agg_quantiles: quantiles(&after[1], &before[1]),
+            round_quantiles: quantiles(&after[2], &before[2]),
         });
     }
     Ok(points)
@@ -101,6 +193,12 @@ pub fn runtime_report() -> Vec<Row> {
                     ("dropped", p.live_dropped as f64),
                     ("resumes", p.live_resumes as f64),
                     ("retried", p.live_retried as f64),
+                    ("comm_p50_ms", p.comm_quantiles.0 * 1e3),
+                    ("comm_p99_ms", p.comm_quantiles.1 * 1e3),
+                    ("agg_p50_ms", p.agg_quantiles.0 * 1e3),
+                    ("agg_p99_ms", p.agg_quantiles.1 * 1e3),
+                    ("round_p50_ms", p.round_quantiles.0 * 1e3),
+                    ("round_p99_ms", p.round_quantiles.1 * 1e3),
                     ("acc_gap", (p.sim_accuracy - p.live_accuracy).abs()),
                 ],
             )
@@ -114,9 +212,22 @@ mod tests {
 
     #[test]
     fn fault_free_substrates_agree_and_live_moves_real_bytes() {
+        // measure() turns the global obs flag on; serialize against tests
+        // that toggle it.
+        let _lock = crate::obs_test_lock();
         let points = measure(6).unwrap();
         assert_eq!(points.len(), 3);
         for p in &points {
+            // The actors fed the phase histograms, so the quantile columns
+            // must be live: every round takes > 0 time and p99 ≥ p50.
+            assert!(
+                p.round_quantiles.0 > 0.0,
+                "{}: empty round histogram",
+                p.system
+            );
+            assert!(p.round_quantiles.1 >= p.round_quantiles.0);
+            assert!(p.comm_quantiles.1 >= p.comm_quantiles.0);
+            assert!(p.agg_quantiles.1 >= p.agg_quantiles.0);
             assert!(p.sim_updates_per_second > 0.0);
             assert!(p.live_updates_per_second > 0.0);
             assert!(p.live_messages > 0, "{}: no live messages", p.system);

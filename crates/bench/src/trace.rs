@@ -1,0 +1,327 @@
+//! `expfig trace <dir>`: merge per-node flight-recorder dumps into one
+//! per-round, cross-node timeline.
+//!
+//! Each `garfield-node --flight-dir` process writes
+//! `flight-<role><rank>.jsonl` (schema `garfield-obs/flight-v1`): a header
+//! line carrying the process's epoch as unix microseconds, then one event
+//! per line with a monotonic `t_us` offset from that epoch. Merging dumps
+//! is therefore: `abs_us = epoch_unix_us + t_us` per event, sort, group by
+//! round. The resulting table answers the questions a stalled run raises —
+//! how long each round took, which worker was the last to satisfy a pull
+//! (the straggler the quorum waited on), which pulls had to be re-asked,
+//! and how the round's critical path split between gathering the quorum and
+//! the aggregate/apply tail.
+//!
+//! Unix clocks across machines are only as aligned as NTP keeps them; on
+//! one host (the multi-process smoke setup) the alignment error is
+//! microseconds, across a real cluster it is whatever the fleet's clock
+//! discipline allows. The per-round durations within one node's events are
+//! monotonic regardless.
+
+use crate::report::Row;
+use garfield_core::json::{self, Value};
+use garfield_obs::flight::{EventKind, FLIGHT_SCHEMA};
+
+/// One flight event, re-anchored to absolute unix microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedEvent {
+    /// Absolute timestamp: the dump's `epoch_unix_us` plus the event's
+    /// monotonic offset.
+    pub abs_us: u64,
+    /// Node the event happened on.
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// Training round the event belongs to.
+    pub round: u64,
+    /// Peer involved (the worker a pull went to, the sender of a dropped
+    /// frame), when the event has one.
+    pub peer: Option<u32>,
+    /// Event payload (quorum size, latency seconds, …; 0 when unused).
+    pub value: f64,
+}
+
+/// One parsed dump file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Process id recorded in the header.
+    pub pid: u64,
+    /// The dump's epoch in unix microseconds.
+    pub epoch_unix_us: u64,
+    /// Events, re-anchored to absolute time.
+    pub events: Vec<MergedEvent>,
+}
+
+/// Parses one JSONL flight dump.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line, a wrong schema tag,
+/// or an unknown event kind.
+pub fn parse_dump(text: &str) -> Result<FlightDump, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty dump")?;
+    let header = json::parse(header).map_err(|e| format!("header: {e}"))?;
+    let schema = header
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("header has no 'schema'")?;
+    if schema != FLIGHT_SCHEMA {
+        return Err(format!("schema '{schema}' is not '{FLIGHT_SCHEMA}'"));
+    }
+    let epoch_unix_us = header
+        .get("epoch_unix_us")
+        .and_then(Value::as_f64)
+        .ok_or("header has no 'epoch_unix_us'")? as u64;
+    let pid = header.get("pid").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let doc = json::parse(line).map_err(|e| format!("event line {}: {e}", i + 1))?;
+        let field = |k: &str| -> Result<f64, String> {
+            doc.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("event line {} misses numeric '{}'", i + 1, k))
+        };
+        let kind_name = doc
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event line {} misses 'kind'", i + 1))?;
+        let kind = EventKind::parse(kind_name)
+            .ok_or_else(|| format!("event line {}: unknown kind '{kind_name}'", i + 1))?;
+        events.push(MergedEvent {
+            abs_us: epoch_unix_us + field("t_us")? as u64,
+            node: field("node")? as u32,
+            kind,
+            round: field("round")? as u64,
+            peer: doc.get("peer").and_then(Value::as_f64).map(|p| p as u32),
+            // Non-finite payloads dump as null; read them back as NaN.
+            value: match doc.get("value") {
+                Some(Value::Null) | None => f64::NAN,
+                Some(v) => v.as_f64().unwrap_or(f64::NAN),
+            },
+        });
+    }
+    Ok(FlightDump {
+        pid,
+        epoch_unix_us,
+        events,
+    })
+}
+
+/// Merges dumps into one absolute-time-ordered event stream.
+pub fn merge(dumps: &[FlightDump]) -> Vec<MergedEvent> {
+    let mut all: Vec<MergedEvent> = dumps.iter().flat_map(|d| d.events.clone()).collect();
+    all.sort_by_key(|e| (e.abs_us, e.node));
+    all
+}
+
+/// One reconstructed round of the cross-node timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundTimeline {
+    /// Round number.
+    pub round: u64,
+    /// Wall-clock milliseconds from the first `RoundStart` to the last
+    /// `RoundEnd` of the round, across all nodes.
+    pub duration_ms: f64,
+    /// Milliseconds from the round's start to its last `QuorumFormed` —
+    /// the gather half of the critical path.
+    pub quorum_ms: f64,
+    /// Milliseconds from the last `QuorumFormed` to the round's end — the
+    /// aggregate/apply tail of the critical path (0 when no quorum event
+    /// landed in the dump window).
+    pub tail_ms: f64,
+    /// Pull requests issued.
+    pub pulls: u64,
+    /// Pull re-asks (requests re-sent to silent peers).
+    pub retries: u64,
+    /// Frames dropped by transport backpressure during the round.
+    pub drops: u64,
+    /// The peer whose reply arrived last before the quorum formed — the
+    /// straggler the round waited on (`None` when no pull was satisfied).
+    pub slowest_peer: Option<u32>,
+    /// Milliseconds the slowest satisfied pull was outstanding.
+    pub slowest_wait_ms: f64,
+    /// Checkpoints written during the round.
+    pub checkpoints: u64,
+}
+
+/// Groups a merged event stream into per-round timelines (rounds sorted).
+pub fn rounds(events: &[MergedEvent]) -> Vec<RoundTimeline> {
+    let mut ids: Vec<u64> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RoundStart | EventKind::RoundEnd))
+        .map(|e| e.round)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+
+    let mut out = Vec::with_capacity(ids.len());
+    for round in ids {
+        let of_round = || events.iter().filter(move |e| e.round == round);
+        let first = |kind: EventKind| {
+            of_round()
+                .filter(|e| e.kind == kind)
+                .map(|e| e.abs_us)
+                .min()
+        };
+        let last = |kind: EventKind| {
+            of_round()
+                .filter(|e| e.kind == kind)
+                .map(|e| e.abs_us)
+                .max()
+        };
+        let count = |kind: EventKind| of_round().filter(|e| e.kind == kind).count() as u64;
+
+        let start = match first(EventKind::RoundStart) {
+            Some(t) => t,
+            // A dump window can catch a round's end without its start (ring
+            // overwrote it); anchor on whatever we have.
+            None => of_round().map(|e| e.abs_us).min().unwrap_or(0),
+        };
+        let end = last(EventKind::RoundEnd).unwrap_or(start);
+        let quorum = last(EventKind::QuorumFormed);
+
+        // The straggler: among satisfied pulls, the latest one. Its wait is
+        // measured from the round's (first) pull issue, which is when the
+        // server started waiting.
+        let slowest = of_round()
+            .filter(|e| e.kind == EventKind::PullSatisfied)
+            .max_by_key(|e| e.abs_us);
+        let issued = first(EventKind::PullIssued);
+        let ms = |later: u64, earlier: u64| later.saturating_sub(earlier) as f64 / 1e3;
+
+        out.push(RoundTimeline {
+            round,
+            duration_ms: ms(end, start),
+            quorum_ms: quorum.map_or(0.0, |q| ms(q, start)),
+            tail_ms: quorum.map_or(0.0, |q| ms(end, q)),
+            pulls: count(EventKind::PullIssued),
+            retries: count(EventKind::PullRetried),
+            drops: count(EventKind::FrameDropped),
+            slowest_peer: slowest.and_then(|e| e.peer),
+            slowest_wait_ms: match (slowest, issued) {
+                (Some(e), Some(t0)) => ms(e.abs_us, t0),
+                _ => 0.0,
+            },
+            checkpoints: count(EventKind::CheckpointWritten),
+        });
+    }
+    out
+}
+
+/// Renders round timelines as report rows for `print_table`/`write_csv`.
+/// `slow_node` is −1 when the round had no satisfied pull.
+pub fn as_rows(timelines: &[RoundTimeline]) -> Vec<Row> {
+    timelines
+        .iter()
+        .map(|t| {
+            Row::new(
+                format!("round {}", t.round),
+                vec![
+                    ("dur_ms", t.duration_ms),
+                    ("quorum_ms", t.quorum_ms),
+                    ("tail_ms", t.tail_ms),
+                    ("pulls", t.pulls as f64),
+                    ("retries", t.retries as f64),
+                    ("drops", t.drops as f64),
+                    ("slow_node", t.slowest_peer.map_or(-1.0, f64::from)),
+                    ("slow_wait_ms", t.slowest_wait_ms),
+                    ("ckpts", t.checkpoints as f64),
+                ],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump(epoch: u64, node: u32, lines: &[(u64, &str, u64, Option<u32>)]) -> String {
+        let mut text = format!(
+            "{{\"schema\":\"{FLIGHT_SCHEMA}\",\"epoch_unix_us\":{epoch},\"pid\":7,\
+             \"events\":{},\"overwritten\":0}}\n",
+            lines.len()
+        );
+        for (t, kind, round, peer) in lines {
+            let peer = peer.map_or("null".to_string(), |p| p.to_string());
+            text.push_str(&format!(
+                "{{\"t_us\":{t},\"node\":{node},\"kind\":\"{kind}\",\"round\":{round},\
+                 \"peer\":{peer},\"value\":1.0}}\n"
+            ));
+        }
+        text
+    }
+
+    #[test]
+    fn merges_two_nodes_into_one_round_timeline() {
+        // Server (node 0) starts round 3 at epoch 1000, issues a pull, gets
+        // replies from peers 2 then 3, forms a quorum, ends the round.
+        let server = dump(
+            1_000,
+            0,
+            &[
+                (0, "round_start", 3, None),
+                (10, "pull_issued", 3, None),
+                (200, "pull_satisfied", 3, Some(2)),
+                (900, "pull_satisfied", 3, Some(3)),
+                (950, "quorum_formed", 3, None),
+                (1_200, "round_end", 3, None),
+            ],
+        );
+        // A worker (node 2) whose clock epoch differs by 500 µs.
+        let worker = dump(1_500, 2, &[(100, "frame_dropped", 3, Some(1))]);
+
+        let dumps = vec![parse_dump(&server).unwrap(), parse_dump(&worker).unwrap()];
+        assert_eq!(dumps[0].pid, 7);
+        let merged = merge(&dumps);
+        assert_eq!(merged.len(), 7);
+        // Absolute ordering interleaves the worker's drop (abs 1600) into
+        // the server's round (abs 1000..2200).
+        assert_eq!(merged[3].kind, EventKind::FrameDropped);
+
+        let timeline = rounds(&merged);
+        assert_eq!(timeline.len(), 1);
+        let r = &timeline[0];
+        assert_eq!(r.round, 3);
+        assert!((r.duration_ms - 1.2).abs() < 1e-9);
+        assert!((r.quorum_ms - 0.95).abs() < 1e-9);
+        assert!((r.tail_ms - 0.25).abs() < 1e-9);
+        assert_eq!(r.pulls, 1);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.drops, 1);
+        assert_eq!(r.slowest_peer, Some(3));
+        assert!((r.slowest_wait_ms - 0.89).abs() < 1e-9);
+
+        let rows = as_rows(&timeline);
+        assert_eq!(rows[0].label, "round 3");
+        assert_eq!(rows[0].values[6], ("slow_node".to_string(), 3.0));
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_malformed_lines() {
+        assert!(parse_dump("").is_err());
+        assert!(parse_dump("{\"schema\":\"other/v9\",\"epoch_unix_us\":1}").is_err());
+        let bad_kind = format!(
+            "{{\"schema\":\"{FLIGHT_SCHEMA}\",\"epoch_unix_us\":1}}\n\
+             {{\"t_us\":1,\"node\":0,\"kind\":\"nope\",\"round\":0,\"peer\":null,\"value\":0}}"
+        );
+        assert!(parse_dump(&bad_kind).unwrap_err().contains("unknown kind"));
+    }
+
+    #[test]
+    fn a_round_without_quorum_or_pulls_still_rows() {
+        let text = dump(
+            0,
+            1,
+            &[(0, "round_start", 0, None), (500, "round_end", 0, None)],
+        );
+        let t = rounds(&merge(&[parse_dump(&text).unwrap()]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].slowest_peer, None);
+        assert_eq!(t[0].quorum_ms, 0.0);
+        assert!((t[0].duration_ms - 0.5).abs() < 1e-9);
+        assert_eq!(as_rows(&t)[0].values[6].1, -1.0);
+    }
+}

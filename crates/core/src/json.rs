@@ -113,6 +113,40 @@ pub fn write_f32(out: &mut String, v: f32) {
     }
 }
 
+/// Appends any [`Value`] as JSON: the write-side complement of [`parse`].
+/// Objects print keys in sorted order (they are stored sorted); non-finite
+/// numbers become `null`, as `serde_json` emits them.
+pub fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_f64(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Parses a complete JSON document.
 ///
 /// # Errors
@@ -381,6 +415,18 @@ mod tests {
             parse(r#""\ude00""#).is_err(),
             "lone low surrogate is not a scalar"
         );
+    }
+
+    #[test]
+    fn write_value_round_trips_nested_documents() {
+        let doc = parse(r#"{"a":[1,2.5,null,true],"b":{"c":"x\ny"},"d":[]}"#).unwrap();
+        let mut out = String::new();
+        write_value(&mut out, &doc);
+        assert_eq!(parse(&out).unwrap(), doc);
+        // Non-finite numbers degrade to null on the way out.
+        let mut out = String::new();
+        write_value(&mut out, &Value::Array(vec![Value::Number(f64::NAN)]));
+        assert_eq!(out, "[null]");
     }
 
     #[test]

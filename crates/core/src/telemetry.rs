@@ -9,7 +9,6 @@
 use crate::json;
 use crate::{CoreError, CoreResult};
 use garfield_net::{PeerCounters, Role};
-use std::fmt::Write as _;
 
 /// Simulated time spent in each phase of one training iteration, in seconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -170,7 +169,9 @@ impl TrainingTrace {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{{\"iteration\":{},\"sim_time\":", p.iteration);
+            out.push_str("{\"iteration\":");
+            json::write_f64(&mut out, p.iteration as f64);
+            out.push_str(",\"sim_time\":");
             json::write_f64(&mut out, p.sim_time);
             out.push_str(",\"accuracy\":");
             json::write_f32(&mut out, p.accuracy);
@@ -178,7 +179,9 @@ impl TrainingTrace {
             json::write_f32(&mut out, p.loss);
             out.push('}');
         }
-        let _ = write!(out, "],\"effective_batch\":{}}}", self.effective_batch);
+        out.push_str("],\"effective_batch\":");
+        json::write_f64(&mut out, self.effective_batch as f64);
+        out.push('}');
         out
     }
 

@@ -1,0 +1,158 @@
+//! Property tests for telemetry JSON emission.
+//!
+//! The regression being pinned: `TrainingTrace::to_json` must route every
+//! number through `garfield_core::json`, so a diverged run's NaN loss or an
+//! infinite timing serializes as `null` (the `serde_json` convention) rather
+//! than the invalid literals `NaN`/`inf` that ad-hoc `write!("{}")`
+//! formatting produces. Every emitted document must therefore (a) parse as
+//! well-formed JSON and (b) round-trip: finite values exactly, non-finite
+//! values as NaN.
+
+use garfield_core::json;
+use garfield_core::{AccuracyPoint, IterationTiming, TrainingTrace};
+use proptest::prelude::*;
+
+/// Maps a selector to a float from the awkward corners of the f64 space:
+/// non-finites, signed zeros, subnormals, extremes — or the plain finite
+/// value for the common case.
+fn special_f64(sel: u8, finite: f64) -> f64 {
+    match sel % 10 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 => f64::MIN_POSITIVE / 4.0, // subnormal
+        6 => f64::MAX,
+        7 => f64::MIN_POSITIVE,
+        _ => finite,
+    }
+}
+
+fn special_f32(sel: u8, finite: f32) -> f32 {
+    special_f64(sel, finite as f64) as f32
+}
+
+/// Exact equality that treats every NaN as equal (round-tripping maps all
+/// non-finite inputs to NaN, by design).
+fn roundtrips_f64(written: f64, read: f64) -> bool {
+    if written.is_finite() {
+        written.to_bits() == read.to_bits()
+    } else {
+        read.is_nan()
+    }
+}
+
+fn roundtrips_f32(written: f32, read: f32) -> bool {
+    if written.is_finite() {
+        written.to_bits() == read.to_bits()
+    } else {
+        read.is_nan()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn trace_json_round_trips_any_float_including_non_finite(
+        timings in proptest::collection::vec(
+            ((0u8..10, 0u8..10, 0u8..10), (0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6)),
+            0..6,
+        ),
+        points in proptest::collection::vec(
+            (
+                0usize..1000,
+                (0u8..10, 0u8..10, 0u8..10),
+                (0.0f64..1e6, 0.0f32..1.0, 0.0f32..100.0),
+            ),
+            0..6,
+        ),
+        batch in 0usize..10_000,
+        system_letters in proptest::collection::vec(0u8..26, 1..8),
+    ) {
+        let system: String = system_letters.iter().map(|c| (b'a' + c) as char).collect();
+        let mut trace = TrainingTrace::new(system.clone(), batch);
+        for ((s1, s2, s3), (a, b, c)) in &timings {
+            trace.iterations.push(IterationTiming {
+                computation: special_f64(*s1, *a),
+                communication: special_f64(*s2, *b),
+                aggregation: special_f64(*s3, *c),
+            });
+        }
+        for (iteration, (s1, s2, s3), (t, acc, loss)) in &points {
+            trace.accuracy.push(AccuracyPoint {
+                iteration: *iteration,
+                sim_time: special_f64(*s1, *t),
+                accuracy: special_f32(*s2, *acc),
+                loss: special_f32(*s3, *loss),
+            });
+        }
+
+        let text = trace.to_json();
+        // (a) The emission is well-formed JSON no matter what floats went in.
+        prop_assert!(json::parse(&text).is_ok(), "emitted invalid JSON: {text}");
+
+        // (b) The reader accepts its own writer's output and preserves
+        // every value (non-finite ↦ NaN).
+        let back = TrainingTrace::from_json(&text).unwrap();
+        prop_assert_eq!(&back.system, &trace.system);
+        prop_assert_eq!(back.effective_batch, trace.effective_batch);
+        prop_assert_eq!(back.iterations.len(), trace.iterations.len());
+        prop_assert_eq!(back.accuracy.len(), trace.accuracy.len());
+        for (w, r) in trace.iterations.iter().zip(back.iterations.iter()) {
+            prop_assert!(roundtrips_f64(w.computation, r.computation));
+            prop_assert!(roundtrips_f64(w.communication, r.communication));
+            prop_assert!(roundtrips_f64(w.aggregation, r.aggregation));
+        }
+        for (w, r) in trace.accuracy.iter().zip(back.accuracy.iter()) {
+            prop_assert_eq!(w.iteration, r.iteration);
+            prop_assert!(roundtrips_f64(w.sim_time, r.sim_time));
+            prop_assert!(roundtrips_f32(w.accuracy, r.accuracy));
+            prop_assert!(roundtrips_f32(w.loss, r.loss));
+        }
+    }
+
+    #[test]
+    fn write_value_emission_always_reparses_to_the_same_value(
+        numbers in proptest::collection::vec((0u8..10, -1e9f64..1e9), 0..8),
+        strings in proptest::collection::vec(
+            // Printable ASCII, including the quote/backslash escaping cases.
+            proptest::collection::vec(32u8..127, 0..12),
+            0..4,
+        ),
+    ) {
+        use garfield_core::json::Value;
+        let mut items: Vec<Value> = numbers
+            .iter()
+            .map(|(sel, v)| Value::Number(special_f64(*sel, *v)))
+            .collect();
+        items.extend(
+            strings
+                .iter()
+                .map(|bytes| Value::String(bytes.iter().map(|&b| b as char).collect())),
+        );
+        let doc = Value::Array(items);
+
+        let mut text = String::new();
+        json::write_value(&mut text, &doc);
+        let back = json::parse(&text).unwrap();
+
+        match (&doc, &back) {
+            (Value::Array(written), Value::Array(read)) => {
+                prop_assert_eq!(written.len(), read.len());
+                for (w, r) in written.iter().zip(read.iter()) {
+                    match (w, r) {
+                        // Non-finite numbers degrade to null by design.
+                        (Value::Number(n), Value::Null) => prop_assert!(!n.is_finite()),
+                        (Value::Number(w), Value::Number(r)) => {
+                            prop_assert!(roundtrips_f64(*w, *r));
+                        }
+                        (w, r) => prop_assert_eq!(w, r),
+                    }
+                }
+            }
+            _ => prop_assert!(false, "array did not reparse as array"),
+        }
+    }
+}

@@ -68,11 +68,64 @@ impl PeerCounters {
     }
 }
 
+/// The per-peer `garfield-obs` handles mirroring one [`PeerCounters`] entry
+/// into the metrics registry. Handles are registered once per peer (cold
+/// path, under the map lock) and bumped with relaxed atomics afterwards;
+/// with observability disabled every bump is a load and a branch.
+#[derive(Debug)]
+struct PeerMetrics {
+    messages_sent: garfield_obs::Counter,
+    bytes_sent: garfield_obs::Counter,
+    messages_received: garfield_obs::Counter,
+    bytes_received: garfield_obs::Counter,
+    messages_dropped: garfield_obs::Counter,
+}
+
+impl PeerMetrics {
+    fn register(peer: NodeId) -> Self {
+        let peer = peer.0.to_string();
+        let labels: &[(&'static str, &str)] = &[("peer", peer.as_str())];
+        PeerMetrics {
+            messages_sent: garfield_obs::metrics::counter(
+                "garfield_messages_sent_total",
+                "Messages handed to the wire, by destination peer.",
+                labels,
+            ),
+            bytes_sent: garfield_obs::metrics::counter(
+                "garfield_wire_bytes_sent_total",
+                "On-wire bytes sent, by destination peer.",
+                labels,
+            ),
+            messages_received: garfield_obs::metrics::counter(
+                "garfield_messages_received_total",
+                "Messages received, by sending peer.",
+                labels,
+            ),
+            bytes_received: garfield_obs::metrics::counter(
+                "garfield_wire_bytes_received_total",
+                "On-wire bytes received, by sending peer.",
+                labels,
+            ),
+            messages_dropped: garfield_obs::metrics::counter(
+                "garfield_messages_dropped_total",
+                "Messages dropped at this endpoint (backpressure shed or stale \
+                 rejoin inbox), by peer.",
+                labels,
+            ),
+        }
+    }
+}
+
 /// A thread-safe map of [`PeerCounters`], shared between the I/O threads of
-/// a transport endpoint.
+/// a transport endpoint. Every record also feeds the process-wide
+/// `garfield-obs` registry (`garfield_messages_*`/`garfield_wire_bytes_*`
+/// families, labeled by peer) and, for drops, the flight recorder — so live
+/// scrapes and post-mortem dumps see the same accounting `NodeTelemetry`
+/// reports at the end of the run. In-process multi-node runs share one
+/// registry, so the labeled series aggregate over all local endpoints.
 #[derive(Debug, Default)]
 pub struct PeerCounterMap {
-    inner: Mutex<HashMap<NodeId, PeerCounters>>,
+    inner: Mutex<HashMap<NodeId, (PeerCounters, PeerMetrics)>>,
 }
 
 impl PeerCounterMap {
@@ -81,35 +134,58 @@ impl PeerCounterMap {
         PeerCounterMap::default()
     }
 
-    fn with(&self, peer: NodeId, f: impl FnOnce(&mut PeerCounters)) {
+    fn with(&self, peer: NodeId, f: impl FnOnce(&mut PeerCounters, &PeerMetrics)) {
         let mut map = self.inner.lock();
-        f(map.entry(peer).or_insert_with(|| PeerCounters::new(peer)));
+        let (counters, metrics) = map
+            .entry(peer)
+            .or_insert_with(|| (PeerCounters::new(peer), PeerMetrics::register(peer)));
+        f(counters, metrics);
     }
 
     /// Records one message of `bytes` on-wire bytes sent to `peer`.
     pub fn record_send(&self, peer: NodeId, bytes: usize) {
-        self.with(peer, |c| {
+        self.with(peer, |c, m| {
             c.messages_sent += 1;
             c.bytes_sent += bytes as u64;
+            m.messages_sent.inc();
+            m.bytes_sent.add(bytes as u64);
         });
     }
 
     /// Records one message of `bytes` on-wire bytes received from `peer`.
     pub fn record_recv(&self, peer: NodeId, bytes: usize) {
-        self.with(peer, |c| {
+        self.with(peer, |c, m| {
             c.messages_received += 1;
             c.bytes_received += bytes as u64;
+            m.messages_received.inc();
+            m.bytes_received.add(bytes as u64);
         });
     }
 
-    /// Records one message to `peer` dropped under backpressure.
+    /// Records one message to `peer` dropped under backpressure, attributed
+    /// to no particular round (see [`PeerCounterMap::record_drop_at`]).
     pub fn record_drop(&self, peer: NodeId) {
-        self.with(peer, |c| c.messages_dropped += 1);
+        self.record_drop_at(peer, 0);
+    }
+
+    /// Records one dropped message to `peer` carrying the envelope tag
+    /// `round`, so the flight-recorder event lands on the round that shed it.
+    pub fn record_drop_at(&self, peer: NodeId, round: u64) {
+        self.with(peer, |c, m| {
+            c.messages_dropped += 1;
+            m.messages_dropped.inc();
+        });
+        garfield_obs::flight::record(
+            garfield_obs::flight::EventKind::FrameDropped,
+            round,
+            Some(peer.0),
+            0.0,
+        );
     }
 
     /// A snapshot of every peer's counters, sorted by peer id.
     pub fn snapshot(&self) -> Vec<PeerCounters> {
-        let mut out: Vec<PeerCounters> = self.inner.lock().values().copied().collect();
+        let mut out: Vec<PeerCounters> = self.inner.lock().values().map(|(c, _)| *c).collect();
         out.sort_by_key(|c| c.peer);
         out
     }

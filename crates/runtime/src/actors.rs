@@ -21,9 +21,69 @@ use garfield_core::{
 };
 use garfield_ml::Batch;
 use garfield_net::{MsgKind, NodeId, PayloadPool, Transport, WireMessage};
+use garfield_obs::flight::{self, EventKind};
 use garfield_tensor::{GradientView, Tensor, TensorRng};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
+
+/// Cached `garfield-obs` handles for the actor hot loop: one registry lookup
+/// per process, relaxed-atomic updates per round, a load and a branch when
+/// observability is disabled. The four phase series are the paper's cost
+/// breakdown (Figs. 7/16) measured live instead of post-hoc.
+struct ActorObs {
+    phase_compute: garfield_obs::Histogram,
+    phase_communication: garfield_obs::Histogram,
+    phase_aggregation: garfield_obs::Histogram,
+    phase_checkpoint: garfield_obs::Histogram,
+    round_seconds: garfield_obs::Histogram,
+    rounds_total: garfield_obs::Counter,
+    pull_retries: garfield_obs::Counter,
+    checkpoints_written: garfield_obs::Counter,
+    state_chunks_served: garfield_obs::Counter,
+}
+
+fn actor_obs() -> &'static ActorObs {
+    static OBS: std::sync::OnceLock<ActorObs> = std::sync::OnceLock::new();
+    let phase = |name| {
+        garfield_obs::metrics::histogram(
+            "garfield_phase_seconds",
+            "Per-round phase latency (the paper's compute/communication/\
+             aggregation breakdown, plus checkpointing), by phase.",
+            &[("phase", name)],
+        )
+    };
+    OBS.get_or_init(|| ActorObs {
+        phase_compute: phase("compute"),
+        phase_communication: phase("communication"),
+        phase_aggregation: phase("aggregation"),
+        phase_checkpoint: phase("checkpoint"),
+        round_seconds: garfield_obs::metrics::histogram(
+            "garfield_round_seconds",
+            "End-to-end server round latency.",
+            &[],
+        ),
+        rounds_total: garfield_obs::metrics::counter(
+            "garfield_rounds_total",
+            "Training rounds completed by this endpoint.",
+            &[],
+        ),
+        pull_retries: garfield_obs::metrics::counter(
+            "garfield_pull_retries_total",
+            "Pull requests re-sent to silent peers.",
+            &[],
+        ),
+        checkpoints_written: garfield_obs::metrics::counter(
+            "garfield_checkpoints_written_total",
+            "Checkpoints persisted to disk.",
+            &[],
+        ),
+        state_chunks_served: garfield_obs::metrics::counter(
+            "garfield_state_chunks_served_total",
+            "State-transfer chunks served to recovering peers.",
+            &[],
+        ),
+    })
+}
 
 /// Everything a worker actor needs.
 pub(crate) struct WorkerActor {
@@ -42,6 +102,7 @@ impl WorkerActor {
     /// The worker loop: serve gradient requests until shutdown, crash or
     /// prolonged silence. Returns the node's network counters.
     pub fn run(mut self) -> NodeTelemetry {
+        flight::set_thread_node(self.transport.local_id().0);
         // One payload buffer, reused for every decoded request: steady-state
         // serving allocates nothing on the receive path.
         let mut values: Vec<f32> = Vec::new();
@@ -91,10 +152,12 @@ impl WorkerActor {
                         continue;
                     }
                     let params = Tensor::from_slice(&values);
+                    let compute_span = garfield_obs::span_start();
                     let Ok((loss, gradient)) = self.worker.reply_gradient(&params, iteration, &[])
                     else {
                         continue; // malformed request (wrong dimension): drop it
                     };
+                    garfield_obs::span_end(compute_span, &actor_obs().phase_compute);
                     let sent = match &self.fault_attack {
                         Some(attack) => attack.corrupt(&gradient, &[], &mut self.fault_rng),
                         None => gradient,
@@ -290,6 +353,7 @@ impl ServerActor {
     /// Runs the replica to completion: the training loop, then — success or
     /// liveness failure alike — the worker wind-down this replica owns.
     pub fn run(mut self) -> CoreResult<ServerOutcome> {
+        flight::set_thread_node(self.transport.local_id().0);
         let result = self.train();
         // Shutdown is best-effort and unconditional: after a liveness
         // failure the surviving worker processes must not be left waiting
@@ -355,6 +419,7 @@ impl ServerActor {
                 std::thread::sleep(Duration::from_millis(millis));
             }
             let round_start = Instant::now();
+            flight::record(EventKind::RoundStart, iteration as u64, None, 0.0);
 
             // --- get_gradients(iteration, q): broadcast the model, unblock
             // on the fastest q gradient replies.
@@ -477,8 +542,14 @@ impl ServerActor {
                 communication,
                 aggregation,
             });
-            self.round_latencies
-                .push(round_start.elapsed().as_secs_f64());
+            let round_latency = round_start.elapsed().as_secs_f64();
+            self.round_latencies.push(round_latency);
+            let obs = actor_obs();
+            obs.phase_communication.observe(communication);
+            obs.phase_aggregation.observe(aggregation);
+            obs.round_seconds.observe(round_latency);
+            obs.rounds_total.inc();
+            flight::record(EventKind::RoundEnd, iteration as u64, None, round_latency);
 
             if let Some(test) = &self.test_batch {
                 let every = self.config.eval_every;
@@ -532,6 +603,7 @@ impl ServerActor {
         request: &bytes::Bytes,
         recipients: &[NodeId],
     ) -> Vec<Reply> {
+        flight::record(EventKind::PullIssued, round, None, want as f64);
         let deadline = Instant::now() + self.round_deadline;
         let mut next_retry = Instant::now() + self.request_retry;
         let mut collected: Vec<Reply> = Vec::with_capacity(want);
@@ -545,6 +617,8 @@ impl ServerActor {
                     if !collected.iter().any(|(id, _, _)| *id == to) {
                         self.send(to, round, request.clone());
                         self.telemetry.requests_retried += 1;
+                        actor_obs().pull_retries.inc();
+                        flight::record(EventKind::PullRetried, round, Some(to.0), 0.0);
                     }
                 }
                 next_retry = now + self.request_retry;
@@ -567,6 +641,7 @@ impl ServerActor {
                     let mut values = self.pool.checkout();
                     if WireMessage::decode_into(&envelope.payload, &mut values).is_ok() {
                         collected.push((envelope.from, header.aux, values));
+                        flight::record(EventKind::PullSatisfied, round, Some(envelope.from.0), 0.0);
                     } else {
                         self.pool.restore(values); // unreachable: peek accepted
                     }
@@ -576,6 +651,7 @@ impl ServerActor {
             }
         }
         collected.sort_by_key(|(id, _, _)| *id);
+        flight::record(EventKind::QuorumFormed, round, None, collected.len() as f64);
         collected
     }
 
@@ -609,6 +685,8 @@ impl ServerActor {
                 if let Some((next_round, chunk)) = self.state_chunk.clone() {
                     self.send(from, next_round, chunk);
                     self.telemetry.state_chunks_served += 1;
+                    actor_obs().state_chunks_served.inc();
+                    flight::record(EventKind::StateChunkServed, next_round, Some(from.0), 0.0);
                 }
             }
             _ => {} // stale replies from rounds this replica already left behind
@@ -644,8 +722,17 @@ impl ServerActor {
                 .expect("disk_due implies a policy")
                 .dir
                 .clone();
+            let span = garfield_obs::span_start();
             cp.save(dir)?;
+            let spent = garfield_obs::span_end(span, &actor_obs().phase_checkpoint);
             self.telemetry.checkpoints_written += 1;
+            actor_obs().checkpoints_written.inc();
+            flight::record(
+                EventKind::CheckpointWritten,
+                iteration as u64,
+                None,
+                spent.map(|d| d.as_secs_f64()).unwrap_or(0.0),
+            );
         }
         Ok(())
     }

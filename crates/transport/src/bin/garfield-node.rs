@@ -41,15 +41,25 @@
 //! * `--out` — servers write a JSON result (final accuracy + the final
 //!   model as exact `f32` bit patterns, for bit-identical comparison
 //!   against an in-process run of the same seed).
+//! * `--metrics-addr` — bind a scrape endpoint (e.g. `127.0.0.1:9464`,
+//!   port 0 for ephemeral) serving Prometheus text at `/metrics` and the
+//!   flight recorder at `/flight` while the node trains. The bound address
+//!   is announced on stderr (`garfield-node: metrics on …`).
+//! * `--flight-dir` — dump this node's flight recorder as
+//!   `<dir>/flight-<role><rank>.jsonl` at exit (and on panic), for
+//!   `expfig trace <dir>` to merge into a cross-node timeline.
 //!
 //! Exit status: `0` on success, `1` on a runtime/liveness failure, `2` on
 //! bad usage.
 
 use garfield_core::{Checkpoint, CheckpointPolicy, Deployment, ExperimentConfig, SystemKind};
+use garfield_net::NodeId;
+use garfield_obs::flight;
+use garfield_obs::http::MetricsServer;
 use garfield_runtime::node::{fault_rng_streams, NodeLayout};
-use garfield_runtime::{Fault, ServerNode, ServerRun, WorkerNode};
-use garfield_transport::{ClusterSpec, TcpOptions, TcpTransport};
-use std::fmt::Write as _;
+use garfield_runtime::{Fault, ServerNode, WorkerNode};
+use garfield_transport::{result_json, ClusterSpec, TcpOptions, TcpTransport};
+use std::path::PathBuf;
 use std::time::Duration;
 
 struct Args {
@@ -67,6 +77,8 @@ struct Args {
     checkpoint_every: usize,
     resume: Option<String>,
     out: Option<String>,
+    metrics_addr: Option<String>,
+    flight_dir: Option<String>,
 }
 
 fn usage() -> ! {
@@ -75,7 +87,8 @@ fn usage() -> ! {
          --config <file> --system <vanilla|ssmw|msmw> [--gradient-quorum <q>] \
          [--round-deadline-ms <ms>] [--idle-timeout-ms <ms>] [--retry-ms <ms>] \
          [--delay-ms <ms>] [--checkpoint <dir>] [--checkpoint-every <k>] \
-         [--resume <dir>] [--out <file>]"
+         [--resume <dir>] [--out <file>] [--metrics-addr <host:port>] \
+         [--flight-dir <dir>]"
     );
     std::process::exit(2);
 }
@@ -129,35 +142,46 @@ fn parse_args() -> Args {
             .map_or(1, |v| parsed("--checkpoint-every", v)),
         resume: value("--resume").map(str::to_string),
         out: value("--out").map(str::to_string),
+        metrics_addr: value("--metrics-addr").map(str::to_string),
+        flight_dir: value("--flight-dir").map(str::to_string),
         role,
     }
 }
 
-/// The server result, serialized for the launcher: accuracy plus the final
-/// model as exact bit patterns (`f32::to_bits`), so a same-seed in-process
-/// run can be compared bit for bit.
-fn result_json(system: SystemKind, run: &ServerRun) -> String {
-    let mut out = String::with_capacity(96 + 12 * run.final_model.len());
-    let _ = write!(
-        out,
-        "{{\"system\":\"{system}\",\"iterations\":{},\"resumed_from\":{},\"resumes\":{},\
-         \"checkpoints_written\":{},\"requests_retried\":{},\"final_accuracy\":{},\
-         \"final_model_bits\":[",
-        run.trace.len(),
-        run.resumed_from.unwrap_or(0),
-        run.telemetry.resumes,
-        run.telemetry.checkpoints_written,
-        run.telemetry.requests_retried,
-        run.trace.final_accuracy()
-    );
-    for (i, v) in run.final_model.data().iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "{}", v.to_bits());
+/// Turns the observability layer on when either flag asks for it: pins the
+/// flight-recorder epoch, attributes events to this process's node id, binds
+/// the scrape endpoint, and (with `--flight-dir`) arranges a JSONL dump on
+/// panic. Returns the path the caller must dump to at clean exit.
+fn setup_obs(args: &Args, id: NodeId) -> Result<Option<PathBuf>, String> {
+    if args.metrics_addr.is_none() && args.flight_dir.is_none() {
+        return Ok(None);
     }
-    out.push_str("]}");
-    out
+    garfield_obs::enable();
+    flight::set_default_node(id.0);
+    if let Some(addr) = &args.metrics_addr {
+        let server =
+            MetricsServer::start(addr).map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+        // Announce the *bound* address so launchers using port 0 can find
+        // the scrape endpoint.
+        eprintln!("garfield-node: metrics on http://{}/metrics", server.addr());
+    }
+    let dump = args
+        .flight_dir
+        .as_ref()
+        .map(|dir| PathBuf::from(dir).join(format!("flight-{}{}.jsonl", args.role, args.rank)));
+    if let Some(path) = &dump {
+        flight::install_panic_hook(path.clone());
+    }
+    Ok(dump)
+}
+
+/// Writes the flight recorder to `path` at clean exit (the panic hook covers
+/// the other way out).
+fn dump_flight(dump: &Option<PathBuf>) -> Result<(), String> {
+    match dump {
+        Some(path) => flight::write_dump(path).map_err(|e| format!("{}: {e}", path.display())),
+        None => Ok(()),
+    }
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -214,6 +238,7 @@ fn run(args: Args) -> Result<(), String> {
                     args.rank
                 );
             }
+            let flight_dump = setup_obs(&args, id)?;
             let transport =
                 TcpTransport::bind(&spec, id, TcpOptions::default()).map_err(|e| e.to_string())?;
             eprintln!(
@@ -242,7 +267,7 @@ fn run(args: Args) -> Result<(), String> {
                 telemetry.wire_bytes_sent(),
                 telemetry.messages_dropped(),
             );
-            Ok(())
+            dump_flight(&flight_dump)
         }
         "server" => {
             if args.rank >= layout.server_ids.len() {
@@ -293,6 +318,7 @@ fn run(args: Args) -> Result<(), String> {
                 }
                 None => None,
             };
+            let flight_dump = setup_obs(&args, id)?;
             let transport =
                 TcpTransport::bind(&spec, id, TcpOptions::default()).map_err(|e| e.to_string())?;
             eprintln!(
@@ -357,7 +383,7 @@ fn run(args: Args) -> Result<(), String> {
                 std::fs::write(path, result_json(args.system, &run))
                     .map_err(|e| format!("{path}: {e}"))?;
             }
-            Ok(())
+            dump_flight(&flight_dump)
         }
         _ => unreachable!("role validated in parse_args"),
     }

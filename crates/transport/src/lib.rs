@@ -45,8 +45,10 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+mod report;
 mod spec;
 mod tcp;
 
+pub use report::result_json;
 pub use spec::ClusterSpec;
 pub use tcp::{TcpOptions, TcpTransport};

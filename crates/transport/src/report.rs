@@ -1,0 +1,47 @@
+//! The `--out` result document a `garfield-node` server writes for its
+//! launcher.
+//!
+//! Lives in the library (rather than the binary) so tests can assert on the
+//! exact emission — in particular that transport drop counts surface here in
+//! the same way they surface in the metrics registry, and that non-finite
+//! accuracies serialize as `null` (via [`garfield_core::json`]) instead of
+//! producing invalid JSON.
+
+use garfield_core::{json, SystemKind};
+use garfield_runtime::ServerRun;
+use std::fmt::Write as _;
+
+/// Serializes a server's [`ServerRun`] for the launcher: run shape, recovery
+/// counters, transport wire/drop totals, final accuracy, and the final model
+/// as exact bit patterns (`f32::to_bits`), so a same-seed in-process run can
+/// be compared bit for bit.
+///
+/// Floats route through [`garfield_core::json`], so a diverged run's NaN
+/// accuracy becomes `null` (as `serde_json` would emit) rather than the
+/// invalid literal `NaN`.
+pub fn result_json(system: SystemKind, run: &ServerRun) -> String {
+    let mut out = String::with_capacity(96 + 12 * run.final_model.len());
+    let _ = write!(
+        out,
+        "{{\"system\":\"{system}\",\"iterations\":{},\"resumed_from\":{},\"resumes\":{},\
+         \"checkpoints_written\":{},\"requests_retried\":{},\"wire_bytes_sent\":{},\
+         \"messages_dropped\":{},\"final_accuracy\":",
+        run.trace.len(),
+        run.resumed_from.unwrap_or(0),
+        run.telemetry.resumes,
+        run.telemetry.checkpoints_written,
+        run.telemetry.requests_retried,
+        run.telemetry.wire_bytes_sent(),
+        run.telemetry.messages_dropped(),
+    );
+    json::write_f32(&mut out, run.trace.final_accuracy());
+    out.push_str(",\"final_model_bits\":[");
+    for (i, v) in run.final_model.data().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", v.to_bits());
+    }
+    out.push_str("]}");
+    out
+}

@@ -56,6 +56,34 @@ impl Default for TcpOptions {
     }
 }
 
+/// Per-peer `garfield-obs` handles of one TCP endpoint: the live outbound
+/// queue depth and the dial-retry count toward that peer. Registered once
+/// at [`TcpTransport::bind`]; bumped with relaxed atomics afterwards.
+struct TcpPeerObs {
+    queue_depth: garfield_obs::Gauge,
+    dial_retries: garfield_obs::Counter,
+}
+
+impl TcpPeerObs {
+    fn register(peer: NodeId) -> Self {
+        let peer = peer.0.to_string();
+        let labels: &[(&'static str, &str)] = &[("peer", peer.as_str())];
+        TcpPeerObs {
+            queue_depth: garfield_obs::metrics::gauge(
+                "garfield_outbound_queue_depth",
+                "Frames currently buffered in the bounded outbound queue, by \
+                 destination peer.",
+                labels,
+            ),
+            dial_retries: garfield_obs::metrics::counter(
+                "garfield_dial_retries_total",
+                "Failed dial attempts that were retried, by destination peer.",
+                labels,
+            ),
+        }
+    }
+}
+
 /// State shared between the endpoint and its I/O threads.
 struct Shared {
     id: NodeId,
@@ -69,6 +97,7 @@ struct Shared {
     /// snapshots cover the queued tail.
     pending: AtomicU64,
     counters: PeerCounterMap,
+    obs: HashMap<NodeId, TcpPeerObs>,
 }
 
 impl Shared {
@@ -78,6 +107,12 @@ impl Shared {
 
     fn is_closing(&self) -> bool {
         self.closing.load(Ordering::SeqCst)
+    }
+
+    fn queue_depth(&self, peer: NodeId, delta: f64) {
+        if let Some(obs) = self.obs.get(&peer) {
+            obs.queue_depth.add(delta);
+        }
     }
 }
 
@@ -111,6 +146,11 @@ impl TcpTransport {
             closing: AtomicBool::new(false),
             pending: AtomicU64::new(0),
             counters: PeerCounterMap::new(),
+            obs: spec
+                .peers(id)
+                .into_iter()
+                .map(|(peer, _)| (peer, TcpPeerObs::register(peer)))
+                .collect(),
         });
         let known: Arc<HashSet<NodeId>> = Arc::new(spec.ids().into_iter().collect());
 
@@ -179,13 +219,14 @@ impl Transport for TcpTransport {
         match tx.try_send((tag, payload)) {
             Ok(()) => {
                 self.shared.pending.fetch_add(1, Ordering::SeqCst);
+                self.shared.queue_depth(to, 1.0);
                 Ok(())
             }
             // A full queue (slow peer) or a dead writer (late crash race):
             // the frame is dropped and the sender's quorum rides it out,
             // exactly like a message to a crashed router node.
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.shared.counters.record_drop(to);
+                self.shared.counters.record_drop_at(to, tag);
                 Ok(())
             }
         }
@@ -308,11 +349,12 @@ fn writer_loop(
 ) {
     let mut stream: Option<TcpStream> = None;
     while let Ok((tag, payload)) = queue.recv() {
+        shared.queue_depth(peer, -1.0);
         if shared.is_crashed() {
             return;
         }
         if stream.is_none() {
-            stream = dial(addr, shared, options);
+            stream = dial(peer, addr, shared, options);
         }
         let written = stream
             .as_mut()
@@ -322,7 +364,7 @@ fn writer_loop(
             None if !shared.is_closing() => {
                 // Broken pipe (peer restarted or died): one fresh dial, then
                 // the frame is dropped — the sender's quorum handles it.
-                stream = dial(addr, shared, options);
+                stream = dial(peer, addr, shared, options);
                 stream
                     .as_mut()
                     .and_then(|s| write_frame(s, shared.id, tag, &payload).ok())
@@ -331,7 +373,7 @@ fn writer_loop(
         };
         match written {
             Some(bytes) => shared.counters.record_send(peer, bytes),
-            None => shared.counters.record_drop(peer),
+            None => shared.counters.record_drop_at(peer, tag),
         }
         // Resolved (counted) only now, so a flush() that observed zero
         // pending is guaranteed to see this frame in the counters.
@@ -341,11 +383,18 @@ fn writer_loop(
 
 /// Connects to `addr` with retry until [`TcpOptions::dial_timeout`],
 /// sending the hello on success.
-fn dial(addr: SocketAddr, shared: &Shared, options: TcpOptions) -> Option<TcpStream> {
+fn dial(peer: NodeId, addr: SocketAddr, shared: &Shared, options: TcpOptions) -> Option<TcpStream> {
     let deadline = Instant::now() + options.dial_timeout;
+    let mut attempts = 0u64;
     loop {
         if shared.is_crashed() || shared.is_closing() {
             return None;
+        }
+        attempts += 1;
+        if attempts > 1 {
+            if let Some(obs) = shared.obs.get(&peer) {
+                obs.dial_retries.inc();
+            }
         }
         if let Ok(mut stream) = TcpStream::connect_timeout(&addr, options.dial_timeout) {
             let _ = stream.set_nodelay(true);

@@ -1,0 +1,88 @@
+//! Drop accounting under a saturated bounded outbound queue.
+//!
+//! A dead peer must not block or leak: overflow past the bounded per-peer
+//! queue is shed and *counted*, and the count must surface identically in
+//! all three places an operator can look — the transport's `PeerCounters`
+//! snapshot, the `garfield-obs` metrics registry (the
+//! `garfield_messages_dropped_total` family a scrape sees), and the `--out`
+//! result JSON a launcher collects.
+
+use bytes::Bytes;
+use garfield_core::{NodeTelemetry, TrainingTrace};
+use garfield_net::{NodeId, Role, Transport};
+use garfield_runtime::ServerRun;
+use garfield_tensor::Tensor;
+use garfield_transport::{result_json, ClusterSpec, TcpOptions, TcpTransport};
+use std::time::Duration;
+
+/// Extracts the value of the first `family{...peer="<peer>"...} <value>`
+/// sample line from a Prometheus text exposition.
+fn sample_value(render: &str, family: &str, peer: u32) -> Option<f64> {
+    let needle = format!("peer=\"{peer}\"");
+    render
+        .lines()
+        .find(|l| l.starts_with(family) && l.contains(&needle))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn saturated_queue_drops_surface_in_counters_registry_and_out_json() {
+    // The obs registry only accumulates while recording is on; mirror what
+    // `garfield-node --metrics-addr` does before binding its transport.
+    garfield_obs::enable();
+
+    // Peer 1 never binds: every frame toward it eventually overflows the
+    // 2-slot queue or dies with its dial attempts.
+    let spec = ClusterSpec::localhost(2).unwrap();
+    let options = TcpOptions {
+        outbound_queue: 2,
+        dial_timeout: Duration::from_millis(100),
+        dial_backoff: Duration::from_millis(5),
+    };
+    let endpoint = TcpTransport::bind(&spec, NodeId(0), options).unwrap();
+    for tag in 0..20u64 {
+        endpoint
+            .send(NodeId(1), tag, Bytes::from(vec![0u8; 1024]))
+            .unwrap();
+    }
+    // Wait for the writer to resolve (write or drop) everything `send`
+    // accepted, so the three views below describe the same final state.
+    endpoint.flush(Duration::from_secs(10));
+
+    // 1. The transport's own per-peer snapshot.
+    let counters = endpoint.peer_counters();
+    let toward_dead = *counters.iter().find(|c| c.peer == NodeId(1)).unwrap();
+    assert_eq!(toward_dead.messages_sent, 0, "dead peer received frames");
+    assert!(toward_dead.messages_dropped > 0, "no drops recorded");
+
+    // 2. The metrics registry: the scrape endpoint serves exactly this text,
+    // and every `record_drop` bumps the counter and the snapshot together.
+    let render = garfield_obs::metrics::render();
+    let dropped = sample_value(&render, "garfield_messages_dropped_total", 1)
+        .expect("no garfield_messages_dropped_total{peer=\"1\"} sample");
+    assert_eq!(dropped, toward_dead.messages_dropped as f64);
+
+    // 3. The `--out` JSON: thread the same snapshot through `NodeTelemetry`
+    // the way `garfield-node` does at the end of a run.
+    let mut telemetry = NodeTelemetry::new(0, Role::Server);
+    telemetry.peers = counters;
+    let run = ServerRun {
+        trace: TrainingTrace::new("ssmw", 1),
+        final_model: Tensor::from_slice(&[0.0]),
+        telemetry,
+        round_latencies: Vec::new(),
+        resumed_from: None,
+    };
+    let out = result_json(garfield_core::SystemKind::Ssmw, &run);
+    let expected = format!("\"messages_dropped\":{}", toward_dead.messages_dropped);
+    assert!(
+        out.contains(&expected),
+        "--out JSON missing {expected}: {out}"
+    );
+    // The document must stay parseable end to end.
+    assert!(
+        garfield_core::json::parse(&out).is_ok(),
+        "invalid JSON: {out}"
+    );
+}

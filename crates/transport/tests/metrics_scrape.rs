@@ -1,0 +1,235 @@
+//! Live-scrape smoke test: a real multi-process run serves `/metrics` while
+//! it trains.
+//!
+//! One `garfield-node` server is started with `--metrics-addr 127.0.0.1:0`
+//! and `--flight-dir`; the test discovers the bound port from the node's
+//! stderr announcement, scrapes the endpoint *mid-training* (polling until
+//! at least one round has completed while the process is still alive), and
+//! asserts the metric families an operator dashboards on are present and
+//! non-empty. After the run it checks every node left a flight dump behind.
+
+use garfield_core::ExperimentConfig;
+use garfield_transport::ClusterSpec;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const NODE_BIN: &str = env!("CARGO_BIN_EXE_garfield-node");
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("garfield-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// SSMW over Multi-Krum, tiny model — but enough iterations that the run is
+/// comfortably still training while the test dials in and scrapes.
+fn config(nw: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small();
+    cfg.nw = nw;
+    cfg.fw = 1; // Multi-Krum needs 2f + 3 = 5 inputs
+    cfg.nps = 1;
+    cfg.fps = 0;
+    cfg.iterations = 200;
+    cfg.eval_every = 200;
+    cfg
+}
+
+fn spawn_node(dir: &Path, role: &str, rank: usize, extra: &[&str]) -> Child {
+    let log = std::fs::File::create(dir.join(format!("{role}{rank}.log"))).unwrap();
+    Command::new(NODE_BIN)
+        .current_dir(dir)
+        .args([
+            "--role",
+            role,
+            "--rank",
+            &rank.to_string(),
+            "--cluster",
+            "cluster.txt",
+            "--config",
+            "config.json",
+            "--system",
+            "ssmw",
+            "--round-deadline-ms",
+            "20000",
+            "--idle-timeout-ms",
+            "30000",
+            "--flight-dir",
+            "flight",
+        ])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(log)
+        .spawn()
+        .expect("spawn garfield-node")
+}
+
+fn dump_logs(dir: &Path) {
+    for entry in std::fs::read_dir(dir).unwrap().flatten() {
+        if entry.path().extension().is_some_and(|e| e == "log") {
+            eprintln!("--- {}", entry.path().display());
+            eprintln!(
+                "{}",
+                std::fs::read_to_string(entry.path()).unwrap_or_default()
+            );
+        }
+    }
+}
+
+/// Waits for the server's stderr announcement (`garfield-node: metrics on
+/// http://ADDR/metrics`) and returns `ADDR`.
+fn discover_metrics_addr(log: &Path, deadline: Duration) -> String {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        let text = std::fs::read_to_string(log).unwrap_or_default();
+        if let Some(rest) = text.split("metrics on http://").nth(1) {
+            if let Some(addr) = rest.split("/metrics").next() {
+                return addr.trim().to_string();
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("server never announced its metrics address");
+}
+
+/// One HTTP/1.1 GET against the node's scrape endpoint.
+fn scrape(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response)
+}
+
+/// True when the exposition has at least one *sample* line (not a comment)
+/// for `family` — presence of the `# HELP` header alone is not enough.
+fn has_sample(exposition: &str, family: &str) -> bool {
+    exposition
+        .lines()
+        .any(|l| l.starts_with(family) && l.contains(' '))
+}
+
+/// The first sample value of `family` (any label set), if present.
+fn sample_value(exposition: &str, family: &str) -> Option<f64> {
+    exposition
+        .lines()
+        .filter(|l| l.starts_with(family) && !l.starts_with('#'))
+        .filter_map(|l| l.rsplit(' ').next()?.parse().ok())
+        .next()
+}
+
+#[test]
+fn live_run_serves_metrics_mid_training_and_dumps_flight_records() {
+    let cfg = config(5);
+    let dir = scratch_dir("metrics-scrape");
+    std::fs::create_dir_all(dir.join("flight")).unwrap();
+    ClusterSpec::localhost(1 + cfg.nw)
+        .unwrap()
+        .save(dir.join("cluster.txt"))
+        .unwrap();
+    std::fs::write(dir.join("config.json"), cfg.to_json()).unwrap();
+
+    let mut workers: Vec<Child> = (0..cfg.nw)
+        .map(|j| spawn_node(&dir, "worker", j, &[]))
+        .collect();
+    let mut server = spawn_node(
+        &dir,
+        "server",
+        0,
+        &["--metrics-addr", "127.0.0.1:0", "--out", "result.json"],
+    );
+
+    // Port 0 means the OS picked: read the bound address off the node's own
+    // announcement, exactly as an operator (or service discovery) would.
+    let addr = discover_metrics_addr(&dir.join("server0.log"), Duration::from_secs(20));
+
+    // Poll until the run is demonstrably *mid-training*: the scrape
+    // succeeds, at least one round has finished, and the server process is
+    // still alive at that moment.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut mid_training = None;
+    while Instant::now() < deadline {
+        let Ok(response) = scrape(&addr, "/metrics") else {
+            break; // server exited and took the endpoint with it
+        };
+        if sample_value(&response, "garfield_rounds_total").is_some_and(|v| v >= 1.0)
+            && server.try_wait().expect("poll server").is_none()
+        {
+            mid_training = Some(response);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let Some(exposition) = mid_training else {
+        dump_logs(&dir);
+        panic!("never captured a mid-training scrape");
+    };
+
+    // The exposition is a real HTTP response carrying Prometheus text.
+    assert!(
+        exposition.starts_with("HTTP/1.1 200"),
+        "bad status line: {}",
+        exposition.lines().next().unwrap_or("")
+    );
+    assert!(exposition.contains("text/plain; version=0.0.4"));
+
+    // The families the issue calls out, each with a live sample: round
+    // spans, per-peer queue depth, kernel throughput, fast-math fallback.
+    for family in [
+        "garfield_round_seconds_count",
+        "garfield_phase_seconds_bucket",
+        "garfield_outbound_queue_depth",
+        "garfield_kernel_gelem_s",
+        "garfield_fastmath_fallback_total",
+        "garfield_rounds_total",
+    ] {
+        assert!(
+            has_sample(&exposition, family),
+            "family {family} missing or empty in mid-training scrape:\n{exposition}"
+        );
+    }
+    // Round spans must be live, not just registered.
+    assert!(sample_value(&exposition, "garfield_round_seconds_count").unwrap() >= 1.0);
+
+    // The flight-recorder dump is also served over HTTP while training.
+    let flight = scrape(&addr, "/flight").expect("GET /flight");
+    assert!(flight.contains("garfield-obs/flight-v1"), "{flight}");
+
+    let status = server.wait().expect("server exits");
+    if !status.success() {
+        dump_logs(&dir);
+        panic!("server failed: {status}");
+    }
+    for worker in &mut workers {
+        let status = worker.wait().expect("worker exits");
+        assert!(status.success(), "worker failed: {status}");
+    }
+
+    // Every node flushed a flight dump on exit; the server's contains the
+    // round markers `expfig trace` reconstructs timelines from.
+    for rank in 0..cfg.nw {
+        let dump = dir.join(format!("flight/flight-worker{rank}.jsonl"));
+        assert!(dump.exists(), "missing {}", dump.display());
+    }
+    let server_dump =
+        std::fs::read_to_string(dir.join("flight/flight-server0.jsonl")).expect("server dump");
+    assert!(server_dump.contains("garfield-obs/flight-v1"));
+    assert!(
+        server_dump.contains("\"kind\":\"round_start\""),
+        "no round_start events"
+    );
+    assert!(
+        server_dump.contains("\"kind\":\"round_end\""),
+        "no round_end events"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
