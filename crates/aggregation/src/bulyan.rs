@@ -1,9 +1,10 @@
 //! Bulyan GAR (El Mhamdi et al., ICML 2018).
 
 use crate::engine::{bulyan_select_cached, COLUMN_TILE};
+use crate::gar::{fill_distance_profile, fill_norm_profile};
 use crate::{
     validate_views, AggregationError, AggregationResult, DistanceCache, Engine, Gar,
-    SelectionScratch,
+    SelectionOutcome, SelectionScratch,
 };
 use garfield_tensor::{total_order_key_f32, total_order_unkey_f32, GradientView, Tensor};
 
@@ -90,60 +91,44 @@ impl Bulyan {
     ) {
         bulyan_select_cached(cache, self.f, self.selection_size(), scratch, selected);
     }
-}
 
-impl Gar for Bulyan {
-    fn name(&self) -> &'static str {
-        "bulyan"
-    }
-
-    fn n(&self) -> usize {
-        self.n
-    }
-
-    fn f(&self) -> usize {
-        self.f
-    }
-
-    fn aggregate_views(
+    /// Phase 2 over an already-selected set: per-coordinate trimmed average
+    /// around the selection set's median, chunked across threads by
+    /// coordinate range. Each chunk owns a private column buffer; every
+    /// coordinate is computed with the same scalar sequence on any engine.
+    ///
+    /// The column is processed on order-preserving integer keys
+    /// (`total_order_key_f32` — the workspace-wide total order, so a NaN
+    /// coordinate lands in the same trailing position here as in every other
+    /// GAR sort): one native `u32` sort gives the median at the middle index,
+    /// and because "the β values closest to the median" are always a
+    /// *contiguous window* of the sorted column, the trim is a β−1-step
+    /// two-pointer expansion around the median instead of a second selection
+    /// pass. Candidate distances `|v − m|` are non-negative (or NaN), so
+    /// comparing their raw bits IS the total order: NaN distances (from NaN
+    /// coordinates, or ∞−∞) lose every comparison until only they remain,
+    /// exactly where the old `sort_by(total_cmp)` reference placed them. Ties
+    /// pick the left (smaller-key) candidate — deterministic on every engine.
+    /// The sum accumulates in the expansion order, i.e. ascending `|v − m|`,
+    /// as the sort-based reference did.
+    ///
+    /// Coordinates are processed through an L2-resident transpose tile:
+    /// gathering a column straight from `sel` multi-megabyte inputs is `sel`
+    /// concurrent strided streams — more than the hardware prefetchers
+    /// track — so each input's tile segment is first copied sequentially
+    /// (prefetch-friendly) and the per-coordinate column then read
+    /// contiguously from the tile. Every per-coordinate result is a pure
+    /// function of the column *multiset*, so chunk/tile boundaries (which
+    /// differ across engines) cannot change the output bits.
+    fn trimmed_average(
         &self,
         inputs: &[GradientView<'_>],
+        selected: &[usize],
         engine: &Engine,
-    ) -> AggregationResult<Tensor> {
-        let selected = self.select_indices_views(inputs, engine)?;
+    ) -> Tensor {
         let d = inputs[0].len();
         let beta = self.trimmed_size();
         let sel = selected.len();
-
-        // Phase 2: per-coordinate trimmed average around the selection set's
-        // median, chunked across threads by coordinate range. Each chunk owns
-        // a private column buffer; every coordinate is computed with the same
-        // scalar sequence on any engine.
-        //
-        // The column is processed on order-preserving integer keys
-        // (total_order_key_f32 — the workspace-wide total order, so a NaN
-        // coordinate lands in the same trailing position here as in every
-        // other GAR sort): one native `u32` sort gives the median at the
-        // middle index, and because "the β values closest to the median" are
-        // always a *contiguous window* of the sorted column, the trim is a
-        // β−1-step two-pointer expansion around the median instead of a
-        // second selection pass. Candidate distances `|v − m|` are
-        // non-negative (or NaN), so comparing their raw bits IS the total
-        // order: NaN distances (from NaN coordinates, or ∞−∞) lose every
-        // comparison until only they remain, exactly where the old
-        // `sort_by(total_cmp)` reference placed them. Ties pick the left
-        // (smaller-key) candidate — deterministic on every engine. The sum
-        // accumulates in the expansion order, i.e. ascending |v − m|, as the
-        // sort-based reference did.
-        //
-        // Coordinates are processed through an L2-resident transpose tile:
-        // gathering a column straight from `sel` multi-megabyte inputs is
-        // `sel` concurrent strided streams — more than the hardware
-        // prefetchers track — so each input's tile segment is first copied
-        // sequentially (prefetch-friendly) and the per-coordinate column then
-        // read contiguously from the tile. Every per-coordinate result is a
-        // pure function of the column *multiset*, so chunk/tile boundaries
-        // (which differ across engines) cannot change the output bits.
         let mid = (sel - 1) / 2;
         let mut out = vec![0.0f32; d];
         engine.fill_chunks(&mut out, sel, |base, chunk| {
@@ -188,7 +173,46 @@ impl Gar for Bulyan {
                 t0 += t_len;
             }
         });
-        Ok(Tensor::from(out))
+        Tensor::from(out)
+    }
+}
+
+impl Gar for Bulyan {
+    fn name(&self) -> &'static str {
+        "bulyan"
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn f(&self) -> usize {
+        self.f
+    }
+
+    fn aggregate_views(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+    ) -> AggregationResult<Tensor> {
+        let selected = self.select_indices_views(inputs, engine)?;
+        Ok(self.trimmed_average(inputs, &selected, engine))
+    }
+
+    fn aggregate_views_observed(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+        outcome: &mut SelectionOutcome,
+    ) -> AggregationResult<Tensor> {
+        validate_views(inputs, self.n)?;
+        let cache = DistanceCache::build(inputs, engine);
+        let mut scratch = SelectionScratch::new();
+        outcome.selected.clear();
+        self.select_cached(&cache, &mut scratch, &mut outcome.selected);
+        fill_distance_profile(&cache, &outcome.selected, &mut outcome.distance);
+        fill_norm_profile(inputs, &mut outcome.norm);
+        Ok(self.trimmed_average(inputs, &outcome.selected, engine))
     }
 }
 

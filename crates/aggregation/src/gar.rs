@@ -1,11 +1,92 @@
 //! The [`Gar`] trait and the paper's `init()`-style factory.
 
 use crate::{
-    AggregationError, AggregationResult, Average, Bulyan, Engine, Krum, Mda, Median, MultiKrum,
+    AggregationError, AggregationResult, Average, Bulyan, DistanceCache, Engine, Krum, Mda, Median,
+    MultiKrum,
 };
 use garfield_tensor::{GradientView, Tensor};
 use std::fmt;
 use std::str::FromStr;
+
+/// What a GAR's selection phase observed about its inputs, for forensics.
+///
+/// Filled by [`Gar::aggregate_views_observed`]. The distance-based rules
+/// (Krum, Multi-Krum, MDA, Bulyan) report which inputs survived selection and
+/// how far every input sits from the surviving set; rules without a selection
+/// phase (Average, Median) report all inputs as selected with zero distances.
+/// Every rule reports per-input squared norms — the magnitude channel that
+/// catches attacks the distance channel cannot (a zeroed gradient near
+/// convergence sits *inside* the honest noise ball, closer to everyone than
+/// the honest inputs are to each other, yet its norm gives it away).
+///
+/// The vectors are reused across rounds — callers keep one outcome alive and
+/// pass it to every aggregation, so the steady state allocates nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectionOutcome {
+    /// Indices of the inputs the rule kept, in the rule's selection order.
+    pub selected: Vec<usize>,
+    /// Per-input mean squared L2 distance to the selected inputs (excluding
+    /// the input itself). `0.0` when the rule exposes no distance signal.
+    pub distance: Vec<f64>,
+    /// Per-input squared L2 norm (may be empty when the outcome was built by
+    /// hand; the observed aggregation paths always fill it).
+    pub norm: Vec<f64>,
+}
+
+impl SelectionOutcome {
+    /// Marks every one of `n` inputs as selected with a zero distance
+    /// profile — the outcome of a rule without a selection phase.
+    pub fn fill_all_selected(&mut self, n: usize) {
+        self.selected.clear();
+        self.selected.extend(0..n);
+        self.distance.clear();
+        self.distance.resize(n, 0.0);
+        self.norm.clear();
+    }
+
+    /// Indices of the inputs the rule rejected, ascending.
+    pub fn excluded(&self) -> Vec<usize> {
+        (0..self.distance.len())
+            .filter(|i| !self.selected.contains(i))
+            .collect()
+    }
+}
+
+/// Fills `out[i]` with the mean squared distance from input `i` to the
+/// selected inputs (skipping `i` itself), read from the prebuilt cache.
+///
+/// This is `O(n · |selected|)` scalar reads on top of the `O(n² d)` distance
+/// work the rule already paid — the forensic profile is effectively free.
+pub(crate) fn fill_distance_profile(cache: &DistanceCache, selected: &[usize], out: &mut Vec<f64>) {
+    let n = cache.n();
+    out.clear();
+    out.resize(n, 0.0);
+    for (i, slot) in out.iter_mut().enumerate() {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for &j in selected {
+            if j != i {
+                sum += f64::from(cache.get(i, j));
+                count += 1;
+            }
+        }
+        if count > 0 {
+            *slot = sum / count as f64;
+        }
+    }
+}
+
+/// Fills `out[i]` with the squared L2 norm of input `i` — the forensic
+/// magnitude channel. `O(n · d)`, one extra row of the distance pass the
+/// distance-based rules already paid for.
+pub(crate) fn fill_norm_profile(inputs: &[GradientView<'_>], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(
+        inputs
+            .iter()
+            .map(|v| f64::from(garfield_tensor::squared_norm_slices(v.data()))),
+    );
+}
 
 /// A gradient aggregation rule: a function `(R^d)^n -> R^d`.
 ///
@@ -59,6 +140,32 @@ pub trait Gar: Send + Sync {
         Ok(flat
             .reshape(inputs[0].shape().clone())
             .expect("aggregation preserves the element count"))
+    }
+
+    /// Like [`Gar::aggregate_views`], but additionally reports which inputs
+    /// the rule's selection phase kept and how far each input sits from the
+    /// surviving set, for per-peer suspicion scoring.
+    ///
+    /// Outputs are **bit-identical** to [`Gar::aggregate_views`]; the
+    /// distance-based rules derive the report from the pairwise-distance
+    /// cache they already built, so the observation costs `O(n · |selected|)`
+    /// scalar reads. The default implementation (rules without a selection
+    /// phase) marks every input selected with a zero distance profile; every
+    /// implementation fills the squared-norm profile.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`Gar::aggregate_views`].
+    fn aggregate_views_observed(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+        outcome: &mut SelectionOutcome,
+    ) -> AggregationResult<Tensor> {
+        let out = self.aggregate_views(inputs, engine)?;
+        outcome.fill_all_selected(inputs.len());
+        fill_norm_profile(inputs, &mut outcome.norm);
+        Ok(out)
     }
 
     /// Whether the rule provides Byzantine resilience (everything except `Average`).
@@ -174,6 +281,16 @@ impl Gar for CountedGar {
         self.inner.aggregate_views(inputs, engine)
     }
 
+    fn aggregate_views_observed(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+        outcome: &mut SelectionOutcome,
+    ) -> AggregationResult<Tensor> {
+        self.selections.inc();
+        self.inner.aggregate_views_observed(inputs, engine, outcome)
+    }
+
     fn is_byzantine_resilient(&self) -> bool {
         self.inner.is_byzantine_resilient()
     }
@@ -263,6 +380,67 @@ mod tests {
         assert!(build_gar(GarKind::Median, 2, 1).is_err());
         assert!(build_gar_by_name("median", 3, 1).is_ok());
         assert!(build_gar_by_name("wat", 3, 1).is_err());
+    }
+
+    #[test]
+    fn observed_aggregation_is_bit_identical_and_flags_the_outlier() {
+        use garfield_tensor::TensorRng;
+        let mut rng = TensorRng::seed_from(77);
+        for kind in GarKind::all() {
+            let f = 1;
+            let n = kind.minimum_inputs(f).max(7);
+            let mut inputs: Vec<Tensor> = (0..n - 1)
+                .map(|_| {
+                    Tensor::ones(16usize)
+                        .try_add(&rng.normal_tensor(16usize).scale(0.05))
+                        .unwrap()
+                })
+                .collect();
+            inputs.push(Tensor::full(16usize, 1e4)); // Byzantine outlier at n-1
+            let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+            let gar = build_gar(kind, n, f).unwrap();
+            let engine = Engine::sequential();
+
+            let plain = gar.aggregate_views(&views, &engine).unwrap();
+            let mut outcome = SelectionOutcome::default();
+            let observed = gar
+                .aggregate_views_observed(&views, &engine, &mut outcome)
+                .unwrap();
+            let plain_bits: Vec<u32> = plain.data().iter().map(|v| v.to_bits()).collect();
+            let observed_bits: Vec<u32> = observed.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(plain_bits, observed_bits, "{kind} observed output differs");
+
+            assert_eq!(outcome.distance.len(), n, "{kind} profile length");
+            assert!(!outcome.selected.is_empty(), "{kind} selected nothing");
+            // Every rule reports the magnitude channel, and the outlier's
+            // huge vector dominates it.
+            assert_eq!(outcome.norm.len(), n, "{kind} norm profile length");
+            let max_norm = (0..n)
+                .max_by(|&a, &b| outcome.norm[a].total_cmp(&outcome.norm[b]))
+                .unwrap();
+            assert_eq!(max_norm, n - 1, "{kind} norms: {:?}", outcome.norm);
+            match kind {
+                // Distance-based rules: the outlier is excluded and carries
+                // the largest distance to the selected set.
+                GarKind::Krum | GarKind::MultiKrum | GarKind::Mda | GarKind::Bulyan => {
+                    assert!(
+                        !outcome.selected.contains(&(n - 1)),
+                        "{kind} selected the outlier"
+                    );
+                    assert!(outcome.excluded().contains(&(n - 1)));
+                    let max_idx = (0..n)
+                        .max_by(|&a, &b| outcome.distance[a].total_cmp(&outcome.distance[b]))
+                        .unwrap();
+                    assert_eq!(max_idx, n - 1, "{kind} distances: {:?}", outcome.distance);
+                }
+                // Selection-free rules: everything selected, zero profile.
+                GarKind::Average | GarKind::Median => {
+                    assert_eq!(outcome.selected, (0..n).collect::<Vec<_>>());
+                    assert!(outcome.distance.iter().all(|&d| d == 0.0));
+                    assert!(outcome.excluded().is_empty());
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! returns *indices*; the only data copied is the output vector.
 
 use crate::engine::{krum_best_cached, multi_krum_cached};
+use crate::gar::{fill_distance_profile, fill_norm_profile};
 use crate::{
     validate_inputs, validate_views, AggregationError, AggregationResult, DistanceCache, Engine,
-    Gar, SelectionScratch,
+    Gar, SelectionOutcome, SelectionScratch,
 };
 use garfield_tensor::{GradientView, Tensor};
 
@@ -93,6 +94,23 @@ impl Gar for Krum {
         engine: &Engine,
     ) -> AggregationResult<Tensor> {
         let idx = self.select_index_views(inputs, engine)?;
+        Ok(inputs[idx].to_tensor())
+    }
+
+    fn aggregate_views_observed(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+        outcome: &mut SelectionOutcome,
+    ) -> AggregationResult<Tensor> {
+        validate_views(inputs, self.n)?;
+        let cache = DistanceCache::build(inputs, engine);
+        let mut scratch = SelectionScratch::new();
+        let idx = krum_best_cached(&cache, self.f, &mut scratch);
+        outcome.selected.clear();
+        outcome.selected.push(idx);
+        fill_distance_profile(&cache, &outcome.selected, &mut outcome.distance);
+        fill_norm_profile(inputs, &mut outcome.norm);
         Ok(inputs[idx].to_tensor())
     }
 }
@@ -199,6 +217,25 @@ impl Gar for MultiKrum {
         multi_krum_cached(&cache, self.f, self.m, &mut scratch);
         let mut out = Vec::new();
         crate::engine::average_indices_into(inputs, scratch.order(), engine, &mut out);
+        Ok(Tensor::from(out))
+    }
+
+    fn aggregate_views_observed(
+        &self,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+        outcome: &mut SelectionOutcome,
+    ) -> AggregationResult<Tensor> {
+        validate_views(inputs, self.n)?;
+        let cache = DistanceCache::build(inputs, engine);
+        let mut scratch = SelectionScratch::new();
+        multi_krum_cached(&cache, self.f, self.m, &mut scratch);
+        outcome.selected.clear();
+        outcome.selected.extend_from_slice(scratch.order());
+        fill_distance_profile(&cache, &outcome.selected, &mut outcome.distance);
+        fill_norm_profile(inputs, &mut outcome.norm);
+        let mut out = Vec::new();
+        crate::engine::average_indices_into(inputs, &outcome.selected, engine, &mut out);
         Ok(Tensor::from(out))
     }
 }

@@ -54,16 +54,18 @@ mod gar;
 mod krum;
 mod mda;
 mod median;
+pub mod suspicion;
 pub mod variance;
 
 pub use average::Average;
 pub use bulyan::Bulyan;
 pub use engine::{average_views, gram_error_bound, DistanceCache, Engine, SelectionScratch};
 pub use error::{AggregationError, AggregationResult};
-pub use gar::{build_gar, build_gar_by_name, Gar, GarKind};
+pub use gar::{build_gar, build_gar_by_name, Gar, GarKind, SelectionOutcome};
 pub use krum::{Krum, MultiKrum};
 pub use mda::Mda;
 pub use median::{sort3_branchless, Median};
+pub use suspicion::{PeerSuspicion, SuspicionLedger};
 pub use variance::{VarianceProbe, VarianceReport, VarianceStep};
 
 /// Validates that all inputs exist, share one shape, and match the expected count.

@@ -11,6 +11,8 @@
 //!     [--merge-baseline results/perf_baseline.json] \
 //!     [--threads N] [--require-baseline] [--obs-gate]
 //! cargo run --release -p garfield-bench --bin expfig -- trace <flight-dir>
+//! cargo run --release -p garfield-bench --bin expfig -- watch <spec> \
+//!     [--interval-ms 1000] [--csv results/watch.csv] [--once]
 //! ```
 //!
 //! Recognised experiment ids: `table1`, `fig3a`, `fig3b`, `fig4a`, `fig4b`,
@@ -45,14 +47,27 @@
 //! `trace <dir>` merges the `flight-*.jsonl` dumps that `garfield-node
 //! --flight-dir` processes wrote into one per-round cross-node timeline
 //! (who was slow, which pulls were re-asked, how the round split between
-//! gathering the quorum and the aggregate/apply tail), printed and written
-//! to `results/trace.csv`.
+//! gathering the quorum and the aggregate/apply tail, and which sender rode
+//! the round's worst wire hop), printed and written to `results/trace.csv`;
+//! the cross-round per-sender one-way-delay profile from the wire-header
+//! stamps lands in `results/trace_peers.csv`.
+//!
+//! `watch <spec>` is the live cluster view: the spec maps node ids to the
+//! `--metrics-addr` endpoints, and the command polls `/healthz` +
+//! `/metrics` per node, rendering a refreshing table (round, rounds/s,
+//! round-latency p50/p99, queue depth, drops, top-suspicion peers) while
+//! appending every poll to the CSV sink. `--once` scrapes once and prints
+//! one JSON object per node instead — the machine-readable face for tests
+//! and scripts. The watch exits on its own when every node that was up has
+//! gone down.
 
 use garfield_bench::figures;
 use garfield_bench::perf;
 use garfield_bench::report::{print_table, write_csv, Row};
 use garfield_bench::trace;
+use garfield_bench::watch;
 use garfield_net::Device;
+use std::time::{Duration, Instant};
 
 fn run_one(id: &str) -> Option<(String, Vec<Row>)> {
     let rows = match id {
@@ -408,13 +423,167 @@ fn run_trace(args: &[String]) -> i32 {
         return 1;
     }
     println!("(written to results/trace.csv)");
+
+    // The cross-round network view: every sender's one-way delay profile
+    // from the wire-header stamps (empty when the dumps predate v2 headers).
+    let peer_rows = trace::as_peer_rows(&trace::peer_delays(&merged));
+    if !peer_rows.is_empty() {
+        print_table("per-peer one-way delay (wire stamps)", &peer_rows);
+        if let Err(e) = write_csv("results/trace_peers.csv", &peer_rows) {
+            eprintln!("could not write results/trace_peers.csv: {e}");
+            return 1;
+        }
+        println!("(written to results/trace_peers.csv)");
+    }
+    0
+}
+
+/// Runs the `watch` subcommand: poll every node's scrape endpoint and
+/// render a refreshing per-node cluster table. Returns the exit code.
+fn run_watch(args: &[String]) -> i32 {
+    let mut spec_path: Option<&String> = None;
+    let mut interval = Duration::from_millis(1_000);
+    let mut once = false;
+    let mut csv_path = String::from("results/watch.csv");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms >= 100 => interval = Duration::from_millis(ms),
+                _ => {
+                    eprintln!("--interval-ms requires an integer ≥ 100");
+                    return 2;
+                }
+            },
+            "--csv" => match it.next() {
+                Some(p) => csv_path = p.clone(),
+                None => {
+                    eprintln!("--csv requires a path");
+                    return 2;
+                }
+            },
+            other if spec_path.is_none() && !other.starts_with('-') => spec_path = Some(arg),
+            other => {
+                eprintln!("unknown watch flag '{other}'");
+                return 2;
+            }
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        eprintln!(
+            "usage: expfig watch <spec: 'node-id metrics-host:port' lines> \
+             [--interval-ms N] [--csv PATH] [--once]"
+        );
+        return 2;
+    };
+    let spec_text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            return 1;
+        }
+    };
+    let timeout = Duration::from_millis(500.min(interval.as_millis() as u64));
+
+    if once {
+        // Machine-readable: one JSON object per node on stdout, nothing else.
+        return match watch::watch_once(&spec_text, timeout) {
+            Ok(lines) => {
+                println!("{lines}");
+                0
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                2
+            }
+        };
+    }
+
+    let targets = match watch::parse_spec(&spec_text) {
+        Ok(t) if !t.is_empty() => t,
+        Ok(_) => {
+            eprintln!("{spec_path} names no node");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut csv: Option<std::fs::File> = None;
+    let mut previous: Option<(Vec<garfield_bench::watch::NodeView>, Instant)> = None;
+    let mut seen_up = false;
+    for poll_index in 0u64.. {
+        let views = watch::poll(&targets, timeout);
+        let now = Instant::now();
+        let rates: Vec<f64> = views
+            .iter()
+            .map(|v| {
+                let prev = previous.as_ref().and_then(|(vs, at)| {
+                    vs.iter()
+                        .find(|p| p.node == v.node)
+                        .map(|p| (p, at.elapsed().as_secs_f64()))
+                });
+                match prev {
+                    Some((p, elapsed)) => watch::rounds_per_sec(Some(p), v, elapsed),
+                    None => 0.0,
+                }
+            })
+            .collect();
+
+        // CSV sink: lazily created so a spec typo never leaves an empty file.
+        if csv.is_none() {
+            if let Some(parent) = std::path::Path::new(&csv_path).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::File::create(&csv_path) {
+                Ok(mut file) => {
+                    use std::io::Write as _;
+                    let _ = writeln!(file, "{}", watch::csv_header());
+                    csv = Some(file);
+                }
+                Err(e) => {
+                    eprintln!("could not write {csv_path}: {e}");
+                    return 1;
+                }
+            }
+        }
+        if let Some(file) = &mut csv {
+            use std::io::Write as _;
+            for (v, rate) in views.iter().zip(&rates) {
+                let _ = writeln!(file, "{}", watch::csv_line(poll_index, v, *rate));
+            }
+        }
+
+        // Refresh the screen in place: clear, home, redraw.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "garfield watch — {} nodes, every {} ms (Ctrl-C to stop, CSV → {csv_path})\n",
+            targets.len(),
+            interval.as_millis()
+        );
+        print!("{}", watch::render_table(&views, &rates));
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+
+        // The watch outlives any one node, but not the cluster: once every
+        // node that was up has gone down, the run is over.
+        let any_up = views.iter().any(|v| v.up);
+        seen_up |= any_up;
+        if seen_up && !any_up {
+            println!("\nevery node is down — run over, exiting");
+            return 0;
+        }
+        previous = Some((views, now));
+        std::thread::sleep(interval);
+    }
     0
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: expfig <experiment id ...> | all | perf [flags] | trace <dir>   (see --help in the doc comment)");
+        eprintln!("usage: expfig <experiment id ...> | all | perf [flags] | trace <dir> | watch <spec> [flags]   (see --help in the doc comment)");
         std::process::exit(2);
     }
     if args[0] == "perf" {
@@ -422,6 +591,9 @@ fn main() {
     }
     if args[0] == "trace" {
         std::process::exit(run_trace(&args[1..]));
+    }
+    if args[0] == "watch" {
+        std::process::exit(run_watch(&args[1..]));
     }
     let quick_all = [
         "table1",

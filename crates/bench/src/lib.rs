@@ -22,6 +22,7 @@ pub mod report;
 pub mod runtime_throughput;
 pub mod throughput;
 pub mod trace;
+pub mod watch;
 
 pub use perf::{PerfConfig, PerfPoint};
 pub use report::{write_csv, Row};

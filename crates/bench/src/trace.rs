@@ -144,6 +144,14 @@ pub struct RoundTimeline {
     pub slowest_wait_ms: f64,
     /// Checkpoints written during the round.
     pub checkpoints: u64,
+    /// The worst one-way wire delay observed this round (milliseconds),
+    /// straight from the `wire_recv` events' sender-stamp-vs-receive-clock
+    /// measurement — the *network* share of the critical path, separated
+    /// from compute-side straggling.
+    pub wire_delay_ms: f64,
+    /// The sender whose message rode that worst delay (`None` when the
+    /// round carried no trace-stamped traffic).
+    pub wire_slowest_peer: Option<u32>,
 }
 
 /// Groups a merged event stream into per-round timelines (rounds sorted).
@@ -191,6 +199,12 @@ pub fn rounds(events: &[MergedEvent]) -> Vec<RoundTimeline> {
         let issued = first(EventKind::PullIssued);
         let ms = |later: u64, earlier: u64| later.saturating_sub(earlier) as f64 / 1e3;
 
+        // The round's worst wire hop: `wire_recv` carries the measured
+        // one-way delay (ms) as its value and the sender as its peer.
+        let worst_wire = of_round()
+            .filter(|e| e.kind == EventKind::WireRecv && e.value.is_finite())
+            .max_by(|a, b| a.value.total_cmp(&b.value));
+
         out.push(RoundTimeline {
             round,
             duration_ms: ms(end, start),
@@ -205,9 +219,76 @@ pub fn rounds(events: &[MergedEvent]) -> Vec<RoundTimeline> {
                 _ => 0.0,
             },
             checkpoints: count(EventKind::CheckpointWritten),
+            wire_delay_ms: worst_wire.map_or(0.0, |e| e.value),
+            wire_slowest_peer: worst_wire.and_then(|e| e.peer),
         });
     }
     out
+}
+
+/// Per-peer one-way-delay attribution across the whole merged stream: how
+/// every sender's messages fared on the wire, from the `wire_recv` events'
+/// sender-stamp measurements. This is the cross-round view the per-round
+/// `wire_*` columns summarize — a consistently slow peer shows up here even
+/// when it never "wins" a round's worst-hop slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerDelay {
+    /// The sending node.
+    pub peer: u32,
+    /// Trace-stamped messages received from it.
+    pub messages: u64,
+    /// Mean one-way delay in milliseconds.
+    pub mean_ms: f64,
+    /// Worst one-way delay in milliseconds.
+    pub max_ms: f64,
+}
+
+/// Aggregates `wire_recv` events into per-sender delay profiles, slowest
+/// mean first. Negative measured delays (receiver clock behind the sender's)
+/// are kept as-is: they bound the clock skew and belong in the mean.
+pub fn peer_delays(events: &[MergedEvent]) -> Vec<PeerDelay> {
+    let mut out: Vec<PeerDelay> = Vec::new();
+    for e in events {
+        if e.kind != EventKind::WireRecv || !e.value.is_finite() {
+            continue;
+        }
+        let Some(peer) = e.peer else { continue };
+        match out.iter_mut().find(|p| p.peer == peer) {
+            Some(p) => {
+                p.messages += 1;
+                p.mean_ms += e.value; // sum for now, divided below
+                p.max_ms = p.max_ms.max(e.value);
+            }
+            None => out.push(PeerDelay {
+                peer,
+                messages: 1,
+                mean_ms: e.value,
+                max_ms: e.value,
+            }),
+        }
+    }
+    for p in &mut out {
+        p.mean_ms /= p.messages as f64;
+    }
+    out.sort_by(|a, b| b.mean_ms.total_cmp(&a.mean_ms));
+    out
+}
+
+/// Renders per-peer delay profiles as report rows.
+pub fn as_peer_rows(delays: &[PeerDelay]) -> Vec<Row> {
+    delays
+        .iter()
+        .map(|p| {
+            Row::new(
+                format!("peer {}", p.peer),
+                vec![
+                    ("msgs", p.messages as f64),
+                    ("mean_ms", p.mean_ms),
+                    ("max_ms", p.max_ms),
+                ],
+            )
+        })
+        .collect()
 }
 
 /// Renders round timelines as report rows for `print_table`/`write_csv`.
@@ -228,6 +309,8 @@ pub fn as_rows(timelines: &[RoundTimeline]) -> Vec<Row> {
                     ("slow_node", t.slowest_peer.map_or(-1.0, f64::from)),
                     ("slow_wait_ms", t.slowest_wait_ms),
                     ("ckpts", t.checkpoints as f64),
+                    ("wire_ms", t.wire_delay_ms),
+                    ("wire_peer", t.wire_slowest_peer.map_or(-1.0, f64::from)),
                 ],
             )
         })
@@ -308,6 +391,62 @@ mod tests {
              {{\"t_us\":1,\"node\":0,\"kind\":\"nope\",\"round\":0,\"peer\":null,\"value\":0}}"
         );
         assert!(parse_dump(&bad_kind).unwrap_err().contains("unknown kind"));
+    }
+
+    #[test]
+    fn wire_recv_events_attribute_network_delay_per_round_and_per_peer() {
+        let wire = |abs_us: u64, round: u64, peer: u32, delay_ms: f64| MergedEvent {
+            abs_us,
+            node: 0,
+            kind: EventKind::WireRecv,
+            round,
+            peer: Some(peer),
+            value: delay_ms,
+        };
+        let frame = |abs_us: u64, kind: EventKind, round: u64| MergedEvent {
+            abs_us,
+            node: 0,
+            kind,
+            round,
+            peer: None,
+            value: 0.0,
+        };
+        let events = vec![
+            frame(0, EventKind::RoundStart, 1),
+            wire(10, 1, 2, 0.5),
+            wire(20, 1, 3, 4.0), // peer 3 rode the worst hop of round 1
+            frame(100, EventKind::RoundEnd, 1),
+            frame(200, EventKind::RoundStart, 2),
+            wire(210, 2, 2, 1.5),
+            wire(220, 2, 3, f64::NAN), // unstamped legacy frame: ignored
+            frame(300, EventKind::RoundEnd, 2),
+        ];
+
+        let t = rounds(&events);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].wire_slowest_peer, Some(3));
+        assert!((t[0].wire_delay_ms - 4.0).abs() < 1e-12);
+        assert_eq!(t[1].wire_slowest_peer, Some(2), "NaN never wins");
+        assert!((t[1].wire_delay_ms - 1.5).abs() < 1e-12);
+        let row = &as_rows(&t)[0];
+        assert_eq!(row.values[9], ("wire_ms".to_string(), 4.0));
+        assert_eq!(row.values[10], ("wire_peer".to_string(), 3.0));
+
+        // Per-peer attribution across rounds: peer 3's one valid sample
+        // averages 4.0, peer 2 averages (0.5 + 1.5) / 2 = 1.0.
+        let delays = peer_delays(&events);
+        assert_eq!(delays.len(), 2);
+        assert_eq!(delays[0].peer, 3, "slowest mean first");
+        assert_eq!(delays[0].messages, 1);
+        assert!((delays[0].mean_ms - 4.0).abs() < 1e-12);
+        assert_eq!(delays[1].peer, 2);
+        assert_eq!(delays[1].messages, 2);
+        assert!((delays[1].mean_ms - 1.0).abs() < 1e-12);
+        assert!((delays[1].max_ms - 1.5).abs() < 1e-12);
+
+        let rows = as_peer_rows(&delays);
+        assert_eq!(rows[0].label, "peer 3");
+        assert_eq!(rows[1].values[0], ("msgs".to_string(), 2.0));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The Garfield `Server` object and its Byzantine variant.
 
 use crate::CoreResult;
-use garfield_aggregation::{Engine, Gar};
+use garfield_aggregation::{Engine, Gar, SelectionOutcome};
 use garfield_attacks::Attack;
 use garfield_ml::{Batch, Model, Optimizer, Sgd};
 use garfield_tensor::{GradientView, Tensor, TensorRng};
@@ -96,6 +96,25 @@ impl ParameterServer {
         engine: &Engine,
     ) -> CoreResult<Tensor> {
         Ok(gar.aggregate_views(inputs, engine)?)
+    }
+
+    /// Like [`ParameterServer::aggregate_views`], but also reports which
+    /// inputs the GAR kept and each input's distance to the surviving set
+    /// (see [`SelectionOutcome`]) for per-peer suspicion scoring. Outputs
+    /// are bit-identical to the unobserved path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Aggregation`](crate::CoreError::Aggregation)
+    /// when the GAR rejects the inputs.
+    pub fn aggregate_views_observed(
+        &self,
+        gar: &dyn Gar,
+        inputs: &[GradientView<'_>],
+        engine: &Engine,
+        outcome: &mut SelectionOutcome,
+    ) -> CoreResult<Tensor> {
+        Ok(gar.aggregate_views_observed(inputs, engine, outcome)?)
     }
 
     /// Top-1 accuracy of the current model on a held-out batch.

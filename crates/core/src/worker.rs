@@ -157,8 +157,15 @@ impl ByzantineWorker {
 impl ByzantineWorker {
     /// The honest gradient this worker computes, bypassing any installed attack.
     ///
-    /// Used by the deployment to build the omniscient adversary's view of the round.
-    pub(crate) fn honest_compute(
+    /// Used by the deployment to build the omniscient adversary's view of the
+    /// round, and by the live runtime to maintain the non-omniscient
+    /// adversary's *self*-history (its own honest trajectory stands in for
+    /// the peer view the collusion attacks estimate moments from).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] when `params` does not match the replica.
+    pub fn honest_compute(
         &mut self,
         params: &Tensor,
         iteration: usize,
@@ -166,9 +173,11 @@ impl ByzantineWorker {
         self.inner.compute_gradient(params, iteration)
     }
 
-    /// The vector this worker actually sends, given its honest gradient and the
-    /// omniscient view of its peers' honest gradients.
-    pub(crate) fn sent_gradient(&mut self, honest: Tensor, peers: &[Tensor]) -> Tensor {
+    /// The vector this worker actually sends, given its honest gradient and
+    /// the gradient view the adversary estimates moments from (the peers'
+    /// honest gradients when omniscient, the worker's own recent honest
+    /// gradients when not).
+    pub fn sent_gradient(&mut self, honest: Tensor, peers: &[Tensor]) -> Tensor {
         match &self.attack {
             None => honest,
             Some(attack) => attack.corrupt(&honest, peers, &mut self.rng),

@@ -67,7 +67,10 @@ pub use error::{NetError, NetResult};
 pub use pull::PullRound;
 pub use router::{Envelope, Router, RouterHandle};
 pub use time::SimClock;
-pub use transport::{PeerCounterMap, PeerCounters, RouterTransport, Transport};
+pub use transport::{
+    record_wire_recv, record_wire_send, PeerCounterMap, PeerCounters, RouterTransport, Transport,
+};
 pub use wire::{
-    MsgKind, PayloadPool, WireHeader, WireMessage, MAX_WIRE_VALUES, WIRE_HEADER_BYTES, WIRE_VERSION,
+    stamp_trace, unix_micros, MsgKind, PayloadPool, WireHeader, WireMessage, MAX_WIRE_VALUES,
+    WIRE_HEADER_BYTES, WIRE_VERSION,
 };

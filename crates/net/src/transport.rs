@@ -191,6 +191,57 @@ impl PeerCounterMap {
     }
 }
 
+/// Records a `wire_send` flight event for a trace-stamped payload reaching
+/// the wire toward `to`. Both transports call this at the point a frame is
+/// actually written (router: the channel send; TCP: the socket write), so
+/// the event stream reflects wire order, not queueing order.
+///
+/// With observability disabled this is one relaxed load; with it enabled the
+/// payload header is peeked (never decoded) and unstamped or non-wire
+/// payloads record nothing.
+#[inline]
+pub fn record_wire_send(to: NodeId, payload: &[u8]) {
+    if !garfield_obs::enabled() {
+        return;
+    }
+    if let Ok(header) = crate::WireMessage::peek(payload) {
+        if header.sent_unix_us != 0 {
+            garfield_obs::flight::record(
+                garfield_obs::flight::EventKind::WireSend,
+                header.round,
+                Some(to.0),
+                header.seq as f64,
+            );
+        }
+    }
+}
+
+/// Records a `wire_recv` flight event for a trace-stamped payload arriving
+/// from `from`, carrying the one-way delay (receiver clock minus the
+/// sender's stamped send time) in milliseconds. On one machine — every
+/// deployment the test rigs and `expfig trace` cover — both clocks are the
+/// same clock, so the delta is a true one-way delay; across machines it
+/// additionally absorbs clock offset, like any timestamp-based tracing.
+#[inline]
+pub fn record_wire_recv(from: NodeId, payload: &[u8]) {
+    if !garfield_obs::enabled() {
+        return;
+    }
+    let Ok(header) = crate::WireMessage::peek(payload) else {
+        return;
+    };
+    if header.sent_unix_us == 0 {
+        return; // never stamped: no send time to attribute a delay to
+    }
+    let delay_us = crate::wire::unix_micros().saturating_sub(header.sent_unix_us);
+    garfield_obs::flight::record(
+        garfield_obs::flight::EventKind::WireRecv,
+        header.round,
+        Some(from.0),
+        delay_us as f64 / 1_000.0,
+    );
+}
+
 /// One node's endpoint on some message substrate (threads or sockets).
 pub trait Transport: Send {
     /// The node id this endpoint speaks as.
@@ -293,6 +344,7 @@ impl Transport for RouterTransport {
 
     fn send(&self, to: NodeId, tag: u64, payload: Bytes) -> NetResult<()> {
         let bytes = payload.len();
+        record_wire_send(to, &payload);
         self.handle.lock().send(to, tag, payload)?;
         self.counters.record_send(to, bytes);
         Ok(())
@@ -302,6 +354,7 @@ impl Transport for RouterTransport {
         let envelope = self.handle.lock().recv_timeout(timeout)?;
         self.counters
             .record_recv(envelope.from, envelope.payload.len());
+        record_wire_recv(envelope.from, &envelope.payload);
         Ok(envelope)
     }
 

@@ -10,32 +10,72 @@
 //! 1       1     message kind    (see [`MsgKind`])
 //! 2       8     round tag       (u64 LE — the training iteration)
 //! 10      4     aux scalar      (f32 LE — e.g. the training loss of a reply)
-//! 14      4     payload length  (u32 LE — number of f32 values, not bytes)
-//! 18      4·n   payload         (f32 LE values: a flat gradient or model)
+//! 14      4     origin node id  (u32 LE — who put the message on the wire)
+//! 18      8     sequence number (u64 LE — per-sender send counter)
+//! 26      8     send timestamp  (u64 LE — µs since the Unix epoch)
+//! 34      4     payload length  (u32 LE — number of f32 values, not bytes)
+//! 38      4·n   payload         (f32 LE values: a flat gradient or model)
 //! ```
+//!
+//! The three trace fields (origin, sequence, send timestamp) exist for
+//! wire-level causal tracing: `expfig trace` joins a receiver's
+//! flight-recorder events against the sender's clock to attribute one-way
+//! delay and stragglers per peer. They are *transport metadata*, not part of
+//! the logical message: [`WireMessage::encode`] zeroes them and the send path
+//! stamps them into the encoded buffer with [`stamp_trace`] at the moment the
+//! bytes leave for the wire, so encoding stays pure and replayable.
 //!
 //! The payload is bit-transparent: NaNs and infinities round-trip exactly
 //! (decoding never interprets the values), which matters because a Byzantine
 //! node may deliberately send non-finite vectors. Decoding is strict — a
 //! wrong version, an unknown kind, a truncated buffer or trailing bytes are
 //! all errors rather than best-effort accepts.
+//!
+//! # Version-bump / compatibility policy
+//!
+//! The format is versioned by a single leading byte and is intentionally
+//! **not** forward- or backward-compatible: a node speaking version `n`
+//! rejects every other version at two independent layers — the TCP hello
+//! (`garfield-transport` puts [`WIRE_VERSION`] in its connection preamble, so
+//! mismatched peers are refused before any payload flows) and
+//! [`WireMessage::peek`]/[`WireMessage::decode`], which fail with
+//! [`NetError::WireVersion`] on every frame. A cluster must therefore be
+//! upgraded atomically; there is no mixed-version operation. Any change to
+//! the header layout (as with the v1→v2 trace-field extension) must bump
+//! [`WIRE_VERSION`], update [`WIRE_HEADER_BYTES`] and the layout table above,
+//! and keep the strict-decode guarantees: `peek` validating exactly like
+//! `decode`, the length cap enforced before allocation, and the proptests in
+//! `tests/wire_properties.rs` passing unchanged in spirit (truncation,
+//! trailing bytes, hostile lengths, bit-exact payload round-trips).
 
 use crate::{NetError, NetResult};
 use bytes::Bytes;
 
 /// Current wire-format version byte.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version 2 extended the v1 header with the origin/sequence/timestamp trace
+/// fields; see the module docs for the layout and the compatibility policy.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Size of the fixed message header in bytes.
-pub const WIRE_HEADER_BYTES: usize = 18;
+pub const WIRE_HEADER_BYTES: usize = 38;
+
+/// Byte offset of the origin-node-id trace field within the header.
+const TRACE_ORIGIN_OFFSET: usize = 14;
+/// Byte offset of the sequence-number trace field within the header.
+const TRACE_SEQ_OFFSET: usize = 18;
+/// Byte offset of the send-timestamp trace field within the header.
+const TRACE_SENT_OFFSET: usize = 26;
+/// Byte offset of the payload-length field within the header.
+const PAYLOAD_LEN_OFFSET: usize = 34;
 
 /// Maximum number of `f32` payload values a message may declare or carry
 /// (64 Mi values = 256 MiB — more than an order of magnitude above the
 /// largest model in the paper's Table 1).
 ///
 /// The cap is enforced *before* any allocation: a hostile peer controls the
-/// length prefix of every frame it sends, and an 18-byte header must never be
-/// able to demand gigabytes of memory on the receiving side.
+/// length prefix of every frame it sends, and a header must never be able to
+/// demand gigabytes of memory on the receiving side.
 pub const MAX_WIRE_VALUES: usize = 64 * 1024 * 1024;
 
 /// The message kinds of the live training protocol.
@@ -127,6 +167,14 @@ pub struct WireHeader {
     pub round: u64,
     /// Kind-specific scalar (gradient replies carry the training loss here).
     pub aux: f32,
+    /// Trace: the node id that put this message on the wire (0 when the
+    /// buffer was never stamped — see [`stamp_trace`]).
+    pub origin: u32,
+    /// Trace: the sender's monotone send counter at stamp time.
+    pub seq: u64,
+    /// Trace: the sender's clock at stamp time, µs since the Unix epoch
+    /// (0 when unstamped).
+    pub sent_unix_us: u64,
     /// Number of `f32` payload values that follow the header.
     pub payload_len: usize,
 }
@@ -143,6 +191,39 @@ pub struct WireMessage {
     pub aux: f32,
     /// The flat tensor payload (a gradient or model vector; may be empty).
     pub values: Vec<f32>,
+}
+
+/// The current wall clock as µs since the Unix epoch — the timestamp domain
+/// of the wire trace fields. Returns 0 if the clock sits before the epoch.
+pub fn unix_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Stamps the trace fields (origin node id, sequence number, send timestamp)
+/// into an already-encoded wire buffer, in place.
+///
+/// [`WireMessage::encode`] leaves the trace fields zeroed so that encoding
+/// stays a pure function of the logical message; the send path calls this on
+/// the encoded bytes immediately before handing them to the transport, which
+/// is the only point where "who is sending, as which send, at what time" is
+/// actually known. Stamping rewrites 20 fixed header bytes and never touches
+/// the payload, so it is free compared to the encode itself.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than a wire header or does not start with
+/// [`WIRE_VERSION`] — stamping arbitrary bytes would corrupt them silently.
+pub fn stamp_trace(buf: &mut [u8], origin: u32, seq: u64, sent_unix_us: u64) {
+    assert!(
+        buf.len() >= WIRE_HEADER_BYTES && buf[0] == WIRE_VERSION,
+        "stamp_trace requires an encoded v{WIRE_VERSION} wire message"
+    );
+    buf[TRACE_ORIGIN_OFFSET..TRACE_SEQ_OFFSET].copy_from_slice(&origin.to_le_bytes());
+    buf[TRACE_SEQ_OFFSET..TRACE_SENT_OFFSET].copy_from_slice(&seq.to_le_bytes());
+    buf[TRACE_SENT_OFFSET..PAYLOAD_LEN_OFFSET].copy_from_slice(&sent_unix_us.to_le_bytes());
 }
 
 impl WireMessage {
@@ -168,11 +249,25 @@ impl WireMessage {
 
     /// Encodes the message into an immutable byte buffer.
     ///
+    /// The trace fields (origin, sequence, timestamp) are written as zeros;
+    /// the send path stamps real values over them with [`stamp_trace`] just
+    /// before the bytes hit the wire.
+    ///
     /// # Panics
     ///
     /// Panics if the payload holds more than [`MAX_WIRE_VALUES`] values —
     /// such a message could never be decoded by a correct peer.
     pub fn encode(&self) -> Bytes {
+        Bytes::from(self.encode_vec())
+    }
+
+    /// Encodes the message into a mutable byte vector, for send paths that
+    /// [`stamp_trace`] the buffer before freezing it into [`Bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`WireMessage::encode`].
+    pub fn encode_vec(&self) -> Vec<u8> {
         assert!(
             self.values.len() <= MAX_WIRE_VALUES,
             "wire payload of {} values exceeds the {MAX_WIRE_VALUES}-value cap",
@@ -183,11 +278,14 @@ impl WireMessage {
         buf.push(self.kind.to_byte());
         buf.extend_from_slice(&self.round.to_le_bytes());
         buf.extend_from_slice(&self.aux.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // origin (stamped on send)
+        buf.extend_from_slice(&0u64.to_le_bytes()); // seq (stamped on send)
+        buf.extend_from_slice(&0u64.to_le_bytes()); // sent_unix_us (stamped on send)
         buf.extend_from_slice(&(self.values.len() as u32).to_le_bytes());
         for v in &self.values {
             buf.extend_from_slice(&v.to_le_bytes());
         }
-        Bytes::from(buf)
+        buf
     }
 
     /// Decodes a message, validating version, kind and exact length.
@@ -231,7 +329,10 @@ impl WireMessage {
         let kind = MsgKind::from_byte(buf[1]).ok_or(NetError::WireKind(buf[1]))?;
         let round = u64::from_le_bytes(buf[2..10].try_into().expect("8 header bytes"));
         let aux = f32::from_le_bytes(buf[10..14].try_into().expect("4 header bytes"));
-        let len = u32::from_le_bytes(buf[14..18].try_into().expect("4 header bytes")) as usize;
+        let origin = u32::from_le_bytes(buf[14..18].try_into().expect("4 header bytes"));
+        let seq = u64::from_le_bytes(buf[18..26].try_into().expect("8 header bytes"));
+        let sent_unix_us = u64::from_le_bytes(buf[26..34].try_into().expect("8 header bytes"));
+        let len = u32::from_le_bytes(buf[34..38].try_into().expect("4 header bytes")) as usize;
         // A hostile length prefix is rejected before any allocation or
         // comparison against the buffer: the header alone must never be able
         // to request an unbounded amount of memory.
@@ -260,6 +361,9 @@ impl WireMessage {
             kind,
             round,
             aux,
+            origin,
+            seq,
+            sent_unix_us,
             payload_len: len,
         })
     }
@@ -357,8 +461,35 @@ mod tests {
         assert_eq!(buf[1], MsgKind::GradientReply.to_byte());
         assert_eq!(&buf[2..10], &0x0102_0304u64.to_le_bytes());
         assert_eq!(&buf[10..14], &1.0f32.to_le_bytes());
-        assert_eq!(&buf[14..18], &1u32.to_le_bytes());
-        assert_eq!(&buf[18..22], &2.0f32.to_le_bytes());
+        // Trace fields are zero until the send path stamps them.
+        assert_eq!(&buf[14..18], &0u32.to_le_bytes());
+        assert_eq!(&buf[18..26], &0u64.to_le_bytes());
+        assert_eq!(&buf[26..34], &0u64.to_le_bytes());
+        assert_eq!(&buf[34..38], &1u32.to_le_bytes());
+        assert_eq!(&buf[38..42], &2.0f32.to_le_bytes());
+    }
+
+    #[test]
+    fn stamp_trace_round_trips_through_peek_and_leaves_payload_intact() {
+        let msg = WireMessage::new(MsgKind::GradientReply, 9, 0.25, vec![1.0, -2.0]);
+        let mut buf = msg.encode_vec();
+        stamp_trace(&mut buf, 42, 1234, 1_700_000_000_000_000);
+        let header = WireMessage::peek(&buf).unwrap();
+        assert_eq!(header.origin, 42);
+        assert_eq!(header.seq, 1234);
+        assert_eq!(header.sent_unix_us, 1_700_000_000_000_000);
+        assert_eq!(header.round, 9);
+        assert_eq!(header.aux, 0.25);
+        // The logical message is unchanged by stamping.
+        let back = WireMessage::decode(&buf).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    #[should_panic(expected = "stamp_trace requires an encoded")]
+    fn stamp_trace_rejects_non_wire_buffers() {
+        let mut junk = vec![0u8; WIRE_HEADER_BYTES];
+        stamp_trace(&mut junk, 1, 1, 1);
     }
 
     #[test]
@@ -396,6 +527,14 @@ mod tests {
             WireMessage::decode(&bad_version),
             Err(NetError::WireVersion(WIRE_VERSION + 1))
         );
+        // The previous format version is rejected like any other mismatch:
+        // the policy is atomic cluster upgrades, not mixed-version decode.
+        let mut old_version = buf.to_vec();
+        old_version[0] = WIRE_VERSION - 1;
+        assert_eq!(
+            WireMessage::decode(&old_version),
+            Err(NetError::WireVersion(WIRE_VERSION - 1))
+        );
         let mut bad_kind = buf.to_vec();
         bad_kind[1] = 9;
         assert_eq!(WireMessage::decode(&bad_kind), Err(NetError::WireKind(9)));
@@ -423,7 +562,7 @@ mod tests {
         let mut buf = WireMessage::control(MsgKind::GradientRequest, 1)
             .encode()
             .to_vec();
-        buf[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        buf[34..38].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             WireMessage::decode(&buf),
             Err(NetError::FrameTooLarge { .. })
@@ -431,7 +570,7 @@ mod tests {
 
         // One value above the cap is rejected, the cap itself would pass the
         // length check (and then fail only on the buffer-size comparison).
-        buf[14..18].copy_from_slice(&((MAX_WIRE_VALUES + 1) as u32).to_le_bytes());
+        buf[34..38].copy_from_slice(&((MAX_WIRE_VALUES + 1) as u32).to_le_bytes());
         assert_eq!(
             WireMessage::decode(&buf),
             Err(NetError::FrameTooLarge {
@@ -439,7 +578,7 @@ mod tests {
                 max: MAX_WIRE_VALUES * 4,
             })
         );
-        buf[14..18].copy_from_slice(&(MAX_WIRE_VALUES as u32).to_le_bytes());
+        buf[34..38].copy_from_slice(&(MAX_WIRE_VALUES as u32).to_le_bytes());
         assert!(matches!(
             WireMessage::decode(&buf),
             Err(NetError::WireSize { .. })
@@ -454,6 +593,9 @@ mod tests {
         assert_eq!(header.round, 11);
         assert_eq!(header.aux, 0.5);
         assert_eq!(header.payload_len, 2);
+        assert_eq!(header.origin, 0);
+        assert_eq!(header.seq, 0);
+        assert_eq!(header.sent_unix_us, 0);
 
         // Every malformed buffer peek rejects, decode must reject too (and
         // vice versa).

@@ -123,7 +123,7 @@ proptest! {
         let msg = WireMessage::new(MsgKind::GradientRequest, 1, 0.0, values);
         let mut buf = msg.encode().to_vec();
         let lied = msg.values.len() as u32 + bump;
-        buf[14..18].copy_from_slice(&lied.to_le_bytes());
+        buf[34..38].copy_from_slice(&lied.to_le_bytes());
         prop_assert_eq!(
             WireMessage::decode(&buf),
             Err(NetError::WireSize {
@@ -131,5 +131,27 @@ proptest! {
                 actual: buf.len(),
             })
         );
+    }
+
+    #[test]
+    fn stamping_trace_fields_never_perturbs_the_logical_message(
+        kind_sel in 0u8..6,
+        round in 0u64..u64::MAX,
+        values in prop::collection::vec(-1.0e30f32..1.0e30, 0..32),
+        origin in 0u32..u32::MAX,
+        seq in 0u64..u64::MAX,
+        sent in 0u64..u64::MAX,
+    ) {
+        let msg = WireMessage::new(kind_from_selector(kind_sel), round, 0.5, values);
+        let mut buf = msg.encode_vec();
+        garfield_net::stamp_trace(&mut buf, origin, seq, sent);
+        let header = WireMessage::peek(&buf).unwrap();
+        prop_assert_eq!(header.origin, origin);
+        prop_assert_eq!(header.seq, seq);
+        prop_assert_eq!(header.sent_unix_us, sent);
+        let back = WireMessage::decode(&buf).unwrap();
+        prop_assert_eq!(back.kind, msg.kind);
+        prop_assert_eq!(back.round, msg.round);
+        prop_assert_eq!(bits(&back.values), bits(&msg.values));
     }
 }

@@ -47,6 +47,16 @@ pub enum EventKind {
     CheckpointWritten,
     /// A state-transfer chunk was served to a rejoining peer (`peer` = requester).
     StateChunkServed,
+    /// A GAR excluded a peer's input from the round's aggregate
+    /// (`peer` = who was excluded, `value` = the peer's distance score).
+    PeerExcluded,
+    /// A trace-stamped wire message reached the wire
+    /// (`peer` = destination, `value` = the sender's sequence number).
+    WireSend,
+    /// A trace-stamped wire message was received
+    /// (`peer` = sender, `value` = one-way delay in milliseconds, sender's
+    /// clock vs this process's clock).
+    WireRecv,
 }
 
 impl EventKind {
@@ -63,6 +73,9 @@ impl EventKind {
             EventKind::FastMathFallback => "fast_math_fallback",
             EventKind::CheckpointWritten => "checkpoint_written",
             EventKind::StateChunkServed => "state_chunk_served",
+            EventKind::PeerExcluded => "peer_excluded",
+            EventKind::WireSend => "wire_send",
+            EventKind::WireRecv => "wire_recv",
         }
     }
 
@@ -79,6 +92,9 @@ impl EventKind {
             "fast_math_fallback" => EventKind::FastMathFallback,
             "checkpoint_written" => EventKind::CheckpointWritten,
             "state_chunk_served" => EventKind::StateChunkServed,
+            "peer_excluded" => EventKind::PeerExcluded,
+            "wire_send" => EventKind::WireSend,
+            "wire_recv" => EventKind::WireRecv,
             _ => return None,
         })
     }
@@ -319,6 +335,9 @@ mod tests {
             EventKind::FastMathFallback,
             EventKind::CheckpointWritten,
             EventKind::StateChunkServed,
+            EventKind::PeerExcluded,
+            EventKind::WireSend,
+            EventKind::WireRecv,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
         }

@@ -6,11 +6,39 @@
 //!
 //! * `GET /metrics` — [`crate::metrics::render`] (Prometheus text, v0.0.4)
 //! * `GET /flight`  — [`crate::flight::dump_jsonl`] (the flight recorder)
+//! * `GET /healthz` — one-line JSON liveness probe (node id + last round)
 //! * `GET /`        — a two-line index pointing at the above
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Identity reported by `/healthz` (set once at node startup).
+static HEALTH_NODE: AtomicU32 = AtomicU32::new(0);
+/// Last training round this endpoint's actor started (relaxed, hot-loop safe).
+static HEALTH_ROUND: AtomicU64 = AtomicU64::new(0);
+
+/// Declares which node id `/healthz` reports for this process.
+pub fn set_health_node(node: u32) {
+    HEALTH_NODE.store(node, Ordering::Relaxed);
+}
+
+/// Publishes the training round the node is currently in; `/healthz` echoes
+/// it so a watcher can tell a live-but-stuck node from a progressing one.
+/// A single relaxed store — safe to call from the round hot loop.
+pub fn set_health_round(round: u64) {
+    HEALTH_ROUND.store(round, Ordering::Relaxed);
+}
+
+/// The `/healthz` body: static 200 JSON with node identity and last round.
+fn healthz_body() -> String {
+    format!(
+        "{{\"ok\":true,\"node\":{},\"round\":{}}}\n",
+        HEALTH_NODE.load(Ordering::Relaxed),
+        HEALTH_ROUND.load(Ordering::Relaxed),
+    )
+}
 
 /// A running scrape endpoint. The accept thread is detached and serves
 /// until the process exits; dropping the handle does not stop it (nodes
@@ -92,10 +120,14 @@ fn handle(mut stream: TcpStream) -> std::io::Result<()> {
                 "application/x-ndjson",
                 crate::flight::dump_jsonl(),
             ),
+            "/healthz" => ("200 OK", "application/json", healthz_body()),
             "/" => (
                 "200 OK",
                 "text/plain",
-                String::from("garfield-obs: GET /metrics (Prometheus), GET /flight (JSONL)\n"),
+                String::from(
+                    "garfield-obs: GET /metrics (Prometheus), GET /flight (JSONL), \
+                     GET /healthz (liveness)\n",
+                ),
             ),
             _ => ("404 Not Found", "text/plain", String::from("not found\n")),
         }
@@ -147,5 +179,17 @@ mod tests {
 
         let (head, _) = get(server.addr(), "/");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    }
+
+    #[test]
+    fn healthz_reports_node_and_round() {
+        let _g = crate::test_guard();
+        set_health_node(7);
+        set_health_round(42);
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let (head, body) = get(server.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"));
+        assert_eq!(body, "{\"ok\":true,\"node\":7,\"round\":42}\n");
     }
 }

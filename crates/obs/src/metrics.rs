@@ -321,9 +321,20 @@ fn label_block(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -
     if labels.is_empty() && extra.is_none() {
         return String::new();
     }
+    // Prometheus text exposition escapes: backslash first (so the escapes
+    // introduced for quotes and newlines are not themselves re-escaped),
+    // then quotes, then literal newlines (which would otherwise split the
+    // sample line and corrupt the whole exposition).
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            format!(
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+            )
+        })
         .collect();
     if let Some((k, v)) = extra {
         parts.push(format!("{k}=\"{v}\""));
@@ -480,6 +491,70 @@ mod tests {
         assert_eq!(snap.count(), 1);
         // Quantile clamps to the largest finite bound rather than +Inf.
         assert!(snap.quantile(0.99).unwrap().is_finite());
+    }
+
+    #[test]
+    fn quantile_of_an_empty_snapshot_is_none() {
+        let _g = crate::test_guard();
+        crate::enable();
+        let h = histogram("obs_m_hist_empty_seconds", "test", &[]);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.quantile(0.0), None);
+        assert_eq!(snap.quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantile_of_a_single_observation_is_its_bucket_at_every_q() {
+        let _g = crate::test_guard();
+        crate::enable();
+        let h = histogram("obs_m_hist_single_seconds", "test", &[]);
+        h.observe(0.002); // ≤ 2.048 ms bucket
+        let snap = h.snapshot();
+        let bound = snap.quantile(0.5).unwrap();
+        assert!((0.002..0.0041).contains(&bound), "bound {bound}");
+        // Every quantile of a one-sample histogram reads the same bucket,
+        // including the q = 0 and q = 1 extremes (and out-of-range q clamps).
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(snap.quantile(q), Some(bound), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_with_all_observations_in_one_bucket() {
+        let _g = crate::test_guard();
+        crate::enable();
+        let h = histogram("obs_m_hist_onebucket_seconds", "test", &[]);
+        for _ in 0..1000 {
+            h.observe(0.01); // all land in the ≤ 16.4 ms bucket
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        let p50 = snap.quantile(0.5).unwrap();
+        let p999 = snap.quantile(0.999).unwrap();
+        assert_eq!(p50, p999, "one bucket ⇒ every quantile reads its bound");
+        assert!((0.01..0.017).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_render() {
+        let _g = crate::test_guard();
+        crate::enable();
+        counter(
+            "obs_m_escape_total",
+            "Escaping test counter.",
+            &[("peer", "quote\"backslash\\newline\nend")],
+        )
+        .inc();
+        let text = render();
+        assert!(
+            text.contains("obs_m_escape_total{peer=\"quote\\\"backslash\\\\newline\\nend\"} 1"),
+            "escaped sample missing in:\n{text}"
+        );
+        // The corrupt raw forms must not appear: an unescaped newline would
+        // split the sample line, an unescaped quote would end the value early.
+        assert!(!text.contains("newline\nend"));
     }
 
     #[test]

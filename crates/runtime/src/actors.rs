@@ -13,7 +13,9 @@
 
 use crate::fault::Fault;
 use crate::node::ServerNode;
-use garfield_aggregation::{build_gar, Engine, GarKind};
+use garfield_aggregation::{
+    build_gar, Engine, GarKind, PeerSuspicion, SelectionOutcome, SuspicionLedger,
+};
 use garfield_attacks::Attack;
 use garfield_core::{
     AccuracyPoint, ByzantineServer, ByzantineWorker, Checkpoint, CheckpointPolicy, CoreError,
@@ -85,6 +87,29 @@ fn actor_obs() -> &'static ActorObs {
     })
 }
 
+/// Encodes `msg`, stamps the wire header's trace fields (origin node,
+/// per-sender sequence number, send timestamp) and freezes the buffer for
+/// sending. Broadcasts clone the returned bytes, so every recipient of one
+/// logical message observes the same `(origin, seq)` — `expfig trace` can
+/// attribute all of a broadcast's per-peer one-way delays to a single send.
+/// Retried requests reuse the original stamp: the inflated delay a late
+/// replier then reports *is* the silence it rode out.
+fn encode_stamped(msg: &WireMessage, origin: u32, seq: &mut u64) -> bytes::Bytes {
+    *seq += 1;
+    let mut buf = msg.encode_vec();
+    garfield_net::stamp_trace(&mut buf, origin, *seq, garfield_net::unix_micros());
+    bytes::Bytes::from(buf)
+}
+
+/// How many of its own recent honest gradients a Byzantine worker keeps as
+/// the moment-estimation view for collusion attacks (little-is-enough,
+/// fall-of-empires). The live substrate is non-omniscient — no node ever sees
+/// its peers' private gradients — so the adversary falls back to the
+/// local-estimate variant: its own trajectory stands in for the round's
+/// honest population. A short window keeps the estimate close to the current
+/// round while still giving the attacks a usable spread.
+const ATTACK_HISTORY_ROUNDS: usize = 4;
+
 /// Everything a worker actor needs.
 pub(crate) struct WorkerActor {
     pub transport: Box<dyn Transport>,
@@ -96,13 +121,21 @@ pub(crate) struct WorkerActor {
     pub telemetry: NodeTelemetry,
     /// Whether a `RestartAt` fault already fired (one restart per run).
     pub restarted: bool,
+    /// Per-sender wire sequence number (trace header, satellite of the wire
+    /// format's causal-tracing fields).
+    pub seq: u64,
+    /// Bounded FIFO of this worker's own recent honest gradients — the
+    /// non-omniscient adversary's estimation view (stays empty on honest
+    /// workers). See [`ATTACK_HISTORY_ROUNDS`].
+    pub attack_history: Vec<Tensor>,
 }
 
 impl WorkerActor {
     /// The worker loop: serve gradient requests until shutdown, crash or
     /// prolonged silence. Returns the node's network counters.
     pub fn run(mut self) -> NodeTelemetry {
-        flight::set_thread_node(self.transport.local_id().0);
+        let origin = self.transport.local_id().0;
+        flight::set_thread_node(origin);
         // One payload buffer, reused for every decoded request: steady-state
         // serving allocates nothing on the receive path.
         let mut values: Vec<f32> = Vec::new();
@@ -153,14 +186,29 @@ impl WorkerActor {
                     }
                     let params = Tensor::from_slice(&values);
                     let compute_span = garfield_obs::span_start();
-                    let Ok((loss, gradient)) = self.worker.reply_gradient(&params, iteration, &[])
-                    else {
+                    let Ok((loss, honest)) = self.worker.honest_compute(&params, iteration) else {
                         continue; // malformed request (wrong dimension): drop it
                     };
                     garfield_obs::span_end(compute_span, &actor_obs().phase_compute);
-                    let sent = match &self.fault_attack {
-                        Some(attack) => attack.corrupt(&gradient, &[], &mut self.fault_rng),
-                        None => gradient,
+                    let byzantine = self.worker.is_byzantine() || self.fault_attack.is_some();
+                    let sent = if byzantine {
+                        let mut sent = self
+                            .worker
+                            .sent_gradient(honest.clone(), &self.attack_history);
+                        if let Some(attack) = &self.fault_attack {
+                            sent = attack.corrupt(&sent, &self.attack_history, &mut self.fault_rng);
+                        }
+                        // Remember the honest trajectory *after* corrupting:
+                        // the history holds previous rounds only, the current
+                        // honest vector enters the moment estimate via the
+                        // attack's own `honest` argument.
+                        if self.attack_history.len() >= ATTACK_HISTORY_ROUNDS {
+                            self.attack_history.remove(0);
+                        }
+                        self.attack_history.push(honest);
+                        sent
+                    } else {
+                        honest
                     };
                     let reply = WireMessage::new(
                         MsgKind::GradientReply,
@@ -168,7 +216,7 @@ impl WorkerActor {
                         loss,
                         sent.into_vec(),
                     );
-                    let payload = reply.encode();
+                    let payload = encode_stamped(&reply, origin, &mut self.seq);
                     let bytes = payload.len();
                     if self
                         .transport
@@ -245,6 +293,13 @@ pub(crate) struct ServerActor {
     deferred_requests: Vec<(NodeId, u64)>,
     done_peers: HashSet<NodeId>,
     round_latencies: Vec<f64>,
+    /// Per-sender wire sequence number (trace header fields).
+    seq: u64,
+    /// Byzantine forensics: per-peer suspicion accumulated from every GAR
+    /// selection this replica performs (gradients and MSMW model merges).
+    ledger: SuspicionLedger,
+    /// Reused selection report — steady state allocates nothing.
+    outcome: SelectionOutcome,
 }
 
 /// What a server actor hands back when it finishes.
@@ -254,6 +309,8 @@ pub(crate) struct ServerOutcome {
     pub telemetry: NodeTelemetry,
     pub round_latencies: Vec<f64>,
     pub resumed_from: Option<usize>,
+    /// Final per-peer suspicion state, sorted by peer id.
+    pub suspicion: Vec<PeerSuspicion>,
 }
 
 impl ServerActor {
@@ -301,6 +358,9 @@ impl ServerActor {
             deferred_requests: Vec::new(),
             done_peers: HashSet::new(),
             round_latencies: Vec::new(),
+            seq: 0,
+            ledger: SuspicionLedger::default(),
+            outcome: SelectionOutcome::default(),
         };
         if let Some(cp) = node.resume {
             cp.validate_for(actor.system.as_str(), actor.config.seed)?;
@@ -359,8 +419,10 @@ impl ServerActor {
         // failure the surviving worker processes must not be left waiting
         // out their idle timeout.
         if !self.shutdown_targets.is_empty() {
-            let shutdown =
-                WireMessage::control(MsgKind::Shutdown, self.config.iterations as u64).encode();
+            let shutdown = self.stamped(&WireMessage::control(
+                MsgKind::Shutdown,
+                self.config.iterations as u64,
+            ));
             for to in self.shutdown_targets.clone() {
                 self.send(to, self.config.iterations as u64, shutdown.clone());
             }
@@ -376,6 +438,7 @@ impl ServerActor {
             telemetry: self.telemetry,
             round_latencies: self.round_latencies,
             resumed_from: (self.start_round > 0).then_some(self.start_round),
+            suspicion: self.ledger.snapshot(),
         })
     }
 
@@ -420,17 +483,17 @@ impl ServerActor {
             }
             let round_start = Instant::now();
             flight::record(EventKind::RoundStart, iteration as u64, None, 0.0);
+            garfield_obs::http::set_health_round(iteration as u64);
 
             // --- get_gradients(iteration, q): broadcast the model, unblock
             // on the fastest q gradient replies.
             let params = self.server.honest().parameters();
-            let request = WireMessage::new(
+            let request = self.stamped(&WireMessage::new(
                 MsgKind::GradientRequest,
                 iteration as u64,
                 0.0,
                 params.data().to_vec(),
-            )
-            .encode();
+            ));
             for to in self.worker_ids.clone() {
                 self.send(to, iteration as u64, request.clone());
             }
@@ -461,16 +524,22 @@ impl ServerActor {
             // reads the pooled buffers through borrowed views — no
             // per-gradient Tensor materialisation on the hot path.
             let aggregate_start = Instant::now();
+            let reply_peers: Vec<u32> = replies.iter().map(|(id, _, _)| id.0).collect();
             let views: Vec<GradientView<'_>> = replies
                 .iter()
                 .map(|(_, _, values)| GradientView::from(values))
                 .collect();
-            let aggregated = self.server.honest().aggregate_views(
+            let aggregated = self.server.honest().aggregate_views_observed(
                 gradient_gar.as_ref(),
                 &views,
                 &self.engine,
+                &mut self.outcome,
             )?;
             drop(views);
+            // Replies are sorted by sender id (see `collect`), so view index
+            // `i` of the outcome belongs to `reply_peers[i]`.
+            self.ledger
+                .observe_round(iteration as u64, &reply_peers, &self.outcome);
             self.server.honest_mut().update_model(&aggregated)?;
             let mut aggregation = aggregate_start.elapsed().as_secs_f64();
             for (_, _, values) in replies {
@@ -490,8 +559,10 @@ impl ServerActor {
             // --- get_models(q): pull the fastest q peer models (MSMW only).
             if self.system == SystemKind::Msmw && !self.peer_ids.is_empty() {
                 let pull_start = Instant::now();
-                let request =
-                    WireMessage::control(MsgKind::ModelRequest, iteration as u64).encode();
+                let request = self.stamped(&WireMessage::control(
+                    MsgKind::ModelRequest,
+                    iteration as u64,
+                ));
                 for to in self.peer_ids.clone() {
                     self.send(to, iteration as u64, request.clone());
                 }
@@ -515,18 +586,26 @@ impl ServerActor {
                 communication += pull_start.elapsed().as_secs_f64();
 
                 let merge_start = Instant::now();
+                let mut merge_peers: Vec<u32> =
+                    model_replies.iter().map(|(id, _, _)| id.0).collect();
+                merge_peers.push(self.transport.local_id().0);
                 let mut inputs: Vec<GradientView<'_>> = model_replies
                     .iter()
                     .map(|(_, _, values)| GradientView::from(values))
                     .collect();
                 inputs.push(GradientView::from(&own));
                 let model_gar = build_gar(self.config.model_gar, inputs.len(), self.config.fps)?;
-                let merged = self.server.honest().aggregate_views(
+                let merged = self.server.honest().aggregate_views_observed(
                     model_gar.as_ref(),
                     &inputs,
                     &self.engine,
+                    &mut self.outcome,
                 )?;
                 drop(inputs);
+                // Byzantine *server* forensics: model merges score the peer
+                // replicas (and this replica's own entry, last index).
+                self.ledger
+                    .observe_round(iteration as u64, &merge_peers, &self.outcome);
                 self.server.honest_mut().write_model(&merged)?;
                 aggregation += merge_start.elapsed().as_secs_f64();
                 for (_, _, values) in model_replies {
@@ -713,6 +792,10 @@ impl ServerActor {
                 0.0, // chunk index: state fits a single frame today
                 cp.to_wire_words(),
             );
+            // Deliberately unstamped (zero trace fields): the chunk is
+            // encoded once and served arbitrarily later, so a build-time
+            // timestamp would fabricate one-way delays. Transports skip
+            // unstamped payloads when recording wire trace events.
             self.state_chunk = Some((cp.round, message.encode()));
         }
         if disk_due {
@@ -753,7 +836,10 @@ impl ServerActor {
     fn catch_up(&mut self, min_round: usize) -> CoreResult<usize> {
         let deadline = Instant::now() + self.round_deadline;
         let mut next_ask = Instant::now(); // ask immediately, then retry
-        let request = WireMessage::control(MsgKind::StateRequest, min_round as u64).encode();
+        let request = self.stamped(&WireMessage::control(
+            MsgKind::StateRequest,
+            min_round as u64,
+        ));
         let mut values = self.pool.checkout();
         let adopted = loop {
             let now = Instant::now();
@@ -843,7 +929,12 @@ impl ServerActor {
         let Some(model) = self.served_snapshot.clone() else {
             return; // no completed phase 1 yet: the peer's deadline handles it
         };
-        let reply = WireMessage::new(MsgKind::ModelReply, round, 0.0, model.into_vec()).encode();
+        let reply = self.stamped(&WireMessage::new(
+            MsgKind::ModelReply,
+            round,
+            0.0,
+            model.into_vec(),
+        ));
         self.send(to, round, reply);
     }
 
@@ -871,8 +962,10 @@ impl ServerActor {
         self.round = usize::MAX; // every request now counts as "past round"
         self.phase1_done = true;
         self.flush_deferred();
-        let done =
-            WireMessage::control(MsgKind::ServerDone, self.config.iterations as u64).encode();
+        let done = self.stamped(&WireMessage::control(
+            MsgKind::ServerDone,
+            self.config.iterations as u64,
+        ));
         for to in self.peer_ids.clone() {
             self.send(to, self.config.iterations as u64, done.clone());
         }
@@ -891,6 +984,11 @@ impl ServerActor {
                 self.handle_protocol(envelope.from, header.kind, header.round);
             }
         }
+    }
+
+    /// [`encode_stamped`] with this replica's origin id and sequence counter.
+    fn stamped(&mut self, msg: &WireMessage) -> bytes::Bytes {
+        encode_stamped(msg, self.transport.local_id().0, &mut self.seq)
     }
 
     /// Sends one payload, counting it; per-peer failures are tolerated (a

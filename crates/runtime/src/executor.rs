@@ -2,6 +2,7 @@
 
 use crate::fault::FaultPlan;
 use crate::node::{fault_rng_streams, NodeLayout, ServerNode, ServerRun, WorkerNode};
+use garfield_aggregation::PeerSuspicion;
 use garfield_core::{
     CoreError, CoreResult, Deployment, ExecMode, Executor, ExperimentConfig, NodeTelemetry,
     RuntimeTelemetry, SimExecutor, SystemKind, TrainingTrace,
@@ -54,6 +55,9 @@ pub struct LiveReport {
     /// determinism checks (same seed ⇒ identical models) and replica
     /// agreement checks (contracted replicas stay close).
     pub final_models: Vec<Tensor>,
+    /// The observer replica's Byzantine forensics: final per-peer suspicion
+    /// state (sorted by peer id), accumulated from every GAR selection.
+    pub suspicion: Vec<PeerSuspicion>,
 }
 
 /// The threaded executor: each worker and server replica of the experiment
@@ -267,6 +271,7 @@ impl LiveExecutor {
                 .take(honest_servers)
                 .map(|(_, run)| run.final_model.clone())
                 .collect(),
+            suspicion: observer.suspicion.clone(),
         };
         self.last = Some(report.clone());
         Ok(report)

@@ -37,11 +37,14 @@
 //! iteration (the node goes silent), a fixed delay (a straggler the quorum
 //! leaves behind) or a Byzantine payload rewrite using any
 //! [`garfield_attacks::AttackKind`]. The live adversary is *non-omniscient*:
-//! a Byzantine node corrupts its own payload without seeing its peers'
-//! honest vectors this round, so the collusion-based attacks
-//! (little-is-enough, fall-of-empires) degenerate to near-honest payloads
-//! here — use the sim substrate, whose omniscient adversary feeds them the
-//! full peer view, to study those.
+//! a Byzantine node corrupts its own payload without ever seeing its peers'
+//! honest vectors. The collusion-based attacks (little-is-enough,
+//! fall-of-empires) therefore run in their *local-estimate* variant: the
+//! attacker estimates the round's gradient moments from a short history of
+//! its own honest gradients — the honest population it belongs to is its
+//! best available proxy for the peers it cannot observe. The sim substrate's
+//! omniscient adversary still feeds those attacks the exact peer view when
+//! you need the paper's worst case.
 //!
 //! # Quick example
 //!
@@ -72,4 +75,5 @@ pub mod node;
 
 pub use executor::{executor_for, LiveExecutor, LiveOptions, LiveReport};
 pub use fault::{Fault, FaultPlan};
+pub use garfield_aggregation::PeerSuspicion;
 pub use node::{NodeLayout, ServerNode, ServerRun, WorkerNode};

@@ -121,6 +121,8 @@ impl WorkerNode {
             fault_rng: self.fault_rng,
             idle_timeout: self.idle_timeout,
             restarted: false,
+            seq: 0,
+            attack_history: Vec::new(),
         };
         actor.run()
     }
@@ -181,6 +183,9 @@ pub struct ServerRun {
     /// The round a disk checkpoint resumed training at, if this run resumed
     /// (`None` for runs that started from scratch).
     pub resumed_from: Option<usize>,
+    /// Byzantine forensics: final per-peer suspicion state (sorted by peer
+    /// id), accumulated from every GAR selection this replica performed.
+    pub suspicion: Vec<garfield_aggregation::PeerSuspicion>,
 }
 
 impl ServerNode {
@@ -200,6 +205,7 @@ impl ServerNode {
             telemetry: outcome.telemetry,
             round_latencies: outcome.round_latencies,
             resumed_from: outcome.resumed_from,
+            suspicion: outcome.suspicion,
         })
     }
 }

@@ -79,8 +79,10 @@ fn restarted_worker_rejoins_and_contributes_again() {
     assert_eq!(restarted.resumes, 1, "exactly one rejoin must be recorded");
     // Replies before the crash (rounds 0..crash) plus replies after the
     // rejoin (rounds rejoin..iterations); re-requests may add duplicates,
-    // never remove contributions.
-    let min_replies = (crash + (10 - rejoin)) as u64;
+    // never remove contributions. Round `rejoin` itself can race the
+    // re-registration: with q = n − 1 the other five workers form quorum
+    // alone, so that one boundary round may legitimately go unanswered.
+    let min_replies = (crash + (10 - rejoin) - 1) as u64;
     assert!(
         restarted.messages_sent >= min_replies,
         "rejoined worker sent {} replies, expected at least {min_replies}",

@@ -42,9 +42,12 @@
 //!   model as exact `f32` bit patterns, for bit-identical comparison
 //!   against an in-process run of the same seed).
 //! * `--metrics-addr` — bind a scrape endpoint (e.g. `127.0.0.1:9464`,
-//!   port 0 for ephemeral) serving Prometheus text at `/metrics` and the
-//!   flight recorder at `/flight` while the node trains. The bound address
-//!   is announced on stderr (`garfield-node: metrics on …`).
+//!   port 0 for ephemeral) serving Prometheus text at `/metrics`, the
+//!   flight recorder at `/flight` and a liveness probe at `/healthz` (node
+//!   id + current round) while the node trains. The bound address is
+//!   announced on stderr (`garfield-node: metrics on …`) and, for servers
+//!   writing `--out`, recorded in the result JSON's `metrics_addr` field so
+//!   tools never parse stderr for it.
 //! * `--flight-dir` — dump this node's flight recorder as
 //!   `<dir>/flight-<role><rank>.jsonl` at exit (and on panic), for
 //!   `expfig trace <dir>` to merge into a cross-node timeline.
@@ -148,31 +151,47 @@ fn parse_args() -> Args {
     }
 }
 
+/// What [`setup_obs`] arranged: where to dump the flight recorder at clean
+/// exit, and the scrape endpoint's *bound* address (port 0 resolved).
+#[derive(Default)]
+struct ObsSetup {
+    flight_dump: Option<PathBuf>,
+    metrics_addr: Option<std::net::SocketAddr>,
+}
+
 /// Turns the observability layer on when either flag asks for it: pins the
-/// flight-recorder epoch, attributes events to this process's node id, binds
-/// the scrape endpoint, and (with `--flight-dir`) arranges a JSONL dump on
-/// panic. Returns the path the caller must dump to at clean exit.
-fn setup_obs(args: &Args, id: NodeId) -> Result<Option<PathBuf>, String> {
+/// flight-recorder epoch, attributes events and `/healthz` to this process's
+/// node id, binds the scrape endpoint, and (with `--flight-dir`) arranges a
+/// JSONL dump on panic.
+fn setup_obs(args: &Args, id: NodeId) -> Result<ObsSetup, String> {
     if args.metrics_addr.is_none() && args.flight_dir.is_none() {
-        return Ok(None);
+        return Ok(ObsSetup::default());
     }
     garfield_obs::enable();
     flight::set_default_node(id.0);
-    if let Some(addr) = &args.metrics_addr {
-        let server =
-            MetricsServer::start(addr).map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
-        // Announce the *bound* address so launchers using port 0 can find
-        // the scrape endpoint.
-        eprintln!("garfield-node: metrics on http://{}/metrics", server.addr());
-    }
-    let dump = args
+    garfield_obs::http::set_health_node(id.0);
+    let metrics_addr = match &args.metrics_addr {
+        Some(addr) => {
+            let server =
+                MetricsServer::start(addr).map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+            // Announce the *bound* address so launchers using port 0 can find
+            // the scrape endpoint; servers also record it in the --out JSON.
+            eprintln!("garfield-node: metrics on http://{}/metrics", server.addr());
+            Some(server.addr())
+        }
+        None => None,
+    };
+    let flight_dump = args
         .flight_dir
         .as_ref()
         .map(|dir| PathBuf::from(dir).join(format!("flight-{}{}.jsonl", args.role, args.rank)));
-    if let Some(path) = &dump {
+    if let Some(path) = &flight_dump {
         flight::install_panic_hook(path.clone());
     }
-    Ok(dump)
+    Ok(ObsSetup {
+        flight_dump,
+        metrics_addr,
+    })
 }
 
 /// Writes the flight recorder to `path` at clean exit (the panic hook covers
@@ -238,7 +257,7 @@ fn run(args: Args) -> Result<(), String> {
                     args.rank
                 );
             }
-            let flight_dump = setup_obs(&args, id)?;
+            let obs = setup_obs(&args, id)?;
             let transport =
                 TcpTransport::bind(&spec, id, TcpOptions::default()).map_err(|e| e.to_string())?;
             eprintln!(
@@ -267,7 +286,7 @@ fn run(args: Args) -> Result<(), String> {
                 telemetry.wire_bytes_sent(),
                 telemetry.messages_dropped(),
             );
-            dump_flight(&flight_dump)
+            dump_flight(&obs.flight_dump)
         }
         "server" => {
             if args.rank >= layout.server_ids.len() {
@@ -318,7 +337,7 @@ fn run(args: Args) -> Result<(), String> {
                 }
                 None => None,
             };
-            let flight_dump = setup_obs(&args, id)?;
+            let obs = setup_obs(&args, id)?;
             let transport =
                 TcpTransport::bind(&spec, id, TcpOptions::default()).map_err(|e| e.to_string())?;
             eprintln!(
@@ -380,10 +399,10 @@ fn run(args: Args) -> Result<(), String> {
                 run.telemetry.requests_retried,
             );
             if let Some(path) = &args.out {
-                std::fs::write(path, result_json(args.system, &run))
+                std::fs::write(path, result_json(args.system, &run, obs.metrics_addr))
                     .map_err(|e| format!("{path}: {e}"))?;
             }
-            dump_flight(&flight_dump)
+            dump_flight(&obs.flight_dump)
         }
         _ => unreachable!("role validated in parse_args"),
     }

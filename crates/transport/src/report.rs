@@ -10,22 +10,30 @@
 use garfield_core::{json, SystemKind};
 use garfield_runtime::ServerRun;
 use std::fmt::Write as _;
+use std::net::SocketAddr;
 
 /// Serializes a server's [`ServerRun`] for the launcher: run shape, recovery
-/// counters, transport wire/drop totals, final accuracy, and the final model
-/// as exact bit patterns (`f32::to_bits`), so a same-seed in-process run can
-/// be compared bit for bit.
+/// counters, transport wire/drop totals, the bound metrics endpoint (when
+/// `--metrics-addr` was given — `null` otherwise, so launchers and tests
+/// never parse stderr for it), final accuracy, and the final model as exact
+/// bit patterns (`f32::to_bits`), so a same-seed in-process run can be
+/// compared bit for bit.
 ///
 /// Floats route through [`garfield_core::json`], so a diverged run's NaN
 /// accuracy becomes `null` (as `serde_json` would emit) rather than the
 /// invalid literal `NaN`.
-pub fn result_json(system: SystemKind, run: &ServerRun) -> String {
+pub fn result_json(
+    system: SystemKind,
+    run: &ServerRun,
+    metrics_addr: Option<SocketAddr>,
+) -> String {
     let mut out = String::with_capacity(96 + 12 * run.final_model.len());
     let _ = write!(
         out,
-        "{{\"system\":\"{system}\",\"iterations\":{},\"resumed_from\":{},\"resumes\":{},\
-         \"checkpoints_written\":{},\"requests_retried\":{},\"wire_bytes_sent\":{},\
-         \"messages_dropped\":{},\"final_accuracy\":",
+        "{{\"system\":\"{system}\",\"metrics_addr\":{},\"iterations\":{},\"resumed_from\":{},\
+         \"resumes\":{},\"checkpoints_written\":{},\"requests_retried\":{},\
+         \"wire_bytes_sent\":{},\"messages_dropped\":{},\"final_accuracy\":",
+        metrics_addr.map_or("null".to_string(), |a| format!("\"{a}\"")),
         run.trace.len(),
         run.resumed_from.unwrap_or(0),
         run.telemetry.resumes,

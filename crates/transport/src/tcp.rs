@@ -326,6 +326,7 @@ fn reader_loop(
             return;
         }
         shared.counters.record_recv(peer, wire_bytes);
+        garfield_net::record_wire_recv(peer, &payload);
         let envelope = Envelope {
             from: peer,
             to: shared.id,
@@ -372,7 +373,10 @@ fn writer_loop(
             None => None, // draining a close: never wait on a dead peer
         };
         match written {
-            Some(bytes) => shared.counters.record_send(peer, bytes),
+            Some(bytes) => {
+                shared.counters.record_send(peer, bytes);
+                garfield_net::record_wire_send(peer, &payload);
+            }
             None => shared.counters.record_drop_at(peer, tag),
         }
         // Resolved (counted) only now, so a flush() that observed zero

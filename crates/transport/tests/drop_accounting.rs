@@ -73,16 +73,30 @@ fn saturated_queue_drops_surface_in_counters_registry_and_out_json() {
         telemetry,
         round_latencies: Vec::new(),
         resumed_from: None,
+        suspicion: Vec::new(),
     };
-    let out = result_json(garfield_core::SystemKind::Ssmw, &run);
+    let out = result_json(garfield_core::SystemKind::Ssmw, &run, None);
     let expected = format!("\"messages_dropped\":{}", toward_dead.messages_dropped);
     assert!(
         out.contains(&expected),
         "--out JSON missing {expected}: {out}"
     );
+    // No --metrics-addr: the field is an explicit null, not absent.
+    assert!(out.contains("\"metrics_addr\":null"), "{out}");
     // The document must stay parseable end to end.
     assert!(
         garfield_core::json::parse(&out).is_ok(),
         "invalid JSON: {out}"
     );
+    // With a bound endpoint the address lands in the JSON as a string.
+    let bound = result_json(
+        garfield_core::SystemKind::Ssmw,
+        &run,
+        Some("127.0.0.1:9464".parse().unwrap()),
+    );
+    assert!(
+        bound.contains("\"metrics_addr\":\"127.0.0.1:9464\""),
+        "{bound}"
+    );
+    assert!(garfield_core::json::parse(&bound).is_ok(), "{bound}");
 }

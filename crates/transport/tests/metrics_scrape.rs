@@ -7,7 +7,14 @@
 //! at least one round has completed while the process is still alive), and
 //! asserts the metric families an operator dashboards on are present and
 //! non-empty. After the run it checks every node left a flight dump behind.
+//!
+//! The second test runs the cluster with an *injected Byzantine worker* and
+//! asserts the forensic families (`garfield_peer_suspicion`,
+//! `garfield_gar_excluded_total`) carry live samples, drives the
+//! `expfig watch --once` machine-readable pass against the same endpoint,
+//! and checks the `--out` JSON records the bound metrics address.
 
+use garfield_attacks::AttackKind;
 use garfield_core::ExperimentConfig;
 use garfield_transport::ClusterSpec;
 use std::io::{Read as _, Write as _};
@@ -229,6 +236,111 @@ fn live_run_serves_metrics_mid_training_and_dumps_flight_records() {
     assert!(
         server_dump.contains("\"kind\":\"round_end\""),
         "no round_end events"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_attacked_run_exports_suspicion_and_the_watcher_sees_it() {
+    let mut cfg = config(5);
+    // The deployment marks the *last* `actual_byzantine_workers` workers
+    // Byzantine, so worker rank 4 — node 5 in the servers-first layout —
+    // runs the config-level reversed-gradient attack: the forensic signal
+    // the suspicion ledger must turn into live metrics.
+    cfg.actual_byzantine_workers = 1;
+    cfg.worker_attack = Some(AttackKind::Reversed);
+    let attacked_node = cfg.nps + cfg.nw - 1; // last worker id, servers first
+    let dir = scratch_dir("suspicion-scrape");
+    std::fs::create_dir_all(dir.join("flight")).unwrap();
+    ClusterSpec::localhost(1 + cfg.nw)
+        .unwrap()
+        .save(dir.join("cluster.txt"))
+        .unwrap();
+    std::fs::write(dir.join("config.json"), cfg.to_json()).unwrap();
+
+    let mut workers: Vec<Child> = (0..cfg.nw)
+        .map(|j| spawn_node(&dir, "worker", j, &[]))
+        .collect();
+    let mut server = spawn_node(
+        &dir,
+        "server",
+        0,
+        &["--metrics-addr", "127.0.0.1:0", "--out", "result.json"],
+    );
+    let addr = discover_metrics_addr(&dir.join("server0.log"), Duration::from_secs(20));
+
+    // Poll until the forensic families carry samples mid-training.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut forensic = None;
+    while Instant::now() < deadline {
+        let Ok(response) = scrape(&addr, "/metrics") else {
+            break;
+        };
+        if has_sample(&response, "garfield_peer_suspicion")
+            && server.try_wait().expect("poll server").is_none()
+        {
+            forensic = Some(response);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let Some(exposition) = forensic else {
+        dump_logs(&dir);
+        panic!("suspicion metrics never appeared mid-training");
+    };
+    assert!(
+        has_sample(&exposition, "garfield_gar_excluded_total"),
+        "exclusion counters missing:\n{exposition}"
+    );
+    // Multi-Krum refuses the attacked node's reversed gradient every
+    // round, so its exclusion counter is already moving mid-training.
+    assert!(
+        sample_value(
+            &exposition,
+            &format!("garfield_gar_excluded_total{{peer=\"{attacked_node}\"}}")
+        )
+        .is_some_and(|v| v >= 1.0),
+        "attacked peer {attacked_node} has no exclusions:\n{exposition}"
+    );
+
+    // `expfig watch --once` over the same endpoint: the machine-readable
+    // pass sees a live node and its suspicion ranking.
+    let spec_text = format!("0 {addr}\n");
+    let once = garfield_bench::watch::watch_once(&spec_text, Duration::from_secs(5))
+        .expect("watch --once pass");
+    assert!(once.starts_with("{\"node\":0,"), "{once}");
+    let doc = garfield_core::json::parse(&once).expect("watch JSON parses");
+    assert_eq!(
+        doc.get("up").and_then(garfield_core::json::Value::as_bool),
+        Some(true),
+        "{once}"
+    );
+    // Suspects are sorted by descending score: the attacked node must hold
+    // the top rank — the reversed gradient dominates every honest z-score
+    // from the first scored round.
+    assert!(
+        once.contains(&format!("\"suspects\":[{{\"peer\":{attacked_node},")),
+        "attacked peer {attacked_node} not the top suspect: {once}"
+    );
+
+    let status = server.wait().expect("server exits");
+    if !status.success() {
+        dump_logs(&dir);
+        panic!("server failed: {status}");
+    }
+    for worker in &mut workers {
+        let status = worker.wait().expect("worker exits");
+        assert!(status.success(), "worker failed: {status}");
+    }
+
+    // The --out JSON records the bound endpoint — launchers never parse
+    // stderr for it.
+    let out = std::fs::read_to_string(dir.join("result.json")).expect("result.json");
+    assert!(
+        out.contains(&format!("\"metrics_addr\":\"{addr}\"")),
+        "metrics_addr missing from --out JSON: {}",
+        &out[..out.len().min(300)]
     );
 
     let _ = std::fs::remove_dir_all(&dir);
