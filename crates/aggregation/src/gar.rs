@@ -1,5 +1,6 @@
 //! The [`Gar`] trait and the paper's `init()`-style factory.
 
+use crate::speculative::SpeculativeGar;
 use crate::{
     AggregationError, AggregationResult, Average, Bulyan, DistanceCache, Engine, Krum, Mda, Median,
     MultiKrum,
@@ -172,10 +173,22 @@ pub trait Gar: Send + Sync {
     fn is_byzantine_resilient(&self) -> bool {
         true
     }
+
+    /// For speculative rules: whether the fast path has permanently yielded
+    /// to the robust fallback. `None` for non-speculative rules.
+    fn fell_back(&self) -> Option<bool> {
+        None
+    }
 }
 
 /// The aggregation rules shipped with Garfield.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `GarKind` is the single source of truth for GAR construction: CLI flags,
+/// config JSON and bench sweeps all parse into it (via [`FromStr`]) and
+/// [`build_gar`] consumes it. The canonical text form round-trips through
+/// [`fmt::Display`], including the composite
+/// `speculative(<fallback>)` shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GarKind {
     /// Plain averaging (the vanilla, non-resilient baseline).
@@ -190,10 +203,19 @@ pub enum GarKind {
     Mda,
     /// Bulyan of Multi-Krum.
     Bulyan,
+    /// Speculative fast path: plain averaging plus a cheap consistency
+    /// check, replaying the round through `fallback` once the check trips
+    /// (arXiv:1911.07537). Written `speculative(<fallback>)`.
+    Speculative {
+        /// The robust rule the speculative path falls back to on suspicion.
+        fallback: Box<GarKind>,
+    },
 }
 
 impl GarKind {
-    /// All kinds, in the order the paper's micro-benchmark (Fig. 3) plots them.
+    /// All primitive kinds, in the order the paper's micro-benchmark
+    /// (Fig. 3) plots them. The composite `Speculative` shape is not listed:
+    /// it wraps a primitive rather than standing on its own.
     pub fn all() -> [GarKind; 6] {
         [
             GarKind::Bulyan,
@@ -205,8 +227,9 @@ impl GarKind {
         ]
     }
 
-    /// The canonical lowercase name.
-    pub fn as_str(self) -> &'static str {
+    /// The canonical lowercase head name (`"speculative"` for the composite
+    /// shape — use [`fmt::Display`] for the full parseable form).
+    pub fn as_str(&self) -> &'static str {
         match self {
             GarKind::Average => "average",
             GarKind::Median => "median",
@@ -214,23 +237,30 @@ impl GarKind {
             GarKind::MultiKrum => "multi-krum",
             GarKind::Mda => "mda",
             GarKind::Bulyan => "bulyan",
+            GarKind::Speculative { .. } => "speculative",
         }
     }
 
     /// The minimum number of inputs required to tolerate `f` Byzantine ones.
-    pub fn minimum_inputs(self, f: usize) -> usize {
+    /// The speculative shape inherits its fallback's requirement (the replay
+    /// path must be able to run on the same inputs).
+    pub fn minimum_inputs(&self, f: usize) -> usize {
         match self {
             GarKind::Average => 1,
             GarKind::Median | GarKind::Mda => 2 * f + 1,
             GarKind::Krum | GarKind::MultiKrum => 2 * f + 3,
             GarKind::Bulyan => 4 * f + 3,
+            GarKind::Speculative { fallback } => fallback.minimum_inputs(f),
         }
     }
 }
 
 impl fmt::Display for GarKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
+        match self {
+            GarKind::Speculative { fallback } => write!(f, "speculative({fallback})"),
+            other => f.write_str(other.as_str()),
+        }
     }
 }
 
@@ -238,7 +268,20 @@ impl FromStr for GarKind {
     type Err = AggregationError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
+        let trimmed = s.trim();
+        let lower = trimmed.to_ascii_lowercase();
+        if let Some(rest) = lower.strip_prefix("speculative") {
+            let inner = rest
+                .trim()
+                .strip_prefix('(')
+                .and_then(|r| r.strip_suffix(')'))
+                .ok_or_else(|| AggregationError::UnknownRule(trimmed.to_string()))?;
+            let fallback = inner.parse::<GarKind>()?;
+            return Ok(GarKind::Speculative {
+                fallback: Box::new(fallback),
+            });
+        }
+        match lower.as_str() {
             "average" | "mean" => Ok(GarKind::Average),
             "median" => Ok(GarKind::Median),
             "krum" => Ok(GarKind::Krum),
@@ -294,24 +337,33 @@ impl Gar for CountedGar {
     fn is_byzantine_resilient(&self) -> bool {
         self.inner.is_byzantine_resilient()
     }
+
+    fn fell_back(&self) -> Option<bool> {
+        self.inner.fell_back()
+    }
 }
 
 /// Builds a GAR from its kind, total input count `n` and Byzantine bound `f`.
 ///
-/// This is the paper's `init(name, n, f)`.
+/// This is the paper's `init(name, n, f)`, typed: callers parse whatever
+/// string they hold into a [`GarKind`] first (CLI, JSON, sweeps), so the
+/// name↔rule mapping lives in exactly one place.
 ///
 /// # Errors
 ///
 /// Returns [`AggregationError::ResilienceViolated`] when `(n, f)` does not
-/// satisfy the rule's requirement.
+/// satisfy the rule's requirement, or when a `Speculative` fallback is not a
+/// primitive Byzantine-resilient rule.
 ///
 /// ```rust
 /// use garfield_aggregation::{build_gar, GarKind};
-/// let gar = build_gar(GarKind::Bulyan, 7, 1).unwrap();
+/// let gar = build_gar(&GarKind::Bulyan, 7, 1).unwrap();
 /// assert_eq!(gar.name(), "bulyan");
-/// assert!(build_gar(GarKind::Bulyan, 6, 1).is_err());
+/// assert!(build_gar(&GarKind::Bulyan, 6, 1).is_err());
+/// let spec = "speculative(multi-krum)".parse().unwrap();
+/// assert_eq!(build_gar(&spec, 7, 1).unwrap().name(), "speculative");
 /// ```
-pub fn build_gar(kind: GarKind, n: usize, f: usize) -> AggregationResult<Box<dyn Gar>> {
+pub fn build_gar(kind: &GarKind, n: usize, f: usize) -> AggregationResult<Box<dyn Gar>> {
     let inner: Box<dyn Gar> = match kind {
         GarKind::Average => Box::new(Average::new(n)?),
         GarKind::Median => Box::new(Median::new(n, f)?),
@@ -319,6 +371,20 @@ pub fn build_gar(kind: GarKind, n: usize, f: usize) -> AggregationResult<Box<dyn
         GarKind::MultiKrum => Box::new(MultiKrum::new(n, f)?),
         GarKind::Mda => Box::new(Mda::new(n, f)?),
         GarKind::Bulyan => Box::new(Bulyan::new(n, f)?),
+        GarKind::Speculative { fallback } => {
+            if matches!(
+                fallback.as_ref(),
+                GarKind::Average | GarKind::Speculative { .. }
+            ) {
+                return Err(AggregationError::ResilienceViolated {
+                    rule: "speculative",
+                    n,
+                    f,
+                    requirement: "fallback must be a primitive Byzantine-resilient rule",
+                });
+            }
+            Box::new(SpeculativeGar::new(build_gar(fallback, n, f)?, n, f))
+        }
     };
     let selections = garfield_obs::metrics::counter(
         "garfield_gar_selections_total",
@@ -326,16 +392,6 @@ pub fn build_gar(kind: GarKind, n: usize, f: usize) -> AggregationResult<Box<dyn
         &[("gar", kind.as_str())],
     );
     Ok(Box::new(CountedGar { inner, selections }))
-}
-
-/// Builds a GAR from a string name, mirroring the paper's `init("median", n, f)`.
-///
-/// # Errors
-///
-/// Returns [`AggregationError::UnknownRule`] for unknown names and
-/// [`AggregationError::ResilienceViolated`] for invalid `(n, f)` pairs.
-pub fn build_gar_by_name(name: &str, n: usize, f: usize) -> AggregationResult<Box<dyn Gar>> {
-    build_gar(name.parse::<GarKind>()?, n, f)
 }
 
 #[cfg(test)]
@@ -354,6 +410,31 @@ mod tests {
     }
 
     #[test]
+    fn speculative_kind_parses_and_round_trips() {
+        let spec: GarKind = "speculative(multi-krum)".parse().unwrap();
+        assert_eq!(
+            spec,
+            GarKind::Speculative {
+                fallback: Box::new(GarKind::MultiKrum)
+            }
+        );
+        assert_eq!(spec.to_string(), "speculative(multi-krum)");
+        assert_eq!(spec.as_str(), "speculative");
+        assert_eq!(spec.to_string().parse::<GarKind>().unwrap(), spec);
+        // Whitespace and case are forgiven; the fallback alias table applies.
+        assert_eq!(
+            " Speculative( MultiKrum ) ".parse::<GarKind>().unwrap(),
+            spec
+        );
+        // The requirement is the fallback's: the replay must be able to run.
+        assert_eq!(spec.minimum_inputs(3), GarKind::MultiKrum.minimum_inputs(3));
+        // A bare head or unbalanced parens are not a rule.
+        assert!("speculative".parse::<GarKind>().is_err());
+        assert!("speculative(".parse::<GarKind>().is_err());
+        assert!("speculative(warp)".parse::<GarKind>().is_err());
+    }
+
+    #[test]
     fn minimum_inputs_match_the_paper() {
         assert_eq!(GarKind::Median.minimum_inputs(3), 7);
         assert_eq!(GarKind::Mda.minimum_inputs(3), 7);
@@ -367,19 +448,52 @@ mod tests {
     fn factory_builds_every_kind() {
         for kind in GarKind::all() {
             let n = kind.minimum_inputs(1).max(3);
-            let gar = build_gar(kind, n, 1).unwrap();
+            let gar = build_gar(&kind, n, 1).unwrap();
             assert_eq!(gar.n(), n);
             assert_eq!(gar.name(), kind.as_str());
         }
+        let spec = GarKind::Speculative {
+            fallback: Box::new(GarKind::Median),
+        };
+        let gar = build_gar(&spec, 5, 1).unwrap();
+        assert_eq!(gar.name(), "speculative");
+        assert_eq!(gar.fell_back(), Some(false));
     }
 
     #[test]
     fn factory_rejects_insufficient_n() {
-        assert!(build_gar(GarKind::Krum, 4, 1).is_err());
-        assert!(build_gar(GarKind::Bulyan, 6, 1).is_err());
-        assert!(build_gar(GarKind::Median, 2, 1).is_err());
-        assert!(build_gar_by_name("median", 3, 1).is_ok());
-        assert!(build_gar_by_name("wat", 3, 1).is_err());
+        assert!(build_gar(&GarKind::Krum, 4, 1).is_err());
+        assert!(build_gar(&GarKind::Bulyan, 6, 1).is_err());
+        assert!(build_gar(&GarKind::Median, 2, 1).is_err());
+        assert!(build_gar(&"median".parse::<GarKind>().unwrap(), 3, 1).is_ok());
+        assert!("wat".parse::<GarKind>().is_err());
+    }
+
+    #[test]
+    fn factory_rejects_degenerate_speculative_fallbacks() {
+        // The fallback requirement propagates: n too small for the replay.
+        let spec = GarKind::Speculative {
+            fallback: Box::new(GarKind::Krum),
+        };
+        assert!(build_gar(&spec, 4, 1).is_err());
+        // A non-resilient or nested fallback defeats the point of falling back.
+        for fallback in [
+            GarKind::Average,
+            GarKind::Speculative {
+                fallback: Box::new(GarKind::Median),
+            },
+        ] {
+            let spec = GarKind::Speculative {
+                fallback: Box::new(fallback),
+            };
+            assert!(matches!(
+                build_gar(&spec, 9, 1),
+                Err(AggregationError::ResilienceViolated {
+                    rule: "speculative",
+                    ..
+                })
+            ));
+        }
     }
 
     #[test]
@@ -398,7 +512,7 @@ mod tests {
                 .collect();
             inputs.push(Tensor::full(16usize, 1e4)); // Byzantine outlier at n-1
             let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
-            let gar = build_gar(kind, n, f).unwrap();
+            let gar = build_gar(&kind, n, f).unwrap();
             let engine = Engine::sequential();
 
             let plain = gar.aggregate_views(&views, &engine).unwrap();
@@ -439,19 +553,20 @@ mod tests {
                     assert!(outcome.distance.iter().all(|&d| d == 0.0));
                     assert!(outcome.excluded().is_empty());
                 }
+                GarKind::Speculative { .. } => unreachable!("all() lists primitives only"),
             }
         }
     }
 
     #[test]
     fn average_is_not_byzantine_resilient_but_others_are() {
-        assert!(!build_gar(GarKind::Average, 3, 0)
+        assert!(!build_gar(&GarKind::Average, 3, 0)
             .unwrap()
             .is_byzantine_resilient());
-        assert!(build_gar(GarKind::Median, 3, 1)
+        assert!(build_gar(&GarKind::Median, 3, 1)
             .unwrap()
             .is_byzantine_resilient());
-        assert!(build_gar(GarKind::Bulyan, 7, 1)
+        assert!(build_gar(&GarKind::Bulyan, 7, 1)
             .unwrap()
             .is_byzantine_resilient());
     }

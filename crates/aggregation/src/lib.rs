@@ -35,7 +35,7 @@
 //! use garfield_aggregation::{Gar, GarKind, build_gar};
 //! use garfield_tensor::Tensor;
 //!
-//! let gar = build_gar(GarKind::Median, 5, 1).unwrap();
+//! let gar = build_gar(&GarKind::Median, 5, 1).unwrap();
 //! let inputs: Vec<Tensor> = (0..5).map(|i| Tensor::from_slice(&[i as f32])).collect();
 //! let out = gar.aggregate(&inputs).unwrap();
 //! assert_eq!(out.data(), &[2.0]);
@@ -54,17 +54,22 @@ mod gar;
 mod krum;
 mod mda;
 mod median;
+mod speculative;
 pub mod suspicion;
 pub mod variance;
 
 pub use average::Average;
 pub use bulyan::Bulyan;
-pub use engine::{average_views, gram_error_bound, DistanceCache, Engine, SelectionScratch};
+pub use engine::{
+    average_and_square_norms, average_views, fused_average_sweep, gram_error_bound, DistanceCache,
+    Engine, FusedSweep, SelectionScratch,
+};
 pub use error::{AggregationError, AggregationResult};
-pub use gar::{build_gar, build_gar_by_name, Gar, GarKind, SelectionOutcome};
+pub use gar::{build_gar, Gar, GarKind, SelectionOutcome};
 pub use krum::{Krum, MultiKrum};
 pub use mda::Mda;
 pub use median::{sort3_branchless, Median};
+pub use speculative::SpeculativeGar;
 pub use suspicion::{PeerSuspicion, SuspicionLedger};
 pub use variance::{VarianceProbe, VarianceReport, VarianceStep};
 

@@ -20,8 +20,12 @@ use garfield_tensor::{squared_l2_distance_slices, GradientView, Tensor};
 ///
 /// Returns `None` for GARs the paper gives no formula for (Average, Bulyan);
 /// Bulyan inherits Multi-Krum's condition through its selection phase, which
-/// callers can request explicitly.
-pub fn delta_factor(gar: GarKind, n: usize, f: usize) -> Option<f64> {
+/// callers can request explicitly. A speculative shape inherits its
+/// fallback's condition — the fallback is what must hold when it matters.
+pub fn delta_factor(gar: &GarKind, n: usize, f: usize) -> Option<f64> {
+    if let GarKind::Speculative { fallback } = gar {
+        return delta_factor(fallback, n, f);
+    }
     let n = n as f64;
     let f = f as f64;
     match gar {
@@ -42,7 +46,7 @@ pub fn delta_factor(gar: GarKind, n: usize, f: usize) -> Option<f64> {
             }
         }
         GarKind::Median => Some((n - f).max(0.0).sqrt()),
-        GarKind::Average | GarKind::Bulyan => None,
+        GarKind::Average | GarKind::Bulyan | GarKind::Speculative { .. } => None,
     }
 }
 
@@ -77,14 +81,14 @@ pub struct VarianceReport {
 
 impl VarianceReport {
     /// Fraction of probed steps in which the named GAR's condition held.
-    pub fn satisfied_fraction(&self, gar: GarKind) -> f64 {
+    pub fn satisfied_fraction(&self, gar: &GarKind) -> f64 {
         if self.steps.is_empty() {
             return 0.0;
         }
         let hits = self
             .steps
             .iter()
-            .filter(|s| s.satisfied.iter().any(|&(g, ok)| g == gar && ok))
+            .filter(|s| s.satisfied.iter().any(|(g, ok)| g == gar && *ok))
             .count();
         hits as f64 / self.steps.len() as f64
     }
@@ -158,11 +162,11 @@ impl VarianceProbe {
             let satisfied = self
                 .gars
                 .iter()
-                .map(|&gar| {
+                .map(|gar| {
                     let ok = delta_factor(gar, self.n, self.f)
                         .map(|delta| delta * gradient_std <= true_norm)
                         .unwrap_or(false);
-                    (gar, ok)
+                    (gar.clone(), ok)
                 })
                 .collect();
             steps.push(VarianceStep {
@@ -194,22 +198,30 @@ mod tests {
     #[test]
     fn delta_factors_match_the_paper_formulas() {
         // MDA: 2*sqrt(2)*f/(n-f) with n=10, f=2 -> 2*1.4142*2/8
-        let mda = delta_factor(GarKind::Mda, 10, 2).unwrap();
+        let mda = delta_factor(&GarKind::Mda, 10, 2).unwrap();
         assert!((mda - 2.0 * 2.0_f64.sqrt() * 2.0 / 8.0).abs() < 1e-9);
         // Median: sqrt(n - f)
-        let med = delta_factor(GarKind::Median, 10, 2).unwrap();
+        let med = delta_factor(&GarKind::Median, 10, 2).unwrap();
         assert!((med - 8.0_f64.sqrt()).abs() < 1e-9);
         // Krum formula, n=10, f=2: sqrt(2*(8 + (2*6 + 4*7)/4)) = sqrt(2*18)
-        let krum = delta_factor(GarKind::Krum, 10, 2).unwrap();
+        let krum = delta_factor(&GarKind::Krum, 10, 2).unwrap();
         assert!((krum - (36.0_f64).sqrt()).abs() < 1e-9);
-        assert!(delta_factor(GarKind::Average, 10, 2).is_none());
-        assert!(delta_factor(GarKind::Krum, 6, 2).is_none());
+        assert!(delta_factor(&GarKind::Average, 10, 2).is_none());
+        assert!(delta_factor(&GarKind::Krum, 6, 2).is_none());
+        // The speculative shape inherits the fallback's condition.
+        let spec = GarKind::Speculative {
+            fallback: Box::new(GarKind::Krum),
+        };
+        assert_eq!(
+            delta_factor(&spec, 10, 2),
+            delta_factor(&GarKind::Krum, 10, 2)
+        );
     }
 
     #[test]
     fn larger_f_makes_the_condition_harder() {
-        let small = delta_factor(GarKind::Mda, 20, 1).unwrap();
-        let large = delta_factor(GarKind::Mda, 20, 5).unwrap();
+        let small = delta_factor(&GarKind::Mda, 20, 1).unwrap();
+        let large = delta_factor(&GarKind::Mda, 20, 5).unwrap();
         assert!(large > small);
     }
 
@@ -235,11 +247,11 @@ mod tests {
         }
         // MDA has the loosest Δ, so it should hold at least as often as Krum.
         assert!(
-            report.satisfied_fraction(GarKind::Mda) >= report.satisfied_fraction(GarKind::Krum)
+            report.satisfied_fraction(&GarKind::Mda) >= report.satisfied_fraction(&GarKind::Krum)
         );
         // Fractions are valid probabilities.
         for gar in [GarKind::Median, GarKind::Mda, GarKind::Krum] {
-            let fr = report.satisfied_fraction(gar);
+            let fr = report.satisfied_fraction(&gar);
             assert!((0.0..=1.0).contains(&fr));
         }
     }
@@ -252,6 +264,6 @@ mod tests {
             batch_size: 8,
             steps: vec![],
         };
-        assert_eq!(report.satisfied_fraction(GarKind::Median), 0.0);
+        assert_eq!(report.satisfied_fraction(&GarKind::Median), 0.0);
     }
 }

@@ -50,7 +50,7 @@ proptest! {
             let n = kind.minimum_inputs(f).max(2 * f + 3);
             let honest = n - f;
             let (inputs, lo, hi) = adversarial_setup(honest, f, d, seed, byz_value);
-            let gar = build_gar(kind, n, f).unwrap();
+            let gar = build_gar(&kind, n, f).unwrap();
             let out = gar.aggregate(&inputs).unwrap();
             // The output must stay within a small margin of the honest envelope.
             let margin = (hi - lo).abs() + 1.0;
@@ -79,7 +79,7 @@ proptest! {
             let n = kind.minimum_inputs(f).max(5);
             let mut rng = TensorRng::seed_from(seed);
             let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
-            let gar = build_gar(kind, n, f).unwrap();
+            let gar = build_gar(&kind, n, f).unwrap();
             let out = gar.aggregate(&inputs).unwrap();
             let mut reversed = inputs.clone();
             reversed.reverse();
@@ -92,7 +92,7 @@ proptest! {
             let n = kind.minimum_inputs(f).max(5);
             let mut rng = TensorRng::seed_from(seed);
             let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
-            let gar = build_gar(kind, n, f).unwrap();
+            let gar = build_gar(&kind, n, f).unwrap();
             let mut reversed = inputs.clone();
             reversed.reverse();
             for out in [gar.aggregate(&inputs).unwrap(), gar.aggregate(&reversed).unwrap()] {
@@ -117,7 +117,7 @@ proptest! {
         for kind in GarKind::all() {
             let n = kind.minimum_inputs(f).max(3);
             let inputs = vec![v.clone(); n];
-            let gar = build_gar(kind, n, f).unwrap();
+            let gar = build_gar(&kind, n, f).unwrap();
             let out = gar.aggregate(&inputs).unwrap();
             for (a, b) in out.iter().zip(v.iter()) {
                 prop_assert!((a - b).abs() < 1e-4, "{kind} moved a unanimous input");
@@ -133,7 +133,7 @@ proptest! {
         let mut rng = TensorRng::seed_from(seed);
         let inputs: Vec<Tensor> = (0..4).map(|_| rng.normal_tensor(8usize)).collect();
         let scaled: Vec<Tensor> = inputs.iter().map(|t| t.scale(k)).collect();
-        let gar = build_gar(GarKind::Average, 4, 0).unwrap();
+        let gar = build_gar(&GarKind::Average, 4, 0).unwrap();
         let base = gar.aggregate(&inputs).unwrap();
         let out = gar.aggregate(&scaled).unwrap();
         for (a, b) in out.iter().zip(base.iter()) {
@@ -149,7 +149,7 @@ proptest! {
         let n = 5usize;
         let mut rng = TensorRng::seed_from(seed);
         let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
-        let gar = build_gar(GarKind::Median, n, 2).unwrap();
+        let gar = build_gar(&GarKind::Median, n, 2).unwrap();
         let out = gar.aggregate(&inputs).unwrap();
         for c in 0..d {
             let v = out.data()[c];
@@ -165,9 +165,38 @@ proptest! {
         let n = 6usize;
         let mut rng = TensorRng::seed_from(seed);
         let inputs: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
-        let gar = build_gar(GarKind::Krum, n, 1).unwrap();
+        let gar = build_gar(&GarKind::Krum, n, 1).unwrap();
         let out = gar.aggregate(&inputs).unwrap();
         prop_assert!(inputs.iter().any(|t| t == &out));
+    }
+
+    #[test]
+    fn gar_kinds_round_trip_through_display_and_from_str(
+        base in prop_oneof![
+            Just(GarKind::Average),
+            Just(GarKind::Median),
+            Just(GarKind::Krum),
+            Just(GarKind::MultiKrum),
+            Just(GarKind::Mda),
+            Just(GarKind::Bulyan),
+        ],
+        wrap in prop_oneof![
+            Just(false),
+            Just(true),
+        ],
+    ) {
+        let kind = if wrap {
+            GarKind::Speculative { fallback: Box::new(base.clone()) }
+        } else {
+            base
+        };
+        let text = kind.to_string();
+        let parsed: GarKind = text.parse().unwrap();
+        prop_assert_eq!(&parsed, &kind, "'{}' did not round-trip", text);
+        // Parsing is case- and whitespace-tolerant; Display is canonical.
+        let shouted: GarKind = text.to_uppercase().trim().parse().unwrap();
+        prop_assert_eq!(&shouted, &kind);
+        prop_assert_eq!(parsed.to_string(), text);
     }
 
     #[test]

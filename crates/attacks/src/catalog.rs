@@ -112,6 +112,14 @@ impl Attack for LittleIsEnoughAttack {
     }
 
     fn corrupt(&self, honest: &Tensor, peers: &[Tensor], _rng: &mut TensorRng) -> Tensor {
+        // With no peers to estimate the envelope from (the first round, before
+        // any history accumulates), σ degenerates to zero and μ to the honest
+        // gradient itself — the payload would be the honest gradient bit for
+        // bit, i.e. no attack at all. Attack from the start instead: send the
+        // reflected gradient until an envelope estimate exists.
+        if peers.iter().all(|p| p.len() != honest.len()) {
+            return honest.scale(-1.0);
+        }
         let (mean, std) = coordinate_moments(honest, peers);
         let mut out = mean;
         for (o, s) in out.data_mut().iter_mut().zip(std.data().iter()) {
@@ -295,6 +303,20 @@ mod tests {
         for &v in out.data() {
             assert!((0.0..2.0).contains(&v), "value {v} escaped the envelope");
         }
+    }
+
+    #[test]
+    fn little_is_enough_attacks_from_round_zero() {
+        // Before any estimation view exists the envelope is degenerate
+        // (μ = honest, σ = 0): the naive payload would be the honest gradient
+        // itself. The adversary must still attack — it sends the reflection.
+        let honest = Tensor::from_slice(&[1.0, -2.0, 0.5]);
+        let out = LittleIsEnoughAttack::default().corrupt(&honest, &[], &mut rng());
+        assert_eq!(out.data(), &[-1.0, 2.0, -0.5]);
+        // Mismatched peers are no estimation view either.
+        let bad = vec![Tensor::ones(7usize)];
+        let out = LittleIsEnoughAttack::default().corrupt(&honest, &bad, &mut rng());
+        assert_eq!(out.data(), &[-1.0, 2.0, -0.5]);
     }
 
     #[test]

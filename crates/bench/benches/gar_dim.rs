@@ -29,7 +29,7 @@ fn bench_gar_dim(c: &mut Criterion) {
             GarKind::Mda,
             GarKind::Bulyan,
         ] {
-            let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f }).unwrap();
+            let gar = build_gar(&kind, n, if kind == GarKind::Average { 0 } else { f }).unwrap();
             for (engine_name, engine) in [("seq", Engine::sequential()), ("par", Engine::auto())] {
                 group.bench_with_input(
                     BenchmarkId::new(format!("{engine_name}/{}", kind.as_str()), d),

@@ -24,7 +24,7 @@ fn bench_gar_inputs(c: &mut Criterion) {
             GarKind::Mda,
             GarKind::Bulyan,
         ] {
-            let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f }).unwrap();
+            let gar = build_gar(&kind, n, if kind == GarKind::Average { 0 } else { f }).unwrap();
             group.bench_with_input(BenchmarkId::new(kind.as_str(), n), &inputs, |b, inputs| {
                 b.iter(|| gar.aggregate(inputs).unwrap())
             });

@@ -66,7 +66,7 @@ pub fn fig3a(d: usize) -> Vec<Row> {
             GarKind::Median,
             GarKind::Average,
         ] {
-            let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f })
+            let gar = build_gar(&kind, n, if kind == GarKind::Average { 0 } else { f })
                 .expect("n >= 7 satisfies every rule for f = (n-3)/4");
             let start = Instant::now();
             gar.aggregate(&inputs).expect("inputs are well formed");
@@ -94,7 +94,7 @@ pub fn fig3b(max_d: usize) -> Vec<Row> {
             GarKind::Median,
             GarKind::Average,
         ] {
-            let gar = build_gar(kind, n, if kind == GarKind::Average { 0 } else { f })
+            let gar = build_gar(&kind, n, if kind == GarKind::Average { 0 } else { f })
                 .expect("n = 17 satisfies every rule for f = 3");
             let start = Instant::now();
             gar.aggregate(&inputs).expect("inputs are well formed");
@@ -466,7 +466,7 @@ pub fn variance_report() -> Vec<Row> {
         .map(|gar| {
             Row::new(
                 gar.as_str(),
-                vec![("satisfied_fraction", report.satisfied_fraction(gar))],
+                vec![("satisfied_fraction", report.satisfied_fraction(&gar))],
             )
         })
         .collect()
@@ -527,7 +527,7 @@ mod tests {
                 assert!(*slowdown >= 1.0, "{row:?}");
             }
         }
-        assert_eq!(fig7(Device::Cpu).len(), 5);
+        assert_eq!(fig7(Device::Cpu).len(), 6);
         assert!(!fig8(Device::Gpu).is_empty());
         assert!(!fig9().is_empty());
         assert_eq!(fig10(Device::Cpu).len(), 8);

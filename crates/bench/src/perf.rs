@@ -140,13 +140,28 @@ pub struct PerfReport {
 /// enumeration is `C(n, f)` — exponential in `f`, as the paper's Fig. 3
 /// discussion notes — so it is swept at `f = 2` to keep the cell about the
 /// distance matrix rather than the combinatorics.
-pub fn sweep_f(kind: GarKind, n: usize) -> usize {
+pub fn sweep_f(kind: &GarKind, n: usize) -> usize {
     match kind {
         GarKind::Average => 0,
         GarKind::Mda => 2.min((n.saturating_sub(1)) / 2),
         GarKind::Median => (n.saturating_sub(1)) / 2,
         GarKind::Krum | GarKind::MultiKrum | GarKind::Bulyan => (n.saturating_sub(3)) / 4,
+        // The composite is swept with whatever its fallback tolerates — the
+        // fast path itself is f-independent.
+        GarKind::Speculative { fallback } => sweep_f(fallback, n),
     }
+}
+
+/// Every kind the perf sweep measures: the six primitives plus one
+/// speculative composite cell, whose honest random inputs keep the check on
+/// the fast path — the fault-free fast-path throughput the regression gate
+/// watches.
+pub fn sweep_kinds() -> Vec<GarKind> {
+    let mut kinds: Vec<GarKind> = GarKind::all().to_vec();
+    kinds.push(GarKind::Speculative {
+        fallback: Box::new(GarKind::MultiKrum),
+    });
+    kinds
 }
 
 fn time_cell(
@@ -276,9 +291,9 @@ pub fn run_with(config: &PerfConfig, parallel: &Engine) -> Vec<PerfPoint> {
             let mut rng = TensorRng::seed_from(0x9a2f_0000 ^ (d as u64) ^ ((n as u64) << 32));
             let inputs: Vec<Vec<f32>> = (0..n).map(|_| rng.normal_tensor(d).into_vec()).collect();
             let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
-            for kind in GarKind::all() {
-                let f = sweep_f(kind, n);
-                let gar = build_gar(kind, n, f).expect("sweep (n, f) satisfies every rule");
+            for kind in sweep_kinds() {
+                let f = sweep_f(&kind, n);
+                let gar = build_gar(&kind, n, f).expect("sweep (n, f) satisfies every rule");
                 let (seq_secs, seq_out) = time_cell(gar.as_ref(), &views, &sequential, config);
                 let (par_secs, par_out) = time_cell(gar.as_ref(), &views, &parallel, config);
                 let identical = seq_out.len() == par_out.len()
@@ -365,8 +380,8 @@ pub fn obs_overhead(config: &PerfConfig) -> ObsOverhead {
     let d = config.dims.iter().copied().max().unwrap_or(100_000);
     let n = config.ns.iter().copied().max().unwrap_or(15);
     let kind = GarKind::MultiKrum;
-    let f = sweep_f(kind, n);
-    let gar = build_gar(kind, n, f).expect("sweep (n, f) satisfies every rule");
+    let f = sweep_f(&kind, n);
+    let gar = build_gar(&kind, n, f).expect("sweep (n, f) satisfies every rule");
     let mut rng = TensorRng::seed_from(0x0b50_bd0b ^ (d as u64));
     let inputs: Vec<Vec<f32>> = (0..n).map(|_| rng.normal_tensor(d).into_vec()).collect();
     let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
@@ -756,7 +771,11 @@ mod tests {
     #[test]
     fn sweep_covers_every_gar_and_outputs_are_identical() {
         let points = run(&tiny_config());
-        assert_eq!(points.len(), GarKind::all().len());
+        assert_eq!(points.len(), sweep_kinds().len());
+        assert!(
+            points.iter().any(|p| p.gar == "speculative"),
+            "the speculative fast-path cell is part of the sweep"
+        );
         for p in &points {
             assert!(p.identical, "{} outputs diverged between engines", p.gar);
             assert!(p.seq_secs > 0.0 && p.par_secs > 0.0);
@@ -924,9 +943,9 @@ mod tests {
 
     #[test]
     fn sweep_f_respects_every_rule_requirement() {
-        for kind in GarKind::all() {
+        for kind in sweep_kinds() {
             for n in [15usize, 25, 51] {
-                let f = sweep_f(kind, n);
+                let f = sweep_f(&kind, n);
                 assert!(
                     n >= kind.minimum_inputs(f),
                     "{kind} n={n} f={f} violates its requirement"

@@ -69,6 +69,12 @@ pub fn iteration_time(
             broadcast + single_pull(gradient_quorum),
             cost.aggregation_time(d, gradient_quorum, 2, device),
         ),
+        // SSMW's topology, the cheap path's cost: the model prices the
+        // fault-free common case where the check never trips.
+        SystemKind::Speculative => (
+            broadcast + single_pull(gradient_quorum),
+            cost.aggregation_time(d, gradient_quorum, 1, device),
+        ),
         SystemKind::CrashTolerant => (
             broadcast + fanned_pull(gradient_quorum, nps.max(1)),
             cost.aggregation_time(d, gradient_quorum, 1, device),

@@ -286,6 +286,9 @@ pub struct NodeView {
     pub queue: f64,
     /// Messages dropped, summed over peers.
     pub drops: f64,
+    /// `garfield_speculation_fallback_total` — nonzero once a speculative
+    /// node's check tripped and it latched onto its robust fallback.
+    pub spec_fallback: f64,
     /// `(peer, suspicion)` gauges, sorted most-suspicious first.
     pub suspects: Vec<(u32, f64)>,
 }
@@ -316,6 +319,7 @@ pub fn view(node: u32, healthz: Option<&str>, metrics: Option<&str>) -> NodeView
         p99_ms: quantile_ms(&samples, "garfield_round_seconds", 0.99),
         queue: family_sum(&samples, "garfield_outbound_queue_depth"),
         drops: family_sum(&samples, "garfield_messages_dropped_total"),
+        spec_fallback: family_sum(&samples, "garfield_speculation_fallback_total"),
         suspects,
     }
 }
@@ -364,14 +368,14 @@ pub fn render_table(views: &[NodeView], rates: &[f64]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>5} {:>6} {:>8} {:>8} {:>9} {:>9} {:>6} {:>6}  top suspicion",
-        "node", "state", "round", "r/s", "p50_ms", "p99_ms", "queue", "drops"
+        "{:>5} {:>6} {:>8} {:>8} {:>9} {:>9} {:>6} {:>6} {:>5}  top suspicion",
+        "node", "state", "round", "r/s", "p50_ms", "p99_ms", "queue", "drops", "fback"
     );
     for (i, v) in views.iter().enumerate() {
         let rate = rates.get(i).copied().unwrap_or(0.0);
         let _ = writeln!(
             out,
-            "{:>5} {:>6} {:>8} {:>8.2} {:>9.1} {:>9.1} {:>6} {:>6}  {}",
+            "{:>5} {:>6} {:>8} {:>8.2} {:>9.1} {:>9.1} {:>6} {:>6} {:>5}  {}",
             v.node,
             if v.up { "up" } else { "DOWN" },
             v.round,
@@ -380,6 +384,7 @@ pub fn render_table(views: &[NodeView], rates: &[f64]) -> String {
             v.p99_ms,
             v.queue as u64,
             v.drops as u64,
+            v.spec_fallback as u64,
             suspects_cell(&v.suspects, 3),
         );
     }
@@ -401,8 +406,8 @@ pub fn view_json(v: &NodeView, rate: f64) -> String {
     json::write_f64(&mut out, v.p99_ms);
     let _ = write!(
         out,
-        ",\"queue\":{},\"drops\":{},\"suspects\":[",
-        v.queue, v.drops
+        ",\"queue\":{},\"drops\":{},\"spec_fallback\":{},\"suspects\":[",
+        v.queue, v.drops, v.spec_fallback
     );
     for (i, (peer, score)) in v.suspects.iter().enumerate() {
         if i > 0 {
@@ -418,7 +423,8 @@ pub fn view_json(v: &NodeView, rate: f64) -> String {
 
 /// The CSV sink's header line.
 pub fn csv_header() -> &'static str {
-    "poll,node,up,round,rounds_total,rounds_per_s,p50_ms,p99_ms,queue,drops,top_suspect,top_score"
+    "poll,node,up,round,rounds_total,rounds_per_s,p50_ms,p99_ms,queue,drops,spec_fallback,\
+     top_suspect,top_score"
 }
 
 /// One CSV line per node per poll (the sink `expfig watch` appends to).
@@ -428,8 +434,16 @@ pub fn csv_line(poll: u64, v: &NodeView, rate: f64) -> String {
         .first()
         .map_or((-1i64, 0.0), |&(p, s)| (i64::from(p), s));
     format!(
-        "{poll},{},{},{},{},{rate},{},{},{},{},{top_suspect},{top_score}",
-        v.node, v.up, v.round, v.rounds_total, v.p50_ms, v.p99_ms, v.queue, v.drops
+        "{poll},{},{},{},{},{rate},{},{},{},{},{},{top_suspect},{top_score}",
+        v.node,
+        v.up,
+        v.round,
+        v.rounds_total,
+        v.p50_ms,
+        v.p99_ms,
+        v.queue,
+        v.drops,
+        v.spec_fallback
     )
 }
 

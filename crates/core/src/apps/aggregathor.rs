@@ -43,7 +43,7 @@ impl AggregaThorApp {
         let config = self.deployment.config().clone();
         config.validate(SystemKind::AggregaThor)?;
         let quorum = config.gradient_quorum(SystemKind::AggregaThor);
-        let gar = build_gar(GarKind::MultiKrum, quorum, config.fw)?;
+        let gar = build_gar(&GarKind::MultiKrum, quorum, config.fw)?;
         let mut trace =
             TrainingTrace::new(SystemKind::AggregaThor.as_str(), config.effective_batch());
 

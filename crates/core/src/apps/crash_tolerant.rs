@@ -52,7 +52,7 @@ impl CrashTolerantApp {
         let config = self.deployment.config().clone();
         config.validate(SystemKind::CrashTolerant)?;
         let quorum = config.gradient_quorum(SystemKind::CrashTolerant);
-        let average = build_gar(GarKind::Average, quorum, 0)?;
+        let average = build_gar(&GarKind::Average, quorum, 0)?;
         let nps = self.deployment.server_count();
         let mut trace =
             TrainingTrace::new(SystemKind::CrashTolerant.as_str(), config.effective_batch());

@@ -58,7 +58,7 @@ impl DecentralizedApp {
         let f = config.fw;
         let gradient_quorum = config.gradient_quorum(SystemKind::Decentralized);
         let model_quorum = (n - f).min(self.deployment.server_count() - 1).max(1);
-        let gradient_gar = build_gar(config.gradient_gar, gradient_quorum, f)?;
+        let gradient_gar = build_gar(&config.gradient_gar, gradient_quorum, f)?;
         let honest_nodes = n - config.actual_byzantine_workers.min(n);
         let mut trace =
             TrainingTrace::new(SystemKind::Decentralized.as_str(), config.effective_batch());
@@ -98,7 +98,7 @@ impl DecentralizedApp {
                     let mut inputs = peers.models;
                     inputs.push(self.deployment.server(node).honest().parameters());
                     let rule = build_gar(
-                        config.model_gar,
+                        &config.model_gar,
                         inputs.len(),
                         f.min((inputs.len() - 1) / 2),
                     )?;
@@ -138,7 +138,7 @@ impl DecentralizedApp {
                 let mut inputs = models.models;
                 inputs.push(self.deployment.server(node).honest().parameters());
                 let model_rule = build_gar(
-                    config.model_gar,
+                    &config.model_gar,
                     inputs.len(),
                     f.min((inputs.len() - 1) / 2),
                 )?;

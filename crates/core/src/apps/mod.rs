@@ -10,6 +10,7 @@ mod aggregathor;
 mod crash_tolerant;
 mod decentralized;
 mod msmw;
+mod speculative;
 mod ssmw;
 mod vanilla;
 
@@ -17,6 +18,7 @@ pub use aggregathor::AggregaThorApp;
 pub use crash_tolerant::CrashTolerantApp;
 pub use decentralized::DecentralizedApp;
 pub use msmw::MsmwApp;
+pub use speculative::SpeculativeApp;
 pub use ssmw::SsmwApp;
 pub use vanilla::VanillaApp;
 

@@ -53,7 +53,7 @@ impl MsmwApp {
         config.validate(SystemKind::Msmw)?;
         let gradient_quorum = config.gradient_quorum(SystemKind::Msmw);
         let model_quorum = config.model_quorum();
-        let gradient_gar = build_gar(config.gradient_gar, gradient_quorum, config.fw)?;
+        let gradient_gar = build_gar(&config.gradient_gar, gradient_quorum, config.fw)?;
         let nps = self.deployment.server_count();
         let honest_servers = nps - config.actual_byzantine_servers.min(nps);
         let mut trace = TrainingTrace::new(SystemKind::Msmw.as_str(), config.effective_batch());
@@ -114,7 +114,7 @@ impl MsmwApp {
                 let models = self.deployment.model_round(server, model_quorum)?;
                 let mut inputs = models.models;
                 inputs.push(self.deployment.server(server).honest().parameters());
-                let model_rule = build_gar(config.model_gar, inputs.len(), config.fps)?;
+                let model_rule = build_gar(&config.model_gar, inputs.len(), config.fps)?;
                 let merged = self
                     .deployment
                     .server(server)

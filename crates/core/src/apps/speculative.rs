@@ -1,0 +1,130 @@
+//! Speculative fast-path aggregation over the SSMW topology (arXiv:1911.07537).
+
+use crate::apps::maybe_evaluate;
+use crate::{CoreResult, Deployment, IterationTiming, SystemKind, TrainingTrace};
+use garfield_aggregation::build_gar;
+
+/// SSMW's trusted single server, but betting on the fault-free common case:
+/// each round takes the cheap average path plus a cheap consistency check,
+/// and permanently falls back to the configured robust `gradient_gar` the
+/// first time the check trips.
+///
+/// Determinism contract (see `garfield_aggregation::SpeculativeGar`): a run
+/// in which the check never trips is bit-identical to a vanilla run; from
+/// the fallback round onward the run is bit-identical to an SSMW run of the
+/// fallback rule on the same seed.
+pub struct SpeculativeApp {
+    deployment: Deployment,
+}
+
+impl SpeculativeApp {
+    /// Wraps a deployment. Only server 0 is used and it is assumed trusted.
+    pub fn new(deployment: Deployment) -> Self {
+        SpeculativeApp { deployment }
+    }
+
+    /// Access to the underlying deployment.
+    pub fn deployment_mut(&mut self) -> &mut Deployment {
+        &mut self.deployment
+    }
+
+    /// Runs the speculative training loop and returns the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and runtime errors from the deployment.
+    pub fn run(&mut self) -> CoreResult<TrainingTrace> {
+        let config = self.deployment.config().clone();
+        config.validate(SystemKind::Speculative)?;
+        let quorum = config.gradient_quorum(SystemKind::Speculative);
+        let (gar_kind, gar_f) = crate::system::gradient_gar(SystemKind::Speculative, &config);
+        let gar = build_gar(&gar_kind, quorum, gar_f)?;
+        let mut trace =
+            TrainingTrace::new(SystemKind::Speculative.as_str(), config.effective_batch());
+
+        for iteration in 0..config.iterations {
+            let round = self.deployment.gradient_round(0, iteration, quorum, 1)?;
+            let aggregated = self
+                .deployment
+                .server(0)
+                .honest()
+                .aggregate(gar.as_ref(), &round.gradients)?;
+            self.deployment
+                .server_mut(0)
+                .honest_mut()
+                .update_model(&aggregated)?;
+
+            // Cost the round for what it was: the cheap path until the latch
+            // trips, the robust rule afterwards.
+            let robust = gar.fell_back() == Some(true);
+            let aggregation = self.deployment.aggregation_cost(quorum, robust);
+            trace.iterations.push(IterationTiming {
+                computation: round.computation_time,
+                communication: round.communication_time,
+                aggregation,
+            });
+            maybe_evaluate(&mut trace, &self.deployment, 0, iteration, round.mean_loss);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{SsmwApp, VanillaApp};
+    use crate::ExperimentConfig;
+    use garfield_aggregation::GarKind;
+    use garfield_attacks::AttackKind;
+
+    fn config() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small();
+        cfg.iterations = 12;
+        cfg.eval_every = 6;
+        cfg.gradient_gar = GarKind::MultiKrum;
+        cfg
+    }
+
+    fn final_model_bits(deployment: &Deployment) -> Vec<u32> {
+        deployment
+            .server(0)
+            .honest()
+            .parameters()
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    }
+
+    #[test]
+    fn fault_free_speculative_is_bit_identical_to_vanilla() {
+        let cfg = config();
+        let mut spec = SpeculativeApp::new(Deployment::new(cfg.clone()).unwrap());
+        spec.run().unwrap();
+        let mut vanilla = VanillaApp::new(Deployment::new(cfg).unwrap());
+        vanilla.run().unwrap();
+        assert_eq!(
+            final_model_bits(&spec.deployment),
+            final_model_bits(vanilla.deployment_mut()),
+        );
+    }
+
+    #[test]
+    fn every_attack_falls_back_to_the_exact_robust_run() {
+        for attack in AttackKind::all() {
+            let mut cfg = config();
+            cfg.actual_byzantine_workers = cfg.fw;
+            cfg.worker_attack = Some(attack);
+
+            let mut spec = SpeculativeApp::new(Deployment::new(cfg.clone()).unwrap());
+            spec.run().unwrap();
+            let mut robust = SsmwApp::new(Deployment::new(cfg).unwrap());
+            robust.run().unwrap();
+            assert_eq!(
+                final_model_bits(&spec.deployment),
+                final_model_bits(robust.deployment_mut()),
+                "{attack:?} did not land the pure-robust model"
+            );
+        }
+    }
+}

@@ -31,7 +31,7 @@ impl SsmwApp {
         let config = self.deployment.config().clone();
         config.validate(SystemKind::Ssmw)?;
         let quorum = config.gradient_quorum(SystemKind::Ssmw);
-        let gar = build_gar(config.gradient_gar, quorum, config.fw)?;
+        let gar = build_gar(&config.gradient_gar, quorum, config.fw)?;
         let mut trace = TrainingTrace::new(SystemKind::Ssmw.as_str(), config.effective_batch());
 
         for iteration in 0..config.iterations {

@@ -32,7 +32,7 @@ impl VanillaApp {
         let config = self.deployment.config().clone();
         config.validate(SystemKind::Vanilla)?;
         let quorum = config.gradient_quorum(SystemKind::Vanilla);
-        let average = build_gar(GarKind::Average, quorum, 0)?;
+        let average = build_gar(&GarKind::Average, quorum, 0)?;
         let mut trace = TrainingTrace::new(SystemKind::Vanilla.as_str(), config.effective_batch());
 
         for iteration in 0..config.iterations {

@@ -6,9 +6,6 @@
 //! configuration, instantiating the corresponding [`Deployment`] and running
 //! the requested [`SystemKind`]'s training loop.
 
-use crate::apps::{
-    AggregaThorApp, CrashTolerantApp, DecentralizedApp, MsmwApp, SsmwApp, VanillaApp,
-};
 use crate::{CoreResult, Deployment, ExperimentConfig, SystemKind, TrainingTrace};
 
 /// Builds and runs Garfield experiments from configurations.
@@ -37,22 +34,16 @@ impl Controller {
         Deployment::new(self.config.clone())
     }
 
-    /// Runs the named system on a fresh deployment and returns its trace.
+    /// Runs the named system on a fresh deployment and returns its trace,
+    /// resolving through the one-place [`run_system`](crate::run_system)
+    /// registry.
     ///
     /// # Errors
     ///
     /// Returns configuration errors (invalid `(n, f)` pairs for the chosen
     /// GARs, too few nodes, …) or runtime errors from the deployment.
     pub fn run(&self, system: SystemKind) -> CoreResult<TrainingTrace> {
-        self.config.validate(system)?;
-        match system {
-            SystemKind::Vanilla => VanillaApp::new(self.deploy()?).run(),
-            SystemKind::AggregaThor => AggregaThorApp::new(self.deploy()?).run(),
-            SystemKind::CrashTolerant => CrashTolerantApp::new(self.deploy()?).run(),
-            SystemKind::Ssmw => SsmwApp::new(self.deploy()?).run(),
-            SystemKind::Msmw => MsmwApp::new(self.deploy()?).run(),
-            SystemKind::Decentralized => DecentralizedApp::from_config(self.config.clone())?.run(),
-        }
+        crate::system::run_system(&self.config, system)
     }
 
     /// Runs every requested system on identical configurations, returning

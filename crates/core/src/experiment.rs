@@ -23,11 +23,17 @@ pub enum SystemKind {
     Msmw,
     /// Decentralized (peer-to-peer) learning (§5.3).
     Decentralized,
+    /// Speculative fast-path aggregation (arXiv:1911.07537): SSMW topology,
+    /// but each round takes the cheap average path plus a consistency check
+    /// and permanently falls back to the configured robust `gradient_gar` on
+    /// suspicion. Written `speculative` or `speculative(<gar>)` on the CLI.
+    Speculative,
 }
 
 impl SystemKind {
-    /// All systems, in the order the paper's figures list them.
-    pub fn all() -> [SystemKind; 6] {
+    /// All systems, in the order the paper's figures list them (the
+    /// speculative extension last).
+    pub fn all() -> [SystemKind; 7] {
         [
             SystemKind::Vanilla,
             SystemKind::CrashTolerant,
@@ -35,6 +41,7 @@ impl SystemKind {
             SystemKind::Msmw,
             SystemKind::Decentralized,
             SystemKind::AggregaThor,
+            SystemKind::Speculative,
         ]
     }
 
@@ -47,6 +54,7 @@ impl SystemKind {
             SystemKind::Ssmw => "ssmw",
             SystemKind::Msmw => "msmw",
             SystemKind::Decentralized => "decentralized",
+            SystemKind::Speculative => "speculative",
         }
     }
 }
@@ -64,7 +72,7 @@ impl std::str::FromStr for SystemKind {
         SystemKind::all()
             .into_iter()
             .find(|k| k.as_str() == s.to_ascii_lowercase())
-            .ok_or_else(|| format!("unknown system '{s}' (expected one of vanilla, crash-tolerant, ssmw, msmw, decentralized, aggregathor)"))
+            .ok_or_else(|| format!("unknown system '{s}' (expected one of vanilla, crash-tolerant, ssmw, msmw, decentralized, aggregathor, speculative)"))
     }
 }
 
@@ -215,7 +223,7 @@ impl ExperimentConfig {
     pub fn gradient_quorum(&self, system: SystemKind) -> usize {
         match system {
             SystemKind::Vanilla | SystemKind::CrashTolerant | SystemKind::AggregaThor => self.nw,
-            SystemKind::Ssmw => self.nw,
+            SystemKind::Ssmw | SystemKind::Speculative => self.nw,
             SystemKind::Msmw | SystemKind::Decentralized => {
                 if self.synchronous {
                     self.nw
@@ -411,11 +419,28 @@ impl ExperimentConfig {
                 "{system} requires at least one server"
             )));
         }
+        // The speculative system wraps `gradient_gar` as its fallback; the
+        // wrap demands a primitive Byzantine-resilient rule to fall back to.
+        if system == SystemKind::Speculative
+            && matches!(
+                self.gradient_gar,
+                GarKind::Average | GarKind::Speculative { .. }
+            )
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "speculative needs a primitive Byzantine-resilient gradient_gar \
+                 to fall back to, not '{}'",
+                self.gradient_gar
+            )));
+        }
         // GAR requirements on the gradient path.
         let gradient_inputs = self.gradient_quorum(system);
         if matches!(
             system,
-            SystemKind::Ssmw | SystemKind::Msmw | SystemKind::Decentralized
+            SystemKind::Ssmw
+                | SystemKind::Msmw
+                | SystemKind::Decentralized
+                | SystemKind::Speculative
         ) && gradient_inputs < self.gradient_gar.minimum_inputs(self.fw)
         {
             return Err(CoreError::InvalidConfig(format!(
@@ -510,11 +535,32 @@ mod tests {
     #[test]
     fn system_kind_names_are_stable() {
         assert_eq!(SystemKind::Msmw.to_string(), "msmw");
-        assert_eq!(SystemKind::all().len(), 6);
+        assert_eq!(SystemKind::all().len(), 7);
         for kind in SystemKind::all() {
             assert_eq!(kind.as_str().parse::<SystemKind>().unwrap(), kind);
         }
         assert!("warp-drive".parse::<SystemKind>().is_err());
+    }
+
+    #[test]
+    fn speculative_validation_demands_a_robust_fallback() {
+        // The default small() config falls back to Multi-Krum: fine.
+        ExperimentConfig::small()
+            .validate(SystemKind::Speculative)
+            .unwrap();
+        // Averaging (or nesting) is nothing to fall back to.
+        let mut cfg = ExperimentConfig::small();
+        cfg.gradient_gar = GarKind::Average;
+        assert!(cfg.validate(SystemKind::Speculative).is_err());
+        let mut cfg = ExperimentConfig::small();
+        cfg.gradient_gar = GarKind::Speculative {
+            fallback: Box::new(GarKind::Median),
+        };
+        assert!(cfg.validate(SystemKind::Speculative).is_err());
+        // The fallback's (n, f) requirement applies to the speculative system.
+        let mut cfg = ExperimentConfig::small();
+        cfg.fw = 3; // Multi-Krum needs 2f+3 = 9 inputs, nw is 7
+        assert!(cfg.validate(SystemKind::Speculative).is_err());
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod executor;
 mod experiment;
 pub mod json;
 mod server;
+pub mod system;
 mod telemetry;
 mod worker;
 
@@ -57,6 +58,7 @@ pub use error::{CoreError, CoreResult};
 pub use executor::{ExecMode, Executor, SimExecutor};
 pub use experiment::{ExperimentConfig, SystemKind};
 pub use server::{ByzantineServer, ParameterServer};
+pub use system::{gradient_gar, live_supported, run_system, SystemSpec};
 pub use telemetry::{
     AccuracyPoint, IterationTiming, NodeTelemetry, RuntimeTelemetry, TrainingTrace,
 };

@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn aggregate_delegates_to_the_gar() {
         let (ps, _) = server();
-        let gar = build_gar(GarKind::Median, 3, 1).unwrap();
+        let gar = build_gar(&GarKind::Median, 3, 1).unwrap();
         let inputs: Vec<Tensor> = (0..3).map(|i| Tensor::full(4usize, i as f32)).collect();
         let out = ps.aggregate(gar.as_ref(), &inputs).unwrap();
         assert_eq!(out.data(), &[1.0, 1.0, 1.0, 1.0]);

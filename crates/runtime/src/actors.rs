@@ -13,9 +13,7 @@
 
 use crate::fault::Fault;
 use crate::node::ServerNode;
-use garfield_aggregation::{
-    build_gar, Engine, GarKind, PeerSuspicion, SelectionOutcome, SuspicionLedger,
-};
+use garfield_aggregation::{build_gar, Engine, PeerSuspicion, SelectionOutcome, SuspicionLedger};
 use garfield_attacks::Attack;
 use garfield_core::{
     AccuracyPoint, ByzantineServer, ByzantineWorker, Checkpoint, CheckpointPolicy, CoreError,
@@ -444,11 +442,8 @@ impl ServerActor {
 
     /// The replica's training loop.
     fn train(&mut self) -> CoreResult<TrainingTrace> {
-        let (gar_kind, gar_f) = match self.system {
-            SystemKind::Vanilla => (GarKind::Average, 0),
-            _ => (self.config.gradient_gar, self.config.fw),
-        };
-        let gradient_gar = build_gar(gar_kind, self.gradient_quorum, gar_f)?;
+        let (gar_kind, gar_f) = garfield_core::gradient_gar(self.system, &self.config);
+        let gradient_gar = build_gar(&gar_kind, self.gradient_quorum, gar_f)?;
         let model_quorum = self.config.model_quorum();
         let mut trace = TrainingTrace::new(self.system.as_str(), self.config.effective_batch());
         let mut crashed = false;
@@ -542,6 +537,27 @@ impl ServerActor {
                 .observe_round(iteration as u64, &reply_peers, &self.outcome);
             self.server.honest_mut().update_model(&aggregated)?;
             let mut aggregation = aggregate_start.elapsed().as_secs_f64();
+            // Speculative rounds leave a wire-level trail: one event per
+            // round, hit (fast path held) or fallback (robust replay).
+            match gradient_gar.fell_back() {
+                Some(false) => {
+                    flight::record(
+                        EventKind::SpeculationHit,
+                        iteration as u64,
+                        None,
+                        aggregation,
+                    );
+                }
+                Some(true) => {
+                    flight::record(
+                        EventKind::SpeculationFallback,
+                        iteration as u64,
+                        None,
+                        aggregation,
+                    );
+                }
+                None => {}
+            }
             for (_, _, values) in replies {
                 self.pool.restore(values);
             }
@@ -594,7 +610,7 @@ impl ServerActor {
                     .map(|(_, _, values)| GradientView::from(values))
                     .collect();
                 inputs.push(GradientView::from(&own));
-                let model_gar = build_gar(self.config.model_gar, inputs.len(), self.config.fps)?;
+                let model_gar = build_gar(&self.config.model_gar, inputs.len(), self.config.fps)?;
                 let merged = self.server.honest().aggregate_views_observed(
                     model_gar.as_ref(),
                     &inputs,

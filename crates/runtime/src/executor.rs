@@ -113,16 +113,14 @@ impl LiveExecutor {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for systems the live runtime does
-    /// not implement (only vanilla, SSMW and MSMW run live) and
+    /// not implement (see [`garfield_core::live_supported`]) and
     /// [`CoreError::Net`] when a quorum cannot be gathered before the
     /// deadline (a liveness violation: fewer than `q` live repliers).
     pub fn run_live(&mut self, system: SystemKind) -> CoreResult<LiveReport> {
-        if !matches!(
-            system,
-            SystemKind::Vanilla | SystemKind::Ssmw | SystemKind::Msmw
-        ) {
+        if !garfield_core::live_supported(system) {
             return Err(CoreError::InvalidConfig(format!(
-                "the live runtime implements vanilla, ssmw and msmw (requested {system})"
+                "the live runtime implements vanilla, ssmw, msmw and speculative \
+                 (requested {system})"
             )));
         }
         self.config.validate(system)?;

@@ -1,0 +1,119 @@
+//! Live-runtime tests of the speculative system: the fast path must be
+//! invisible on fault-free runs (bit-identical to vanilla), and every attack
+//! in the catalog must trip the consistency check at round 0 so the whole
+//! run replays bit-identically to the pure robust system.
+
+use garfield_aggregation::{build_gar, Engine, GarKind};
+use garfield_attacks::AttackKind;
+use garfield_core::{ExperimentConfig, SystemKind};
+use garfield_runtime::{FaultPlan, LiveExecutor};
+use garfield_tensor::{GradientView, Tensor, TensorRng};
+
+/// A small, fast live configuration (7 workers keep Multi-Krum satisfied at
+/// f = 1: 2f + 3 = 5 ≤ 7).
+fn live_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small();
+    cfg.iterations = 8;
+    cfg.eval_every = 4;
+    cfg
+}
+
+fn model_bits(model: &Tensor) -> Vec<u32> {
+    model.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn fault_free_speculative_live_run_is_bit_identical_to_vanilla() {
+    // With honest workers the check never trips and the fast path *is*
+    // vanilla averaging, so the two systems must walk the exact same
+    // trajectory — same final model bits, same accuracy curve.
+    let cfg = live_config();
+    let spec = LiveExecutor::new(cfg.clone())
+        .run_live(SystemKind::Speculative)
+        .unwrap();
+    let vanilla = LiveExecutor::new(cfg)
+        .run_live(SystemKind::Vanilla)
+        .unwrap();
+    assert_eq!(spec.trace.len(), vanilla.trace.len());
+    assert_eq!(
+        model_bits(&spec.final_models[0]),
+        model_bits(&vanilla.final_models[0]),
+        "a fault-free speculative run must be bit-identical to vanilla"
+    );
+    for (a, b) in spec.trace.accuracy.iter().zip(&vanilla.trace.accuracy) {
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.loss, b.loss);
+    }
+}
+
+#[test]
+fn every_attack_falls_back_to_the_exact_robust_live_run() {
+    // One Byzantine worker rewriting its wire payloads: the check must trip
+    // in round 0 (before the fast average can contaminate the model), latch,
+    // and replay every round through the configured robust GAR — making the
+    // attacked speculative run bit-identical to the pure SSMW run of the
+    // same seed and fault plan, end to end.
+    // Counting is gated on the process-wide obs flag (a disabled counter is
+    // a load and a branch); flip it on so the latch trips are observable.
+    garfield_obs::enable();
+    let fallbacks = garfield_obs::metrics::counter(
+        "garfield_speculation_fallback_total",
+        "Rounds in which the speculative check tripped and the robust fallback ran.",
+        &[],
+    );
+    for attack in AttackKind::all() {
+        let cfg = live_config();
+        let plan = || FaultPlan::new().byzantine_worker(0, attack);
+        let before = fallbacks.value();
+        let spec = LiveExecutor::new(cfg.clone())
+            .with_faults(plan())
+            .run_live(SystemKind::Speculative)
+            .unwrap();
+        assert!(
+            fallbacks.value() > before,
+            "{attack}: the fallback counter must move when the check trips"
+        );
+        let robust = LiveExecutor::new(cfg)
+            .with_faults(plan())
+            .run_live(SystemKind::Ssmw)
+            .unwrap();
+        assert_eq!(
+            model_bits(&spec.final_models[0]),
+            model_bits(&robust.final_models[0]),
+            "{attack}: the attacked speculative run must equal the pure robust run"
+        );
+    }
+}
+
+#[test]
+fn speculative_aggregation_is_engine_thread_count_independent() {
+    // The consistency check is a fixed sequential scalar pass and both the
+    // average fast path and the robust fallback are engine-bit-identical, so
+    // the composite rule must produce the same bits (and the same latch
+    // decision) on sequential and parallel engines.
+    let (n, f, d) = (9usize, 2usize, 4096usize);
+    let kind = GarKind::Speculative {
+        fallback: Box::new(GarKind::MultiKrum),
+    };
+    let mut rng = TensorRng::seed_from(0x5bec);
+    let honest: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
+    let mut attacked = honest.clone();
+    attacked[0] = honest[0].scale(-30.0);
+    for inputs in [&honest, &attacked] {
+        let views: Vec<GradientView<'_>> = inputs.iter().map(GradientView::from).collect();
+        let seq_gar = build_gar(&kind, n, f).unwrap();
+        let par_gar = build_gar(&kind, n, f).unwrap();
+        let seq = seq_gar
+            .aggregate_views(&views, &Engine::sequential())
+            .unwrap();
+        let par = par_gar
+            .aggregate_views(&views, &Engine::with_threads(4))
+            .unwrap();
+        assert_eq!(
+            model_bits(&seq),
+            model_bits(&par),
+            "sequential and parallel speculative aggregation must agree bit for bit"
+        );
+        assert_eq!(seq_gar.fell_back(), par_gar.fell_back());
+    }
+}

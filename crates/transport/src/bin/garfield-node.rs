@@ -16,8 +16,11 @@
 //!   laid out servers-first (`NodeLayout`): server replica `i` is node `i`,
 //!   worker `j` is node `servers + j`.
 //! * `--config` — an `ExperimentConfig` as JSON (`ExperimentConfig::to_json`).
-//! * `--system` — `vanilla`, `ssmw` or `msmw` (the systems the live runtime
-//!   implements).
+//! * `--system` — `vanilla`, `ssmw`, `msmw` or `speculative` (the systems
+//!   the live runtime implements). The speculative form accepts its robust
+//!   fallback inline — `speculative(multi-krum)` overrides the config's
+//!   `gradient_gar` — while bare `speculative` falls back to the config's
+//!   `gradient_gar` as-is.
 //! * `--gradient-quorum` — override `q`; `n − f` exercises the asynchronous
 //!   liveness condition (the run survives `f` dead workers).
 //! * `--round-deadline-ms` / `--idle-timeout-ms` — pull deadline (servers)
@@ -55,7 +58,7 @@
 //! Exit status: `0` on success, `1` on a runtime/liveness failure, `2` on
 //! bad usage.
 
-use garfield_core::{Checkpoint, CheckpointPolicy, Deployment, ExperimentConfig, SystemKind};
+use garfield_core::{Checkpoint, CheckpointPolicy, Deployment, ExperimentConfig, SystemSpec};
 use garfield_net::NodeId;
 use garfield_obs::flight;
 use garfield_obs::http::MetricsServer;
@@ -70,7 +73,7 @@ struct Args {
     rank: usize,
     cluster: String,
     config: String,
-    system: SystemKind,
+    system: SystemSpec,
     gradient_quorum: Option<usize>,
     round_deadline: Duration,
     idle_timeout: Duration,
@@ -87,7 +90,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: garfield-node --role <server|worker> --rank <n> --cluster <file> \
-         --config <file> --system <vanilla|ssmw|msmw> [--gradient-quorum <q>] \
+         --config <file> --system <vanilla|ssmw|msmw|speculative[(<gar>)]> \
+         [--gradient-quorum <q>] \
          [--round-deadline-ms <ms>] [--idle-timeout-ms <ms>] [--retry-ms <ms>] \
          [--delay-ms <ms>] [--checkpoint <dir>] [--checkpoint-every <k>] \
          [--resume <dir>] [--out <file>] [--metrics-addr <host:port>] \
@@ -204,22 +208,20 @@ fn dump_flight(dump: &Option<PathBuf>) -> Result<(), String> {
 }
 
 fn run(args: Args) -> Result<(), String> {
-    if !matches!(
-        args.system,
-        SystemKind::Vanilla | SystemKind::Ssmw | SystemKind::Msmw
-    ) {
+    let system = args.system.system;
+    if !garfield_core::live_supported(system) {
         return Err(format!(
-            "the live runtime implements vanilla, ssmw and msmw (requested {})",
-            args.system
+            "the live runtime implements vanilla, ssmw, msmw and speculative (requested {system})"
         ));
     }
     let config_text =
         std::fs::read_to_string(&args.config).map_err(|e| format!("{}: {e}", args.config))?;
-    let config = ExperimentConfig::from_json(&config_text).map_err(|e| e.to_string())?;
-    config.validate(args.system).map_err(|e| e.to_string())?;
+    let mut config = ExperimentConfig::from_json(&config_text).map_err(|e| e.to_string())?;
+    args.system.apply(&mut config);
+    config.validate(system).map_err(|e| e.to_string())?;
     let spec = ClusterSpec::load(&args.cluster).map_err(|e| format!("{}: {e}", args.cluster))?;
 
-    let layout = NodeLayout::of(args.system, &config);
+    let layout = NodeLayout::of(system, &config);
     if spec.len() < layout.len() {
         return Err(format!(
             "cluster spec names {} nodes but the experiment deploys {} ({} servers + {} workers)",
@@ -294,7 +296,7 @@ fn run(args: Args) -> Result<(), String> {
                     "server rank {} out of range ({} replicas run live under {})",
                     args.rank,
                     layout.server_ids.len(),
-                    args.system
+                    system
                 ));
             }
             let id = layout.server_ids[args.rank];
@@ -307,7 +309,7 @@ fn run(args: Args) -> Result<(), String> {
                     let loaded = Checkpoint::load_if_present(dir).map_err(|e| e.to_string())?;
                     match &loaded {
                         Some(cp) => {
-                            cp.validate_for(args.system.as_str(), config.seed)
+                            cp.validate_for(system.as_str(), config.seed)
                                 .map_err(|e| e.to_string())?;
                             if cp.round >= config.iterations as u64 {
                                 // A supervisor blindly restarting after a
@@ -352,7 +354,7 @@ fn run(args: Args) -> Result<(), String> {
                     .into_iter()
                     .nth(args.rank)
                     .expect("rank checked"),
-                system: args.system,
+                system,
                 config: config.clone(),
                 worker_ids: layout.worker_ids.clone(),
                 peer_ids: layout
@@ -363,7 +365,7 @@ fn run(args: Args) -> Result<(), String> {
                     .collect(),
                 gradient_quorum: args
                     .gradient_quorum
-                    .unwrap_or_else(|| config.gradient_quorum(args.system)),
+                    .unwrap_or_else(|| config.gradient_quorum(system)),
                 round_deadline: args.round_deadline,
                 fault: args.delay.map(|millis| Fault::Delay { millis }),
                 fault_rng: server_rngs.swap_remove(args.rank),
@@ -399,7 +401,7 @@ fn run(args: Args) -> Result<(), String> {
                 run.telemetry.requests_retried,
             );
             if let Some(path) = &args.out {
-                std::fs::write(path, result_json(args.system, &run, obs.metrics_addr))
+                std::fs::write(path, result_json(system, &run, obs.metrics_addr))
                     .map_err(|e| format!("{path}: {e}"))?;
             }
             dump_flight(&obs.flight_dump)

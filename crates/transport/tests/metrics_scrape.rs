@@ -13,6 +13,11 @@
 //! `garfield_gar_excluded_total`) carry live samples, drives the
 //! `expfig watch --once` machine-readable pass against the same endpoint,
 //! and checks the `--out` JSON records the bound metrics address.
+//!
+//! The third test runs the same attacked cluster under
+//! `--system speculative(multi-krum)` and asserts the watcher sees the
+//! `garfield_speculation_fallback_total` counter move: the wire-visible
+//! proof that the consistency check tripped and latched.
 
 use garfield_attacks::AttackKind;
 use garfield_core::ExperimentConfig;
@@ -45,7 +50,7 @@ fn config(nw: usize) -> ExperimentConfig {
     cfg
 }
 
-fn spawn_node(dir: &Path, role: &str, rank: usize, extra: &[&str]) -> Child {
+fn spawn_node(dir: &Path, role: &str, rank: usize, system: &str, extra: &[&str]) -> Child {
     let log = std::fs::File::create(dir.join(format!("{role}{rank}.log"))).unwrap();
     Command::new(NODE_BIN)
         .current_dir(dir)
@@ -59,7 +64,7 @@ fn spawn_node(dir: &Path, role: &str, rank: usize, extra: &[&str]) -> Child {
             "--config",
             "config.json",
             "--system",
-            "ssmw",
+            system,
             "--round-deadline-ms",
             "20000",
             "--idle-timeout-ms",
@@ -145,12 +150,13 @@ fn live_run_serves_metrics_mid_training_and_dumps_flight_records() {
     std::fs::write(dir.join("config.json"), cfg.to_json()).unwrap();
 
     let mut workers: Vec<Child> = (0..cfg.nw)
-        .map(|j| spawn_node(&dir, "worker", j, &[]))
+        .map(|j| spawn_node(&dir, "worker", j, "ssmw", &[]))
         .collect();
     let mut server = spawn_node(
         &dir,
         "server",
         0,
+        "ssmw",
         &["--metrics-addr", "127.0.0.1:0", "--out", "result.json"],
     );
 
@@ -260,12 +266,13 @@ fn an_attacked_run_exports_suspicion_and_the_watcher_sees_it() {
     std::fs::write(dir.join("config.json"), cfg.to_json()).unwrap();
 
     let mut workers: Vec<Child> = (0..cfg.nw)
-        .map(|j| spawn_node(&dir, "worker", j, &[]))
+        .map(|j| spawn_node(&dir, "worker", j, "ssmw", &[]))
         .collect();
     let mut server = spawn_node(
         &dir,
         "server",
         0,
+        "ssmw",
         &["--metrics-addr", "127.0.0.1:0", "--out", "result.json"],
     );
     let addr = discover_metrics_addr(&dir.join("server0.log"), Duration::from_secs(20));
@@ -342,6 +349,89 @@ fn an_attacked_run_exports_suspicion_and_the_watcher_sees_it() {
         "metrics_addr missing from --out JSON: {}",
         &out[..out.len().min(300)]
     );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_speculative_run_under_attack_shows_the_fallback_counter_to_the_watcher() {
+    let mut cfg = config(5);
+    // Last worker runs the config-level reversed-gradient attack from round
+    // 0: the consistency check must trip immediately, latch, and surface as
+    // a nonzero `garfield_speculation_fallback_total` on the scrape endpoint
+    // and in the watcher's `spec_fallback` column.
+    cfg.actual_byzantine_workers = 1;
+    cfg.worker_attack = Some(AttackKind::Reversed);
+    let dir = scratch_dir("speculation-scrape");
+    std::fs::create_dir_all(dir.join("flight")).unwrap();
+    ClusterSpec::localhost(1 + cfg.nw)
+        .unwrap()
+        .save(dir.join("cluster.txt"))
+        .unwrap();
+    std::fs::write(dir.join("config.json"), cfg.to_json()).unwrap();
+
+    let system = "speculative(multi-krum)";
+    let mut workers: Vec<Child> = (0..cfg.nw)
+        .map(|j| spawn_node(&dir, "worker", j, system, &[]))
+        .collect();
+    let mut server = spawn_node(
+        &dir,
+        "server",
+        0,
+        system,
+        &["--metrics-addr", "127.0.0.1:0", "--out", "result.json"],
+    );
+    let addr = discover_metrics_addr(&dir.join("server0.log"), Duration::from_secs(20));
+
+    // Poll until the fallback counter carries a live nonzero sample while
+    // the server is still training.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut tripped = None;
+    while Instant::now() < deadline {
+        let Ok(response) = scrape(&addr, "/metrics") else {
+            break;
+        };
+        if sample_value(&response, "garfield_speculation_fallback_total").is_some_and(|v| v >= 1.0)
+            && server.try_wait().expect("poll server").is_none()
+        {
+            tripped = Some(response);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let Some(exposition) = tripped else {
+        dump_logs(&dir);
+        panic!("the speculation fallback counter never moved mid-training");
+    };
+    // The fast-path histogram is registered alongside the counter: rounds
+    // before the trip (if any) land there, and its presence proves the
+    // speculative rule — not a plain robust GAR — served the rounds.
+    assert!(
+        exposition.contains("garfield_speculation_fast_seconds"),
+        "fast-path histogram missing:\n{exposition}"
+    );
+
+    // The watcher's machine-readable pass reports the same trip.
+    let spec_text = format!("0 {addr}\n");
+    let once = garfield_bench::watch::watch_once(&spec_text, Duration::from_secs(5))
+        .expect("watch --once pass");
+    let doc = garfield_core::json::parse(&once).expect("watch JSON parses");
+    assert!(
+        doc.get("spec_fallback")
+            .and_then(garfield_core::json::Value::as_f64)
+            .is_some_and(|v| v >= 1.0),
+        "watcher did not see the fallback counter: {once}"
+    );
+
+    let status = server.wait().expect("server exits");
+    if !status.success() {
+        dump_logs(&dir);
+        panic!("server failed: {status}");
+    }
+    for worker in &mut workers {
+        let status = worker.wait().expect("worker exits");
+        assert!(status.success(), "worker failed: {status}");
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }

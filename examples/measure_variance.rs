@@ -43,7 +43,7 @@ fn main() {
         println!(
             "condition satisfied for {:<12} in {:>5.1}% of probed steps",
             gar.to_string(),
-            100.0 * report.satisfied_fraction(gar)
+            100.0 * report.satisfied_fraction(&gar)
         );
     }
     println!(

@@ -1,0 +1,70 @@
+//! Speculative aggregation: pay the robust price only when attacked.
+//!
+//! The speculative rule (`speculative(<fallback>)`) runs the cheap average
+//! kernel plus a consistency check each round; the first suspicious round
+//! trips a sticky latch and every round from then on replays through the
+//! robust fallback GAR. This example shows all three phases at a realistic
+//! gradient size:
+//!
+//! 1. honest rounds ride the fast path (and we time the win vs Multi-Krum),
+//! 2. a poisoned round trips the check and returns the fallback's output,
+//! 3. the latch holds: later rounds stay robust even on clean inputs.
+//!
+//! Run with: `cargo run --release --example speculative`
+
+use garfield::aggregation::Engine;
+use garfield::tensor::GradientView;
+use garfield::{build_gar, GarKind, Tensor, TensorRng};
+use std::time::Instant;
+
+fn rounds_per_second(gar: &dyn garfield::Gar, views: &[GradientView<'_>], engine: &Engine) -> f64 {
+    gar.aggregate_views(views, engine).unwrap(); // warm-up
+    let start = Instant::now();
+    let mut reps = 0usize;
+    while reps == 0 || start.elapsed().as_secs_f64() < 1.0 {
+        std::hint::black_box(gar.aggregate_views(views, engine).unwrap());
+        reps += 1;
+    }
+    reps as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let (n, f, d) = (25usize, 5usize, 1_000_000usize);
+    let kind: GarKind = "speculative(multi-krum)".parse().unwrap();
+    let engine = Engine::auto();
+
+    let mut rng = TensorRng::seed_from(0x5bec);
+    let honest: Vec<Tensor> = (0..n).map(|_| rng.normal_tensor(d)).collect();
+    let views: Vec<GradientView<'_>> = honest.iter().map(GradientView::from).collect();
+
+    println!("speculative aggregation at n={n} f={f} d={d}\n");
+
+    // Phase 1: fault-free rounds stay on the fast path.
+    let spec = build_gar(&kind, n, f).unwrap();
+    let robust = build_gar(&GarKind::MultiKrum, n, f).unwrap();
+    let fast_rate = rounds_per_second(spec.as_ref(), &views, &engine);
+    let robust_rate = rounds_per_second(robust.as_ref(), &views, &engine);
+    assert_eq!(spec.fell_back(), Some(false));
+    println!("  fast path  : {fast_rate:>7.2} aggregation rounds/s");
+    println!("  multi-krum : {robust_rate:>7.2} aggregation rounds/s");
+    println!("  speedup    : {:>7.2}x\n", fast_rate / robust_rate);
+
+    // Phase 2: one poisoned input trips the check; the round's output is the
+    // robust fallback's output, bit for bit.
+    let mut attacked = honest.clone();
+    attacked[0] = honest[0].scale(-100.0);
+    let attacked_views: Vec<GradientView<'_>> = attacked.iter().map(GradientView::from).collect();
+    let out = spec.aggregate_views(&attacked_views, &engine).unwrap();
+    let pure = robust.aggregate_views(&attacked_views, &engine).unwrap();
+    assert_eq!(out.data(), pure.data());
+    println!("  poisoned round: check tripped = {:?}", spec.fell_back());
+
+    // Phase 3: the latch is sticky — clean inputs still take the fallback.
+    let out = spec.aggregate_views(&views, &engine).unwrap();
+    let pure = robust.aggregate_views(&views, &engine).unwrap();
+    assert_eq!(out.data(), pure.data());
+    println!(
+        "  next clean round still robust: fell_back = {:?}",
+        spec.fell_back()
+    );
+}
