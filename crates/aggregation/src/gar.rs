@@ -179,6 +179,15 @@ pub trait Gar: Send + Sync {
     fn fell_back(&self) -> Option<bool> {
         None
     }
+
+    /// Forces a speculative rule onto its robust fallback as if its own
+    /// consistency check had tripped. No-op for non-speculative rules.
+    ///
+    /// This is the receiving end of the sharded runtime's cluster-wide
+    /// sticky OR: when one shard's fast path trips, its siblings are told to
+    /// fall back too, so every slice of the model is aggregated by the same
+    /// rule from that round on.
+    fn force_fallback(&self) {}
 }
 
 /// The aggregation rules shipped with Garfield.
@@ -238,6 +247,26 @@ impl GarKind {
             GarKind::Mda => "mda",
             GarKind::Bulyan => "bulyan",
             GarKind::Speculative { .. } => "speculative",
+        }
+    }
+
+    /// Whether the rule decomposes coordinate-wise: applying it to each
+    /// contiguous slice of the inputs independently equals slicing its output
+    /// on the full vectors, bit for bit, given identical input membership.
+    ///
+    /// This is the soundness condition for the sharded parameter server —
+    /// only decomposable rules may run with `shards > 1`. Average (a
+    /// per-coordinate mean) and Median (per-coordinate by definition)
+    /// qualify; the distance-based rules (Krum, Multi-Krum, MDA, Bulyan)
+    /// score whole vectors by pairwise L2 distances, so their selection on a
+    /// slice can differ from their selection on the full vector. The
+    /// speculative composite decomposes iff its fallback does (its fast path
+    /// is an average).
+    pub fn is_coordinate_decomposable(&self) -> bool {
+        match self {
+            GarKind::Average | GarKind::Median => true,
+            GarKind::Krum | GarKind::MultiKrum | GarKind::Mda | GarKind::Bulyan => false,
+            GarKind::Speculative { fallback } => fallback.is_coordinate_decomposable(),
         }
     }
 
@@ -340,6 +369,10 @@ impl Gar for CountedGar {
 
     fn fell_back(&self) -> Option<bool> {
         self.inner.fell_back()
+    }
+
+    fn force_fallback(&self) {
+        self.inner.force_fallback();
     }
 }
 
@@ -556,6 +589,53 @@ mod tests {
                 GarKind::Speculative { .. } => unreachable!("all() lists primitives only"),
             }
         }
+    }
+
+    #[test]
+    fn coordinate_decomposability_matches_the_rules_math() {
+        assert!(GarKind::Average.is_coordinate_decomposable());
+        assert!(GarKind::Median.is_coordinate_decomposable());
+        for kind in [
+            GarKind::Krum,
+            GarKind::MultiKrum,
+            GarKind::Mda,
+            GarKind::Bulyan,
+        ] {
+            assert!(!kind.is_coordinate_decomposable(), "{kind}");
+        }
+        // The speculative composite inherits its fallback's property.
+        let spec_median = GarKind::Speculative {
+            fallback: Box::new(GarKind::Median),
+        };
+        assert!(spec_median.is_coordinate_decomposable());
+        let spec_krum = GarKind::Speculative {
+            fallback: Box::new(GarKind::MultiKrum),
+        };
+        assert!(!spec_krum.is_coordinate_decomposable());
+    }
+
+    #[test]
+    fn force_fallback_latches_speculative_rules_and_is_inert_elsewhere() {
+        let spec = build_gar(
+            &GarKind::Speculative {
+                fallback: Box::new(GarKind::Median),
+            },
+            5,
+            1,
+        )
+        .unwrap();
+        assert_eq!(spec.fell_back(), Some(false));
+        // Forwarded through the CountedGar wrapper to the latch.
+        spec.force_fallback();
+        assert_eq!(spec.fell_back(), Some(true));
+        // Idempotent.
+        spec.force_fallback();
+        assert_eq!(spec.fell_back(), Some(true));
+
+        // Non-speculative rules ignore the hook.
+        let median = build_gar(&GarKind::Median, 5, 1).unwrap();
+        median.force_fallback();
+        assert_eq!(median.fell_back(), None);
     }
 
     #[test]

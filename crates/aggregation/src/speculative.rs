@@ -328,6 +328,12 @@ impl Gar for SpeculativeGar {
     fn fell_back(&self) -> Option<bool> {
         Some(self.tripped.load(Ordering::Relaxed))
     }
+
+    /// The sticky-OR receiving end: a sibling shard's check tripped, so this
+    /// replica latches onto the fallback exactly as if its own check had.
+    fn force_fallback(&self) {
+        self.trip();
+    }
 }
 
 #[cfg(test)]

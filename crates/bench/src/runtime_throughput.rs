@@ -18,10 +18,13 @@
 //!
 //! ### `results/runtime.csv` schema
 //!
-//! One row per system (`vanilla`, `ssmw`, `msmw`, `speculative`); columns:
+//! One row per system (`vanilla`, `ssmw`, `msmw`, `speculative`) plus one
+//! sharded row (`ssmw@2sh`: the model split over 2 parameter shards under
+//! the median, the executor's sharded mode); columns:
 //!
 //! | column | meaning |
 //! |---|---|
+//! | `shards` | parameter shard count of the live run (1 = unsharded) |
 //! | `sim_ups` | simulated updates/s of the analytic substrate |
 //! | `live_ups` | wall-clock updates/s of the threaded substrate |
 //! | `live_msgs` | messages the live actors put on the wire |
@@ -37,7 +40,7 @@
 
 use crate::report::Row;
 use garfield_aggregation::{build_gar, Engine, GarKind};
-use garfield_core::{Executor, ExperimentConfig, SimExecutor, SystemKind};
+use garfield_core::{Deployment, Executor, ExperimentConfig, SimExecutor, SystemKind};
 use garfield_obs::{metrics, Histogram, HistogramSnapshot};
 use garfield_runtime::LiveExecutor;
 use garfield_tensor::{GradientView, Tensor, TensorRng};
@@ -48,6 +51,9 @@ use std::time::Instant;
 pub struct RuntimePoint {
     /// Which system was measured.
     pub system: SystemKind,
+    /// Parameter shard count of the live run (1 = one full-model server per
+    /// replica; > 1 = one server thread per contiguous parameter shard).
+    pub shards: usize,
     /// Simulated updates/second of the analytic substrate.
     pub sim_updates_per_second: f64,
     /// Wall-clock updates/second of the threaded substrate on this machine.
@@ -159,6 +165,7 @@ pub fn measure(iterations: usize) -> garfield_core::CoreResult<Vec<RuntimePoint>
         let wall: f64 = report.telemetry.round_latencies.iter().sum();
         points.push(RuntimePoint {
             system,
+            shards: 1,
             sim_updates_per_second: sim_trace.updates_per_second(),
             live_updates_per_second: report.trace.len() as f64 / wall.max(1e-9),
             live_messages: report.telemetry.total_messages(),
@@ -174,6 +181,49 @@ pub fn measure(iterations: usize) -> garfield_core::CoreResult<Vec<RuntimePoint>
             round_quantiles: quantiles(&after[2], &before[2]),
         });
     }
+    // The sharded row: SSMW split over 2 parameter shards, under the median
+    // (the sweep needs a coordinate-decomposable GAR — validation rejects
+    // the distance-based rules at shards > 1). The sim substrate is
+    // shard-oblivious, so its columns are the analytic cost of the same
+    // learning task; the live columns are what the per-shard server threads
+    // actually moved. Shard servers skip in-run accuracy evaluation (no
+    // shard holds the full model), so the stitched final model is evaluated
+    // post-hoc for the `acc_gap` column.
+    let mut sharded_cfg = cfg.clone();
+    sharded_cfg.gradient_gar = GarKind::Median;
+    sharded_cfg.shards = 2;
+    let sim_trace = SimExecutor::new(sharded_cfg.clone()).run(SystemKind::Ssmw)?;
+    let before = hists.snapshot();
+    let report = LiveExecutor::new(sharded_cfg.clone()).run_live(SystemKind::Ssmw)?;
+    let after = hists.snapshot();
+    let live_accuracy = {
+        let mut eval_cfg = sharded_cfg;
+        eval_cfg.shards = 1;
+        let mut deployment = Deployment::new(eval_cfg)?;
+        deployment
+            .server_mut(0)
+            .honest_mut()
+            .write_model(&report.final_models[0])?;
+        deployment.evaluate(0).0
+    };
+    let wall: f64 = report.telemetry.round_latencies.iter().sum();
+    points.push(RuntimePoint {
+        system: SystemKind::Ssmw,
+        shards: 2,
+        sim_updates_per_second: sim_trace.updates_per_second(),
+        live_updates_per_second: report.trace.len() as f64 / wall.max(1e-9),
+        live_messages: report.telemetry.total_messages(),
+        live_bytes: report.telemetry.total_bytes(),
+        live_wire_bytes: report.telemetry.total_wire_bytes(),
+        live_dropped: report.telemetry.total_dropped(),
+        live_resumes: report.telemetry.total_resumes(),
+        live_retried: report.telemetry.total_requests_retried(),
+        sim_accuracy: sim_trace.final_accuracy() as f64,
+        live_accuracy: live_accuracy as f64,
+        comm_quantiles: quantiles(&after[0], &before[0]),
+        agg_quantiles: quantiles(&after[1], &before[1]),
+        round_quantiles: quantiles(&after[2], &before[2]),
+    });
     Ok(points)
 }
 
@@ -253,9 +303,15 @@ pub fn runtime_report() -> Vec<Row> {
     points
         .into_iter()
         .map(|p| {
+            let name = if p.shards > 1 {
+                format!("{}@{}sh", p.system.as_str(), p.shards)
+            } else {
+                p.system.as_str().to_string()
+            };
             Row::new(
-                p.system.as_str(),
+                name,
                 vec![
+                    ("shards", p.shards as f64),
                     ("sim_ups", p.sim_updates_per_second),
                     ("live_ups", p.live_updates_per_second),
                     ("live_msgs", p.live_messages as f64),
@@ -287,7 +343,13 @@ mod tests {
         // that toggle it.
         let _lock = crate::obs_test_lock();
         let points = measure(6).unwrap();
-        assert_eq!(points.len(), 4);
+        assert_eq!(points.len(), 5, "four systems plus the sharded row");
+        assert_eq!(
+            (points[4].system, points[4].shards),
+            (SystemKind::Ssmw, 2),
+            "the fifth row is SSMW over 2 parameter shards"
+        );
+        assert!(points[..4].iter().all(|p| p.shards == 1));
         for p in &points {
             // The actors fed the phase histograms, so the quantile columns
             // must be live: every round takes > 0 time and p99 ≥ p50.

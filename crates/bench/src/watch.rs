@@ -289,6 +289,13 @@ pub struct NodeView {
     /// `garfield_speculation_fallback_total` — nonzero once a speculative
     /// node's check tripped and it latched onto its robust fallback.
     pub spec_fallback: f64,
+    /// Lowest round any `garfield_shard_round{shard}` gauge on this node
+    /// reports — the trailing shard's progress. −1 when the node publishes
+    /// no shard gauges (an unsharded deployment).
+    pub shard_lo: i64,
+    /// Highest shard round on this node; −1 when unsharded. A widening
+    /// `shard_hi − shard_lo` gap means one shard server is falling behind.
+    pub shard_hi: i64,
     /// `(peer, suspicion)` gauges, sorted most-suspicious first.
     pub suspects: Vec<(u32, f64)>,
 }
@@ -304,6 +311,13 @@ pub fn view(node: u32, healthz: Option<&str>, metrics: Option<&str>) -> NodeView
         None => (false, 0),
     };
     let samples = metrics.map(parse_exposition).unwrap_or_default();
+    let shard_rounds: Vec<i64> = samples
+        .iter()
+        .filter(|s| s.name == "garfield_shard_round")
+        .map(|s| s.value as i64)
+        .collect();
+    let shard_lo = shard_rounds.iter().copied().min().unwrap_or(-1);
+    let shard_hi = shard_rounds.iter().copied().max().unwrap_or(-1);
     let mut suspects: Vec<(u32, f64)> = samples
         .iter()
         .filter(|s| s.name == "garfield_peer_suspicion")
@@ -320,6 +334,8 @@ pub fn view(node: u32, healthz: Option<&str>, metrics: Option<&str>) -> NodeView
         queue: family_sum(&samples, "garfield_outbound_queue_depth"),
         drops: family_sum(&samples, "garfield_messages_dropped_total"),
         spec_fallback: family_sum(&samples, "garfield_speculation_fallback_total"),
+        shard_lo,
+        shard_hi,
         suspects,
     }
 }
@@ -362,20 +378,31 @@ fn suspects_cell(suspects: &[(u32, f64)], max: usize) -> String {
         .join(" ")
 }
 
+/// The `shard` column: `-` for unsharded nodes, one round for a single
+/// shard gauge, `lo..hi` when the node sees several shards at different
+/// rounds (a widening gap means a shard server is falling behind).
+fn shard_cell(v: &NodeView) -> String {
+    match (v.shard_lo, v.shard_hi) {
+        (-1, _) => "-".to_string(),
+        (lo, hi) if lo == hi => lo.to_string(),
+        (lo, hi) => format!("{lo}..{hi}"),
+    }
+}
+
 /// Renders one poll as an aligned per-node table (`rates[i]` pairs with
 /// `views[i]`).
 pub fn render_table(views: &[NodeView], rates: &[f64]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>5} {:>6} {:>8} {:>8} {:>9} {:>9} {:>6} {:>6} {:>5}  top suspicion",
-        "node", "state", "round", "r/s", "p50_ms", "p99_ms", "queue", "drops", "fback"
+        "{:>5} {:>6} {:>8} {:>8} {:>9} {:>9} {:>6} {:>6} {:>5} {:>8}  top suspicion",
+        "node", "state", "round", "r/s", "p50_ms", "p99_ms", "queue", "drops", "fback", "shard"
     );
     for (i, v) in views.iter().enumerate() {
         let rate = rates.get(i).copied().unwrap_or(0.0);
         let _ = writeln!(
             out,
-            "{:>5} {:>6} {:>8} {:>8.2} {:>9.1} {:>9.1} {:>6} {:>6} {:>5}  {}",
+            "{:>5} {:>6} {:>8} {:>8.2} {:>9.1} {:>9.1} {:>6} {:>6} {:>5} {:>8}  {}",
             v.node,
             if v.up { "up" } else { "DOWN" },
             v.round,
@@ -385,6 +412,7 @@ pub fn render_table(views: &[NodeView], rates: &[f64]) -> String {
             v.queue as u64,
             v.drops as u64,
             v.spec_fallback as u64,
+            shard_cell(v),
             suspects_cell(&v.suspects, 3),
         );
     }
@@ -406,8 +434,9 @@ pub fn view_json(v: &NodeView, rate: f64) -> String {
     json::write_f64(&mut out, v.p99_ms);
     let _ = write!(
         out,
-        ",\"queue\":{},\"drops\":{},\"spec_fallback\":{},\"suspects\":[",
-        v.queue, v.drops, v.spec_fallback
+        ",\"queue\":{},\"drops\":{},\"spec_fallback\":{},\"shard_lo\":{},\"shard_hi\":{},\
+         \"suspects\":[",
+        v.queue, v.drops, v.spec_fallback, v.shard_lo, v.shard_hi
     );
     for (i, (peer, score)) in v.suspects.iter().enumerate() {
         if i > 0 {
@@ -424,7 +453,7 @@ pub fn view_json(v: &NodeView, rate: f64) -> String {
 /// The CSV sink's header line.
 pub fn csv_header() -> &'static str {
     "poll,node,up,round,rounds_total,rounds_per_s,p50_ms,p99_ms,queue,drops,spec_fallback,\
-     top_suspect,top_score"
+     shard_lo,shard_hi,top_suspect,top_score"
 }
 
 /// One CSV line per node per poll (the sink `expfig watch` appends to).
@@ -434,7 +463,7 @@ pub fn csv_line(poll: u64, v: &NodeView, rate: f64) -> String {
         .first()
         .map_or((-1i64, 0.0), |&(p, s)| (i64::from(p), s));
     format!(
-        "{poll},{},{},{},{},{rate},{},{},{},{},{},{top_suspect},{top_score}",
+        "{poll},{},{},{},{},{rate},{},{},{},{},{},{},{},{top_suspect},{top_score}",
         v.node,
         v.up,
         v.round,
@@ -443,7 +472,9 @@ pub fn csv_line(poll: u64, v: &NodeView, rate: f64) -> String {
         v.p99_ms,
         v.queue,
         v.drops,
-        v.spec_fallback
+        v.spec_fallback,
+        v.shard_lo,
+        v.shard_hi
     )
 }
 
@@ -555,6 +586,8 @@ mod tests {
         assert_eq!(v.queue, 3.0);
         assert_eq!(v.drops, 3.0);
         assert_eq!(v.suspects, vec![(5, 6.1), (2, 0.4)]);
+        // No shard gauges: the shard columns hold the unsharded sentinel.
+        assert_eq!((v.shard_lo, v.shard_hi), (-1, -1));
 
         // Healthz down: the node is DOWN even if metrics linger.
         let down = view(0, None, Some(metrics));
@@ -597,6 +630,46 @@ mod tests {
         // No suspicion yet: the suspect columns hold sentinels.
         let empty = view(2, None, None);
         assert!(csv_line(0, &empty, 0.0).ends_with(",-1,0"));
+    }
+
+    #[test]
+    fn shard_round_gauges_surface_as_lowest_and_highest_progress() {
+        // A shard server publishes its own shard's round; an aggregated
+        // scrape (or a future multi-shard node) may carry several. The view
+        // keeps the trailing and leading rounds so a widening gap is visible.
+        let healthz = "{\"ok\":true,\"node\":0,\"round\":9}";
+        let metrics = concat!(
+            "garfield_shard_round{shard=\"0\"} 9\n",
+            "garfield_shard_round{shard=\"1\"} 7\n",
+            "garfield_shard_round{shard=\"2\"} 11\n",
+        );
+        let v = view(0, Some(healthz), Some(metrics));
+        assert_eq!((v.shard_lo, v.shard_hi), (7, 11));
+        let table = render_table(std::slice::from_ref(&v), &[0.0]);
+        assert!(table.contains("shard"), "{table}");
+        assert!(table.contains("7..11"), "{table}");
+        let line = view_json(&v, 0.0);
+        assert!(line.contains("\"shard_lo\":7,\"shard_hi\":11"), "{line}");
+        assert!(csv_header().contains(",shard_lo,shard_hi,"));
+        assert!(
+            csv_line(0, &v, 0.0).contains(",7,11,"),
+            "{}",
+            csv_line(0, &v, 0.0)
+        );
+
+        // One shard gauge: a single round, no range arrow.
+        let single = view(
+            1,
+            Some(healthz),
+            Some("garfield_shard_round{shard=\"0\"} 4\n"),
+        );
+        assert_eq!((single.shard_lo, single.shard_hi), (4, 4));
+        let table = render_table(std::slice::from_ref(&single), &[0.0]);
+        assert!(!table.contains(".."), "{table}");
+        // Unsharded nodes render the `-` placeholder.
+        let plain = view(2, Some(healthz), Some("garfield_rounds_total 3\n"));
+        assert_eq!((plain.shard_lo, plain.shard_hi), (-1, -1));
+        assert!(render_table(std::slice::from_ref(&plain), &[0.0]).contains(" -  "));
     }
 
     #[test]

@@ -119,6 +119,14 @@ pub struct ExperimentConfig {
     pub device: Device,
     /// How the dataset is partitioned across workers.
     pub shard_strategy: ShardStrategy,
+    /// Number of contiguous *parameter* shards the model is split across on
+    /// the live substrate (1 = classic unsharded parameter server). Each
+    /// shard gets its own server process owning one slice of the flat
+    /// parameter vector; `shards > 1` requires a coordinate-decomposable
+    /// gradient GAR and a single-replica system (not MSMW). Distinct from
+    /// [`ExperimentConfig::shard_strategy`], which shards the *dataset*
+    /// across workers.
+    pub shards: usize,
     /// Number of training iterations.
     pub iterations: usize,
     /// Evaluate accuracy every this many iterations (0 disables evaluation).
@@ -155,6 +163,7 @@ impl Default for ExperimentConfig {
             model_gar: GarKind::Median,
             device: Device::Cpu,
             shard_strategy: ShardStrategy::Iid,
+            shards: 1,
             iterations: 30,
             eval_every: 10,
             contraction_steps: 0,
@@ -286,8 +295,8 @@ impl ExperimentConfig {
         json::write_string(&mut out, self.shard_strategy.as_str());
         let _ = write!(
             out,
-            ",\"iterations\":{},\"eval_every\":{},\"contraction_steps\":{},\"synchronous\":{},\"seed\":\"{}\"}}",
-            self.iterations, self.eval_every, self.contraction_steps, self.synchronous, self.seed
+            ",\"shards\":{},\"iterations\":{},\"eval_every\":{},\"contraction_steps\":{},\"synchronous\":{},\"seed\":\"{}\"}}",
+            self.shards, self.iterations, self.eval_every, self.contraction_steps, self.synchronous, self.seed
         );
         out
     }
@@ -369,6 +378,14 @@ impl ExperimentConfig {
             shard_strategy: str_field("shard_strategy")?
                 .parse::<ShardStrategy>()
                 .map_err(bad)?,
+            // Absent in configs written before parameter sharding existed:
+            // default to the classic unsharded server.
+            shards: match doc.get("shards") {
+                None => 1,
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| bad("field 'shards' must be an integer".into()))?,
+            },
             iterations: usize_field("iterations")?,
             eval_every: usize_field("eval_every")?,
             contraction_steps: usize_field("contraction_steps")?,
@@ -432,6 +449,33 @@ impl ExperimentConfig {
                  to fall back to, not '{}'",
                 self.gradient_gar
             )));
+        }
+        // Parameter sharding: only sound when applying the gradient GAR to
+        // each slice independently equals slicing it applied to the full
+        // vectors, and only wired for the single-replica live topologies
+        // (each shard *is* a server; replicating shards is the MSMW
+        // open item, not this one).
+        if self.shards == 0 {
+            return Err(CoreError::InvalidConfig("shards must be at least 1".into()));
+        }
+        if self.shards > 1 {
+            if !matches!(
+                system,
+                SystemKind::Vanilla | SystemKind::Ssmw | SystemKind::Speculative
+            ) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "parameter sharding requires a single-replica live system \
+                     (vanilla, ssmw or speculative), not {system}"
+                )));
+            }
+            let (effective_gar, _) = crate::system::gradient_gar(system, self);
+            if !effective_gar.is_coordinate_decomposable() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "gradient GAR '{effective_gar}' is not coordinate-decomposable: \
+                     per-shard selection would diverge from full-vector selection; \
+                     use average or median (or their speculative forms) with shards > 1"
+                )));
+            }
         }
         // GAR requirements on the gradient path.
         let gradient_inputs = self.gradient_quorum(system);
@@ -561,6 +605,53 @@ mod tests {
         let mut cfg = ExperimentConfig::small();
         cfg.fw = 3; // Multi-Krum needs 2f+3 = 9 inputs, nw is 7
         assert!(cfg.validate(SystemKind::Speculative).is_err());
+    }
+
+    #[test]
+    fn sharded_configs_demand_decomposable_gars_and_simple_topologies() {
+        // Median decomposes per-coordinate: fine on every sharded system.
+        let mut cfg = ExperimentConfig::small();
+        cfg.shards = 4;
+        cfg.gradient_gar = GarKind::Median;
+        cfg.validate(SystemKind::Ssmw).unwrap();
+        cfg.validate(SystemKind::Vanilla).unwrap();
+        cfg.validate(SystemKind::Speculative).unwrap();
+
+        // Distance-based selection does not decompose.
+        let mut cfg = ExperimentConfig::small();
+        cfg.shards = 2;
+        cfg.gradient_gar = GarKind::MultiKrum;
+        let err = cfg.validate(SystemKind::Ssmw).unwrap_err();
+        assert!(err.to_string().contains("coordinate-decomposable"), "{err}");
+        // ... including as a speculative fallback (the replay path must
+        // decompose too).
+        assert!(cfg.validate(SystemKind::Speculative).is_err());
+        // But vanilla ignores gradient_gar entirely (it always averages),
+        // so sharding it is sound regardless.
+        cfg.validate(SystemKind::Vanilla).unwrap();
+
+        // Replicated-server topologies are not shard-wired.
+        let mut cfg = ExperimentConfig::small();
+        cfg.shards = 2;
+        cfg.gradient_gar = GarKind::Median;
+        assert!(cfg.validate(SystemKind::Msmw).is_err());
+
+        // Zero shards is always nonsense.
+        let mut cfg = ExperimentConfig::small();
+        cfg.shards = 0;
+        assert!(cfg.validate(SystemKind::Ssmw).is_err());
+    }
+
+    #[test]
+    fn shards_default_to_one_in_older_configs() {
+        let json = ExperimentConfig::small().to_json();
+        assert!(json.contains("\"shards\":1"));
+        // A config written before the field existed parses as unsharded.
+        let legacy = json.replace("\"shards\":1,", "");
+        assert_eq!(ExperimentConfig::from_json(&legacy).unwrap().shards, 1);
+        // And the field round-trips when present.
+        let sharded = json.replace("\"shards\":1", "\"shards\":5");
+        assert_eq!(ExperimentConfig::from_json(&sharded).unwrap().shards, 5);
     }
 
     #[test]

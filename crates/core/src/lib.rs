@@ -46,6 +46,7 @@ mod executor;
 mod experiment;
 pub mod json;
 mod server;
+pub mod shard;
 pub mod system;
 mod telemetry;
 mod worker;
@@ -58,6 +59,7 @@ pub use error::{CoreError, CoreResult};
 pub use executor::{ExecMode, Executor, SimExecutor};
 pub use experiment::{ExperimentConfig, SystemKind};
 pub use server::{ByzantineServer, ParameterServer};
+pub use shard::{shard_server, ShardMap, ShardSliceModel, ShardSpec};
 pub use system::{gradient_gar, live_supported, run_system, SystemSpec};
 pub use telemetry::{
     AccuracyPoint, IterationTiming, NodeTelemetry, RuntimeTelemetry, TrainingTrace,

@@ -1,0 +1,123 @@
+//! Property tests for the shard boundary math: a [`ShardMap`] must tile
+//! `[0, d)` exactly for *any* admissible `(dimension, shards)` pair, reject
+//! every degenerate geometry loudly, and a shard slice must survive the wire
+//! (encode → decode with the v3 shard header) bit for bit — including NaNs,
+//! infinities and denormals, which is why every comparison here is on raw
+//! bit patterns, never on float equality.
+
+use garfield_core::ShardMap;
+use garfield_net::{MsgKind, WireMessage};
+use garfield_tensor::GradientView;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_maps_tile_the_dimension_with_no_gap_or_overlap(
+        dimension in 1usize..50_000,
+        shard_sel in 1usize..64,
+    ) {
+        let shards = shard_sel.min(dimension);
+        let map = ShardMap::new(dimension, shards).unwrap();
+        prop_assert_eq!(map.dimension(), dimension);
+        prop_assert_eq!(map.shard_count(), shards);
+        prop_assert_eq!(map.specs().len(), shards);
+        // Contiguous tiling: every shard starts exactly where the previous
+        // one ended, is non-empty, and the lengths are near-even.
+        let mut next = 0usize;
+        for (i, spec) in map.specs().iter().enumerate() {
+            prop_assert_eq!(spec.index, i);
+            prop_assert_eq!(spec.offset, next);
+            prop_assert!(spec.len >= 1, "shard {i} is empty");
+            prop_assert!(
+                spec.len == dimension / shards || spec.len == dimension / shards + 1,
+                "shard {} length {} is not near-even for d={} s={}",
+                i, spec.len, dimension, shards
+            );
+            prop_assert_eq!(spec.range(), next..next + spec.len);
+            next += spec.len;
+        }
+        prop_assert_eq!(next, dimension, "tiling must cover [0, d) exactly");
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected_loudly(
+        dimension in 0usize..256,
+        shards in 0usize..512,
+    ) {
+        match ShardMap::new(dimension, shards) {
+            Ok(map) => {
+                prop_assert!(dimension >= 1 && (1..=dimension).contains(&shards));
+                prop_assert_eq!(map.shard_count(), shards);
+            }
+            Err(err) => {
+                prop_assert!(
+                    dimension == 0 || shards == 0 || shards > dimension,
+                    "admissible geometry d={dimension} s={shards} rejected: {err}"
+                );
+                // "Loudly": the error names the problem, it is not a bare code.
+                let text = err.to_string();
+                prop_assert!(
+                    text.contains("zero-dimensional")
+                        || text.contains("at least 1")
+                        || text.contains("empty shards"),
+                    "unhelpful rejection for d={dimension} s={shards}: {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_slices_round_trip_the_wire_bit_identically(
+        bit_patterns in prop::collection::vec(0u32..=u32::MAX, 1..2048),
+        shard_sel in 1usize..16,
+        round in 0u64..=u64::MAX,
+    ) {
+        // Hostile payloads on purpose: arbitrary bit patterns cover NaN
+        // boxes, ±inf and denormals that float comparison would mangle.
+        let full: Vec<f32> = bit_patterns.iter().copied().map(f32::from_bits).collect();
+        let dimension = full.len();
+        let shards = shard_sel.min(dimension);
+        let map = ShardMap::new(dimension, shards).unwrap();
+
+        let mut slices: Vec<Vec<f32>> = Vec::with_capacity(shards);
+        for spec in map.specs() {
+            let msg = WireMessage::new(
+                MsgKind::GradientReply,
+                round,
+                f32::from_bits(bit_patterns[spec.offset]),
+                spec.slice(&full).to_vec(),
+            )
+            .with_shard(spec.index as u16, spec.offset as u32, spec.len as u32);
+            let encoded = msg.encode();
+
+            // The shard header survives a peek without touching the payload…
+            let header = WireMessage::peek(&encoded).unwrap();
+            prop_assert_eq!(header.shard as usize, spec.index);
+            prop_assert_eq!(header.coord_offset as usize, spec.offset);
+            prop_assert_eq!(header.coord_len as usize, spec.len);
+            prop_assert_eq!(header.round, round);
+
+            // …and the decoded slice is the original, bit for bit.
+            let back = WireMessage::decode(&encoded).unwrap();
+            prop_assert_eq!(back.shard as usize, spec.index);
+            prop_assert_eq!(back.coord_offset as usize, spec.offset);
+            prop_assert_eq!(back.coord_len as usize, spec.len);
+            let sent = spec.slice(&full);
+            prop_assert_eq!(back.values.len(), sent.len());
+            for (got, want) in back.values.iter().zip(sent) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+            prop_assert_eq!(GradientView::from(&back.values[..]).len(), spec.len);
+            slices.push(back.values);
+        }
+
+        // Stitching the decoded slices reproduces the full vector exactly.
+        let stitched = map.reassemble(&slices).unwrap();
+        prop_assert_eq!(stitched.len(), dimension);
+        for (got, want) in stitched.iter().zip(&full) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+}

@@ -53,6 +53,20 @@ pub enum NetError {
         /// The maximum the decoder accepts, in bytes.
         max: usize,
     },
+    /// A wire header declared an inconsistent shard coordinate range.
+    ///
+    /// A shard-routed message's `coord_len` must equal its payload length
+    /// (each payload *is* exactly the declared slice), and the range must not
+    /// overflow the u32 coordinate space. `coord_len == 0` marks an
+    /// unsharded message and is always accepted.
+    WireShard {
+        /// First coordinate of the declared slice.
+        coord_offset: u32,
+        /// Declared slice length in coordinates.
+        coord_len: u32,
+        /// Number of f32 values the payload actually carries.
+        payload_len: usize,
+    },
     /// A socket-level I/O failure (connect, read or write).
     Io(String),
 }
@@ -85,6 +99,17 @@ impl fmt::Display for NetError {
                 write!(
                     f,
                     "frame declares a {declared}-byte payload, above the {max}-byte cap"
+                )
+            }
+            NetError::WireShard {
+                coord_offset,
+                coord_len,
+                payload_len,
+            } => {
+                write!(
+                    f,
+                    "wire header declares shard slice [{coord_offset}, {coord_offset}+{coord_len}) \
+                     but carries {payload_len} payload values"
                 )
             }
             NetError::Io(message) => write!(f, "transport i/o error: {message}"),
@@ -132,6 +157,12 @@ mod tests {
             max: 256,
         };
         assert!(big.to_string().contains("1024") && big.to_string().contains("256"));
+        let shard = NetError::WireShard {
+            coord_offset: 64,
+            coord_len: 32,
+            payload_len: 7,
+        };
+        assert!(shard.to_string().contains("64") && shard.to_string().contains('7'));
         assert!(NetError::Io("refused".into())
             .to_string()
             .contains("refused"));

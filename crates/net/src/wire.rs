@@ -10,12 +10,24 @@
 //! 1       1     message kind    (see [`MsgKind`])
 //! 2       8     round tag       (u64 LE — the training iteration)
 //! 10      4     aux scalar      (f32 LE — e.g. the training loss of a reply)
-//! 14      4     origin node id  (u32 LE — who put the message on the wire)
-//! 18      8     sequence number (u64 LE — per-sender send counter)
-//! 26      8     send timestamp  (u64 LE — µs since the Unix epoch)
-//! 34      4     payload length  (u32 LE — number of f32 values, not bytes)
-//! 38      4·n   payload         (f32 LE values: a flat gradient or model)
+//! 14      2     shard id        (u16 LE — which parameter shard; 0 unsharded)
+//! 16      4     coord offset    (u32 LE — first coordinate of the slice)
+//! 20      4     coord length    (u32 LE — slice length; 0 = unsharded/full)
+//! 24      4     origin node id  (u32 LE — who put the message on the wire)
+//! 28      8     sequence number (u64 LE — per-sender send counter)
+//! 36      8     send timestamp  (u64 LE — µs since the Unix epoch)
+//! 44      4     payload length  (u32 LE — number of f32 values, not bytes)
+//! 48      4·n   payload         (f32 LE values: a flat gradient or model)
 //! ```
+//!
+//! The three shard fields (shard id, coordinate offset, coordinate length)
+//! route a payload to one contiguous parameter shard: a sharded parameter
+//! server sends its model *slice* in requests and receives gradient *slices*
+//! in replies, each tagged with the exact coordinate range `[coord_offset,
+//! coord_offset + coord_len)` it covers. `coord_len == 0` marks an unsharded
+//! (full-vector) message; a non-zero `coord_len` must equal the payload
+//! length and the range must fit the u32 coordinate space — both checked
+//! strictly at decode (see [`NetError::WireShard`]).
 //!
 //! The three trace fields (origin, sequence, send timestamp) exist for
 //! wire-level causal tracing: `expfig trace` joins a receiver's
@@ -28,8 +40,8 @@
 //! The payload is bit-transparent: NaNs and infinities round-trip exactly
 //! (decoding never interprets the values), which matters because a Byzantine
 //! node may deliberately send non-finite vectors. Decoding is strict — a
-//! wrong version, an unknown kind, a truncated buffer or trailing bytes are
-//! all errors rather than best-effort accepts.
+//! wrong version, an unknown kind, a truncated buffer, trailing bytes or an
+//! inconsistent shard range are all errors rather than best-effort accepts.
 //!
 //! # Version-bump / compatibility policy
 //!
@@ -41,10 +53,11 @@
 //! [`WireMessage::peek`]/[`WireMessage::decode`], which fail with
 //! [`NetError::WireVersion`] on every frame. A cluster must therefore be
 //! upgraded atomically; there is no mixed-version operation. Any change to
-//! the header layout (as with the v1→v2 trace-field extension) must bump
-//! [`WIRE_VERSION`], update [`WIRE_HEADER_BYTES`] and the layout table above,
-//! and keep the strict-decode guarantees: `peek` validating exactly like
-//! `decode`, the length cap enforced before allocation, and the proptests in
+//! the header layout (as with the v1→v2 trace-field extension and the v2→v3
+//! shard-routing extension) must bump [`WIRE_VERSION`], update
+//! [`WIRE_HEADER_BYTES`] and the layout table above, and keep the
+//! strict-decode guarantees: `peek` validating exactly like `decode`, the
+//! length cap enforced before allocation, and the proptests in
 //! `tests/wire_properties.rs` passing unchanged in spirit (truncation,
 //! trailing bytes, hostile lengths, bit-exact payload round-trips).
 
@@ -53,21 +66,29 @@ use bytes::Bytes;
 
 /// Current wire-format version byte.
 ///
-/// Version 2 extended the v1 header with the origin/sequence/timestamp trace
-/// fields; see the module docs for the layout and the compatibility policy.
-pub const WIRE_VERSION: u8 = 2;
+/// Version 3 extended the v2 header with the shard-routing fields (shard id,
+/// coordinate offset/length); version 2 had extended v1 with the
+/// origin/sequence/timestamp trace fields. See the module docs for the
+/// layout and the compatibility policy.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Size of the fixed message header in bytes.
-pub const WIRE_HEADER_BYTES: usize = 38;
+pub const WIRE_HEADER_BYTES: usize = 48;
 
+/// Byte offset of the shard-id field within the header.
+const SHARD_ID_OFFSET: usize = 14;
+/// Byte offset of the shard coordinate-offset field within the header.
+const COORD_OFFSET_OFFSET: usize = 16;
+/// Byte offset of the shard coordinate-length field within the header.
+const COORD_LEN_OFFSET: usize = 20;
 /// Byte offset of the origin-node-id trace field within the header.
-const TRACE_ORIGIN_OFFSET: usize = 14;
+const TRACE_ORIGIN_OFFSET: usize = 24;
 /// Byte offset of the sequence-number trace field within the header.
-const TRACE_SEQ_OFFSET: usize = 18;
+const TRACE_SEQ_OFFSET: usize = 28;
 /// Byte offset of the send-timestamp trace field within the header.
-const TRACE_SENT_OFFSET: usize = 26;
+const TRACE_SENT_OFFSET: usize = 36;
 /// Byte offset of the payload-length field within the header.
-const PAYLOAD_LEN_OFFSET: usize = 34;
+const PAYLOAD_LEN_OFFSET: usize = 44;
 
 /// Maximum number of `f32` payload values a message may declare or carry
 /// (64 Mi values = 256 MiB — more than an order of magnitude above the
@@ -78,87 +99,97 @@ const PAYLOAD_LEN_OFFSET: usize = 34;
 /// demand gigabytes of memory on the receiving side.
 pub const MAX_WIRE_VALUES: usize = 64 * 1024 * 1024;
 
-/// The message kinds of the live training protocol.
-///
-/// Servers pull gradients from workers and models from peer replicas — the
-/// paper's `get_gradients()` / `get_models()` RPCs (§3.2) — so each pull is a
-/// request/reply pair; `Shutdown` and `ServerDone` are control messages used
-/// to wind the actors down.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum MsgKind {
+/// Declares the [`MsgKind`] enum and its byte codec from one variant list,
+/// so [`MsgKind::all`] (decode fuzzing, telemetry enumeration) can never
+/// silently fall out of sync with the variants: the array length, the
+/// discriminants and the `from_byte` match all derive from the same list.
+macro_rules! msg_kinds {
+    ($( $(#[$meta:meta])* $name:ident = $byte:literal ),* $(,)?) => {
+        /// The message kinds of the live training protocol.
+        ///
+        /// Servers pull gradients from workers and models from peer replicas
+        /// — the paper's `get_gradients()` / `get_models()` RPCs (§3.2) — so
+        /// each pull is a request/reply pair; `Shutdown` and `ServerDone` are
+        /// control messages used to wind the actors down.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum MsgKind {
+            $( $(#[$meta])* $name = $byte, )*
+        }
+
+        impl MsgKind {
+            /// Number of kinds, derived from the variant list itself.
+            pub const COUNT: usize = [$(MsgKind::$name),*].len();
+
+            /// All kinds, in wire-byte order. The length derives from the
+            /// variant list: adding a kind grows this array automatically.
+            pub fn all() -> [MsgKind; Self::COUNT] {
+                [$(MsgKind::$name),*]
+            }
+
+            /// The byte this kind encodes to.
+            pub fn to_byte(self) -> u8 {
+                self as u8
+            }
+
+            /// Parses a kind byte.
+            pub fn from_byte(byte: u8) -> Option<MsgKind> {
+                match byte {
+                    $( $byte => Some(MsgKind::$name), )*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+msg_kinds! {
     /// Server → worker: "compute a gradient at these parameters" (payload =
-    /// the server's current model).
-    GradientRequest,
-    /// Worker → server: the gradient estimate (payload = gradient, aux =
-    /// training loss on the worker's mini-batch).
-    GradientReply,
+    /// the server's current model, or its shard slice when shard-routed).
+    GradientRequest = 0,
+    /// Worker → server: the gradient estimate (payload = gradient or the
+    /// requested shard slice of it, aux = training loss on the worker's
+    /// mini-batch).
+    GradientReply = 1,
     /// Server → server: "serve me your model" (empty payload).
-    ModelRequest,
+    ModelRequest = 2,
     /// Server → server: the served model vector (payload = model).
-    ModelReply,
+    ModelReply = 3,
     /// Controller → worker: stop the actor loop (empty payload).
-    Shutdown,
+    Shutdown = 4,
     /// Server → server: "I finished my last iteration" (empty payload);
     /// lets peers stop serving model requests without a timeout.
-    ServerDone,
+    ServerDone = 5,
     /// Recovering node → live peer: "send me your training state" (empty
     /// payload; the round tag names the lowest round the requester will
     /// accept). The crash-recovery catch-up path polls with this until a
     /// peer has advanced far enough.
-    StateRequest,
+    StateRequest = 6,
     /// Live peer → recovering node: a serialized training-state checkpoint
     /// (round, model, optimizer state), bit-cast into the `f32` payload so
     /// it flows through the same pooled zero-copy decode path as gradients.
     /// The round tag names the round the state resumes at; `aux` is the
     /// chunk index (always 0 today — state fits one frame, the field exists
     /// so multi-chunk transfer stays wire-compatible).
-    StateChunk,
-}
-
-impl MsgKind {
-    /// All kinds, in wire-byte order.
-    pub fn all() -> [MsgKind; 8] {
-        [
-            MsgKind::GradientRequest,
-            MsgKind::GradientReply,
-            MsgKind::ModelRequest,
-            MsgKind::ModelReply,
-            MsgKind::Shutdown,
-            MsgKind::ServerDone,
-            MsgKind::StateRequest,
-            MsgKind::StateChunk,
-        ]
-    }
-
-    /// The byte this kind encodes to.
-    pub fn to_byte(self) -> u8 {
-        match self {
-            MsgKind::GradientRequest => 0,
-            MsgKind::GradientReply => 1,
-            MsgKind::ModelRequest => 2,
-            MsgKind::ModelReply => 3,
-            MsgKind::Shutdown => 4,
-            MsgKind::ServerDone => 5,
-            MsgKind::StateRequest => 6,
-            MsgKind::StateChunk => 7,
-        }
-    }
-
-    /// Parses a kind byte.
-    pub fn from_byte(byte: u8) -> Option<MsgKind> {
-        MsgKind::all().into_iter().find(|k| k.to_byte() == byte)
-    }
+    StateChunk = 7,
+    /// Shard server → sibling shard servers: "my speculative fast path
+    /// tripped at this round" (empty payload; the header's shard id names
+    /// the tripping shard). Receivers force their own speculative latch so
+    /// the whole shard group falls back together — the cluster-wide sticky
+    /// OR over per-shard latches.
+    SpeculationTrip = 8,
 }
 
 /// The fixed header of a wire message, validated without touching the
 /// payload.
 ///
 /// [`WireMessage::peek`] performs the *full* structural validation of
-/// [`WireMessage::decode`] — version, kind, length cap, exact buffer size —
-/// but materialises zero `f32` values. The receive loops use it to route
-/// control traffic (requests, done-markers) and reject garbage without
-/// allocating, and then [`WireMessage::decode_into`] fills a pooled buffer
-/// only for the payloads that are actually aggregated.
+/// [`WireMessage::decode`] — version, kind, length cap, shard-range
+/// consistency, exact buffer size — but materialises zero `f32` values. The
+/// receive loops use it to route control traffic (requests, done-markers)
+/// and reject garbage without allocating, and then
+/// [`WireMessage::decode_into`] fills a pooled buffer only for the payloads
+/// that are actually aggregated.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WireHeader {
     /// What the message is (request, reply, control).
@@ -167,6 +198,15 @@ pub struct WireHeader {
     pub round: u64,
     /// Kind-specific scalar (gradient replies carry the training loss here).
     pub aux: f32,
+    /// Shard routing: which parameter shard the payload belongs to (0 for
+    /// unsharded messages).
+    pub shard: u16,
+    /// Shard routing: first coordinate of the slice within the full
+    /// d-dimensional vector.
+    pub coord_offset: u32,
+    /// Shard routing: slice length in coordinates; 0 marks an unsharded
+    /// (full-vector) message, non-zero must equal `payload_len`.
+    pub coord_len: u32,
     /// Trace: the node id that put this message on the wire (0 when the
     /// buffer was never stamped — see [`stamp_trace`]).
     pub origin: u32,
@@ -189,6 +229,13 @@ pub struct WireMessage {
     /// Kind-specific scalar (gradient replies carry the training loss here;
     /// other kinds leave it at 0.0).
     pub aux: f32,
+    /// Shard routing: which parameter shard the payload belongs to (0 for
+    /// unsharded messages).
+    pub shard: u16,
+    /// Shard routing: first coordinate of the slice within the full vector.
+    pub coord_offset: u32,
+    /// Shard routing: slice length; 0 marks an unsharded message.
+    pub coord_len: u32,
     /// The flat tensor payload (a gradient or model vector; may be empty).
     pub values: Vec<f32>,
 }
@@ -210,7 +257,8 @@ pub fn unix_micros() -> u64 {
 /// the encoded bytes immediately before handing them to the transport, which
 /// is the only point where "who is sending, as which send, at what time" is
 /// actually known. Stamping rewrites 20 fixed header bytes and never touches
-/// the payload, so it is free compared to the encode itself.
+/// the payload (or the shard fields before it), so it is free compared to
+/// the encode itself.
 ///
 /// # Panics
 ///
@@ -227,12 +275,15 @@ pub fn stamp_trace(buf: &mut [u8], origin: u32, seq: u64, sent_unix_us: u64) {
 }
 
 impl WireMessage {
-    /// Creates a message with a tensor payload.
+    /// Creates an unsharded message with a tensor payload.
     pub fn new(kind: MsgKind, round: u64, aux: f32, values: Vec<f32>) -> Self {
         WireMessage {
             kind,
             round,
             aux,
+            shard: 0,
+            coord_offset: 0,
+            coord_len: 0,
             values,
         }
     }
@@ -240,6 +291,30 @@ impl WireMessage {
     /// Creates a payload-free message (requests and control messages).
     pub fn control(kind: MsgKind, round: u64) -> Self {
         WireMessage::new(kind, round, 0.0, Vec::new())
+    }
+
+    /// Tags the message with a shard id and the coordinate range its payload
+    /// covers, builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coord_len` disagrees with the payload length on a
+    /// payload-carrying message, or when the range overflows u32 — such a
+    /// message would be rejected by every correct decoder.
+    pub fn with_shard(mut self, shard: u16, coord_offset: u32, coord_len: u32) -> Self {
+        assert!(
+            self.values.is_empty() || coord_len as usize == self.values.len(),
+            "shard slice of {coord_len} coordinates disagrees with a {}-value payload",
+            self.values.len()
+        );
+        assert!(
+            coord_offset.checked_add(coord_len).is_some(),
+            "shard range [{coord_offset}, {coord_offset}+{coord_len}) overflows u32"
+        );
+        self.shard = shard;
+        self.coord_offset = coord_offset;
+        self.coord_len = coord_len;
+        self
     }
 
     /// The exact number of bytes [`WireMessage::encode`] will produce.
@@ -278,6 +353,9 @@ impl WireMessage {
         buf.push(self.kind.to_byte());
         buf.extend_from_slice(&self.round.to_le_bytes());
         buf.extend_from_slice(&self.aux.to_le_bytes());
+        buf.extend_from_slice(&self.shard.to_le_bytes());
+        buf.extend_from_slice(&self.coord_offset.to_le_bytes());
+        buf.extend_from_slice(&self.coord_len.to_le_bytes());
         buf.extend_from_slice(&0u32.to_le_bytes()); // origin (stamped on send)
         buf.extend_from_slice(&0u64.to_le_bytes()); // seq (stamped on send)
         buf.extend_from_slice(&0u64.to_le_bytes()); // sent_unix_us (stamped on send)
@@ -288,7 +366,8 @@ impl WireMessage {
         buf
     }
 
-    /// Decodes a message, validating version, kind and exact length.
+    /// Decodes a message, validating version, kind, shard range and exact
+    /// length.
     ///
     /// # Errors
     ///
@@ -296,8 +375,10 @@ impl WireMessage {
     /// [`NetError::WireKind`] for an unknown kind byte,
     /// [`NetError::FrameTooLarge`] when the header declares more than
     /// [`MAX_WIRE_VALUES`] payload values (checked before anything is
-    /// allocated) and [`NetError::WireSize`] for a buffer that is truncated
-    /// or carries trailing bytes.
+    /// allocated), [`NetError::WireShard`] for a shard coordinate range that
+    /// disagrees with the payload length or overflows, and
+    /// [`NetError::WireSize`] for a buffer that is truncated or carries
+    /// trailing bytes.
     pub fn decode(buf: &[u8]) -> NetResult<WireMessage> {
         let mut values = Vec::new();
         let header = WireMessage::decode_into(buf, &mut values)?;
@@ -305,6 +386,9 @@ impl WireMessage {
             kind: header.kind,
             round: header.round,
             aux: header.aux,
+            shard: header.shard,
+            coord_offset: header.coord_offset,
+            coord_len: header.coord_len,
             values,
         })
     }
@@ -329,10 +413,41 @@ impl WireMessage {
         let kind = MsgKind::from_byte(buf[1]).ok_or(NetError::WireKind(buf[1]))?;
         let round = u64::from_le_bytes(buf[2..10].try_into().expect("8 header bytes"));
         let aux = f32::from_le_bytes(buf[10..14].try_into().expect("4 header bytes"));
-        let origin = u32::from_le_bytes(buf[14..18].try_into().expect("4 header bytes"));
-        let seq = u64::from_le_bytes(buf[18..26].try_into().expect("8 header bytes"));
-        let sent_unix_us = u64::from_le_bytes(buf[26..34].try_into().expect("8 header bytes"));
-        let len = u32::from_le_bytes(buf[34..38].try_into().expect("4 header bytes")) as usize;
+        let shard = u16::from_le_bytes(
+            buf[SHARD_ID_OFFSET..COORD_OFFSET_OFFSET]
+                .try_into()
+                .expect("2 header bytes"),
+        );
+        let coord_offset = u32::from_le_bytes(
+            buf[COORD_OFFSET_OFFSET..COORD_LEN_OFFSET]
+                .try_into()
+                .expect("4 header bytes"),
+        );
+        let coord_len = u32::from_le_bytes(
+            buf[COORD_LEN_OFFSET..TRACE_ORIGIN_OFFSET]
+                .try_into()
+                .expect("4 header bytes"),
+        );
+        let origin = u32::from_le_bytes(
+            buf[TRACE_ORIGIN_OFFSET..TRACE_SEQ_OFFSET]
+                .try_into()
+                .expect("4 header bytes"),
+        );
+        let seq = u64::from_le_bytes(
+            buf[TRACE_SEQ_OFFSET..TRACE_SENT_OFFSET]
+                .try_into()
+                .expect("8 header bytes"),
+        );
+        let sent_unix_us = u64::from_le_bytes(
+            buf[TRACE_SENT_OFFSET..PAYLOAD_LEN_OFFSET]
+                .try_into()
+                .expect("8 header bytes"),
+        );
+        let len = u32::from_le_bytes(
+            buf[PAYLOAD_LEN_OFFSET..WIRE_HEADER_BYTES]
+                .try_into()
+                .expect("4 header bytes"),
+        ) as usize;
         // A hostile length prefix is rejected before any allocation or
         // comparison against the buffer: the header alone must never be able
         // to request an unbounded amount of memory.
@@ -340,6 +455,18 @@ impl WireMessage {
             return Err(NetError::FrameTooLarge {
                 declared: len.saturating_mul(4),
                 max: MAX_WIRE_VALUES * 4,
+            });
+        }
+        // A shard-routed payload is exactly the slice its header declares:
+        // coord_len 0 marks an unsharded message, anything else must match
+        // the payload length, and the range must fit the coordinate space.
+        if (coord_len != 0 && coord_len as usize != len)
+            || coord_offset.checked_add(coord_len).is_none()
+        {
+            return Err(NetError::WireShard {
+                coord_offset,
+                coord_len,
+                payload_len: len,
             });
         }
         // Checked arithmetic: on 32-bit targets an adversarial length prefix
@@ -361,6 +488,9 @@ impl WireMessage {
             kind,
             round,
             aux,
+            shard,
+            coord_offset,
+            coord_len,
             origin,
             seq,
             sent_unix_us,
@@ -448,30 +578,119 @@ mod tests {
         for kind in MsgKind::all() {
             assert_eq!(MsgKind::from_byte(kind.to_byte()), Some(kind));
         }
-        assert_eq!(MsgKind::from_byte(8), None);
+        assert_eq!(MsgKind::from_byte(MsgKind::COUNT as u8), None);
         assert_eq!(MsgKind::from_byte(255), None);
     }
 
     #[test]
+    fn all_is_dense_and_derives_its_length_from_the_variant_list() {
+        // all() and the byte codec come from the same macro list, so the
+        // wire bytes must be exactly 0..COUNT with no gap: decode fuzzing
+        // and telemetry enumeration see every kind.
+        let kinds = MsgKind::all();
+        assert_eq!(kinds.len(), MsgKind::COUNT);
+        for (i, kind) in kinds.into_iter().enumerate() {
+            assert_eq!(kind.to_byte() as usize, i, "wire bytes must be dense");
+        }
+        // Exactly the first COUNT bytes parse; everything above is rejected.
+        for byte in 0..=255u8 {
+            assert_eq!(
+                MsgKind::from_byte(byte).is_some(),
+                (byte as usize) < MsgKind::COUNT,
+                "byte {byte}"
+            );
+        }
+    }
+
+    #[test]
     fn header_layout_is_stable() {
-        let msg = WireMessage::new(MsgKind::GradientReply, 0x0102_0304, 1.0, vec![2.0]);
+        let msg = WireMessage::new(MsgKind::GradientReply, 0x0102_0304, 1.0, vec![2.0])
+            .with_shard(5, 96, 1);
         let buf = msg.encode();
         assert_eq!(buf.len(), msg.encoded_len());
         assert_eq!(buf[0], WIRE_VERSION);
         assert_eq!(buf[1], MsgKind::GradientReply.to_byte());
         assert_eq!(&buf[2..10], &0x0102_0304u64.to_le_bytes());
         assert_eq!(&buf[10..14], &1.0f32.to_le_bytes());
+        // Shard routing fields.
+        assert_eq!(&buf[14..16], &5u16.to_le_bytes());
+        assert_eq!(&buf[16..20], &96u32.to_le_bytes());
+        assert_eq!(&buf[20..24], &1u32.to_le_bytes());
         // Trace fields are zero until the send path stamps them.
-        assert_eq!(&buf[14..18], &0u32.to_le_bytes());
-        assert_eq!(&buf[18..26], &0u64.to_le_bytes());
-        assert_eq!(&buf[26..34], &0u64.to_le_bytes());
-        assert_eq!(&buf[34..38], &1u32.to_le_bytes());
-        assert_eq!(&buf[38..42], &2.0f32.to_le_bytes());
+        assert_eq!(&buf[24..28], &0u32.to_le_bytes());
+        assert_eq!(&buf[28..36], &0u64.to_le_bytes());
+        assert_eq!(&buf[36..44], &0u64.to_le_bytes());
+        assert_eq!(&buf[44..48], &1u32.to_le_bytes());
+        assert_eq!(&buf[48..52], &2.0f32.to_le_bytes());
+    }
+
+    #[test]
+    fn shard_fields_round_trip_and_default_to_unsharded() {
+        let plain = WireMessage::new(MsgKind::GradientRequest, 2, 0.0, vec![1.0, 2.0]);
+        assert_eq!(
+            (plain.shard, plain.coord_offset, plain.coord_len),
+            (0, 0, 0)
+        );
+        let back = WireMessage::decode(&plain.encode()).unwrap();
+        assert_eq!(back, plain);
+
+        let sharded = WireMessage::new(MsgKind::GradientReply, 3, 0.5, vec![7.0, 8.0, 9.0])
+            .with_shard(2, 1000, 3);
+        let header = WireMessage::peek(&sharded.encode()).unwrap();
+        assert_eq!(header.shard, 2);
+        assert_eq!(header.coord_offset, 1000);
+        assert_eq!(header.coord_len, 3);
+        let back = WireMessage::decode(&sharded.encode()).unwrap();
+        assert_eq!(back, sharded);
+
+        // Empty-payload control messages may carry a shard tag with a zero
+        // range (SpeculationTrip names the tripping shard this way).
+        let trip = WireMessage::control(MsgKind::SpeculationTrip, 4).with_shard(1, 0, 0);
+        let back = WireMessage::decode(&trip.encode()).unwrap();
+        assert_eq!(back.shard, 1);
+        assert_eq!(back.coord_len, 0);
+    }
+
+    #[test]
+    fn inconsistent_shard_ranges_are_rejected() {
+        // coord_len disagreeing with the payload length must fail strictly.
+        let msg = WireMessage::new(MsgKind::GradientReply, 1, 0.0, vec![1.0, 2.0, 3.0]);
+        let mut buf = msg.encode().to_vec();
+        buf[20..24].copy_from_slice(&7u32.to_le_bytes());
+        assert_eq!(
+            WireMessage::decode(&buf),
+            Err(NetError::WireShard {
+                coord_offset: 0,
+                coord_len: 7,
+                payload_len: 3,
+            })
+        );
+        // An overflowing coordinate range is rejected even when the length
+        // matches the payload.
+        buf[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        buf[20..24].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            WireMessage::decode(&buf),
+            Err(NetError::WireShard { .. })
+        ));
+        // peek agrees with decode on both.
+        assert!(matches!(
+            WireMessage::peek(&buf),
+            Err(NetError::WireShard { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with")]
+    fn with_shard_rejects_mismatched_slice_lengths() {
+        let _ =
+            WireMessage::new(MsgKind::GradientReply, 1, 0.0, vec![1.0, 2.0]).with_shard(0, 0, 5);
     }
 
     #[test]
     fn stamp_trace_round_trips_through_peek_and_leaves_payload_intact() {
-        let msg = WireMessage::new(MsgKind::GradientReply, 9, 0.25, vec![1.0, -2.0]);
+        let msg =
+            WireMessage::new(MsgKind::GradientReply, 9, 0.25, vec![1.0, -2.0]).with_shard(3, 10, 2);
         let mut buf = msg.encode_vec();
         stamp_trace(&mut buf, 42, 1234, 1_700_000_000_000_000);
         let header = WireMessage::peek(&buf).unwrap();
@@ -480,6 +699,10 @@ mod tests {
         assert_eq!(header.sent_unix_us, 1_700_000_000_000_000);
         assert_eq!(header.round, 9);
         assert_eq!(header.aux, 0.25);
+        // Stamping never touches the shard fields next door.
+        assert_eq!(header.shard, 3);
+        assert_eq!(header.coord_offset, 10);
+        assert_eq!(header.coord_len, 2);
         // The logical message is unchanged by stamping.
         let back = WireMessage::decode(&buf).unwrap();
         assert_eq!(back, msg);
@@ -536,8 +759,11 @@ mod tests {
             Err(NetError::WireVersion(WIRE_VERSION - 1))
         );
         let mut bad_kind = buf.to_vec();
-        bad_kind[1] = 9;
-        assert_eq!(WireMessage::decode(&bad_kind), Err(NetError::WireKind(9)));
+        bad_kind[1] = MsgKind::COUNT as u8;
+        assert_eq!(
+            WireMessage::decode(&bad_kind),
+            Err(NetError::WireKind(MsgKind::COUNT as u8))
+        );
         assert!(matches!(
             WireMessage::decode(&buf[..buf.len() - 1]),
             Err(NetError::WireSize { .. })
@@ -562,7 +788,7 @@ mod tests {
         let mut buf = WireMessage::control(MsgKind::GradientRequest, 1)
             .encode()
             .to_vec();
-        buf[34..38].copy_from_slice(&u32::MAX.to_le_bytes());
+        buf[PAYLOAD_LEN_OFFSET..PAYLOAD_LEN_OFFSET + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             WireMessage::decode(&buf),
             Err(NetError::FrameTooLarge { .. })
@@ -570,7 +796,8 @@ mod tests {
 
         // One value above the cap is rejected, the cap itself would pass the
         // length check (and then fail only on the buffer-size comparison).
-        buf[34..38].copy_from_slice(&((MAX_WIRE_VALUES + 1) as u32).to_le_bytes());
+        buf[PAYLOAD_LEN_OFFSET..PAYLOAD_LEN_OFFSET + 4]
+            .copy_from_slice(&((MAX_WIRE_VALUES + 1) as u32).to_le_bytes());
         assert_eq!(
             WireMessage::decode(&buf),
             Err(NetError::FrameTooLarge {
@@ -578,7 +805,8 @@ mod tests {
                 max: MAX_WIRE_VALUES * 4,
             })
         );
-        buf[34..38].copy_from_slice(&(MAX_WIRE_VALUES as u32).to_le_bytes());
+        buf[PAYLOAD_LEN_OFFSET..PAYLOAD_LEN_OFFSET + 4]
+            .copy_from_slice(&(MAX_WIRE_VALUES as u32).to_le_bytes());
         assert!(matches!(
             WireMessage::decode(&buf),
             Err(NetError::WireSize { .. })
@@ -593,6 +821,9 @@ mod tests {
         assert_eq!(header.round, 11);
         assert_eq!(header.aux, 0.5);
         assert_eq!(header.payload_len, 2);
+        assert_eq!(header.shard, 0);
+        assert_eq!(header.coord_offset, 0);
+        assert_eq!(header.coord_len, 0);
         assert_eq!(header.origin, 0);
         assert_eq!(header.seq, 0);
         assert_eq!(header.sent_unix_us, 0);
@@ -609,6 +840,9 @@ mod tests {
         let mut trailing = good.to_vec();
         trailing.push(0);
         cases.push(trailing);
+        let mut bad_shard = good.to_vec();
+        bad_shard[COORD_LEN_OFFSET..COORD_LEN_OFFSET + 4].copy_from_slice(&9u32.to_le_bytes());
+        cases.push(bad_shard);
         for case in cases {
             assert_eq!(
                 WireMessage::peek(&case).is_ok(),

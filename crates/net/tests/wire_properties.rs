@@ -100,10 +100,11 @@ proptest! {
     #[test]
     fn wrong_version_and_unknown_kind_are_rejected(
         version in 0u8..=255,
-        kind_byte in 8u8..=255,
+        kind_byte in 0u8..=255,
         values in prop::collection::vec(-1.0f32..1.0, 0..8),
     ) {
         prop_assume!(version != WIRE_VERSION);
+        prop_assume!(kind_byte as usize >= MsgKind::COUNT);
         let mut buf = WireMessage::new(MsgKind::GradientReply, 9, 0.0, values).encode().to_vec();
         buf[0] = version;
         prop_assert_eq!(WireMessage::decode(&buf), Err(NetError::WireVersion(version)));
@@ -123,12 +124,58 @@ proptest! {
         let msg = WireMessage::new(MsgKind::GradientRequest, 1, 0.0, values);
         let mut buf = msg.encode().to_vec();
         let lied = msg.values.len() as u32 + bump;
-        buf[34..38].copy_from_slice(&lied.to_le_bytes());
+        buf[44..48].copy_from_slice(&lied.to_le_bytes());
         prop_assert_eq!(
             WireMessage::decode(&buf),
             Err(NetError::WireSize {
                 expected: WIRE_HEADER_BYTES + 4 * lied as usize,
                 actual: buf.len(),
+            })
+        );
+    }
+
+    #[test]
+    fn shard_tags_round_trip_bit_identically(
+        kind_sel in 0u8..6,
+        round in 0u64..u64::MAX,
+        shard in 0u16..u16::MAX,
+        offset in 0u32..u32::MAX / 2,
+        selectors in prop::collection::vec(0u8..8, 1..48),
+        magnitudes in prop::collection::vec(-1.0e30f32..1.0e30, 48),
+    ) {
+        let values: Vec<f32> = selectors
+            .iter()
+            .zip(&magnitudes)
+            .map(|(&s, &m)| special_value(s, m))
+            .collect();
+        let len = values.len() as u32;
+        let msg = WireMessage::new(kind_from_selector(kind_sel), round, 0.5, values)
+            .with_shard(shard, offset, len);
+        let back = WireMessage::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(back.shard, shard);
+        prop_assert_eq!(back.coord_offset, offset);
+        prop_assert_eq!(back.coord_len, len);
+        prop_assert_eq!(bits(&back.values), bits(&msg.values));
+    }
+
+    #[test]
+    fn shard_ranges_disagreeing_with_the_payload_are_rejected(
+        values in prop::collection::vec(-1.0f32..1.0, 0..16),
+        lied in 1u32..1000,
+    ) {
+        // A coord_len that is non-zero and differs from the payload length
+        // must fail strictly (coord_len 0 marks an unsharded message).
+        prop_assume!(lied as usize != values.len());
+        let payload_len = values.len();
+        let msg = WireMessage::new(MsgKind::GradientReply, 5, 0.0, values);
+        let mut buf = msg.encode().to_vec();
+        buf[20..24].copy_from_slice(&lied.to_le_bytes());
+        prop_assert_eq!(
+            WireMessage::decode(&buf),
+            Err(NetError::WireShard {
+                coord_offset: 0,
+                coord_len: lied,
+                payload_len,
             })
         );
     }

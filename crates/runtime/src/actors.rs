@@ -13,14 +13,17 @@
 
 use crate::fault::Fault;
 use crate::node::ServerNode;
-use garfield_aggregation::{build_gar, Engine, PeerSuspicion, SelectionOutcome, SuspicionLedger};
+use garfield_aggregation::{
+    build_gar, Engine, Gar, PeerSuspicion, SelectionOutcome, SuspicionLedger,
+};
 use garfield_attacks::Attack;
 use garfield_core::{
     AccuracyPoint, ByzantineServer, ByzantineWorker, Checkpoint, CheckpointPolicy, CoreError,
-    CoreResult, ExperimentConfig, IterationTiming, NodeTelemetry, SystemKind, TrainingTrace,
+    CoreResult, ExperimentConfig, IterationTiming, NodeTelemetry, ShardSpec, SystemKind,
+    TrainingTrace,
 };
 use garfield_ml::Batch;
-use garfield_net::{MsgKind, NodeId, PayloadPool, Transport, WireMessage};
+use garfield_net::{MsgKind, NodeId, PayloadPool, Transport, WireHeader, WireMessage};
 use garfield_obs::flight::{self, EventKind};
 use garfield_tensor::{GradientView, Tensor, TensorRng};
 use std::collections::HashSet;
@@ -108,6 +111,11 @@ fn encode_stamped(msg: &WireMessage, origin: u32, seq: &mut u64) -> bytes::Bytes
 /// round while still giving the attacks a usable spread.
 const ATTACK_HISTORY_ROUNDS: usize = 4;
 
+/// One in-flight sharded round on a worker: the round number plus one slot
+/// per shard, each holding the requesting shard server, its coordinate
+/// offset and its parameter slice once that shard's request has landed.
+type PendingShardRound = (u64, Vec<Option<(NodeId, usize, Vec<f32>)>>);
+
 /// Everything a worker actor needs.
 pub(crate) struct WorkerActor {
     pub transport: Box<dyn Transport>,
@@ -126,6 +134,20 @@ pub(crate) struct WorkerActor {
     /// non-omniscient adversary's estimation view (stays empty on honest
     /// workers). See [`ATTACK_HISTORY_ROUNDS`].
     pub attack_history: Vec<Tensor>,
+    /// Number of parameter shards the server side is split into (1 means
+    /// unsharded: every request carries the full model).
+    pub shards: usize,
+    /// Full model dimension — the length sharded slices must tile exactly.
+    pub dimension: usize,
+    /// Sharded rounds in flight: `(round, per-shard slot)` where a slot holds
+    /// the requesting shard server, its coordinate offset and its slice
+    /// values. The gradient is computed once, when the last slice of a round
+    /// lands and the full parameter vector can be assembled.
+    pub pending_slices: Vec<PendingShardRound>,
+    /// Recently served sharded rounds: `(round, loss, sent gradient)`. A
+    /// shard server's retry is answered by re-slicing this cache — never by
+    /// recomputing, which would double-draw the attack RNG streams.
+    pub sent_cache: Vec<(u64, f32, Tensor)>,
 }
 
 impl WorkerActor {
@@ -182,47 +204,25 @@ impl WorkerActor {
                     if WireMessage::decode_into(&envelope.payload, &mut values).is_err() {
                         continue;
                     }
+                    if self.shards > 1 && header.coord_len != 0 {
+                        // Parameter-sharded request: a slice, not the model.
+                        self.serve_shard_slice(envelope.from, &header, &values);
+                        continue;
+                    }
                     let params = Tensor::from_slice(&values);
                     let compute_span = garfield_obs::span_start();
                     let Ok((loss, honest)) = self.worker.honest_compute(&params, iteration) else {
                         continue; // malformed request (wrong dimension): drop it
                     };
                     garfield_obs::span_end(compute_span, &actor_obs().phase_compute);
-                    let byzantine = self.worker.is_byzantine() || self.fault_attack.is_some();
-                    let sent = if byzantine {
-                        let mut sent = self
-                            .worker
-                            .sent_gradient(honest.clone(), &self.attack_history);
-                        if let Some(attack) = &self.fault_attack {
-                            sent = attack.corrupt(&sent, &self.attack_history, &mut self.fault_rng);
-                        }
-                        // Remember the honest trajectory *after* corrupting:
-                        // the history holds previous rounds only, the current
-                        // honest vector enters the moment estimate via the
-                        // attack's own `honest` argument.
-                        if self.attack_history.len() >= ATTACK_HISTORY_ROUNDS {
-                            self.attack_history.remove(0);
-                        }
-                        self.attack_history.push(honest);
-                        sent
-                    } else {
-                        honest
-                    };
+                    let sent = self.outgoing_gradient(honest);
                     let reply = WireMessage::new(
                         MsgKind::GradientReply,
                         header.round,
                         loss,
                         sent.into_vec(),
                     );
-                    let payload = encode_stamped(&reply, origin, &mut self.seq);
-                    let bytes = payload.len();
-                    if self
-                        .transport
-                        .send(envelope.from, header.round, payload)
-                        .is_ok()
-                    {
-                        self.telemetry.record_send(bytes);
-                    }
+                    self.reply(envelope.from, header.round, &reply);
                 }
                 _ => {} // server-to-server traffic never addresses a worker
             }
@@ -233,7 +233,148 @@ impl WorkerActor {
         self.telemetry.peers = self.transport.peer_counters();
         self.telemetry
     }
+
+    /// Handles one shard server's `GradientRequest` carrying a parameter
+    /// *slice* (wire header `coord_len != 0`). Slices are buffered until all
+    /// `shards` of a round arrived; the full vector is then assembled, the
+    /// gradient computed **once** and corrupted **once** — a Byzantine
+    /// worker's RNG trajectory and attack history are bit-identical to the
+    /// unsharded run — and sent back re-sliced, each shard server receiving
+    /// exactly the coordinate range it asked for. Retries of already-served
+    /// rounds re-slice the bounded sent-gradient cache instead of
+    /// recomputing, which would double-draw the attack streams.
+    fn serve_shard_slice(&mut self, from: NodeId, header: &WireHeader, slice: &[f32]) {
+        let round = header.round;
+        let shard = header.shard as usize;
+        let offset = header.coord_offset as usize;
+        if shard >= self.shards || offset + slice.len() > self.dimension {
+            return; // mis-tagged request: a correct node ignores it
+        }
+        if let Some((_, loss, sent)) = self.sent_cache.iter().find(|(r, _, _)| *r == round) {
+            let reply = WireMessage::new(
+                MsgKind::GradientReply,
+                round,
+                *loss,
+                sent.data()[offset..offset + slice.len()].to_vec(),
+            )
+            .with_shard(header.shard, header.coord_offset, header.coord_len);
+            self.reply(from, round, &reply);
+            return;
+        }
+        if !self.pending_slices.iter().any(|(r, _)| *r == round) {
+            // Bound the in-flight rounds: a crashed shard server must not
+            // leak assembly buffers for the rest of the run.
+            if self.pending_slices.len() >= PENDING_SLICE_ROUNDS {
+                if let Some(pos) =
+                    (0..self.pending_slices.len()).min_by_key(|&i| self.pending_slices[i].0)
+                {
+                    self.pending_slices.remove(pos);
+                }
+            }
+            self.pending_slices.push((round, vec![None; self.shards]));
+        }
+        let complete = {
+            let slots = &mut self
+                .pending_slices
+                .iter_mut()
+                .find(|(r, _)| *r == round)
+                .expect("entry inserted above")
+                .1;
+            slots[shard] = Some((from, offset, slice.to_vec()));
+            slots.iter().all(|s| s.is_some())
+        };
+        if !complete {
+            return; // wait for the round's remaining slices
+        }
+        let pos = self
+            .pending_slices
+            .iter()
+            .position(|(r, _)| *r == round)
+            .expect("entry present");
+        let (_, slots) = self.pending_slices.remove(pos);
+        let mut params = vec![0.0f32; self.dimension];
+        let mut covered = 0usize;
+        for slot in &slots {
+            let (_, off, vals) = slot.as_ref().expect("all slots filled");
+            params[*off..*off + vals.len()].copy_from_slice(vals);
+            covered += vals.len();
+        }
+        if covered != self.dimension {
+            return; // gapped shard map: hostile or misconfigured, drop the round
+        }
+        let compute_span = garfield_obs::span_start();
+        let Ok((loss, honest)) = self
+            .worker
+            .honest_compute(&Tensor::from_slice(&params), round as usize)
+        else {
+            return; // malformed request (wrong dimension): drop it
+        };
+        garfield_obs::span_end(compute_span, &actor_obs().phase_compute);
+        let sent = self.outgoing_gradient(honest);
+        for (k, slot) in slots.iter().enumerate() {
+            let (requester, off, vals) = slot.as_ref().expect("all slots filled");
+            let reply = WireMessage::new(
+                MsgKind::GradientReply,
+                round,
+                loss,
+                sent.data()[*off..*off + vals.len()].to_vec(),
+            )
+            .with_shard(k as u16, *off as u32, vals.len() as u32);
+            self.reply(*requester, round, &reply);
+        }
+        self.sent_cache.push((round, loss, sent));
+        if self.sent_cache.len() > SENT_CACHE_ROUNDS {
+            self.sent_cache.remove(0);
+        }
+    }
+
+    /// The gradient actually put on the wire: the honest vector on honest
+    /// workers; on Byzantine ones the config attack's output, further
+    /// corrupted by the fault-plan attack if present. Draws each attack RNG
+    /// stream exactly once per call — callers must invoke this once per
+    /// round, whatever the number of shards asking.
+    fn outgoing_gradient(&mut self, honest: Tensor) -> Tensor {
+        let byzantine = self.worker.is_byzantine() || self.fault_attack.is_some();
+        if !byzantine {
+            return honest;
+        }
+        let mut sent = self
+            .worker
+            .sent_gradient(honest.clone(), &self.attack_history);
+        if let Some(attack) = &self.fault_attack {
+            sent = attack.corrupt(&sent, &self.attack_history, &mut self.fault_rng);
+        }
+        // Remember the honest trajectory *after* corrupting: the history
+        // holds previous rounds only, the current honest vector enters the
+        // moment estimate via the attack's own `honest` argument.
+        if self.attack_history.len() >= ATTACK_HISTORY_ROUNDS {
+            self.attack_history.remove(0);
+        }
+        self.attack_history.push(honest);
+        sent
+    }
+
+    /// Encodes, stamps and sends one reply, counting the bytes; send
+    /// failures are tolerated (a crashed requester is what quorums absorb).
+    fn reply(&mut self, to: NodeId, round: u64, msg: &WireMessage) {
+        let origin = self.transport.local_id().0;
+        let payload = encode_stamped(msg, origin, &mut self.seq);
+        let bytes = payload.len();
+        if self.transport.send(to, round, payload).is_ok() {
+            self.telemetry.record_send(bytes);
+        }
+    }
 }
+
+/// How many sharded rounds a worker keeps in the slice-assembly buffer
+/// before evicting the oldest (guards against shard servers that die
+/// mid-round and leave a round forever incomplete).
+const PENDING_SLICE_ROUNDS: usize = 8;
+
+/// How many served sharded rounds stay re-sliceable for retries. Matches the
+/// deepest plausible retry horizon: a shard server only retries its *current*
+/// round, and shard servers drift by at most the rounds still in flight.
+const SENT_CACHE_ROUNDS: usize = 4;
 
 /// One collected reply: sender, aux scalar (loss), payload values.
 type Reply = (NodeId, f32, Vec<f32>);
@@ -247,6 +388,16 @@ pub(crate) struct ServerActor {
     pub config: ExperimentConfig,
     pub worker_ids: Vec<NodeId>,
     pub peer_ids: Vec<NodeId>,
+    /// The parameter shard this replica owns, when the model is split across
+    /// server shards (`None`: this replica holds the full vector). A shard
+    /// server's model *is* the slice — requests it broadcasts and replies it
+    /// accepts are tagged with the shard's coordinate range.
+    pub shard: Option<ShardSpec>,
+    /// The other shard servers of a sharded deployment (empty otherwise).
+    /// They are not replicas — no model merging happens across shards — but
+    /// they share the speculative fast-path latch via `SpeculationTrip`
+    /// broadcasts (the cluster-wide sticky OR).
+    pub shard_siblings: Vec<NodeId>,
     pub gradient_quorum: usize,
     pub round_deadline: Duration,
     pub fault: Option<Fault>,
@@ -280,6 +431,14 @@ pub(crate) struct ServerActor {
     // full-quorum reproducibility guarantees are unaffected).
     engine: Engine,
     pool: PayloadPool,
+    /// The gradient GAR, owned by the actor (not the training loop) so that
+    /// protocol handlers can latch its speculative fast path off when a
+    /// sibling shard announces a `SpeculationTrip` mid-collect.
+    gradient_gar: Box<dyn Gar>,
+    /// Whether this replica already told its shard siblings that its
+    /// speculative fast path tripped (one broadcast per run; receivers never
+    /// re-broadcast, so the sticky OR converges without message storms).
+    spec_trip_announced: bool,
     // Protocol state.
     round: usize,
     phase1_done: bool,
@@ -327,6 +486,8 @@ impl ServerActor {
             Some(Fault::Byzantine { attack }) => Some(attack.build()),
             _ => None,
         };
+        let (gar_kind, gar_f) = garfield_core::gradient_gar(node.system, &node.config);
+        let gradient_gar = build_gar(&gar_kind, node.gradient_quorum, gar_f)?;
         let mut actor = ServerActor {
             index: node.index,
             transport,
@@ -335,6 +496,8 @@ impl ServerActor {
             config: node.config,
             worker_ids: node.worker_ids,
             peer_ids: node.peer_ids,
+            shard: node.shard,
+            shard_siblings: node.shard_siblings,
             gradient_quorum: node.gradient_quorum,
             round_deadline: node.round_deadline,
             fault: node.fault,
@@ -350,6 +513,8 @@ impl ServerActor {
             state_chunk: None,
             engine: Engine::auto(),
             pool: PayloadPool::default(),
+            gradient_gar,
+            spec_trip_announced: false,
             round: 0,
             phase1_done: false,
             served_snapshot: None,
@@ -442,9 +607,16 @@ impl ServerActor {
 
     /// The replica's training loop.
     fn train(&mut self) -> CoreResult<TrainingTrace> {
-        let (gar_kind, gar_f) = garfield_core::gradient_gar(self.system, &self.config);
-        let gradient_gar = build_gar(&gar_kind, self.gradient_quorum, gar_f)?;
         let model_quorum = self.config.model_quorum();
+        // Sharded replicas export their round as a per-shard gauge so
+        // `expfig watch` can show how far the slowest/fastest shard has got.
+        let shard_round_gauge = self.shard.as_ref().map(|spec| {
+            garfield_obs::metrics::gauge(
+                "garfield_shard_round",
+                "Current training round, per parameter shard.",
+                &[("shard", &spec.index.to_string())],
+            )
+        });
         let mut trace = TrainingTrace::new(self.system.as_str(), self.config.effective_batch());
         let mut crashed = false;
 
@@ -479,16 +651,26 @@ impl ServerActor {
             let round_start = Instant::now();
             flight::record(EventKind::RoundStart, iteration as u64, None, 0.0);
             garfield_obs::http::set_health_round(iteration as u64);
+            if let Some(gauge) = &shard_round_gauge {
+                gauge.set(iteration as f64);
+            }
 
-            // --- get_gradients(iteration, q): broadcast the model, unblock
-            // on the fastest q gradient replies.
+            // --- get_gradients(iteration, q): broadcast the model (a shard
+            // server's model is its slice, tagged with the coordinate range
+            // so workers can assemble the full vector), unblock on the
+            // fastest q gradient replies.
             let params = self.server.honest().parameters();
-            let request = self.stamped(&WireMessage::new(
+            let mut request_msg = WireMessage::new(
                 MsgKind::GradientRequest,
                 iteration as u64,
                 0.0,
                 params.data().to_vec(),
-            ));
+            );
+            if let Some(spec) = &self.shard {
+                request_msg =
+                    request_msg.with_shard(spec.index as u16, spec.offset as u32, spec.len as u32);
+            }
+            let request = self.stamped(&request_msg);
             for to in self.worker_ids.clone() {
                 self.send(to, iteration as u64, request.clone());
             }
@@ -525,7 +707,7 @@ impl ServerActor {
                 .map(|(_, _, values)| GradientView::from(values))
                 .collect();
             let aggregated = self.server.honest().aggregate_views_observed(
-                gradient_gar.as_ref(),
+                self.gradient_gar.as_ref(),
                 &views,
                 &self.engine,
                 &mut self.outcome,
@@ -539,7 +721,7 @@ impl ServerActor {
             let mut aggregation = aggregate_start.elapsed().as_secs_f64();
             // Speculative rounds leave a wire-level trail: one event per
             // round, hit (fast path held) or fallback (robust replay).
-            match gradient_gar.fell_back() {
+            match self.gradient_gar.fell_back() {
                 Some(false) => {
                     flight::record(
                         EventKind::SpeculationHit,
@@ -555,6 +737,7 @@ impl ServerActor {
                         None,
                         aggregation,
                     );
+                    self.announce_speculation_trip(iteration as u64);
                 }
                 None => {}
             }
@@ -731,6 +914,18 @@ impl ServerActor {
                 continue;
             };
             if header.kind == kind && header.round == round {
+                // A shard server accepts only replies sliced exactly to its
+                // own coordinate range: a mis-tagged slice is Byzantine noise
+                // (or another shard's reply misrouted) and aggregating it
+                // would silently mix coordinate spaces.
+                if let Some(spec) = &self.shard {
+                    let matches_shard = header.shard as usize == spec.index
+                        && header.coord_offset as usize == spec.offset
+                        && header.coord_len as usize == spec.len;
+                    if !matches_shard {
+                        continue;
+                    }
+                }
                 // One reply per peer per round; duplicates are Byzantine noise.
                 if !collected.iter().any(|(id, _, _)| *id == envelope.from) {
                     let mut values = self.pool.checkout();
@@ -770,6 +965,17 @@ impl ServerActor {
             }
             MsgKind::ServerDone => {
                 self.done_peers.insert(from);
+            }
+            MsgKind::SpeculationTrip => {
+                // A sibling shard's speculative fast path tripped: latch this
+                // replica's GAR onto the robust fallback too (the sticky OR —
+                // suspicion anywhere in the cluster disables speculation
+                // everywhere). Marking the trip as announced stops this
+                // replica from re-broadcasting when its own next round
+                // reports the (now forced) fallback: the originator already
+                // reached every sibling.
+                self.gradient_gar.force_fallback();
+                self.spec_trip_announced = true;
             }
             MsgKind::StateRequest => {
                 // A recovering peer wants to catch up. Serve the latest
@@ -1002,6 +1208,25 @@ impl ServerActor {
         }
     }
 
+    /// Tells the shard siblings this replica's speculative fast path tripped
+    /// (once per run): the receiving end of the cluster-wide sticky OR. The
+    /// broadcast is fire-and-forget — a sibling that misses it only stays on
+    /// the fast path until its own slice shows suspicion, which is the
+    /// per-shard behaviour sharding starts from anyway.
+    fn announce_speculation_trip(&mut self, round: u64) {
+        if self.spec_trip_announced || self.shard_siblings.is_empty() {
+            return;
+        }
+        self.spec_trip_announced = true;
+        let shard = self.shard.as_ref().map(|s| s.index as u16).unwrap_or(0);
+        let trip = self.stamped(
+            &WireMessage::control(MsgKind::SpeculationTrip, round).with_shard(shard, 0, 0),
+        );
+        for to in self.shard_siblings.clone() {
+            self.send(to, round, trip.clone());
+        }
+    }
+
     /// [`encode_stamped`] with this replica's origin id and sequence counter.
     fn stamped(&mut self, msg: &WireMessage) -> bytes::Bytes {
         encode_stamped(msg, self.transport.local_id().0, &mut self.seq)
@@ -1022,5 +1247,201 @@ impl ServerActor {
              {iteration} within {:?} — deploy n ≥ q + f nodes to preserve liveness",
             self.system, self.index, self.round_deadline
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garfield_core::{shard_server, Deployment, ShardMap, ShardSpec};
+    use garfield_net::{Router, RouterTransport};
+
+    fn sharded_config(shards: usize) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small();
+        cfg.nw = 1;
+        cfg.fw = 0;
+        cfg.shards = shards;
+        cfg.gradient_gar = garfield_aggregation::GarKind::Median;
+        cfg.iterations = 2;
+        cfg
+    }
+
+    /// Builds the shard server actor of `index` over `router`, under the
+    /// speculative system (so its gradient GAR exposes the fast-path latch).
+    fn shard_actor(
+        router: &Router,
+        config: &ExperimentConfig,
+        index: usize,
+        siblings: Vec<NodeId>,
+    ) -> ServerActor {
+        let parts = Deployment::new(config.clone()).unwrap().into_live_parts();
+        let map = ShardMap::new(parts.dimension, config.shards).unwrap();
+        let initial = parts.servers[0].honest().parameters();
+        let node = ServerNode {
+            index,
+            server: shard_server(map.spec(index), initial.data(), config),
+            system: SystemKind::Speculative,
+            config: config.clone(),
+            worker_ids: Vec::new(),
+            peer_ids: Vec::new(),
+            shard: Some(map.spec(index)),
+            shard_siblings: siblings,
+            gradient_quorum: 1,
+            round_deadline: Duration::from_millis(200),
+            fault: None,
+            fault_rng: TensorRng::seed_from(7),
+            test_batch: None,
+            shutdown_targets: Vec::new(),
+            request_retry: Duration::from_millis(50),
+            checkpoint: None,
+            resume: None,
+        };
+        let transport = Box::new(RouterTransport::connect(router, NodeId(index as u32)).unwrap());
+        ServerActor::from_node(node, transport).unwrap()
+    }
+
+    #[test]
+    fn a_sibling_speculation_trip_latches_the_fallback_without_rebroadcast() {
+        let router = Router::new();
+        let sibling = RouterTransport::connect(&router, NodeId(1)).unwrap();
+        let mut actor = shard_actor(&router, &sharded_config(2), 0, vec![NodeId(1)]);
+        assert_eq!(actor.gradient_gar.fell_back(), Some(false));
+        actor.handle_protocol(NodeId(1), MsgKind::SpeculationTrip, 3);
+        assert_eq!(
+            actor.gradient_gar.fell_back(),
+            Some(true),
+            "the sticky-OR receive must latch the robust fallback"
+        );
+        // Receiving also arms the announce guard: the originator already
+        // reached every sibling, so echoing would only ping-pong trips.
+        actor.announce_speculation_trip(4);
+        assert!(matches!(
+            sibling.recv_timeout(Duration::from_millis(100)),
+            Err(garfield_net::NetError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn an_own_trip_is_broadcast_to_every_sibling_exactly_once() {
+        let router = Router::new();
+        let s1 = RouterTransport::connect(&router, NodeId(1)).unwrap();
+        let s2 = RouterTransport::connect(&router, NodeId(2)).unwrap();
+        let mut actor = shard_actor(&router, &sharded_config(3), 0, vec![NodeId(1), NodeId(2)]);
+        actor.announce_speculation_trip(5);
+        actor.announce_speculation_trip(6); // latched: must not send again
+        for t in [&s1, &s2] {
+            let env = t.recv_timeout(Duration::from_secs(1)).unwrap();
+            let header = WireMessage::peek(&env.payload).unwrap();
+            assert_eq!(header.kind, MsgKind::SpeculationTrip);
+            assert_eq!(header.round, 5);
+            assert_eq!(header.shard, 0, "the trip names the tripping shard");
+            assert!(matches!(
+                t.recv_timeout(Duration::from_millis(100)),
+                Err(garfield_net::NetError::Timeout)
+            ));
+        }
+    }
+
+    fn bits(values: &[f32]) -> Vec<u32> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn worker_assembles_slices_computes_once_and_reslices_replies_bit_exactly() {
+        let cfg = sharded_config(2);
+        let parts = Deployment::new(cfg.clone()).unwrap().into_live_parts();
+        let dimension = parts.dimension;
+        let map = ShardMap::new(dimension, 2).unwrap();
+        let initial = parts.servers[0].honest().parameters();
+
+        // The unsharded reference: an identically-constructed worker
+        // computing on the full parameter vector.
+        let mut reference = Deployment::new(cfg.clone())
+            .unwrap()
+            .into_live_parts()
+            .workers
+            .remove(0);
+        let (ref_loss, ref_grad) = reference.honest_compute(&initial, 0).unwrap();
+
+        let router = Router::new();
+        let s0 = RouterTransport::connect(&router, NodeId(0)).unwrap();
+        let s1 = RouterTransport::connect(&router, NodeId(1)).unwrap();
+        let transport = Box::new(RouterTransport::connect(&router, NodeId(2)).unwrap());
+        let mut workers = parts.workers;
+        let actor = WorkerActor {
+            telemetry: NodeTelemetry::new(2, garfield_net::Role::Worker),
+            transport,
+            worker: workers.remove(0),
+            fault: None,
+            fault_attack: None,
+            fault_rng: TensorRng::seed_from(3),
+            idle_timeout: Duration::from_secs(5),
+            restarted: false,
+            seq: 0,
+            attack_history: Vec::new(),
+            shards: 2,
+            dimension,
+            pending_slices: Vec::new(),
+            sent_cache: Vec::new(),
+        };
+        let handle = std::thread::spawn(move || actor.run());
+
+        let send_slice = |t: &RouterTransport, spec: ShardSpec, round: u64| {
+            let msg = WireMessage::new(
+                MsgKind::GradientRequest,
+                round,
+                0.0,
+                spec.slice(initial.data()).to_vec(),
+            )
+            .with_shard(spec.index as u16, spec.offset as u32, spec.len as u32);
+            t.send(NodeId(2), round, msg.encode()).unwrap();
+        };
+        let recv_reply = |t: &RouterTransport, spec: ShardSpec| -> (f32, Vec<f32>) {
+            let env = t.recv_timeout(Duration::from_secs(5)).unwrap();
+            let header = WireMessage::peek(&env.payload).unwrap();
+            assert_eq!(header.kind, MsgKind::GradientReply);
+            assert_eq!(header.round, 0);
+            assert_eq!(header.shard as usize, spec.index);
+            assert_eq!(header.coord_offset as usize, spec.offset);
+            assert_eq!(header.coord_len as usize, spec.len);
+            let msg = WireMessage::decode(&env.payload).unwrap();
+            (header.aux, msg.values)
+        };
+
+        // No reply until the round's *last* slice lands.
+        send_slice(&s0, map.spec(0), 0);
+        assert!(matches!(
+            s0.recv_timeout(Duration::from_millis(150)),
+            Err(garfield_net::NetError::Timeout)
+        ));
+        send_slice(&s1, map.spec(1), 0);
+        let (loss0, slice0) = recv_reply(&s0, map.spec(0));
+        let (loss1, slice1) = recv_reply(&s1, map.spec(1));
+
+        // Both shards observe the same loss, and the stitched slices are the
+        // unsharded gradient, bit for bit.
+        assert_eq!(loss0.to_bits(), ref_loss.to_bits());
+        assert_eq!(loss1.to_bits(), ref_loss.to_bits());
+        let mut stitched = slice0;
+        stitched.extend_from_slice(&slice1);
+        assert_eq!(bits(&stitched), bits(ref_grad.data()));
+
+        // A retry re-slices the sent cache bit-exactly (no recompute).
+        send_slice(&s1, map.spec(1), 0);
+        let (retry_loss, retry_slice) = recv_reply(&s1, map.spec(1));
+        assert_eq!(retry_loss.to_bits(), ref_loss.to_bits());
+        assert_eq!(bits(&retry_slice), bits(&stitched[map.spec(1).range()]));
+
+        s0.send(
+            NodeId(2),
+            1,
+            WireMessage::control(MsgKind::Shutdown, 1).encode(),
+        )
+        .unwrap();
+        let telemetry = handle.join().unwrap();
+        assert_eq!(
+            telemetry.messages_sent, 3,
+            "two first replies plus one cached retry"
+        );
     }
 }

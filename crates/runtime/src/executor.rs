@@ -4,8 +4,8 @@ use crate::fault::FaultPlan;
 use crate::node::{fault_rng_streams, NodeLayout, ServerNode, ServerRun, WorkerNode};
 use garfield_aggregation::PeerSuspicion;
 use garfield_core::{
-    CoreError, CoreResult, Deployment, ExecMode, Executor, ExperimentConfig, NodeTelemetry,
-    RuntimeTelemetry, SimExecutor, SystemKind, TrainingTrace,
+    shard_server, CoreError, CoreResult, Deployment, ExecMode, Executor, ExperimentConfig,
+    NodeTelemetry, RuntimeTelemetry, ShardMap, SimExecutor, SystemKind, TrainingTrace,
 };
 use garfield_net::{MsgKind, NodeId, Router, RouterTransport, Transport, WireMessage};
 use garfield_tensor::Tensor;
@@ -129,6 +129,12 @@ impl LiveExecutor {
         let layout = NodeLayout::of(system, &config);
         let nps = layout.server_ids.len();
         let nw = layout.worker_ids.len();
+        // Parameter sharding: one server per shard instead of one full-model
+        // server (validation already confined `shards > 1` to the
+        // single-replica systems with coordinate-decomposable GARs).
+        let shard_map = (config.shards > 1 && system != SystemKind::Msmw)
+            .then(|| ShardMap::new(parts.dimension, config.shards))
+            .transpose()?;
         let gradient_quorum = self
             .options
             .gradient_quorum
@@ -170,25 +176,53 @@ impl LiveExecutor {
                 fault: self.faults.worker(j),
                 fault_rng,
                 idle_timeout: self.options.idle_timeout,
+                shards: shard_map.as_ref().map_or(1, ShardMap::shard_count),
+                dimension: parts.dimension,
             };
             worker_threads.push(std::thread::spawn(move || node.run(transport)));
         }
 
+        // One server object per launched thread: `parts.servers` as built in
+        // the unsharded case, sliced out of the template server's initial
+        // model when a shard map is in force.
+        let mut servers = parts.servers;
+        if let Some(map) = &shard_map {
+            let template = servers
+                .into_iter()
+                .next()
+                .ok_or_else(|| CoreError::InvalidConfig("deployment produced no server".into()))?;
+            let initial = template.honest().parameters();
+            servers = map
+                .specs()
+                .iter()
+                .map(|&spec| shard_server(spec, initial.data(), &config))
+                .collect();
+        }
+
         let mut server_threads = Vec::with_capacity(nps);
-        for (((i, server), transport), fault_rng) in parts
-            .servers
+        for (((i, server), transport), fault_rng) in servers
             .into_iter()
             .take(nps)
             .enumerate()
             .zip(server_transports)
             .zip(server_rngs)
         {
-            let peers: Vec<NodeId> = layout
+            let others: Vec<NodeId> = layout
                 .server_ids
                 .iter()
                 .copied()
                 .filter(|&p| p != layout.server_ids[i])
                 .collect();
+            // Shard servers are not replicas: no model pulls, no state
+            // serving between them — only the sticky-OR speculation-trip
+            // channel. Accuracy evaluation needs the full model, so no shard
+            // server gets the test batch (the report's trace then carries
+            // losses but no accuracy points).
+            let (peers, siblings) = if shard_map.is_some() {
+                (Vec::new(), others)
+            } else {
+                (others, Vec::new())
+            };
             let node = ServerNode {
                 index: i,
                 server,
@@ -196,11 +230,13 @@ impl LiveExecutor {
                 config: config.clone(),
                 worker_ids: layout.worker_ids.clone(),
                 peer_ids: peers,
+                shard: shard_map.as_ref().map(|map| map.spec(i)),
+                shard_siblings: siblings,
                 gradient_quorum,
                 round_deadline: self.options.round_deadline,
                 fault: self.faults.server(i),
                 fault_rng,
-                test_batch: (i == 0).then(|| parts.test_batch.clone()),
+                test_batch: (i == 0 && shard_map.is_none()).then(|| parts.test_batch.clone()),
                 // The executor's controller below winds the workers down.
                 shutdown_targets: Vec::new(),
                 request_retry: self.options.request_retry,
@@ -258,17 +294,29 @@ impl LiveExecutor {
         node_telemetry.extend(worker_telemetry);
 
         let honest_servers = nps - config.actual_byzantine_servers.min(nps.saturating_sub(1));
+        let final_models = if let Some(map) = &shard_map {
+            // Stitch the shard slices back into the one full model of the
+            // deployment — bit-identical to the unsharded same-seed run when
+            // every round formed a full quorum.
+            let slices: Vec<Vec<f32>> = outcomes
+                .iter()
+                .map(|(_, run)| run.final_model.data().to_vec())
+                .collect();
+            vec![Tensor::from_slice(&map.reassemble(&slices)?)]
+        } else {
+            outcomes
+                .iter()
+                .take(honest_servers)
+                .map(|(_, run)| run.final_model.clone())
+                .collect()
+        };
         let report = LiveReport {
             trace: observer.trace.clone(),
             telemetry: RuntimeTelemetry {
                 nodes: node_telemetry,
                 round_latencies: observer.round_latencies.clone(),
             },
-            final_models: outcomes
-                .iter()
-                .take(honest_servers)
-                .map(|(_, run)| run.final_model.clone())
-                .collect(),
+            final_models,
             suspicion: observer.suspicion.clone(),
         };
         self.last = Some(report.clone());

@@ -39,7 +39,9 @@ impl NodeLayout {
     /// Computes the layout of `config` under `system`.
     ///
     /// Vanilla and SSMW deploy a single trusted server no matter what
-    /// `config.nps` says; MSMW runs every replica.
+    /// `config.nps` says — unless the model is parameter-sharded
+    /// (`config.shards > 1`), in which case one server per shard runs;
+    /// MSMW runs every replica.
     pub fn of(system: SystemKind, config: &ExperimentConfig) -> NodeLayout {
         let servers = live_server_count(system, config);
         let workers = config.nw;
@@ -60,12 +62,15 @@ impl NodeLayout {
     }
 }
 
-/// Number of server replicas that actually run live under `system`.
+/// Number of server replicas that actually run live under `system`: every
+/// replica in MSMW, otherwise one server per parameter shard (one, when the
+/// model is unsharded). Config validation rejects `shards > 1` under MSMW,
+/// so the two arms never compete.
 pub fn live_server_count(system: SystemKind, config: &ExperimentConfig) -> usize {
     if system == SystemKind::Msmw {
         config.nps.max(1)
     } else {
-        1
+        config.shards.max(1)
     }
 }
 
@@ -102,6 +107,12 @@ pub struct WorkerNode {
     /// How long the worker waits on an empty inbox before assuming the run
     /// is over.
     pub idle_timeout: Duration,
+    /// Number of parameter shards the server side is split into (1 means
+    /// unsharded). Sharded requests carry model *slices*; the worker buffers
+    /// them and computes once per round on the assembled vector.
+    pub shards: usize,
+    /// Full model dimension, needed to assemble sharded slices.
+    pub dimension: usize,
 }
 
 impl WorkerNode {
@@ -123,6 +134,10 @@ impl WorkerNode {
             restarted: false,
             seq: 0,
             attack_history: Vec::new(),
+            shards: self.shards,
+            dimension: self.dimension,
+            pending_slices: Vec::new(),
+            sent_cache: Vec::new(),
         };
         actor.run()
     }
@@ -142,6 +157,12 @@ pub struct ServerNode {
     pub worker_ids: Vec<NodeId>,
     /// Ids of the peer replicas (the layout's server ids minus this one).
     pub peer_ids: Vec<NodeId>,
+    /// The parameter shard this server owns when the model is split across
+    /// server shards (`None`: this server holds the full vector).
+    pub shard: Option<garfield_core::ShardSpec>,
+    /// The other shard servers of a sharded deployment (empty otherwise):
+    /// recipients of this server's `SpeculationTrip` sticky-OR broadcast.
+    pub shard_siblings: Vec<NodeId>,
     /// Gradient replies to wait for each round.
     pub gradient_quorum: usize,
     /// Wall-clock deadline of each pull phase.
@@ -233,6 +254,16 @@ mod tests {
         assert_eq!(ssmw.server_ids, vec![NodeId(0)]);
         assert_eq!(ssmw.worker_ids[0], NodeId(1));
         assert_eq!(live_server_count(SystemKind::Vanilla, &cfg), 1);
+
+        // One server per parameter shard for the sharded single-replica
+        // systems; workers still come after every server.
+        cfg.shards = 3;
+        let sharded = NodeLayout::of(SystemKind::Ssmw, &cfg);
+        assert_eq!(sharded.server_ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sharded.worker_ids[0], NodeId(3));
+        assert_eq!(live_server_count(SystemKind::Vanilla, &cfg), 3);
+        // MSMW replica count is untouched by the shard setting.
+        assert_eq!(live_server_count(SystemKind::Msmw, &cfg), 3);
     }
 
     #[test]

@@ -23,6 +23,15 @@
 //!   `gradient_gar` as-is.
 //! * `--gradient-quorum` — override `q`; `n − f` exercises the asynchronous
 //!   liveness condition (the run survives `f` dead workers).
+//! * `--shards` — override the config's `shards`: split the parameter vector
+//!   across that many shard servers (server rank `i` owns shard `i`).
+//!   Requires a single-replica system and a coordinate-decomposable gradient
+//!   GAR (average, median, or speculative over one of those) — enforced by
+//!   config validation. Each shard server writes its *slice* to `--out`;
+//!   stitching the slices together in rank order yields the full model,
+//!   bit-identical to an unsharded run of the same seed at full quorum.
+//!   Sharded servers reject `--checkpoint`/`--resume` (checkpoints hold
+//!   full-model state).
 //! * `--round-deadline-ms` / `--idle-timeout-ms` — pull deadline (servers)
 //!   and inbox idle backstop (workers).
 //! * `--retry-ms` — how long a server pull waits before re-asking peers
@@ -58,7 +67,9 @@
 //! Exit status: `0` on success, `1` on a runtime/liveness failure, `2` on
 //! bad usage.
 
-use garfield_core::{Checkpoint, CheckpointPolicy, Deployment, ExperimentConfig, SystemSpec};
+use garfield_core::{
+    shard_server, Checkpoint, CheckpointPolicy, Deployment, ExperimentConfig, ShardMap, SystemSpec,
+};
 use garfield_net::NodeId;
 use garfield_obs::flight;
 use garfield_obs::http::MetricsServer;
@@ -75,6 +86,7 @@ struct Args {
     config: String,
     system: SystemSpec,
     gradient_quorum: Option<usize>,
+    shards: Option<usize>,
     round_deadline: Duration,
     idle_timeout: Duration,
     request_retry: Duration,
@@ -91,7 +103,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: garfield-node --role <server|worker> --rank <n> --cluster <file> \
          --config <file> --system <vanilla|ssmw|msmw|speculative[(<gar>)]> \
-         [--gradient-quorum <q>] \
+         [--gradient-quorum <q>] [--shards <s>] \
          [--round-deadline-ms <ms>] [--idle-timeout-ms <ms>] [--retry-ms <ms>] \
          [--delay-ms <ms>] [--checkpoint <dir>] [--checkpoint-every <k>] \
          [--resume <dir>] [--out <file>] [--metrics-addr <host:port>] \
@@ -134,6 +146,7 @@ fn parse_args() -> Args {
             usage();
         }),
         gradient_quorum: value("--gradient-quorum").map(|v| parsed("--gradient-quorum", v)),
+        shards: value("--shards").map(|v| parsed("--shards", v)),
         round_deadline: Duration::from_millis(
             value("--round-deadline-ms").map_or(5_000, |v| parsed("--round-deadline-ms", v) as u64),
         ),
@@ -218,7 +231,19 @@ fn run(args: Args) -> Result<(), String> {
         std::fs::read_to_string(&args.config).map_err(|e| format!("{}: {e}", args.config))?;
     let mut config = ExperimentConfig::from_json(&config_text).map_err(|e| e.to_string())?;
     args.system.apply(&mut config);
+    if let Some(shards) = args.shards {
+        config.shards = shards;
+    }
     config.validate(system).map_err(|e| e.to_string())?;
+    if config.shards > 1 && (args.checkpoint.is_some() || args.resume.is_some()) {
+        // A checkpoint records full-model training state; shard servers own
+        // slices. Refuse loudly instead of resuming into a dimension error.
+        return Err(
+            "parameter-sharded deployments (--shards > 1) do not support \
+             --checkpoint/--resume: checkpoints hold full-model state"
+                .to_string(),
+        );
+    }
     let spec = ClusterSpec::load(&args.cluster).map_err(|e| format!("{}: {e}", args.cluster))?;
 
     let layout = NodeLayout::of(system, &config);
@@ -276,6 +301,10 @@ fn run(args: Args) -> Result<(), String> {
                 fault: args.delay.map(|millis| Fault::Delay { millis }),
                 fault_rng: worker_rngs.swap_remove(args.rank),
                 idle_timeout: args.idle_timeout,
+                // Validation confines shards > 1 to single-replica systems,
+                // so the max(1) covers MSMW too.
+                shards: config.shards.max(1),
+                dimension: parts.dimension,
             };
             let telemetry = node.run(Box::new(transport));
             eprintln!(
@@ -347,29 +376,59 @@ fn run(args: Args) -> Result<(), String> {
                 args.rank,
                 transport.local_addr()
             );
-            let node = ServerNode {
-                index: args.rank,
-                server: parts
+            // Parameter sharding: this rank's server owns one slice of the
+            // template server's initial model, built through the same
+            // constructor as the in-process executor (bit-identity depends
+            // on it). Shard servers are not replicas — the other server ids
+            // become sticky-OR siblings rather than model-merge peers.
+            let shard_map = (config.shards > 1)
+                .then(|| ShardMap::new(parts.dimension, config.shards))
+                .transpose()
+                .map_err(|e| e.to_string())?;
+            let server = match &shard_map {
+                Some(map) => {
+                    let template = parts
+                        .servers
+                        .into_iter()
+                        .next()
+                        .expect("deployments build at least one server");
+                    let initial = template.honest().parameters();
+                    shard_server(map.spec(args.rank), initial.data(), &config)
+                }
+                None => parts
                     .servers
                     .into_iter()
                     .nth(args.rank)
                     .expect("rank checked"),
+            };
+            let others: Vec<NodeId> = layout
+                .server_ids
+                .iter()
+                .copied()
+                .filter(|&p| p != id)
+                .collect();
+            let (peer_ids, shard_siblings) = if shard_map.is_some() {
+                (Vec::new(), others)
+            } else {
+                (others, Vec::new())
+            };
+            let node = ServerNode {
+                index: args.rank,
+                server,
                 system,
                 config: config.clone(),
                 worker_ids: layout.worker_ids.clone(),
-                peer_ids: layout
-                    .server_ids
-                    .iter()
-                    .copied()
-                    .filter(|&p| p != id)
-                    .collect(),
+                peer_ids,
+                shard: shard_map.as_ref().map(|map| map.spec(args.rank)),
+                shard_siblings,
                 gradient_quorum: args
                     .gradient_quorum
                     .unwrap_or_else(|| config.gradient_quorum(system)),
                 round_deadline: args.round_deadline,
                 fault: args.delay.map(|millis| Fault::Delay { millis }),
                 fault_rng: server_rngs.swap_remove(args.rank),
-                test_batch: (args.rank == 0).then_some(parts.test_batch),
+                // Accuracy needs the full model: no shard server evaluates.
+                test_batch: (args.rank == 0 && shard_map.is_none()).then_some(parts.test_batch),
                 // No controller process exists: the coordinating replica
                 // winds every worker down when it exits.
                 shutdown_targets: if args.rank == 0 {

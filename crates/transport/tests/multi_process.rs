@@ -9,8 +9,9 @@
 //! * with `q = n − f`, the deployment survives `f` workers being *killed*
 //!   (`SIGKILL`, not a polite crash message) mid-run.
 
+use garfield_aggregation::GarKind;
 use garfield_core::{json, ExperimentConfig, SystemKind};
-use garfield_runtime::LiveExecutor;
+use garfield_runtime::{FaultPlan, LiveExecutor, LiveOptions};
 use garfield_transport::ClusterSpec;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -205,6 +206,104 @@ fn tcp_run_survives_f_killed_workers_at_q_equals_n_minus_f() {
         doc.get("iterations").and_then(json::Value::as_usize),
         Some(cfg.iterations),
         "every iteration must complete despite the killed worker"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_tcp_run_with_a_killed_worker_matches_the_unsharded_in_process_run() {
+    // The sharded acceptance case, over real sockets: 2 shard servers + 6
+    // workers (8 OS processes), q = n − f, one worker SIGKILLed before the
+    // servers start. Each shard server writes its *slice* to its own --out
+    // file; stitching the slices in rank order must reproduce the unsharded
+    // in-process run of the same seed bit for bit.
+    let shards = 2usize;
+    let mut cfg = config(6);
+    // Median decomposes per coordinate — the sharded contract's requirement.
+    cfg.gradient_gar = GarKind::Median;
+    let (n, f) = (cfg.nw, 1usize);
+    let dir = scratch_dir("sharded-kill");
+    ClusterSpec::localhost(shards + n)
+        .unwrap()
+        .save(dir.join("cluster.txt"))
+        .unwrap();
+    std::fs::write(dir.join("config.json"), cfg.to_json()).unwrap();
+
+    let quorum = (n - f).to_string();
+    let shard_flag = shards.to_string();
+    let common = ["--shards", &shard_flag, "--gradient-quorum", &quorum];
+    let mut workers: Vec<Child> = (0..n)
+        .map(|j| spawn_node(&dir, "worker", j, "ssmw", &common))
+        .collect();
+
+    // SIGKILL the last worker before any server starts: every round on every
+    // shard must then ride out the dead peer through the q = n − f quorum.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let victim = workers.last_mut().expect("a worker to kill");
+    victim.kill().expect("kill worker");
+    victim.wait().expect("reap killed worker");
+
+    let mut servers: Vec<Child> = (0..shards)
+        .map(|rank| {
+            let out = format!("result{rank}.json");
+            let mut extra = common.to_vec();
+            extra.extend_from_slice(&["--out", &out]);
+            spawn_node(&dir, "server", rank, "ssmw", &extra)
+        })
+        .collect();
+
+    for (rank, server) in servers.iter_mut().enumerate() {
+        let status = server.wait().expect("shard server exits");
+        if !status.success() {
+            dump_logs(&dir);
+            panic!("shard server {rank} failed at q = n - f: {status}");
+        }
+    }
+    for worker in workers.iter_mut().take(n - f) {
+        let status = worker.wait().expect("worker exits");
+        assert!(status.success(), "surviving worker failed: {status}");
+    }
+
+    // Stitch the per-shard slices in rank order: servers own contiguous
+    // coordinate ranges in rank order, so concatenation is reassembly.
+    let mut tcp_bits: Vec<u32> = Vec::new();
+    for rank in 0..shards {
+        let result = std::fs::read_to_string(dir.join(format!("result{rank}.json"))).unwrap();
+        let doc = json::parse(&result).unwrap();
+        assert_eq!(
+            doc.get("iterations").and_then(json::Value::as_usize),
+            Some(cfg.iterations),
+            "shard {rank} must complete every iteration despite the killed worker"
+        );
+        tcp_bits.extend(
+            doc.get("final_model_bits")
+                .and_then(json::Value::as_array)
+                .expect("final_model_bits array")
+                .iter()
+                .map(|v| v.as_usize().expect("u32 bit pattern") as u32),
+        );
+    }
+
+    // Same seed, unsharded, in-process, with the same worker dead from
+    // round 0: the flagship bit-identity contract, across substrates.
+    let report = LiveExecutor::new(cfg)
+        .with_options(LiveOptions {
+            gradient_quorum: Some(n - f),
+            ..LiveOptions::default()
+        })
+        .with_faults(FaultPlan::new().crash_worker_at(n - 1, 0))
+        .run_live(SystemKind::Ssmw)
+        .expect("in-process run");
+    let live_bits: Vec<u32> = report.final_models[0]
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(tcp_bits.len(), live_bits.len(), "stitched dimension");
+    assert_eq!(
+        tcp_bits, live_bits,
+        "stitched sharded TCP model must equal the unsharded in-process model bit for bit"
     );
 
     let _ = std::fs::remove_dir_all(&dir);
